@@ -1,0 +1,127 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``test_tabN_*``/``test_figNN_*`` module regenerates one table or
+figure from the paper's evaluation.  Expensive artifacts — per-workload,
+per-mode-table simulation profiles — are built once per session and
+shared across experiments through the caches below.  Every experiment
+writes its regenerated table/series to ``benchmarks/results/<name>.txt``
+so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core import DVSOptimizer
+from repro.core.analytical import ProgramParams
+from repro.profiling import extract_params
+from repro.profiling.profile_data import ProfileData
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.simulator.dvs import ModeTable, make_mode_table
+from repro.workloads import compile_workload, derive_deadlines, get_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The four benchmarks of the paper's Tables 1/6/7.
+TABLE_BENCHMARKS = ("adpcm", "epic", "gsm", "mpeg")
+#: The six benchmarks of the paper's Tables 3/4/5, Figures 14/15/17/18.
+ALL_BENCHMARKS = ("adpcm", "epic", "gsm", "mpeg", "mpg123", "ghostscript")
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Persist a regenerated table/series and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@dataclass
+class WorkloadContext:
+    """Everything an experiment needs about one workload on one machine."""
+
+    name: str
+    spec: object
+    cfg: object
+    machine: Machine
+    optimizer: DVSOptimizer
+    profile: ProfileData
+    params: ProgramParams
+    deadlines: list[float]  # D1 (stringent) .. D5 (lax), Table 4 style
+
+    def inputs(self, **kwargs):
+        return self.spec.inputs(**kwargs)
+
+    def registers(self):
+        return self.spec.registers()
+
+
+class _ContextCache:
+    """Session cache of (workload, mode-table) contexts."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, str], WorkloadContext] = {}
+        self._xscale_deadlines: dict[str, list[float]] = {}
+
+    def get(self, name: str, table: ModeTable) -> WorkloadContext:
+        key = (name, table.name)
+        if key in self._cache:
+            return self._cache[key]
+        spec = get_workload(name)
+        cfg = compile_workload(name)
+        machine = Machine(SCALE_CONFIG, table, TransitionCostModel())
+        optimizer = DVSOptimizer(machine)
+        profile = optimizer.profile(cfg, inputs=spec.inputs(), registers=spec.registers())
+        params = extract_params(
+            machine, cfg, inputs=spec.inputs(), registers=spec.registers()
+        )
+        if table.name == XSCALE_3.name and name not in self._xscale_deadlines:
+            times = profile.wall_time_s
+            self._xscale_deadlines[name] = derive_deadlines(times[0], times[1], times[2])
+        deadlines = self._deadlines_for(name)
+        context = WorkloadContext(
+            name=name, spec=spec, cfg=cfg, machine=machine, optimizer=optimizer,
+            profile=profile, params=params, deadlines=deadlines,
+        )
+        self._cache[key] = context
+        return context
+
+    def _deadlines_for(self, name: str) -> list[float]:
+        """Deadlines always derive from the XScale 3-mode runtimes (the
+        paper's Table 4), shared by every mode-table study."""
+        if name not in self._xscale_deadlines:
+            times = self.get(name, XSCALE_3).profile.wall_time_s
+            self._xscale_deadlines[name] = derive_deadlines(times[0], times[1], times[2])
+        return self._xscale_deadlines[name]
+
+
+_CACHE = _ContextCache()
+
+
+@pytest.fixture(scope="session")
+def context_cache() -> _ContextCache:
+    return _CACHE
+
+
+@pytest.fixture(scope="session")
+def xscale_table() -> ModeTable:
+    return XSCALE_3
+
+
+@pytest.fixture(scope="session")
+def level_tables() -> dict[int, ModeTable]:
+    """The 3/7/13-level alpha-power tables of the Tables 1/6 study."""
+    return {levels: make_mode_table(levels) for levels in (3, 7, 13)}
+
+
+def single_run(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark's timer.
+
+    These experiments are end-to-end (minutes of simulation across the
+    session); statistical repetition would be waste.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+"""Figures 2-4: energy vs supply voltage v1 under continuous scaling.
+
+* Fig 2 — computation-dominated: E(v1) is unimodal with its minimum at
+  v_ideal; one voltage suffices.
+* Fig 3 — memory-dominated: the optimal v1 lies *below* the
+  single-frequency v_ideal (slow overlap region, fast dependent region).
+* Fig 4 — memory-dominated with slack: single-voltage optimum again.
+"""
+
+import pytest
+
+from repro.analysis import format_series
+from repro.core.analytical import (
+    ContinuousCase,
+    ProgramParams,
+    optimize_continuous,
+    single_frequency_baseline,
+)
+from repro.core.analytical.continuous import energy_vs_v1_curve
+
+from conftest import single_run, write_artifact
+
+
+def _curve_and_solution(params, deadline):
+    curve = energy_vs_v1_curve(params, deadline, samples=150)
+    solution = optimize_continuous(params, deadline)
+    baseline = single_frequency_baseline(params, deadline)
+    return curve, solution, baseline
+
+
+def test_fig02_computation_dominated(benchmark):
+    params = ProgramParams(2e6, 5e5, 3e5, 100e-6, name="fig2")
+    deadline = params.execution_time_s(8e8) * 1.4
+
+    curve, solution, baseline = single_run(
+        benchmark, lambda: _curve_and_solution(params, deadline)
+    )
+
+    assert solution.case is ContinuousCase.COMPUTATION_DOMINATED
+    assert not solution.uses_two_settings
+    # The curve's minimum coincides with v_ideal (Figure 2's marker).
+    v_at_min = min(curve, key=lambda p: p[1])[0]
+    assert v_at_min == pytest.approx(solution.v1, abs=0.02)
+
+    text = format_series(
+        "Figure 2: computation-dominated, energy vs v1 "
+        f"(min at v_ideal={solution.v1:.3f} V, single setting optimal)",
+        [v for v, _ in curve], [e for _, e in curve],
+        x_label="v1 [V]", y_label="energy [cycle*V^2]",
+    )
+    write_artifact("fig02_computation_dominated", text)
+
+
+def test_fig03_memory_dominated(benchmark):
+    params = ProgramParams(8e5, 8e5, 3e5, 1000e-6, name="fig3")
+    deadline = 3000e-6
+
+    curve, solution, baseline = single_run(
+        benchmark, lambda: _curve_and_solution(params, deadline)
+    )
+
+    assert solution.case is ContinuousCase.MEMORY_DOMINATED
+    assert solution.uses_two_settings
+    # Paper: optimal v1 < v_ideal < optimal v2.
+    assert solution.v1 < baseline.v1 < solution.v2
+    assert solution.energy < baseline.energy
+
+    text = format_series(
+        "Figure 3: memory-dominated, energy vs v1 "
+        f"(v_opt={solution.v1:.3f} V < v_ideal={baseline.v1:.3f} V; "
+        f"v2={solution.v2:.3f} V; savings="
+        f"{1 - solution.energy / baseline.energy:.3f})",
+        [v for v, _ in curve], [e for _, e in curve],
+        x_label="v1 [V]", y_label="energy [cycle*V^2]",
+    )
+    write_artifact("fig03_memory_dominated", text)
+
+
+def test_fig04_memory_dominated_with_slack(benchmark):
+    params = ProgramParams(2e5, 5e5, 6e5, 1000e-6, name="fig4")
+    deadline = params.execution_time_s(8e8) * 1.5
+
+    curve, solution, baseline = single_run(
+        benchmark, lambda: _curve_and_solution(params, deadline)
+    )
+
+    assert solution.case is ContinuousCase.MEMORY_DOMINATED_SLACK
+    assert not solution.uses_two_settings
+    # Convex with a single interior minimum; no savings over single freq.
+    assert solution.energy == pytest.approx(baseline.energy, rel=1e-6)
+
+    text = format_series(
+        "Figure 4: memory-dominated with slack, energy vs v1 "
+        f"(single setting v_ideal={solution.v1:.3f} V optimal; no savings)",
+        [v for v, _ in curve], [e for _, e in curve],
+        x_label="v1 [V]", y_label="energy [cycle*V^2]",
+    )
+    write_artifact("fig04_memory_dominated_slack", text)

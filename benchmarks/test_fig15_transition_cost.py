@@ -1,0 +1,78 @@
+"""Figure 15: impact of transition cost on minimum energy.
+
+The paper sweeps the regulator capacitance c over five decades
+(100 uF .. 0.01 uF) at the lax Deadline 5, normalizing each benchmark's
+optimal energy to the best feasible single-frequency run.  As c drops,
+transition costs vanish, switching becomes free, and the energy
+approaches the V_low²/V_mid² bound (0.7²/1.3² = 0.29 for the paper's
+XScale table, when the baseline is the 600 MHz setting).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import DVSOptimizer
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+
+from conftest import ALL_BENCHMARKS, single_run, write_artifact
+
+CAPACITANCES = (100e-6, 10e-6, 1e-6, 0.1e-6, 0.01e-6)
+
+
+def sweep_capacitance(context):
+    deadline = context.deadlines[4]  # Deadline 5 (lax), as in the paper
+    _, baseline_energy = context.optimizer.best_single_mode(context.profile, deadline)
+    normalized = []
+    transitions = []
+    for capacitance in CAPACITANCES:
+        machine = Machine(
+            SCALE_CONFIG, XSCALE_3, TransitionCostModel(capacitance_f=capacitance)
+        )
+        optimizer = DVSOptimizer(machine)
+        outcome = optimizer.optimize(context.cfg, deadline, profile=context.profile)
+        run = optimizer.verify(
+            context.cfg, outcome.schedule,
+            inputs=context.inputs(), registers=context.registers(),
+        )
+        normalized.append(run.cpu_energy_nj / baseline_energy)
+        transitions.append(run.mode_transitions)
+    return normalized, transitions
+
+
+def test_fig15_transition_cost(benchmark, context_cache, xscale_table):
+    def experiment():
+        return {
+            name: sweep_capacitance(context_cache.get(name, xscale_table))
+            for name in ALL_BENCHMARKS
+        }
+
+    data = single_run(benchmark, experiment)
+
+    table = Table(
+        "Figure 15: energy normalized to best single mode vs regulator "
+        "capacitance (Deadline 5)",
+        ["Benchmark"] + [f"c={c * 1e6:g}uF" for c in CAPACITANCES] + ["transitions@min_c"],
+        float_format="{:.3f}",
+    )
+    v_bound = 0.70**2 / 1.30**2  # = 0.29, the paper's asymptote
+    for name in ALL_BENCHMARKS:
+        normalized, transitions = data[name]
+        table.add_row([name] + normalized + [transitions[-1]])
+        # Energy is non-increasing as transition cost falls.
+        for heavy, light in zip(normalized, normalized[1:]):
+            assert light <= heavy * (1 + 1e-6), name
+        # At the highest cost, switching is (almost) priced out: at most a
+        # handful of transitions and near-baseline energy.
+        assert normalized[0] <= 1.0 + 1e-6, name
+        # At the lowest cost, energy approaches (and may cross, since the
+        # schedule can also slow *below* 600 MHz regions the baseline
+        # can't) the V² ratio bound.
+        assert normalized[-1] <= v_bound * 1.35, name
+
+    # Somewhere in the suite, cheap transitions enable strictly lower
+    # energy than the most expensive-regulator setup.
+    improvements = [data[name][0][0] - data[name][0][-1] for name in ALL_BENCHMARKS]
+    assert max(improvements) > 0.01
+
+    write_artifact("fig15_transition_cost", table.render())

@@ -1,0 +1,45 @@
+"""Table 2: CPU simulation configuration.
+
+The paper's Table 2 lists the SimpleScalar/Wattch parameters.  This
+benchmark prints both our faithful ``PAPER_CONFIG`` (matching Table 2's
+cache geometry) and the default ``SCALE_CONFIG`` used for the
+kernel-scale workloads, and re-asserts the published values.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.simulator import PAPER_CONFIG, SCALE_CONFIG
+
+from conftest import single_run, write_artifact
+
+
+def test_tab2_configuration(benchmark):
+    def experiment():
+        table = Table(
+            "Table 2: machine configurations (paper analog / scale model)",
+            ["Parameter", "paper-table2", "scale-model"],
+        )
+        for label, getter in [
+            ("L1 D-cache size", lambda c: f"{c.l1d.size_bytes // 1024}K"),
+            ("L1 D-cache assoc", lambda c: f"{c.l1d.assoc}-way(LRU)"),
+            ("L1 line size", lambda c: f"{c.l1d.line_bytes}B"),
+            ("L1 latency", lambda c: f"{c.l1d.hit_latency_cycles} cycle"),
+            ("L1 I-cache size", lambda c: f"{c.l1i.size_bytes // 1024}K"),
+            ("L2 size", lambda c: f"{c.l2.size_bytes // 1024}K unified"),
+            ("L2 assoc", lambda c: f"{c.l2.assoc}-way(LRU)"),
+            ("L2 latency", lambda c: f"{c.l2.hit_latency_cycles} cycles"),
+            ("DRAM latency", lambda c: f"{c.memory_latency_s * 1e9:.0f} ns (wall-clock)"),
+        ]:
+            table.add_row([label, getter(PAPER_CONFIG), getter(SCALE_CONFIG)])
+        return table.render()
+
+    text = single_run(benchmark, experiment)
+
+    # Paper's Table 2 values hold on the faithful config.
+    assert PAPER_CONFIG.l1d.size_bytes == 64 * 1024
+    assert PAPER_CONFIG.l1d.assoc == 4
+    assert PAPER_CONFIG.l1d.line_bytes == 32
+    assert PAPER_CONFIG.l2.size_bytes == 512 * 1024
+    assert PAPER_CONFIG.l2.hit_latency_cycles == 16
+    write_artifact("tab2_machine_config", text)

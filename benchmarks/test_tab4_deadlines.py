@@ -1,0 +1,46 @@
+"""Table 4: per-benchmark runtimes at each mode and the five deadlines.
+
+The paper's Table 4 lists each benchmark's execution time at 200, 600
+and 800 MHz and the five application-specific deadlines used throughout
+Section 6.  This benchmark regenerates the same table on the scale-model
+suite and asserts the structural properties the paper's deadline choices
+have (Figure 16's positions).
+"""
+
+import pytest
+
+from repro.analysis import Table
+
+from conftest import ALL_BENCHMARKS, single_run, write_artifact
+
+
+def test_tab4_deadline_boundaries(benchmark, context_cache, xscale_table):
+    def experiment():
+        rows = []
+        for name in ALL_BENCHMARKS:
+            context = context_cache.get(name, xscale_table)
+            t = context.profile.wall_time_s
+            rows.append((name, t[0], t[1], t[2], context.deadlines))
+        return rows
+
+    rows = single_run(benchmark, experiment)
+
+    table = Table(
+        "Table 4: runtimes per mode and chosen deadlines (ms)",
+        ["Benchmark", "t@200MHz", "t@600MHz", "t@800MHz",
+         "D1", "D2", "D3", "D4", "D5"],
+        float_format="{:.3f}",
+    )
+    for name, t200, t600, t800, deadlines in rows:
+        table.add_row([name, t200 * 1e3, t600 * 1e3, t800 * 1e3]
+                      + [d * 1e3 for d in deadlines])
+        # Structural checks mirroring the paper's Table 4 positions:
+        assert t800 < t600 < t200
+        d1, d2, d3, d4, d5 = deadlines
+        assert t800 < d1 < d2 < t600          # D1/D2 between fast and mid
+        assert t600 < d3 < d4 < t200          # D3/D4 between mid and slow
+        assert d4 < d5 < t200                  # D5 lax but below all-slow
+        # Memory-boundness shows as sub-4x slowdown at 200 MHz.
+        assert 2.0 < t200 / t800 <= 4.05
+
+    write_artifact("tab4_deadlines", table.render())

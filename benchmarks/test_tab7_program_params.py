@@ -1,0 +1,53 @@
+"""Table 7: simulated program parameters.
+
+The paper's Table 7 reports N_cache, N_overlap, N_dependent (Kcycles)
+and t_invariant (us) for adpcm, epic, gsm and mpeg/decode, extracted
+from cycle-level simulation.  This benchmark regenerates the table from
+our machine's cycle classification and asserts the qualitative ordering
+the paper's numbers exhibit.
+"""
+
+import pytest
+
+from repro.analysis import Table
+
+from conftest import TABLE_BENCHMARKS, single_run, write_artifact
+
+
+def test_tab7_program_parameters(benchmark, context_cache, xscale_table):
+    def experiment():
+        return {
+            name: context_cache.get(name, xscale_table).params
+            for name in TABLE_BENCHMARKS
+        }
+
+    params = single_run(benchmark, experiment)
+
+    table = Table(
+        "Table 7: simulated program parameters",
+        ["Benchmark", "N_cache (Kcyc)", "N_overlap (Kcyc)",
+         "N_dependent (Kcyc)", "t_invariant (us)"],
+        float_format="{:.1f}",
+    )
+    for name in TABLE_BENCHMARKS:
+        p = params[name]
+        table.add_row([
+            name, p.n_cache / 1e3, p.n_overlap / 1e3,
+            p.n_dependent / 1e3, p.t_invariant_s * 1e6,
+        ])
+
+    # Qualitative shape of the paper's Table 7:
+    # every benchmark is dependent-compute dominated ...
+    for name in TABLE_BENCHMARKS:
+        p = params[name]
+        assert p.n_dependent > p.n_overlap
+        assert p.n_dependent > p.n_cache
+        assert p.t_invariant_s > 0
+    # ... adpcm has the smallest memory component of the four ...
+    assert params["adpcm"].n_cache == min(p.n_cache for p in params.values())
+    # ... and mpeg/epic carry the heavier miss traffic (t_invariant)
+    # relative to gsm (whose Table 7 t_inv is the smallest).
+    assert params["gsm"].t_invariant_s < params["epic"].t_invariant_s
+    assert params["gsm"].t_invariant_s < params["mpeg"].t_invariant_s
+
+    write_artifact("tab7_program_params", table.render())

@@ -1,0 +1,60 @@
+"""Scenario: battery-powered audio pipeline (ADPCM + GSM coding).
+
+A voice recorder codes audio in real time: each 100-ms capture window
+must be encoded before the next arrives, and everything beyond that is
+battery drain.  This example sweeps the real-time requirement from
+"barely keeping up" to "generous slack" and reports how much battery the
+MILP-scheduled DVS recovers versus (a) always running flat out and
+(b) the best single clock setting per requirement.
+
+Run:  python examples/audio_battery_life.py
+"""
+
+from repro.core import DVSOptimizer
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.workloads import compile_workload, derive_deadlines, get_workload
+
+
+def sweep(name: str) -> None:
+    spec = get_workload(name)
+    cfg = compile_workload(name)
+    machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+    optimizer = DVSOptimizer(machine)
+    profile = optimizer.profile(cfg, inputs=spec.inputs(), registers=spec.registers())
+
+    t = profile.wall_time_s
+    flat_out_energy = profile.cpu_energy_nj[2]
+    deadlines = derive_deadlines(t[0], t[1], t[2])
+
+    print(f"\n=== {name}: {spec.description}")
+    print(f"    flat out: {t[2] * 1e3:.2f} ms per window, "
+          f"{flat_out_energy / 1e3:.1f} uJ")
+    print(f"{'requirement':>13s} {'DVS energy':>11s} {'best-single':>12s} "
+          f"{'vs single':>10s} {'battery x vs flat-out':>22s}")
+
+    for label, deadline in zip(("tight", "snug", "easy", "loose", "idle-ish"),
+                               deadlines):
+        outcome = optimizer.optimize(cfg, deadline, profile=profile)
+        run = optimizer.verify(cfg, outcome.schedule, inputs=spec.inputs(),
+                               registers=spec.registers())
+        assert run.wall_time_s <= deadline
+        _, single = optimizer.best_single_mode(profile, deadline)
+        print(f"{label:>13s} {run.cpu_energy_nj / 1e3:9.1f}uJ "
+              f"{single / 1e3:10.1f}uJ "
+              f"{1 - run.cpu_energy_nj / single:9.1%} "
+              f"{flat_out_energy / run.cpu_energy_nj:21.2f}x")
+
+
+def main() -> None:
+    print("Battery recovered by compile-time DVS on the audio pipeline")
+    print("(energy per capture window; lower is longer recording time)")
+    for name in ("adpcm", "gsm"):
+        sweep(name)
+    print("\nTakeaway: at realistic (non-tight) real-time requirements the "
+          "scheduled pipeline runs on ~1/3 of the flat-out energy, and "
+          "beats even the best fixed clock wherever the requirement falls "
+          "between two hardware operating points.")
+
+
+if __name__ == "__main__":
+    main()

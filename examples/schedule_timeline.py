@@ -1,0 +1,71 @@
+"""Scenario: visualize what the MILP actually scheduled.
+
+Prints a mode-over-time strip for a scheduled epic (wavelet coder) run —
+the quickest way to see the paper's core idea: the memory-bound strided
+column passes crawl at low voltage while the compute passes sprint —
+plus the energy/deadline Pareto frontier the deadline buys along.
+
+Run:  python examples/schedule_timeline.py
+"""
+
+from repro.core import DVSOptimizer
+from repro.simulator import (
+    Machine,
+    SCALE_CONFIG,
+    TransitionCostModel,
+    XSCALE_3,
+    mode_residency,
+    render_timeline,
+)
+from repro.workloads import compile_workload, get_workload
+
+
+def main() -> None:
+    spec = get_workload("epic")
+    cfg = compile_workload("epic")
+    machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+    optimizer = DVSOptimizer(machine)
+    inputs, registers = spec.inputs(), spec.registers()
+    profile = optimizer.profile(cfg, inputs=inputs, registers=registers)
+
+    t_fast, t_slow = profile.wall_time_s[2], profile.wall_time_s[0]
+    deadline = t_fast + 0.55 * (t_slow - t_fast)
+    outcome = optimizer.optimize(cfg, deadline, profile=profile)
+
+    events = []
+    run = machine.run(
+        cfg, inputs=inputs, registers=registers,
+        schedule=outcome.schedule.assignment,
+        initial_mode=outcome.schedule.initial_mode or 2,
+        trace=events,
+    )
+
+    legend = " ".join(
+        f"{'_-='[m]}={p.frequency_hz / 1e6:.0f}MHz@{p.voltage:.2f}V"
+        for m, p in enumerate(machine.mode_table)
+    )
+    print(f"epic under a {deadline * 1e3:.2f} ms deadline "
+          f"(finished {run.wall_time_s * 1e3:.2f} ms, "
+          f"{run.cpu_energy_nj / 1e3:.0f} uJ, "
+          f"{run.mode_transitions} transitions)\n")
+    print("time ->")
+    print(render_timeline(events, run.wall_time_s, width=72))
+    print(f"legend: {legend}\n")
+
+    residency = mode_residency(events, run.wall_time_s)
+    for mode in sorted(residency):
+        point = machine.mode_table[mode]
+        share = residency[mode] / run.wall_time_s
+        print(f"  {point}: {share:6.1%} of wall time")
+
+    print("\nEnergy/deadline frontier (predicted optimal energy):")
+    curve = optimizer.energy_deadline_curve(
+        cfg, profile, fractions=[0.05, 0.25, 0.5, 0.75, 0.95]
+    )
+    for dl, energy in curve:
+        bar = "#" * int(40 * energy / curve[0][1])
+        print(f"  {dl * 1e3:6.2f} ms  {energy / 1e3:8.1f} uJ  {bar}")
+
+
+if __name__ == "__main__":
+    main()

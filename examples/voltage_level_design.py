@@ -1,0 +1,82 @@
+"""Scenario: how many DVS voltage levels should the hardware expose?
+
+The paper's headline design-space result: as the number of discrete
+voltage levels grows, the extra benefit of *intra-program* DVS shrinks —
+a single well-chosen setting gets close.  A hardware team sizing the
+regulator/PLL complexity of a new embedded core can answer "is 4 levels
+enough, or do we need 16?" straight from the analytical model, using
+only four profiled program parameters.
+
+This example profiles the workload suite, extracts those parameters, and
+prints the predicted intra-program savings for 2..16 voltage levels —
+plus the single optimal voltage the model recommends if the chip will
+only ever get inter-program DVS (the paper's "important by-product").
+
+Run:  python examples/voltage_level_design.py
+"""
+
+from repro.core.analytical import (
+    optimize_continuous,
+    savings_ratio_discrete,
+    single_frequency_baseline,
+)
+from repro.profiling import extract_params
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.simulator.dvs import make_mode_table
+from repro.workloads import compile_workload, derive_deadlines, get_workload
+
+LEVEL_CHOICES = (2, 3, 4, 6, 8, 12, 16)
+WORKLOADS = ("adpcm", "epic", "gsm", "mpeg")
+
+
+def main() -> None:
+    machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+    tables = {n: make_mode_table(n) for n in LEVEL_CHOICES}
+
+    print("Predicted intra-program DVS savings vs number of voltage levels")
+    print("(deadline = halfway between all-fast and all-slow runtime)\n")
+    header = f"{'workload':>12s} " + " ".join(f"{n:>4d}L" for n in LEVEL_CHOICES)
+    print(header)
+
+    average = {n: 0.0 for n in LEVEL_CHOICES}
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        cfg = compile_workload(name)
+        params = extract_params(machine, cfg, inputs=spec.inputs(),
+                                registers=spec.registers())
+        run_fast = machine.run(cfg, inputs=spec.inputs(),
+                               registers=spec.registers(), mode=2)
+        run_slow = machine.run(cfg, inputs=spec.inputs(),
+                               registers=spec.registers(), mode=0)
+        deadline = run_fast.wall_time_s + 0.5 * (
+            run_slow.wall_time_s - run_fast.wall_time_s
+        )
+        row = []
+        for n in LEVEL_CHOICES:
+            s = savings_ratio_discrete(params, deadline, tables[n])
+            average[n] += s / len(WORKLOADS)
+            row.append(f"{s:4.1%}")
+        print(f"{name:>12s} " + " ".join(f"{cell:>5s}" for cell in row))
+
+        # The by-product: the single optimal (V, f) for this program and
+        # deadline, from the continuous model.
+        base = single_frequency_baseline(params, deadline)
+        print(f"{'':>12s} inter-program-only recommendation: "
+              f"{base.f1 / 1e6:.0f} MHz @ {base.v1:.2f} V")
+
+    print(f"\n{'suite mean':>12s} " + " ".join(
+        f"{average[n]:4.1%}" for n in LEVEL_CHOICES
+    ))
+    print("\nReading: coarse tables (2-4 levels) reward intra-program DVS "
+          "richly; dense tables mostly do not — a single per-program "
+          "setting gets close, matching the paper's conclusion that "
+          "fine-grained DVS hardware makes compile-time scheduling "
+          "unnecessary.  The non-monotone bumps are the paper's 'peaks': "
+          "savings spike whenever the deadline lands between two levels "
+          "and vanish when a level happens to sit right on it, so the "
+          "honest answer is always per-deadline, which is what this tool "
+          "computes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — reproduction of *Compile-Time Dynamic Voltage Scaling Settings:
+Opportunities and Limits* (Xie, Martonosi, Malik; PLDI 2003).
+
+The package answers the paper's two questions end to end on a simulated
+substrate:
+
+1. **How much can compile-time intra-program DVS save, at best?**
+   :mod:`repro.core.analytical` — the Section 3 model: continuous and
+   discrete voltage scaling bounds from four program parameters.
+2. **How much of that is achievable in practice?**
+   :mod:`repro.core.milp` + :class:`repro.core.DVSOptimizer` — the
+   Section 4 MILP that places mode-set instructions on CFG edges with
+   real transition costs, edge filtering and multi-input-category
+   support, verified by re-simulating the scheduled program.
+
+Substrates (each usable on its own):
+
+* :mod:`repro.lang` — a small C-like kernel language and compiler;
+* :mod:`repro.ir` — CFG-of-basic-blocks IR with loops/dominators;
+* :mod:`repro.simulator` — timing + energy machine simulator with
+  caches, asynchronous memory and DVS mode switching;
+* :mod:`repro.profiling` — per-mode block profiles, edge/path counts;
+* :mod:`repro.solver` — from-scratch simplex + branch-and-bound MILP
+  solver (with an optional scipy/HiGHS backend);
+* :mod:`repro.workloads` — a MediaBench-like benchmark suite;
+* :mod:`repro.analysis` — sweep and reporting helpers.
+
+Quickstart::
+
+    from repro.core import DVSOptimizer
+    from repro.lang import compile_program
+    from repro.simulator import Machine, XSCALE_3, TransitionCostModel
+    from repro.workloads import get_workload
+
+    spec = get_workload("adpcm")
+    cfg = compile_program(spec.source, name=spec.name)
+    machine = Machine(mode_table=XSCALE_3,
+                      transition_model=TransitionCostModel())
+    opt = DVSOptimizer(machine)
+    profile = opt.profile(cfg, inputs=spec.inputs(),
+                          registers=spec.registers())
+    outcome = opt.optimize(cfg, deadline_s=profile.wall_time_s[1],
+                           profile=profile)
+    run = opt.verify(cfg, outcome.schedule, inputs=spec.inputs(),
+                     registers=spec.registers())
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

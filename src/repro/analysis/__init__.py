@@ -1,0 +1,24 @@
+"""Analysis helpers: parameter sweeps for figures, table formatting.
+
+* :mod:`repro.analysis.surfaces` — 1-D/2-D sweeps of the analytical
+  savings ratio (the data behind Figures 5–11);
+* :mod:`repro.analysis.report` — aligned-text tables and series used by
+  the benchmark harness to print the paper's tables and figure series.
+"""
+
+from repro.analysis.energy_breakdown import EnergyBreakdown, energy_breakdown
+from repro.analysis.model_fit import TimingFit, timing_model_fit
+from repro.analysis.report import Table, format_series
+from repro.analysis.surfaces import Surface, sweep_continuous, sweep_discrete
+
+__all__ = [
+    "EnergyBreakdown",
+    "Surface",
+    "Table",
+    "TimingFit",
+    "energy_breakdown",
+    "format_series",
+    "sweep_continuous",
+    "sweep_discrete",
+    "timing_model_fit",
+]

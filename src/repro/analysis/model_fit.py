@@ -1,0 +1,82 @@
+"""How well does the analytical timing model track the simulator?
+
+The Section 3 model predicts execution time as::
+
+    T(f) = max(t_inv + N_cache/f, N_overlap/f) + N_dependent/f
+
+Its fidelity against the simulator decides how much to trust the
+analytical savings bounds (see the Table 1 deviation discussion in
+EXPERIMENTS.md).  :func:`timing_model_fit` quantifies it: per mode, the
+predicted-vs-measured wall time and the relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analytical.params import ProgramParams
+from repro.profiling.profile_data import ProfileData
+from repro.simulator.dvs import ModeTable
+
+
+@dataclass(frozen=True)
+class FitPoint:
+    """Model-vs-simulator agreement at one mode."""
+
+    mode: int
+    frequency_hz: float
+    predicted_s: float
+    measured_s: float
+
+    @property
+    def relative_error(self) -> float:
+        """(predicted − measured) / measured; positive = model pessimistic."""
+        return (self.predicted_s - self.measured_s) / self.measured_s
+
+
+@dataclass(frozen=True)
+class TimingFit:
+    """Full fit report for one (program, mode table) pair."""
+
+    points: tuple[FitPoint, ...]
+
+    @property
+    def max_abs_error(self) -> float:
+        return max(abs(p.relative_error) for p in self.points)
+
+    @property
+    def mean_abs_error(self) -> float:
+        return sum(abs(p.relative_error) for p in self.points) / len(self.points)
+
+    def render(self, name: str = "") -> str:
+        lines = [f"timing-model fit {name}".rstrip()]
+        for p in self.points:
+            lines.append(
+                f"  mode {p.mode} ({p.frequency_hz / 1e6:5.0f} MHz): "
+                f"model {p.predicted_s * 1e3:8.3f} ms vs sim "
+                f"{p.measured_s * 1e3:8.3f} ms ({p.relative_error:+.1%})"
+            )
+        lines.append(f"  mean |error| {self.mean_abs_error:.1%}, "
+                     f"max |error| {self.max_abs_error:.1%}")
+        return "\n".join(lines)
+
+
+def timing_model_fit(
+    params: ProgramParams,
+    profile: ProfileData,
+    mode_table: ModeTable,
+) -> TimingFit:
+    """Compare the analytical execution-time model against profiled wall
+    times at every profiled mode."""
+    points = []
+    for mode in sorted(profile.wall_time_s):
+        frequency = mode_table[mode].frequency_hz
+        points.append(
+            FitPoint(
+                mode=mode,
+                frequency_hz=frequency,
+                predicted_s=params.execution_time_s(frequency),
+                measured_s=profile.wall_time_s[mode],
+            )
+        )
+    return TimingFit(points=tuple(points))

@@ -1,0 +1,68 @@
+"""Plain-text tables and series for the benchmark harness.
+
+The benchmarks regenerate the paper's tables/figures as text; these
+helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """A simple aligned-text table builder.
+
+    Usage::
+
+        t = Table("Table 4", ["Benchmark", "t200", "t600", "t800"])
+        t.add_row(["adpcm", 29.5, 9.9, 7.4])
+        print(t.render())
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    float_format: str = "{:.3g}"
+
+    def add_row(self, values: Sequence) -> None:
+        self.rows.append([self._fmt(v) for v in values])
+
+    def _fmt(self, value) -> str:
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_series(
+    title: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 24,
+) -> str:
+    """One figure series as aligned (x, y) text, downsampled for display."""
+    n = len(xs)
+    step = max(1, n // max_points)
+    table = Table(title, [x_label, y_label])
+    for i in range(0, n, step):
+        table.add_row([float(xs[i]), float(ys[i])])
+    return table.render()

@@ -1,0 +1,120 @@
+"""Savings-ratio surfaces over program-parameter grids (Figures 5–11).
+
+Each figure in the paper's Section 3 fixes all but two of
+``(N_overlap, N_dependent, N_cache, t_invariant, t_deadline)`` and plots
+the energy-savings ratio over the other two.  :func:`sweep_continuous`
+and :func:`sweep_discrete` generate exactly those grids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.core.analytical.alpha_power import DEFAULT_LAW, AlphaPowerLaw
+from repro.core.analytical.params import ProgramParams
+from repro.core.analytical.savings import (
+    savings_ratio_continuous,
+    savings_ratio_discrete,
+)
+from repro.simulator.dvs import ModeTable
+
+#: Axis names accepted by the sweeps.  ``t_deadline`` is special-cased —
+#: it is an argument of the savings functions, not a ProgramParams field.
+AXES = ("n_overlap", "n_dependent", "n_cache", "t_invariant_s", "t_deadline")
+
+
+@dataclass
+class Surface:
+    """A 2-D grid of savings ratios.
+
+    Attributes:
+        x_axis, y_axis: swept parameter names.
+        x_values, y_values: grid coordinates.
+        z: savings ratio, shape (len(y_values), len(x_values));
+           ``nan`` marks infeasible points.
+    """
+
+    x_axis: str
+    y_axis: str
+    x_values: np.ndarray
+    y_values: np.ndarray
+    z: np.ndarray
+
+    @property
+    def max_savings(self) -> float:
+        return float(np.nanmax(self.z)) if np.isfinite(self.z).any() else math.nan
+
+    @property
+    def feasible_fraction(self) -> float:
+        return float(np.isfinite(self.z).mean())
+
+    def argmax(self) -> tuple[float, float]:
+        """(x, y) coordinates of the peak savings."""
+        masked = np.where(np.isfinite(self.z), self.z, -np.inf)
+        iy, ix = np.unravel_index(int(np.argmax(masked)), self.z.shape)
+        return float(self.x_values[ix]), float(self.y_values[iy])
+
+    def column(self, ix: int) -> np.ndarray:
+        return self.z[:, ix]
+
+    def row(self, iy: int) -> np.ndarray:
+        return self.z[iy, :]
+
+
+def _apply(base: ProgramParams, deadline_s: float, axis: str, value: float):
+    """Return (params, deadline) with one axis overridden."""
+    if axis == "t_deadline":
+        return base, float(value)
+    if axis not in AXES:
+        raise AnalysisError(f"unknown sweep axis {axis!r}; use one of {AXES}")
+    return dataclasses.replace(base, **{axis: float(value)}), deadline_s
+
+
+def sweep_continuous(
+    base: ProgramParams,
+    deadline_s: float,
+    x_axis: str,
+    x_values,
+    y_axis: str,
+    y_values,
+    law: AlphaPowerLaw = DEFAULT_LAW,
+    v_low: float = 0.70,
+    v_high: float = 1.65,
+) -> Surface:
+    """Continuous-model savings over a 2-D parameter grid (Figures 5–7)."""
+    x_values = np.asarray(list(x_values), dtype=float)
+    y_values = np.asarray(list(y_values), dtype=float)
+    z = np.full((len(y_values), len(x_values)), math.nan)
+    for iy, y in enumerate(y_values):
+        for ix, x in enumerate(x_values):
+            params, dl = _apply(base, deadline_s, x_axis, x)
+            params, dl = _apply(params, dl, y_axis, y)
+            z[iy, ix] = savings_ratio_continuous(params, dl, law, v_low, v_high)
+    return Surface(x_axis, y_axis, x_values, y_values, z)
+
+
+def sweep_discrete(
+    base: ProgramParams,
+    deadline_s: float,
+    x_axis: str,
+    x_values,
+    y_axis: str,
+    y_values,
+    table: ModeTable,
+    y_samples: int = 120,
+) -> Surface:
+    """Discrete-model savings over a 2-D parameter grid (Figures 9–11)."""
+    x_values = np.asarray(list(x_values), dtype=float)
+    y_values = np.asarray(list(y_values), dtype=float)
+    z = np.full((len(y_values), len(x_values)), math.nan)
+    for iy, y in enumerate(y_values):
+        for ix, x in enumerate(x_values):
+            params, dl = _apply(base, deadline_s, x_axis, x)
+            params, dl = _apply(params, dl, y_axis, y)
+            z[iy, ix] = savings_ratio_discrete(params, dl, table, y_samples=y_samples)
+    return Surface(x_axis, y_axis, x_values, y_values, z)

@@ -1,0 +1,221 @@
+"""Command-line interface: the reproduction as a usable tool.
+
+::
+
+    python -m repro list
+    python -m repro run adpcm --mode 2
+    python -m repro params mpeg
+    python -m repro profile gsm -o gsm-profile.json
+    python -m repro optimize gsm --deadline-frac 0.5 \\
+        --profile gsm-profile.json -o gsm-schedule.json --compare
+    python -m repro bound epic --levels 7 --deadline-frac 0.5
+
+``--deadline-frac f`` places the deadline a fraction ``f`` of the way
+from the all-fast to the all-slow runtime (0 = flat out, 1 = everything
+at the slowest mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import DVSOptimizer
+from repro.core.analytical import savings_ratio_discrete
+from repro.core.baselines import build_block_formulation, greedy_schedule
+from repro.errors import ReproError
+from repro.profiling import extract_params
+from repro.profiling.serialize import load_profile, save_profile, save_schedule
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.simulator.dvs import make_mode_table
+from repro.workloads import all_workloads, compile_workload, get_workload
+
+
+def _machine(levels: int | None, capacitance_uf: float) -> Machine:
+    table = XSCALE_3 if levels is None else make_mode_table(levels)
+    return Machine(SCALE_CONFIG, table, TransitionCostModel(capacitance_f=capacitance_uf * 1e-6))
+
+
+def _workload_context(name: str, category: str | None, seed: int):
+    spec = get_workload(name)
+    cfg = compile_workload(name)
+    inputs = spec.inputs(category=category, seed=seed)
+    return spec, cfg, inputs, spec.registers()
+
+
+def cmd_list(_args) -> int:
+    print(f"{'workload':<14s} {'categories':<18s} description")
+    for spec in all_workloads():
+        print(f"{spec.name:<14s} {','.join(spec.categories):<18s} {spec.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
+    machine = _machine(args.levels, args.capacitance_uf)
+    mode = args.mode if args.mode is not None else len(machine.mode_table) - 1
+    result = machine.run(cfg, inputs=inputs, registers=registers, mode=mode)
+    point = machine.mode_table[mode]
+    print(f"{args.workload} @ {point}: "
+          f"{result.wall_time_s * 1e3:.3f} ms, "
+          f"{result.cpu_energy_nj / 1e3:.1f} uJ cpu "
+          f"(+{result.memory_energy_nj / 1e3:.1f} uJ dram), "
+          f"{result.instructions} instructions, "
+          f"{result.mem_misses} memory misses, "
+          f"result={result.return_value}")
+    return 0
+
+
+def cmd_params(args) -> int:
+    spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
+    machine = _machine(args.levels, args.capacitance_uf)
+    params = extract_params(machine, cfg, inputs=inputs, registers=registers)
+    print(f"{args.workload} analytical parameters (Section 3.2):")
+    print(f"  N_overlap    {params.n_overlap / 1e3:12.1f} Kcycles")
+    print(f"  N_dependent  {params.n_dependent / 1e3:12.1f} Kcycles")
+    print(f"  N_cache      {params.n_cache / 1e3:12.1f} Kcycles")
+    print(f"  t_invariant  {params.t_invariant_s * 1e6:12.1f} us")
+    print(f"  f_invariant  {params.f_invariant() / 1e6:12.1f} MHz")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
+    machine = _machine(args.levels, args.capacitance_uf)
+    optimizer = DVSOptimizer(machine)
+    profile = optimizer.profile(cfg, inputs=inputs, registers=registers)
+    for mode in sorted(profile.wall_time_s):
+        print(f"  mode {mode} ({machine.mode_table[mode]}): "
+              f"{profile.wall_time_s[mode] * 1e3:.3f} ms, "
+              f"{profile.cpu_energy_nj[mode] / 1e3:.1f} uJ")
+    if args.output:
+        save_profile(profile, args.output)
+        print(f"profile written to {args.output}")
+    return 0
+
+
+def _resolve_deadline(profile, frac: float) -> float:
+    modes = sorted(profile.wall_time_s)
+    t_fast = profile.wall_time_s[modes[-1]]
+    t_slow = profile.wall_time_s[modes[0]]
+    return t_fast + frac * (t_slow - t_fast)
+
+
+def cmd_optimize(args) -> int:
+    spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
+    machine = _machine(args.levels, args.capacitance_uf)
+    optimizer = DVSOptimizer(machine)
+    profile = (
+        load_profile(args.profile)
+        if args.profile
+        else optimizer.profile(cfg, inputs=inputs, registers=registers)
+    )
+    deadline = _resolve_deadline(profile, args.deadline_frac)
+    outcome = optimizer.optimize(cfg, deadline, profile=profile)
+    run = optimizer.verify(cfg, outcome.schedule, inputs=inputs, registers=registers)
+    mode, baseline = optimizer.best_single_mode(profile, deadline)
+    print(f"deadline {deadline * 1e3:.3f} ms "
+          f"(fraction {args.deadline_frac:.2f} of the fast->slow range)")
+    print(f"  MILP edge schedule : {run.cpu_energy_nj / 1e3:9.1f} uJ in "
+          f"{run.wall_time_s * 1e3:.3f} ms, {run.mode_transitions} transitions "
+          f"({1 - run.cpu_energy_nj / baseline:+.1%} vs single mode {mode})")
+    if args.compare:
+        greedy = greedy_schedule(
+            profile, machine.mode_table, deadline,
+            transition_model=machine.transition_model,
+        )
+        greedy_run = optimizer.verify(
+            cfg, greedy.schedule, inputs=inputs, registers=registers
+        )
+        print(f"  greedy heuristic   : {greedy_run.cpu_energy_nj / 1e3:9.1f} uJ in "
+              f"{greedy_run.wall_time_s * 1e3:.3f} ms")
+        block_form = build_block_formulation(
+            profile, machine.mode_table, deadline,
+            transition_model=machine.transition_model, include_transitions=True,
+        )
+        block = block_form.extract_schedule(block_form.solve(), profile)
+        block_run = optimizer.verify(cfg, block, inputs=inputs, registers=registers)
+        print(f"  block-grain MILP   : {block_run.cpu_energy_nj / 1e3:9.1f} uJ in "
+              f"{block_run.wall_time_s * 1e3:.3f} ms")
+        print(f"  best single mode   : {baseline / 1e3:9.1f} uJ")
+    if args.output:
+        save_schedule(outcome.schedule, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def cmd_bound(args) -> int:
+    spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
+    machine = _machine(args.levels, args.capacitance_uf)
+    optimizer = DVSOptimizer(machine)
+    profile = optimizer.profile(cfg, inputs=inputs, registers=registers)
+    params = extract_params(machine, cfg, inputs=inputs, registers=registers)
+    deadline = _resolve_deadline(profile, args.deadline_frac)
+    bound = savings_ratio_discrete(params, deadline, machine.mode_table)
+    print(f"{args.workload}: analytical savings bound at deadline "
+          f"{deadline * 1e3:.3f} ms with {len(machine.mode_table)} levels: {bound:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compile-time DVS reproduction (Xie/Martonosi/Malik, PLDI'03)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("workload", help="workload name (see `repro list`)")
+        p.add_argument("--category", default=None, help="input category")
+        p.add_argument("--seed", type=int, default=0, help="input seed")
+        p.add_argument("--levels", type=int, default=None,
+                       help="use an n-level alpha-power table instead of XScale-3")
+        p.add_argument("--capacitance-uf", type=float, default=10.0,
+                       help="regulator capacitance in uF (default 10)")
+
+    sub.add_parser("list", help="list available workloads").set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="simulate a workload at a fixed mode")
+    add_common(p_run)
+    p_run.add_argument("--mode", type=int, default=None, help="mode index (default fastest)")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_params = sub.add_parser("params", help="extract Section 3.2 program parameters")
+    add_common(p_params)
+    p_params.set_defaults(fn=cmd_params)
+
+    p_profile = sub.add_parser("profile", help="profile a workload at every mode")
+    add_common(p_profile)
+    p_profile.add_argument("-o", "--output", default=None, help="write profile JSON")
+    p_profile.set_defaults(fn=cmd_profile)
+
+    p_opt = sub.add_parser("optimize", help="MILP-optimize DVS mode placement")
+    add_common(p_opt)
+    p_opt.add_argument("--deadline-frac", type=float, default=0.5,
+                       help="deadline position in the fast->slow range (default 0.5)")
+    p_opt.add_argument("--profile", default=None, help="reuse a profile JSON")
+    p_opt.add_argument("-o", "--output", default=None, help="write schedule JSON")
+    p_opt.add_argument("--compare", action="store_true",
+                       help="also run the greedy and block-grain baselines")
+    p_opt.set_defaults(fn=cmd_optimize)
+
+    p_bound = sub.add_parser("bound", help="analytical savings bound (Section 3)")
+    add_common(p_bound)
+    p_bound.add_argument("--deadline-frac", type=float, default=0.5)
+    p_bound.set_defaults(fn=cmd_bound)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

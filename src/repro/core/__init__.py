@@ -1,0 +1,15 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.analytical` — the Section 3 analytical model: upper
+  bounds on energy savings from compile-time intra-program DVS under
+  continuous and discrete voltage scaling.
+* :mod:`repro.core.milp` — the Section 4 MILP formulation: edge-grain
+  mode-set placement with transition costs, edge filtering and multiple
+  input-data categories.
+* :mod:`repro.core.scheduler` — the high-level pipeline tying profiling,
+  formulation, solving and schedule verification together.
+"""
+
+from repro.core.scheduler import DVSOptimizer, OptimizationOutcome
+
+__all__ = ["DVSOptimizer", "OptimizationOutcome"]

@@ -1,0 +1,54 @@
+"""Analytical model for compile-time DVS energy-savings bounds (Section 3).
+
+Given four profiled program parameters —
+
+* ``N_overlap`` — compute cycles that can run concurrently with memory,
+* ``N_dependent`` — compute cycles that must wait for memory,
+* ``N_cache`` — memory-operation cycles that hit in cache,
+* ``t_invariant`` — wall-clock main-memory service time,
+
+— a deadline and a voltage model, the module computes the minimum-energy
+voltage assignment and the savings ratio relative to the best single
+frequency that meets the deadline, for:
+
+* continuously scalable supply voltage (:mod:`.continuous`), covering the
+  computation-dominated, memory-dominated and memory-dominated-with-slack
+  cases of Section 3.3;
+* discrete voltage level sets (:mod:`.discrete`), including the
+  two-neighbour split and the four-frequency memory-bound construction of
+  Section 3.4 with its numeric ``Emin(y)`` sweep.
+"""
+
+from repro.core.analytical.alpha_power import AlphaPowerLaw
+from repro.core.analytical.params import ProgramParams
+from repro.core.analytical.continuous import (
+    ContinuousCase,
+    ContinuousSolution,
+    optimize_continuous,
+    single_frequency_baseline,
+)
+from repro.core.analytical.discrete import (
+    DiscreteSolution,
+    discrete_single_baseline,
+    emin_y_curve,
+    optimize_discrete,
+)
+from repro.core.analytical.savings import (
+    savings_ratio_continuous,
+    savings_ratio_discrete,
+)
+
+__all__ = [
+    "AlphaPowerLaw",
+    "ContinuousCase",
+    "ContinuousSolution",
+    "DiscreteSolution",
+    "ProgramParams",
+    "discrete_single_baseline",
+    "emin_y_curve",
+    "optimize_continuous",
+    "optimize_discrete",
+    "savings_ratio_continuous",
+    "savings_ratio_discrete",
+    "single_frequency_baseline",
+]

@@ -1,0 +1,119 @@
+"""The four program parameters of the paper's Section 3.2 model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ProgramParams:
+    """Program characterization for the analytical model.
+
+    Attributes:
+        n_overlap: compute cycles that can run concurrently with memory
+            operations (N_overlap).
+        n_dependent: compute cycles dependent on memory results
+            (N_dependent).
+        n_cache: memory-operation cycles serviced by cache hits (N_cache).
+        t_invariant_s: wall-clock main-memory (miss) service time in
+            seconds; frequency-invariant by the asynchronous-memory
+            assumption (t_invariant).
+        name: optional program label for reports.
+    """
+
+    n_overlap: float
+    n_dependent: float
+    n_cache: float
+    t_invariant_s: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in ("n_overlap", "n_dependent", "n_cache", "t_invariant_s"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise AnalysisError(f"{field_name} must be nonnegative, got {value}")
+
+    @property
+    def total_compute_cycles(self) -> float:
+        return self.n_overlap + self.n_dependent
+
+    @property
+    def region1_active_cycles(self) -> float:
+        """Active cycles in the overlapped region.
+
+        The paper charges ``N_overlap · v1²`` when compute dominates the
+        overlap region (Section 3.3) and ``N_cache · v1²`` when cache-hit
+        memory cycles dominate it (Section 3.3.2); ``max`` expresses both
+        at once, keeping the DVS-optimum and single-frequency baselines on
+        the same accounting.
+        """
+        return max(self.n_overlap, self.n_cache)
+
+    def f_invariant(self) -> float:
+        """Frequency at which N_overlap − N_cache compute cycles exactly
+        fill the miss service time (Section 3.3.1).  Infinite when the
+        program has no miss time; zero when N_cache ≥ N_overlap."""
+        if self.n_overlap <= self.n_cache:
+            return 0.0
+        if self.t_invariant_s <= 0:
+            return float("inf")
+        return (self.n_overlap - self.n_cache) / self.t_invariant_s
+
+    def f_ideal(self, deadline_s: float) -> float:
+        """Single frequency that finishes all compute exactly at the
+        deadline, ignoring memory (Section 3.3.1)."""
+        if deadline_s <= 0:
+            raise AnalysisError(f"deadline must be positive, got {deadline_s}")
+        return self.total_compute_cycles / deadline_s
+
+    def f_ideal_slack(self, deadline_s: float) -> float:
+        """Single frequency for the memory-dominated-with-slack case
+        (Section 3.3.2): (N_cache + N_dependent) / (deadline − t_invariant)."""
+        remaining = deadline_s - self.t_invariant_s
+        if remaining <= 0:
+            raise AnalysisError(
+                f"deadline {deadline_s} does not exceed t_invariant {self.t_invariant_s}"
+            )
+        return (self.n_cache + self.n_dependent) / remaining
+
+    def execution_time_s(self, frequency_hz: float) -> float:
+        """Whole-program time at a single frequency:
+        ``max(t_inv + N_cache/f, N_overlap/f) + N_dependent/f``."""
+        if frequency_hz <= 0:
+            raise AnalysisError("frequency must be positive")
+        region1 = max(
+            self.t_invariant_s + self.n_cache / frequency_hz,
+            self.n_overlap / frequency_hz,
+        )
+        return region1 + self.n_dependent / frequency_hz
+
+    def min_single_frequency(self, deadline_s: float) -> float:
+        """Slowest single frequency meeting the deadline.
+
+        Solves ``execution_time_s(f) == deadline`` in closed form; raises
+        :class:`AnalysisError` when no frequency can meet the deadline
+        (deadline ≤ t_invariant with memory work remaining).
+        """
+        f_compute = self.f_ideal(deadline_s)
+        # At f_compute, does compute cover the memory time?
+        if self.execution_time_s(f_compute) <= deadline_s * (1 + 1e-12):
+            return f_compute
+        remaining = deadline_s - self.t_invariant_s
+        if remaining <= 0:
+            raise AnalysisError(
+                f"deadline {deadline_s}s is below the memory floor "
+                f"t_invariant={self.t_invariant_s}s"
+            )
+        return (self.n_cache + self.n_dependent) / remaining
+
+    def scaled(self, factor: float) -> "ProgramParams":
+        """All cycle counts and miss time scaled by a factor (sweeps)."""
+        return replace(
+            self,
+            n_overlap=self.n_overlap * factor,
+            n_dependent=self.n_dependent * factor,
+            n_cache=self.n_cache * factor,
+            t_invariant_s=self.t_invariant_s * factor,
+        )

@@ -1,0 +1,57 @@
+"""Energy-savings ratios: the quantity Figures 5–11 and Table 1 plot.
+
+``savings = 1 − E_optimal / E_baseline`` where the baseline is the best
+*single* frequency that meets the deadline (continuous-valued for the
+continuous model, the best single table level for the discrete model).
+Infeasible points (deadline below the machine floor) report ``nan`` so
+surface sweeps can mask them out.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+from repro.core.analytical.alpha_power import DEFAULT_LAW, AlphaPowerLaw
+from repro.core.analytical.continuous import (
+    optimize_continuous,
+    single_frequency_baseline,
+)
+from repro.core.analytical.discrete import discrete_single_baseline, optimize_discrete
+from repro.core.analytical.params import ProgramParams
+from repro.simulator.dvs import ModeTable
+
+
+def savings_ratio_continuous(
+    params: ProgramParams,
+    deadline_s: float,
+    law: AlphaPowerLaw = DEFAULT_LAW,
+    v_low: float = 0.70,
+    v_high: float = 1.65,
+) -> float:
+    """Continuous-model savings ratio in [0, 1]; nan when infeasible."""
+    try:
+        baseline = single_frequency_baseline(params, deadline_s, law, v_low, v_high)
+        optimum = optimize_continuous(params, deadline_s, law, v_low, v_high)
+    except AnalysisError:
+        return math.nan
+    if baseline.energy <= 0:
+        return 0.0
+    return max(0.0, 1.0 - optimum.energy / baseline.energy)
+
+
+def savings_ratio_discrete(
+    params: ProgramParams,
+    deadline_s: float,
+    table: ModeTable,
+    y_samples: int = 300,
+) -> float:
+    """Discrete-model savings ratio in [0, 1]; nan when infeasible."""
+    try:
+        baseline = discrete_single_baseline(params, deadline_s, table)
+        optimum = optimize_discrete(params, deadline_s, table, y_samples=y_samples)
+    except AnalysisError:
+        return math.nan
+    if baseline.energy <= 0:
+        return 0.0
+    return max(0.0, 1.0 - optimum.energy / baseline.energy)

@@ -1,0 +1,42 @@
+"""Prior-work baselines the paper extends and compares against.
+
+* :mod:`.block_milp` — the Saputra et al. (LCTES'02) style formulation:
+  one mode per *region* (basic block) rather than per edge, optionally
+  without transition costs (their original omits them — the gap the
+  paper's Section 4 closes).
+* :mod:`.greedy` — an Hsu-Kremer-flavoured heuristic: rank regions by
+  how little wall-clock a slower mode costs them (memory-bound regions
+  barely dilate) and greedily spend the deadline slack on the
+  best-energy-per-second moves, repairing against predicted transition
+  costs.
+* :mod:`.wcet` — a Shin et al. (paper ref. [27]) style *hard-guarantee*
+  scheduler: static worst-case execution-time analysis (longest path
+  with loop bounds) picks the slowest provably safe mode.  Its ablation
+  quantifies what the hard real-time guarantee costs relative to
+  profile-driven optimization.
+
+Both produce ordinary :class:`~repro.core.milp.schedule.DVSSchedule`
+objects, so they run on the same simulator and verify the same way the
+paper's edge-based MILP does.  The ablation benchmarks show the edge
+formulation dominating both, as the paper argues.
+"""
+
+from repro.core.baselines.block_milp import BlockFormulation, build_block_formulation
+from repro.core.baselines.greedy import GreedyOutcome, greedy_schedule
+from repro.core.baselines.wcet import (
+    WcetReport,
+    loop_bounds_from_profile,
+    program_wcet,
+    wcet_schedule,
+)
+
+__all__ = [
+    "BlockFormulation",
+    "GreedyOutcome",
+    "WcetReport",
+    "build_block_formulation",
+    "greedy_schedule",
+    "loop_bounds_from_profile",
+    "program_wcet",
+    "wcet_schedule",
+]

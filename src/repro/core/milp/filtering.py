@@ -1,0 +1,126 @@
+"""Edge filtering to shrink the MILP (paper Section 5.2).
+
+The rule: edges whose destination-block energy sits in the tail of the
+energy distribution — cumulatively below a threshold (the paper uses 2 %)
+of total program energy — give up their independent mode variable.  Each
+filtered edge (i, j) is tied to the incoming edge (k, i) of its source
+block with the largest profiled count, so traversing the dominant path
+through i never switches modes at (i, j).
+
+Filtered edges still appear in the deadline constraint and the objective
+(through their representative's variables), so deadlines stay exact;
+filtering can only cost optimality of the energy objective (Table 3 shows
+it costs essentially nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import ENTRY_EDGE_SOURCE, Edge
+from repro.profiling.profile_data import ProfileData
+
+
+@dataclass
+class FilterResult:
+    """Outcome of the filtering pass.
+
+    Attributes:
+        representative: edge -> the edge whose mode variables it shares
+            (itself when independent).
+        filtered: edges that lost independence.
+        energy_covered: fraction of total energy carried by independent
+            edges (>= 1 - threshold by construction).
+    """
+
+    representative: dict[Edge, Edge]
+    filtered: set[Edge] = field(default_factory=set)
+    energy_covered: float = 1.0
+
+    @property
+    def num_independent(self) -> int:
+        return sum(1 for edge, rep in self.representative.items() if edge == rep)
+
+    def resolve(self, edge: Edge) -> Edge:
+        """Final representative of an edge (chases tie chains)."""
+        seen = set()
+        current = edge
+        while self.representative.get(current, current) != current:
+            if current in seen:  # tie cycle: break it at this edge
+                return current
+            seen.add(current)
+            current = self.representative[current]
+        return current
+
+
+def no_filtering(profile: ProfileData) -> FilterResult:
+    """Identity filter: every profiled edge keeps its own variables."""
+    return FilterResult(representative={edge: edge for edge in profile.edge_counts})
+
+
+def filter_edges(
+    profile: ProfileData,
+    threshold: float = 0.02,
+    mode: int | None = None,
+) -> FilterResult:
+    """Tie the low-energy tail of edges to their dominant incoming edge.
+
+    Args:
+        profile: profiled program.
+        threshold: cumulative energy fraction to filter (paper: 0.02).
+        mode: mode whose energy distribution ranks the edges ("an
+            arbitrarily selected mode" in the paper); defaults to the
+            highest profiled mode.
+
+    Returns:
+        a :class:`FilterResult`; entry-edge ties are never created (the
+        initial mode must stay free).
+    """
+    if mode is None:
+        mode = max(profile.per_mode)
+    edges = list(profile.edge_counts)
+    total_energy = sum(
+        profile.edge_counts[edge] * profile.energy(edge[1], mode) for edge in edges
+    )
+    representative: dict[Edge, Edge] = {edge: edge for edge in edges}
+    if total_energy <= 0 or threshold <= 0:
+        return FilterResult(representative=representative)
+
+    # Rank edges by the energy of executions entering through them.
+    ranked = sorted(
+        edges,
+        key=lambda edge: profile.edge_counts[edge] * profile.energy(edge[1], mode),
+    )
+    # Predecessor edge with the largest count, per block.
+    best_incoming: dict[str, Edge] = {}
+    for (src, dst), count in profile.edge_counts.items():
+        incumbent = best_incoming.get(dst)
+        if incumbent is None or count > profile.edge_counts[incumbent]:
+            best_incoming[dst] = (src, dst)
+
+    filtered: set[Edge] = set()
+    cumulative = 0.0
+    budget = threshold * total_energy
+    for edge in ranked:
+        src, _dst = edge
+        edge_energy = profile.edge_counts[edge] * profile.energy(edge[1], mode)
+        if cumulative + edge_energy > budget:
+            break
+        if src == ENTRY_EDGE_SOURCE:
+            continue  # the initial mode stays an optimization variable
+        tie_target = best_incoming.get(src)
+        if tie_target is None or tie_target == edge:
+            continue
+        representative[edge] = tie_target
+        filtered.add(edge)
+        cumulative += edge_energy
+
+    covered = 1.0 - (cumulative / total_energy if total_energy else 0.0)
+    result = FilterResult(
+        representative=representative, filtered=filtered, energy_covered=covered
+    )
+    # Collapse chains/cycles now so the formulation sees a flat mapping.
+    flat = {edge: result.resolve(edge) for edge in edges}
+    result.representative = flat
+    result.filtered = {edge for edge, rep in flat.items() if rep != edge}
+    return result

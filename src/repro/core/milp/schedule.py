@@ -1,0 +1,153 @@
+"""Executable DVS schedules: edge -> mode assignments.
+
+A :class:`DVSSchedule` is what the whole pipeline produces: the machine
+simulator consumes it directly (mode-set instructions conceptually sit on
+the scheduled edges).  The class also implements the silent-mode-set
+hoisting post-pass sketched at the end of the paper's Section 4.2 —
+dropping mode-sets that are provably redundant given the profiled paths —
+and profile-based predictions of the scheduled run's time and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.ir.cfg import CFG, ENTRY_EDGE_SOURCE, Edge
+from repro.core.milp.transition import TransitionCosts
+from repro.profiling.profile_data import ProfileData
+from repro.simulator.dvs import ModeTable
+
+
+@dataclass
+class DVSSchedule:
+    """An edge -> mode-index assignment.
+
+    Attributes:
+        assignment: mode index per edge (the synthetic entry edge sets the
+            starting mode).
+        num_modes: size of the mode table it targets.
+    """
+
+    assignment: dict[Edge, int]
+    num_modes: int
+
+    def __post_init__(self) -> None:
+        for edge, mode in self.assignment.items():
+            if not 0 <= mode < self.num_modes:
+                raise ScheduleError(f"edge {edge} assigned invalid mode {mode}")
+
+    def mode_of(self, edge: Edge) -> int | None:
+        return self.assignment.get(edge)
+
+    @property
+    def initial_mode(self) -> int | None:
+        for edge, mode in self.assignment.items():
+            if edge[0] == ENTRY_EDGE_SOURCE:
+                return mode
+        return None
+
+    def modes_used(self) -> set[int]:
+        return set(self.assignment.values())
+
+    @property
+    def static_modeset_count(self) -> int:
+        """Static mode-set instructions the schedule implies (excluding the
+        entry-edge initial setting, which costs nothing)."""
+        return sum(1 for edge in self.assignment if edge[0] != ENTRY_EDGE_SOURCE)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_against(self, cfg: CFG) -> None:
+        """Check every scheduled edge exists in the CFG."""
+        edges = set(cfg.edges(include_entry=True))
+        for edge in self.assignment:
+            if edge not in edges:
+                raise ScheduleError(f"scheduled edge {edge} is not a CFG edge")
+
+    # -- predictions from a profile ----------------------------------------------
+
+    def predict(
+        self,
+        profile: ProfileData,
+        mode_table: ModeTable,
+        costs: TransitionCosts,
+    ) -> tuple[float, float]:
+        """Profile-based (energy_nj, time_s) prediction for this schedule.
+
+        Replays the profiled path counts under the assignment; used in
+        tests to confirm the MILP objective equals the schedule's value.
+        Unscheduled edges inherit no setting, so the mode on (i, j) is
+        taken as the scheduled mode of (i, j) when present, else of the
+        path's incoming edge (the machine's actual semantics).
+        """
+        energy = 0.0
+        duration = 0.0
+        for edge, count in profile.edge_counts.items():
+            mode = self._effective_mode(edge, profile)
+            energy += count * profile.energy(edge[1], mode)
+            duration += count * profile.time(edge[1], mode)
+        voltages = mode_table.voltages()
+        for (h, i, j), count in profile.path_counts.items():
+            m_in = self._effective_mode((h, i), profile)
+            m_out = self._effective_mode((i, j), profile)
+            if m_in == m_out:
+                continue
+            dv = abs(voltages[m_in] - voltages[m_out])
+            dv2 = abs(voltages[m_in] ** 2 - voltages[m_out] ** 2)
+            energy += count * costs.ce_nj_per_v2 * dv2
+            duration += count * costs.ct_s_per_v * dv
+        return energy, duration
+
+    def _effective_mode(self, edge: Edge, profile: ProfileData) -> int:
+        mode = self.assignment.get(edge)
+        if mode is not None:
+            return mode
+        # No setting on this edge: the mode is whatever the dominant
+        # predecessor path left behind; a full schedule (one mode per
+        # profiled edge, as the MILP emits) never reaches this.
+        raise ScheduleError(f"no mode scheduled for edge {edge}")
+
+    # -- post-pass ----------------------------------------------------------------
+
+    def hoist_silent(self, *profiles: ProfileData) -> "DVSSchedule":
+        """Drop provably redundant mode-sets (Section 4.2's post-pass).
+
+        A mode-set on edge (i, j) is redundant when every profiled local
+        path (h, i, j) — across *all* supplied profiles — arrives with the
+        same mode already in effect, i.e. every incoming edge (h, i) is
+        scheduled to the same mode as (i, j).  Such mode-sets are
+        dynamically silent on every profiled execution; removing them
+        reduces static code size and dynamic mode-set executions without
+        changing timing or energy.
+
+        The entry-edge setting is always kept.  Pass every input
+        category's profile at once when the schedule serves several
+        categories: removals are safe only when silent for all of them.
+        """
+        incoming_by_edge: dict[Edge, set[int]] = {}
+        for profile in profiles:
+            for (h, i, j), count in profile.path_counts.items():
+                if count <= 0:
+                    continue
+                out_edge = (i, j)
+                in_mode = self.assignment.get((h, i))
+                incoming_by_edge.setdefault(out_edge, set()).add(
+                    in_mode if in_mode is not None else -1
+                )
+        kept: dict[Edge, int] = {}
+        for edge, mode in self.assignment.items():
+            if edge[0] == ENTRY_EDGE_SOURCE:
+                kept[edge] = mode
+                continue
+            modes_arriving = incoming_by_edge.get(edge)
+            if modes_arriving is not None and modes_arriving == {mode}:
+                continue  # silent on every profiled path: hoisted away
+            kept[edge] = mode
+        return DVSSchedule(assignment=kept, num_modes=self.num_modes)
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def __repr__(self) -> str:
+        return f"DVSSchedule({len(self.assignment)} edges, modes used={sorted(self.modes_used())})"

@@ -1,0 +1,52 @@
+"""Linearized transition-cost constants (paper Section 4.2).
+
+The raw costs between voltages V1, V2 are::
+
+    SE = (1 - u) * c * |V1² - V2²|        Joules
+    ST = (2 c / Imax) * |V1 - V2|          seconds
+
+After introducing the mode variables the absolute values apply to linear
+expressions of constants times binaries, so each cost factors into a
+constant (CE or CT) times an auxiliary variable bounded by ±the linear
+expression::
+
+    CE = (1 - u) * c          [J / V²]
+    CT = 2 c / Imax           [s / V]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.dvs import TransitionCostModel
+
+
+@dataclass(frozen=True)
+class TransitionCosts:
+    """The two linear-form constants, with unit helpers.
+
+    Attributes:
+        ce_j_per_v2: CE in Joules per squared volt.
+        ct_s_per_v: CT in seconds per volt.
+    """
+
+    ce_j_per_v2: float
+    ct_s_per_v: float
+
+    @classmethod
+    def from_model(cls, model: TransitionCostModel) -> "TransitionCosts":
+        return cls(
+            ce_j_per_v2=(1.0 - model.efficiency) * model.capacitance_f,
+            ct_s_per_v=2.0 * model.capacitance_f / model.i_max_a,
+        )
+
+    @property
+    def ce_nj_per_v2(self) -> float:
+        """CE in nanojoules (the formulation's energy unit)."""
+        return self.ce_j_per_v2 * 1e9
+
+    @property
+    def is_free(self) -> bool:
+        """True when transitions cost nothing (the analytical model's
+        optimistic assumption 6)."""
+        return self.ce_j_per_v2 == 0.0 and self.ct_s_per_v == 0.0

@@ -1,0 +1,291 @@
+"""High-level compile-time DVS pipeline (the paper's Figure 13).
+
+:class:`DVSOptimizer` ties the pieces together::
+
+    profile  ->  filter edges  ->  build MILP  ->  solve  ->  schedule
+                                                      |
+                             verify: simulate the scheduled program
+
+Typical use::
+
+    from repro.core import DVSOptimizer
+    from repro.simulator import Machine, XSCALE_3, TransitionCostModel
+
+    machine = Machine(mode_table=XSCALE_3,
+                      transition_model=TransitionCostModel())
+    opt = DVSOptimizer(machine)
+    outcome = opt.optimize(cfg, deadline_s=1e-3, inputs=..., registers=...)
+    print(outcome.schedule, outcome.predicted_energy_nj)
+    run = opt.verify(cfg, outcome.schedule, inputs=..., registers=...)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.ir.cfg import CFG
+from repro.core.milp.filtering import FilterResult, filter_edges, no_filtering
+from repro.core.milp.formulation import (
+    FormulationOptions,
+    MilpFormulation,
+    build_formulation,
+)
+from repro.core.milp.multidata import CategoryProfile, build_multidata_formulation
+from repro.core.milp.schedule import DVSSchedule
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.profiler import profile_program
+from repro.simulator.machine import Machine, RunResult
+from repro.solver.solution import Solution
+
+
+@dataclass
+class OptimizationOutcome:
+    """Everything one optimization run produced."""
+
+    schedule: DVSSchedule
+    solution: Solution
+    formulation: MilpFormulation
+    profile: ProfileData
+    predicted_energy_nj: float
+    predicted_time_s: float
+    solve_time_s: float
+    filter_result: FilterResult | None = None
+
+    @property
+    def num_independent_edges(self) -> int:
+        return len(self.formulation.independent_edges)
+
+
+class DVSOptimizer:
+    """Profile-driven MILP placement of DVS mode-set instructions.
+
+    Args:
+        machine: simulator whose mode table and transition model define
+            the optimization target.
+        filter_threshold: Section 5.2 energy-tail threshold (paper: 0.02);
+            pass 0 to disable filtering.
+        backend: solver backend ("auto", "scipy", "native").
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        filter_threshold: float = 0.02,
+        backend: str = "auto",
+    ) -> None:
+        self.machine = machine
+        self.filter_threshold = filter_threshold
+        self.backend = backend
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def profile(
+        self,
+        cfg: CFG,
+        inputs: dict[str, list] | None = None,
+        registers: dict[str, float] | None = None,
+    ) -> ProfileData:
+        """Profile the program under every mode of the machine."""
+        return profile_program(self.machine, cfg, inputs=inputs, registers=registers)
+
+    def build(
+        self,
+        profile: ProfileData,
+        deadline_s: float,
+        use_filtering: bool | None = None,
+    ) -> tuple[MilpFormulation, FilterResult]:
+        """Filter edges and build the MILP for a profile."""
+        apply_filter = (
+            use_filtering if use_filtering is not None else self.filter_threshold > 0
+        )
+        filter_result = (
+            filter_edges(profile, threshold=self.filter_threshold)
+            if apply_filter
+            else no_filtering(profile)
+        )
+        formulation = build_formulation(
+            profile,
+            self.machine.mode_table,
+            deadline_s,
+            FormulationOptions(
+                transition_model=self.machine.transition_model,
+                filter_result=filter_result,
+            ),
+        )
+        return formulation, filter_result
+
+    def optimize(
+        self,
+        cfg: CFG,
+        deadline_s: float,
+        inputs: dict[str, list] | None = None,
+        registers: dict[str, float] | None = None,
+        profile: ProfileData | None = None,
+        use_filtering: bool | None = None,
+        hoist: bool = True,
+    ) -> OptimizationOutcome:
+        """Run the full pipeline for one program and deadline.
+
+        Args:
+            cfg: the program.
+            deadline_s: execution-time budget for the profiled input.
+            inputs, registers: program input (ignored when ``profile``
+                is supplied).
+            profile: reuse an existing profile instead of re-simulating.
+            use_filtering: override the constructor's filtering choice.
+            hoist: apply the silent-mode-set hoisting post-pass.
+
+        Raises:
+            ScheduleError: when the MILP is infeasible (deadline too tight
+                even at the fastest mode) or hits solver limits.
+        """
+        if profile is None:
+            profile = self.profile(cfg, inputs=inputs, registers=registers)
+        formulation, filter_result = self.build(profile, deadline_s, use_filtering)
+
+        start = time.perf_counter()
+        solution = formulation.solve(backend=self.backend)
+        solve_time = time.perf_counter() - start
+        if not solution.ok:
+            raise ScheduleError(
+                f"MILP for {profile.name!r} at deadline {deadline_s:.6g}s "
+                f"finished with status {solution.status.value}"
+            )
+        schedule = formulation.extract_schedule(solution)
+        schedule.validate_against(cfg)
+        if hoist:
+            schedule = schedule.hoist_silent(profile)
+        return OptimizationOutcome(
+            schedule=schedule,
+            solution=solution,
+            formulation=formulation,
+            profile=profile,
+            predicted_energy_nj=solution.objective,
+            predicted_time_s=formulation.predicted_time(solution),
+            solve_time_s=solve_time,
+            filter_result=filter_result,
+        )
+
+    def optimize_multi(
+        self,
+        cfg: CFG,
+        categories: list[CategoryProfile],
+        use_filtering: bool | None = None,
+        hoist: bool = True,
+    ) -> OptimizationOutcome:
+        """Section 4.3: one schedule for several weighted input categories."""
+        apply_filter = (
+            use_filtering if use_filtering is not None else self.filter_threshold > 0
+        )
+        filter_result = (
+            filter_edges(categories[0].profile, threshold=self.filter_threshold)
+            if apply_filter
+            else None
+        )
+        formulation = build_multidata_formulation(
+            categories,
+            self.machine.mode_table,
+            transition_model=self.machine.transition_model,
+            filter_result=filter_result,
+        )
+        start = time.perf_counter()
+        solution = formulation.solve(backend=self.backend)
+        solve_time = time.perf_counter() - start
+        if not solution.ok:
+            raise ScheduleError(
+                f"multi-category MILP finished with status {solution.status.value}"
+            )
+        schedule = formulation.extract_schedule(solution)
+        schedule.validate_against(cfg)
+        if hoist:
+            # Removal is safe only when the mode-set is silent on every
+            # category's profiled paths, so all profiles go in at once.
+            schedule = schedule.hoist_silent(*[c.profile for c in categories])
+        return OptimizationOutcome(
+            schedule=schedule,
+            solution=solution,
+            formulation=formulation,
+            profile=categories[0].profile,
+            predicted_energy_nj=solution.objective,
+            predicted_time_s=formulation.predicted_time(solution),
+            solve_time_s=solve_time,
+            filter_result=filter_result,
+        )
+
+    # -- verification ---------------------------------------------------------------
+
+    def verify(
+        self,
+        cfg: CFG,
+        schedule: DVSSchedule,
+        inputs: dict[str, list] | None = None,
+        registers: dict[str, float] | None = None,
+    ) -> RunResult:
+        """Execute the scheduled program on the simulator.
+
+        Returns the measured run; callers compare its wall time against
+        the deadline and its energy against the prediction.
+        """
+        initial = schedule.initial_mode
+        return self.machine.run(
+            cfg,
+            inputs=inputs,
+            registers=registers,
+            schedule=schedule.assignment,
+            initial_mode=initial if initial is not None else len(self.machine.mode_table) - 1,
+        )
+
+    # -- design-space exploration --------------------------------------------------
+
+    def energy_deadline_curve(
+        self,
+        cfg: CFG,
+        profile: ProfileData,
+        fractions: list[float] | None = None,
+    ) -> list[tuple[float, float]]:
+        """The energy/deadline Pareto frontier for one profiled program.
+
+        Args:
+            cfg: the program.
+            profile: its profile (all modes).
+            fractions: deadline positions in the all-fast..all-slow range
+                (default: 11 evenly spaced points from 0.0 to 1.0).
+
+        Returns:
+            [(deadline_s, optimal_energy_nj), ...] sorted by deadline.
+            Energy is non-increasing along the curve (asserted cheap here;
+            tested properly in the suite).
+        """
+        fractions = fractions if fractions is not None else [i / 10 for i in range(11)]
+        modes = sorted(profile.wall_time_s)
+        t_fast = profile.wall_time_s[modes[-1]]
+        t_slow = profile.wall_time_s[modes[0]]
+        curve: list[tuple[float, float]] = []
+        for frac in sorted(fractions):
+            deadline = t_fast + frac * (t_slow - t_fast)
+            outcome = self.optimize(cfg, deadline, profile=profile)
+            curve.append((deadline, outcome.predicted_energy_nj))
+        return curve
+
+    # -- baselines --------------------------------------------------------------------
+
+    def best_single_mode(
+        self,
+        profile: ProfileData,
+        deadline_s: float,
+    ) -> tuple[int, float]:
+        """Slowest single mode meeting the deadline and its energy (nJ).
+
+        This is the baseline the paper normalizes against ("the best
+        single frequency that meets the deadline").
+        """
+        num_modes = len(self.machine.mode_table)
+        for mode in range(num_modes):
+            if profile.wall_time_s[mode] <= deadline_s * (1 + 1e-9):
+                return mode, profile.cpu_energy_nj[mode]
+        raise ScheduleError(
+            f"deadline {deadline_s:.6g}s infeasible for {profile.name!r}: "
+            f"fastest mode needs {profile.wall_time_s[num_modes - 1]:.6g}s"
+        )

@@ -1,0 +1,61 @@
+"""Intermediate representation substrate.
+
+Workload programs are represented as a control-flow graph (CFG) of basic
+blocks over a small RISC-like virtual instruction set.  This is the level
+at which everything else operates:
+
+* the frontend (:mod:`repro.lang`) lowers source programs to a CFG;
+* the machine simulator (:mod:`repro.simulator`) executes CFGs with a
+  timing/energy model;
+* the profiler (:mod:`repro.profiling`) counts CFG edges and local paths;
+* the MILP formulation (:mod:`repro.core.milp`) assigns a DVS mode to every
+  CFG edge.
+
+The ISA is deliberately simple — virtual registers, explicit loads/stores
+against a flat byte-addressed data memory, and class-tagged operations so
+the energy model can charge per-class activation energies (Wattch-style).
+"""
+
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Const,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    OpClass,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import CFG, Edge
+from repro.ir.builder import FunctionBuilder
+from repro.ir.loops import LoopInfo, compute_dominators, find_natural_loops
+from repro.ir.interp import InterpResult, interpret
+from repro.ir.validate import validate_cfg
+
+__all__ = [
+    "BasicBlock",
+    "BinOp",
+    "Branch",
+    "CFG",
+    "Const",
+    "Edge",
+    "FunctionBuilder",
+    "Instruction",
+    "InterpResult",
+    "Jump",
+    "Load",
+    "LoopInfo",
+    "Move",
+    "OpClass",
+    "Ret",
+    "Store",
+    "UnOp",
+    "compute_dominators",
+    "find_natural_loops",
+    "interpret",
+    "validate_cfg",
+]

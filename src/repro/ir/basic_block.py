@@ -1,0 +1,63 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction
+
+
+@dataclass
+class BasicBlock:
+    """A labelled straight-line code region.
+
+    Invariants (checked by :func:`repro.ir.validate.validate_cfg`):
+
+    * exactly the last instruction is a terminator;
+    * the label is unique within its CFG.
+    """
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append an instruction; refuses to append past a terminator."""
+        if self.is_terminated:
+            raise IRError(f"block {self.label!r} already has a terminator")
+        self.instructions.append(instruction)
+        return instruction
+
+    @property
+    def terminator(self) -> Instruction:
+        """The block's terminator instruction."""
+        if not self.is_terminated:
+            raise IRError(f"block {self.label!r} is not terminated")
+        return self.instructions[-1]
+
+    @property
+    def is_terminated(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].is_terminator
+
+    @property
+    def body(self) -> list[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.is_terminated:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def successors(self) -> tuple[str, ...]:
+        """Labels this block can transfer control to."""
+        return self.terminator.targets()  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label!r}, {len(self.instructions)} instrs)"
+
+    def pretty(self) -> str:
+        """Multi-line textual listing of the block."""
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instr!r}" for instr in self.instructions)
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""A fluent builder for constructing CFGs programmatically.
+
+The frontend lowers source code through this builder; tests and synthetic
+workloads also use it directly to assemble small graphs without writing
+source text.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import IRError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Const,
+    Jump,
+    Load,
+    Move,
+    Ret,
+    Store,
+    UnOp,
+)
+
+
+class FunctionBuilder:
+    """Builds a :class:`~repro.ir.cfg.CFG` block by block.
+
+    Usage::
+
+        fb = FunctionBuilder("dot")
+        a = fb.add_array("a", 256)
+        entry = fb.new_block("entry")
+        fb.set_current(entry)
+        zero = fb.const(0)
+        ...
+        fb.ret(total)
+        cfg = fb.finish()
+    """
+
+    def __init__(self, name: str, element_size: int = 4) -> None:
+        self.cfg = CFG(name=name, element_size=element_size)
+        self.current: BasicBlock | None = None
+        self._temp_counter = itertools.count()
+        self._label_counter = itertools.count()
+
+    # -- structure -------------------------------------------------------------
+
+    def new_block(self, label: str | None = None) -> BasicBlock:
+        """Create (but do not enter) a new block with a fresh/explicit label."""
+        if label is None:
+            label = f"bb{next(self._label_counter)}"
+        block = BasicBlock(label)
+        self.cfg.add_block(block)
+        return block
+
+    def set_current(self, block: BasicBlock) -> BasicBlock:
+        """Make ``block`` the insertion point for subsequent instructions."""
+        self.current = block
+        return block
+
+    def block(self, label: str | None = None) -> BasicBlock:
+        """Create a new block and enter it."""
+        return self.set_current(self.new_block(label))
+
+    def fresh_temp(self) -> str:
+        return f"%t{next(self._temp_counter)}"
+
+    def add_array(self, name: str, length: int) -> int:
+        """Declare a data array; returns its base address."""
+        return self.cfg.add_array(name, length)
+
+    def _emit(self, instruction):
+        if self.current is None:
+            raise IRError("no current block — call block()/set_current() first")
+        return self.current.append(instruction)
+
+    # -- instruction helpers -----------------------------------------------------
+
+    def const(self, value: float, dst: str | None = None) -> str:
+        dst = dst or self.fresh_temp()
+        self._emit(Const(dst, value))
+        return dst
+
+    def move(self, src: str, dst: str | None = None) -> str:
+        dst = dst or self.fresh_temp()
+        self._emit(Move(dst, src))
+        return dst
+
+    def binop(self, op: str, lhs: str, rhs: str, dst: str | None = None) -> str:
+        dst = dst or self.fresh_temp()
+        self._emit(BinOp(op, dst, lhs, rhs))
+        return dst
+
+    def unop(self, op: str, src: str, dst: str | None = None) -> str:
+        dst = dst or self.fresh_temp()
+        self._emit(UnOp(op, dst, src))
+        return dst
+
+    def load(self, base: str, offset: int = 0, dst: str | None = None) -> str:
+        dst = dst or self.fresh_temp()
+        self._emit(Load(dst, base, offset))
+        return dst
+
+    def store(self, src: str, base: str, offset: int = 0) -> None:
+        self._emit(Store(src, base, offset))
+
+    def load_array(self, array: str, index_reg: str, dst: str | None = None) -> str:
+        """Load ``array[index]``: computes the byte address then loads."""
+        addr = self.array_address(array, index_reg)
+        return self.load(addr, 0, dst)
+
+    def store_array(self, array: str, index_reg: str, src: str) -> None:
+        """Store ``array[index] = src``."""
+        addr = self.array_address(array, index_reg)
+        self.store(src, addr, 0)
+
+    def array_address(self, array: str, index_reg: str) -> str:
+        """Compute the byte address of ``array[index]`` into a temp."""
+        base = self.cfg.array_base(array)
+        size = self.const(self.cfg.element_size)
+        scaled = self.binop("mul", index_reg, size)
+        base_reg = self.const(base)
+        return self.binop("add", scaled, base_reg)
+
+    # -- terminators -------------------------------------------------------------
+
+    def branch(self, cond: str, if_true: BasicBlock | str, if_false: BasicBlock | str) -> None:
+        self._emit(Branch(cond, _label(if_true), _label(if_false)))
+        self.current = None
+
+    def jump(self, target: BasicBlock | str) -> None:
+        self._emit(Jump(_label(target)))
+        self.current = None
+
+    def ret(self, value: str | None = None) -> None:
+        self._emit(Ret(value))
+        self.current = None
+
+    # -- finalization ---------------------------------------------------------------
+
+    def finish(self, validate: bool = True) -> CFG:
+        """Return the built CFG, validating structure by default."""
+        if validate:
+            from repro.ir.validate import validate_cfg
+
+            validate_cfg(self.cfg)
+        return self.cfg
+
+
+def _label(block_or_label: BasicBlock | str) -> str:
+    if isinstance(block_or_label, BasicBlock):
+        return block_or_label.label
+    return block_or_label

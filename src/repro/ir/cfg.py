@@ -1,0 +1,161 @@
+"""Control-flow graphs over basic blocks.
+
+A :class:`CFG` is the unit everything downstream consumes: the simulator
+executes it, the profiler counts its edges and local paths, and the MILP
+formulation assigns a DVS mode to each of its edges.
+
+Edges are ordered pairs of block labels.  The synthetic edge
+``(ENTRY_EDGE_SOURCE, entry)`` represents "program start enters the entry
+block"; the profiler and MILP treat it like any other edge so the entry
+block's initial mode is also an optimization variable (the paper's
+formulation does the same by letting the entry edge carry a mode-set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import IRError
+from repro.ir.basic_block import BasicBlock
+
+ENTRY_EDGE_SOURCE = "__start__"
+
+Edge = tuple[str, str]
+
+
+@dataclass
+class CFG:
+    """A single-function control-flow graph.
+
+    Attributes:
+        name: function/program name (used in reports).
+        entry: label of the entry block.
+        blocks: mapping label -> block, in insertion order.
+        arrays: mapping array name -> (base_address, length_in_elements);
+            the flat data-memory layout used by loads/stores.
+        element_size: bytes per array element (cache-line occupancy).
+    """
+
+    name: str
+    entry: str = ""
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+    arrays: dict[str, tuple[int, int]] = field(default_factory=dict)
+    element_size: int = 4
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self.blocks:
+            raise IRError(f"duplicate block label {block.label!r}")
+        self.blocks[block.label] = block
+        if not self.entry:
+            self.entry = block.label
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise IRError(f"no block labelled {label!r} in {self.name!r}") from None
+
+    # -- graph structure -----------------------------------------------------
+
+    def edges(self, include_entry: bool = False) -> list[Edge]:
+        """All control-flow edges, optionally with the synthetic entry edge."""
+        result: list[Edge] = []
+        if include_entry:
+            result.append((ENTRY_EDGE_SOURCE, self.entry))
+        for label, block in self.blocks.items():
+            result.extend((label, succ) for succ in block.successors())
+        return result
+
+    def successors(self, label: str) -> tuple[str, ...]:
+        return self.block(label).successors()
+
+    def predecessors(self, label: str) -> list[str]:
+        return [src for src, dst in self.edges() if dst == label]
+
+    def predecessor_map(self) -> dict[str, list[str]]:
+        """Label -> predecessor labels, one pass over all edges."""
+        preds: dict[str, list[str]] = {label: [] for label in self.blocks}
+        for src, dst in self.edges():
+            preds[dst].append(src)
+        return preds
+
+    def exit_blocks(self) -> list[str]:
+        """Blocks terminated by a return."""
+        return [label for label, block in self.blocks.items() if not block.successors()]
+
+    def reverse_postorder(self) -> list[str]:
+        """Blocks in reverse postorder from the entry (forward dataflow order)."""
+        visited: set[str] = set()
+        order: list[str] = []
+
+        def visit(label: str) -> None:
+            stack = [(label, iter(self.successors(label)))]
+            visited.add(label)
+            while stack:
+                current, succ_iter = stack[-1]
+                advanced = False
+                for nxt in succ_iter:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(self.successors(nxt))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(order))
+
+    def reachable(self) -> set[str]:
+        """Labels reachable from the entry block."""
+        return set(self.reverse_postorder())
+
+    # -- memory layout ---------------------------------------------------------
+
+    def add_array(self, name: str, length: int, align: int = 32) -> int:
+        """Reserve a data-memory region for an array; returns its base address.
+
+        Arrays are laid out sequentially, each aligned to ``align`` bytes
+        (a cache line by default) so distinct arrays never share a line.
+        """
+        if name in self.arrays:
+            raise IRError(f"duplicate array {name!r}")
+        end = 0
+        for base, length_elems in self.arrays.values():
+            end = max(end, base + length_elems * self.element_size)
+        base = (end + align - 1) // align * align
+        self.arrays[name] = (base, length)
+        return base
+
+    def array_base(self, name: str) -> int:
+        try:
+            return self.arrays[name][0]
+        except KeyError:
+            raise IRError(f"unknown array {name!r}") from None
+
+    def data_size(self) -> int:
+        """Total bytes of data memory the program addresses."""
+        end = 0
+        for base, length in self.arrays.values():
+            end = max(end, base + length * self.element_size)
+        return end
+
+    # -- stats -----------------------------------------------------------------
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks.values())
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def pretty(self) -> str:
+        """Whole-program textual listing."""
+        parts = [f"; cfg {self.name} (entry {self.entry})"]
+        parts.extend(block.pretty() for block in self.blocks.values())
+        return "\n".join(parts)

@@ -1,0 +1,305 @@
+"""The virtual instruction set.
+
+Every instruction belongs to an :class:`OpClass`, which carries its latency
+in CPU cycles and its relative switched capacitance (the energy model
+charges ``c_eff * V^2`` per activation, Wattch-style).  Latencies and
+capacitances are class constants here; the machine configuration can scale
+them globally but the *relative* mix is what shapes the program parameters
+the paper's model consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an instruction.
+
+    Values are ``(latency_cycles, c_eff_nF)`` — latency in CPU cycles at any
+    frequency, effective switched capacitance in nanofarads so that one
+    activation at supply voltage V costs ``c_eff * V²`` nanojoules.
+    """
+
+    INT_ALU = (1, 1.00)
+    INT_MUL = (3, 2.20)
+    INT_DIV = (12, 2.80)
+    FP_ADD = (2, 2.50)
+    FP_MUL = (4, 3.20)
+    FP_DIV = (18, 4.00)
+    MEM = (1, 1.80)  # address generation + cache port; hit latency added by the cache
+    BRANCH = (1, 1.10)
+    MOVE = (1, 0.60)
+
+    def __init__(self, latency: int, c_eff: float) -> None:
+        self.latency = latency
+        self.c_eff = c_eff
+
+
+_INT_OPS = {
+    "add", "sub", "and", "or", "xor", "shl", "shr",
+    "lt", "le", "gt", "ge", "eq", "ne", "min", "max",
+}
+_INT_MUL_OPS = {"mul"}
+_INT_DIV_OPS = {"div", "mod"}
+_FP_ADD_OPS = {"fadd", "fsub", "flt", "fle", "fgt", "fge", "feq", "fne", "fmin", "fmax"}
+_FP_MUL_OPS = {"fmul"}
+_FP_DIV_OPS = {"fdiv"}
+
+BINARY_OPS = (
+    _INT_OPS | _INT_MUL_OPS | _INT_DIV_OPS | _FP_ADD_OPS | _FP_MUL_OPS | _FP_DIV_OPS
+)
+UNARY_OPS = {"neg", "not", "fneg", "i2f", "f2i", "abs", "fabs", "sqrt"}
+
+
+def classify_op(op: str) -> OpClass:
+    """Map an operator mnemonic to its functional-unit class."""
+    if op in _INT_OPS:
+        return OpClass.INT_ALU
+    if op in _INT_MUL_OPS:
+        return OpClass.INT_MUL
+    if op in _INT_DIV_OPS:
+        return OpClass.INT_DIV
+    if op in _FP_ADD_OPS:
+        return OpClass.FP_ADD
+    if op in _FP_MUL_OPS:
+        return OpClass.FP_MUL
+    if op in _FP_DIV_OPS:
+        return OpClass.FP_DIV
+    if op in ("neg", "not", "abs"):
+        return OpClass.INT_ALU
+    if op in ("fneg", "fabs", "i2f", "f2i"):
+        return OpClass.FP_ADD
+    if op == "sqrt":
+        return OpClass.FP_DIV
+    raise ValueError(f"unknown operator {op!r}")
+
+
+@dataclass
+class Instruction:
+    """Base class; concrete instructions define uses/defs and a class."""
+
+    @property
+    def op_class(self) -> OpClass:
+        raise NotImplementedError
+
+    def uses(self) -> Iterator[str]:
+        """Virtual registers read by this instruction."""
+        return iter(())
+
+    def defs(self) -> str | None:
+        """Virtual register written, or None."""
+        return None
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+
+@dataclass
+class Const(Instruction):
+    """``dst <- immediate``."""
+
+    dst: str
+    value: float
+
+    @property
+    def op_class(self) -> OpClass:
+        return OpClass.MOVE
+
+    def defs(self) -> str | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = const {self.value}"
+
+
+@dataclass
+class Move(Instruction):
+    """``dst <- src`` register copy."""
+
+    dst: str
+    src: str
+
+    @property
+    def op_class(self) -> OpClass:
+        return OpClass.MOVE
+
+    def uses(self) -> Iterator[str]:
+        yield self.src
+
+    def defs(self) -> str | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass
+class BinOp(Instruction):
+    """``dst <- lhs op rhs`` for any mnemonic in :data:`BINARY_OPS`."""
+
+    op: str
+    dst: str
+    lhs: str
+    rhs: str
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    @property
+    def op_class(self) -> OpClass:
+        return classify_op(self.op)
+
+    def uses(self) -> Iterator[str]:
+        yield self.lhs
+        yield self.rhs
+
+    def defs(self) -> str | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass
+class UnOp(Instruction):
+    """``dst <- op src`` for any mnemonic in :data:`UNARY_OPS`."""
+
+    op: str
+    dst: str
+    src: str
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    @property
+    def op_class(self) -> OpClass:
+        return classify_op(self.op)
+
+    def uses(self) -> Iterator[str]:
+        yield self.src
+
+    def defs(self) -> str | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op} {self.src}"
+
+
+@dataclass
+class Load(Instruction):
+    """``dst <- memory[base + offset]``; base is a register, offset bytes."""
+
+    dst: str
+    base: str
+    offset: int = 0
+
+    @property
+    def op_class(self) -> OpClass:
+        return OpClass.MEM
+
+    def uses(self) -> Iterator[str]:
+        yield self.base
+
+    def defs(self) -> str | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = load [{self.base}+{self.offset}]"
+
+
+@dataclass
+class Store(Instruction):
+    """``memory[base + offset] <- src``."""
+
+    src: str
+    base: str
+    offset: int = 0
+
+    @property
+    def op_class(self) -> OpClass:
+        return OpClass.MEM
+
+    def uses(self) -> Iterator[str]:
+        yield self.src
+        yield self.base
+
+    def __repr__(self) -> str:
+        return f"store [{self.base}+{self.offset}] = {self.src}"
+
+
+@dataclass
+class Branch(Instruction):
+    """Conditional terminator: go to ``if_true`` when cond != 0."""
+
+    cond: str
+    if_true: str
+    if_false: str
+
+    @property
+    def op_class(self) -> OpClass:
+        return OpClass.BRANCH
+
+    def uses(self) -> Iterator[str]:
+        yield self.cond
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def targets(self) -> tuple[str, ...]:
+        return (self.if_true, self.if_false)
+
+    def __repr__(self) -> str:
+        return f"br {self.cond} ? {self.if_true} : {self.if_false}"
+
+
+@dataclass
+class Jump(Instruction):
+    """Unconditional terminator."""
+
+    target: str
+
+    @property
+    def op_class(self) -> OpClass:
+        return OpClass.BRANCH
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def targets(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def __repr__(self) -> str:
+        return f"jmp {self.target}"
+
+
+@dataclass
+class Ret(Instruction):
+    """Function return; ``value`` register is optional."""
+
+    value: str | None = None
+
+    @property
+    def op_class(self) -> OpClass:
+        return OpClass.BRANCH
+
+    def uses(self) -> Iterator[str]:
+        if self.value is not None:
+            yield self.value
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def targets(self) -> tuple[str, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"ret {self.value or ''}".rstrip()

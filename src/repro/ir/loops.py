@@ -1,0 +1,145 @@
+"""Dominators and natural loops.
+
+Used by the schedule post-pass (hoisting silent mode-set instructions out of
+loop back-edges, the paper's Section 4.2 remark) and by workload reports.
+The dominator computation is the classic iterative dataflow algorithm of
+Cooper, Harvey and Kennedy over reverse postorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.cfg import CFG, Edge
+
+
+def compute_dominators(cfg: CFG) -> dict[str, str | None]:
+    """Immediate dominators for every reachable block.
+
+    Returns:
+        mapping label -> immediate-dominator label (entry maps to None).
+    """
+    order = cfg.reverse_postorder()
+    index = {label: i for i, label in enumerate(order)}
+    preds = cfg.predecessor_map()
+    idom: dict[str, str | None] = {cfg.entry: cfg.entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == cfg.entry:
+                continue
+            candidates = [p for p in preds[label] if p in idom and p in index]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    result: dict[str, str | None] = {label: dom for label, dom in idom.items()}
+    result[cfg.entry] = None
+    return result
+
+
+def dominates(idom: dict[str, str | None], a: str, b: str) -> bool:
+    """True when block a dominates block b (reflexive)."""
+    node: str | None = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+@dataclass
+class LoopInfo:
+    """A natural loop: its header, back edges and member blocks."""
+
+    header: str
+    back_edges: list[Edge] = field(default_factory=list)
+    blocks: set[str] = field(default_factory=set)
+
+    @property
+    def depth_hint(self) -> int:
+        """Block count — a crude size proxy used only for reporting."""
+        return len(self.blocks)
+
+    def entry_edges(self, cfg: CFG) -> list[Edge]:
+        """Edges entering the loop from outside (the preheader candidates)."""
+        return [
+            (src, self.header)
+            for src in cfg.predecessor_map()[self.header]
+            if src not in self.blocks
+        ]
+
+
+def find_natural_loops(cfg: CFG) -> list[LoopInfo]:
+    """Identify natural loops via back edges (edge u->h where h dominates u).
+
+    Loops sharing a header are merged into a single :class:`LoopInfo`, as is
+    conventional.  Irreducible flow (a cycle whose entry does not dominate
+    its tail) simply yields no loop for that cycle; the schedule post-pass
+    then leaves those edges alone, which is always safe.
+    """
+    idom = compute_dominators(cfg)
+    reachable = set(idom)
+    loops: dict[str, LoopInfo] = {}
+
+    for src, dst in cfg.edges():
+        if src not in reachable or dst not in reachable:
+            continue
+        if not dominates(idom, dst, src):
+            continue
+        loop = loops.setdefault(dst, LoopInfo(header=dst))
+        loop.back_edges.append((src, dst))
+        # Collect the loop body: all blocks that reach src without passing
+        # through the header.
+        body = {dst, src}
+        stack = [src]
+        preds = cfg.predecessor_map()
+        while stack:
+            node = stack.pop()
+            for pred in preds[node]:
+                if pred not in body and pred in reachable:
+                    body.add(pred)
+                    if pred != dst:
+                        stack.append(pred)
+        loop.blocks |= body
+
+    return sorted(loops.values(), key=lambda l: l.header)
+
+
+def loop_nesting(loops: list[LoopInfo]) -> dict[str, int]:
+    """Nesting depth of each loop header (1 = outermost)."""
+    depth: dict[str, int] = {}
+    for loop in loops:
+        depth[loop.header] = 1 + sum(
+            1
+            for other in loops
+            if other.header != loop.header and loop.header in other.blocks
+        )
+    return depth
+
+
+def validate_loop(cfg: CFG, loop: LoopInfo) -> None:
+    """Sanity-check a loop against its CFG (used in tests)."""
+    if loop.header not in cfg.blocks:
+        raise IRError(f"loop header {loop.header!r} not in CFG")
+    for src, dst in loop.back_edges:
+        if dst != loop.header:
+            raise IRError("back edge does not target the loop header")
+        if src not in loop.blocks:
+            raise IRError("back-edge source not inside the loop body")

@@ -1,0 +1,38 @@
+"""IR optimization passes.
+
+The DVS scheduler is a compiler pass; these are the cleanup passes that
+would surround it in a real compiler.  All passes preserve observable
+semantics (return value, memory effects) — the test suite checks
+optimized-vs-unoptimized equivalence on the whole workload suite and on
+randomized programs.
+
+* :mod:`.constfold`  — local constant folding + branch-on-constant
+  simplification;
+* :mod:`.copyprop`   — local copy propagation;
+* :mod:`.liveness`   — global backwards liveness analysis;
+* :mod:`.dce`        — dead-code elimination driven by liveness;
+* :mod:`.simplify`   — CFG cleanup: jump threading through empty blocks,
+  unreachable-block removal;
+* :mod:`.pipeline`   — fixpoint driver running the above in order.
+
+Run passes *before* profiling; the DVS formulation then sees the
+optimized CFG's edges.
+"""
+
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.copyprop import propagate_copies
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.liveness import LivenessInfo, compute_liveness
+from repro.ir.passes.simplify import simplify_cfg
+from repro.ir.passes.pipeline import PassResult, optimize
+
+__all__ = [
+    "LivenessInfo",
+    "PassResult",
+    "compute_liveness",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize",
+    "propagate_copies",
+    "simplify_cfg",
+]

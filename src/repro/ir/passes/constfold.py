@@ -1,0 +1,78 @@
+"""Local constant folding.
+
+Within each basic block, registers assigned a known constant are tracked
+and operations over constants are evaluated at compile time with the
+reference interpreter's operator tables (so folding can never disagree
+with execution — including C-style truncating division).  A conditional
+branch whose condition folds to a constant becomes an unconditional
+jump, exposing dead blocks to :mod:`repro.ir.passes.simplify`.
+
+Division/modulo by a constant zero is *not* folded: the trap must stay a
+runtime event, exactly where the program placed it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.ir.cfg import CFG
+from repro.ir.instructions import BinOp, Branch, Const, Instruction, Jump, Move, UnOp
+from repro.ir.interp import apply_binop, apply_unop
+
+
+def fold_constants(cfg: CFG) -> int:
+    """Fold constant computations in place; returns instructions folded."""
+    folded = 0
+    for block in cfg:
+        known: dict[str, float] = {}
+        new_instructions: list[Instruction] = []
+        for instr in block.instructions:
+            replacement = instr
+            if isinstance(instr, Const):
+                known[instr.dst] = instr.value
+            elif isinstance(instr, Move):
+                if instr.src in known:
+                    replacement = Const(instr.dst, known[instr.src])
+                    known[instr.dst] = known[instr.src]
+                    folded += 1
+                else:
+                    known.pop(instr.dst, None)
+            elif isinstance(instr, BinOp):
+                if instr.lhs in known and instr.rhs in known:
+                    try:
+                        value = apply_binop(instr.op, known[instr.lhs], known[instr.rhs])
+                    except SimulationError:
+                        value = None  # division by zero stays at runtime
+                    if value is not None:
+                        replacement = Const(instr.dst, value)
+                        known[instr.dst] = value
+                        folded += 1
+                    else:
+                        known.pop(instr.dst, None)
+                else:
+                    known.pop(instr.dst, None)
+            elif isinstance(instr, UnOp):
+                if instr.src in known:
+                    try:
+                        value = apply_unop(instr.op, known[instr.src])
+                    except SimulationError:
+                        value = None
+                    if value is not None:
+                        replacement = Const(instr.dst, value)
+                        known[instr.dst] = value
+                        folded += 1
+                    else:
+                        known.pop(instr.dst, None)
+                else:
+                    known.pop(instr.dst, None)
+            elif isinstance(instr, Branch):
+                if instr.cond in known:
+                    target = instr.if_true if known[instr.cond] else instr.if_false
+                    replacement = Jump(target)
+                    folded += 1
+            else:
+                defined = instr.defs()
+                if defined is not None:
+                    known.pop(defined, None)
+            new_instructions.append(replacement)
+        block.instructions = new_instructions
+    return folded

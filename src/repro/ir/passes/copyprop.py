@@ -1,0 +1,84 @@
+"""Local copy propagation.
+
+Within a block, after ``dst = src`` every use of ``dst`` can read ``src``
+directly until either register is redefined.  Propagation chains resolve
+transitively (``b = a; c = b`` reads ``a`` for ``c``'s source), and the
+now-bypassed moves become dead for DCE to collect.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Instruction,
+    Load,
+    Move,
+    Ret,
+    Store,
+    UnOp,
+)
+
+
+def propagate_copies(cfg: CFG) -> int:
+    """Rewrite uses through local copies in place; returns uses rewritten."""
+    rewritten = 0
+    for block in cfg:
+        copies: dict[str, str] = {}  # dst -> original source
+
+        def resolve(reg: str) -> str:
+            seen = set()
+            while reg in copies and reg not in seen:
+                seen.add(reg)
+                reg = copies[reg]
+            return reg
+
+        def kill(reg: str) -> None:
+            copies.pop(reg, None)
+            for key in [k for k, v in copies.items() if v == reg]:
+                del copies[key]
+
+        for instr in block.instructions:
+            rewritten += _rewrite_uses(instr, resolve)
+            if isinstance(instr, Move):
+                source = resolve(instr.src)
+                kill(instr.dst)
+                if source != instr.dst:
+                    copies[instr.dst] = source
+            else:
+                defined = instr.defs()
+                if defined is not None:
+                    kill(defined)
+    return rewritten
+
+
+def _rewrite_uses(instr: Instruction, resolve) -> int:
+    """Replace each used register with its resolved source; returns count."""
+    changed = 0
+
+    def swap(value: str) -> str:
+        nonlocal changed
+        resolved = resolve(value)
+        if resolved != value:
+            changed += 1
+        return resolved
+
+    if isinstance(instr, Move):
+        instr.src = swap(instr.src)
+    elif isinstance(instr, BinOp):
+        instr.lhs = swap(instr.lhs)
+        instr.rhs = swap(instr.rhs)
+    elif isinstance(instr, UnOp):
+        instr.src = swap(instr.src)
+    elif isinstance(instr, Load):
+        instr.base = swap(instr.base)
+    elif isinstance(instr, Store):
+        instr.src = swap(instr.src)
+        instr.base = swap(instr.base)
+    elif isinstance(instr, Branch):
+        instr.cond = swap(instr.cond)
+    elif isinstance(instr, Ret):
+        if instr.value is not None:
+            instr.value = swap(instr.value)
+    return changed

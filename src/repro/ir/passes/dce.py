@@ -1,0 +1,65 @@
+"""Dead-code elimination driven by global liveness.
+
+A non-terminator instruction is removed when its destination register is
+dead after it and it has no side effect.  Side-effecting (kept even when
+their result is dead):
+
+* stores and terminators (obviously);
+* integer/float division and modulo — they can trap on a zero divisor,
+  and optimization must not move or remove a trap;
+* ``sqrt`` — traps on negative input.
+
+Dead *loads* are removed: a well-formed program's loads cannot trap, and
+deleting them is precisely the kind of memory-traffic optimization a DVS
+compiler wants reflected in the profile.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import BinOp, Instruction, Store, UnOp
+from repro.ir.passes.liveness import compute_liveness
+
+_TRAPPING_BINOPS = {"div", "mod", "fdiv"}
+_TRAPPING_UNOPS = {"sqrt"}
+
+
+def _has_side_effect(instr: Instruction) -> bool:
+    if instr.is_terminator or isinstance(instr, Store):
+        return True
+    if isinstance(instr, BinOp) and instr.op in _TRAPPING_BINOPS:
+        return True
+    if isinstance(instr, UnOp) and instr.op in _TRAPPING_UNOPS:
+        return True
+    return False
+
+
+def eliminate_dead_code(cfg: CFG) -> int:
+    """Remove dead instructions in place; returns instructions removed.
+
+    One liveness solve covers the whole sweep: removing a dead
+    instruction can only *shrink* live sets, so every instruction dead
+    under the pre-pass solution stays dead.  (Cascading chains are
+    collected by the local backward scan within each block, and the
+    pipeline's fixpoint loop handles cross-block cascades.)
+    """
+    liveness = compute_liveness(cfg)
+    removed = 0
+    for label, block in cfg.blocks.items():
+        live = set(liveness.live_out[label])
+        kept_reversed: list[Instruction] = []
+        for instr in reversed(block.instructions):
+            defined = instr.defs()
+            if (
+                defined is not None
+                and defined not in live
+                and not _has_side_effect(instr)
+            ):
+                removed += 1
+                continue
+            kept_reversed.append(instr)
+            if defined is not None:
+                live.discard(defined)
+            live.update(instr.uses())
+        block.instructions = list(reversed(kept_reversed))
+    return removed

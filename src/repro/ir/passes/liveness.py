@@ -1,0 +1,68 @@
+"""Global liveness analysis (backwards may-dataflow).
+
+Standard equations over basic blocks::
+
+    live_out(b) = union of live_in(s) for s in successors(b)
+    live_in(b)  = use(b) | (live_out(b) - def(b))
+
+where ``use(b)`` contains registers read in b before any write, and
+``def(b)`` registers written anywhere in b.  Iterated to a fixpoint over
+postorder (so information flows backwards fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in/live-out register sets."""
+
+    live_in: dict[str, set[str]] = field(default_factory=dict)
+    live_out: dict[str, set[str]] = field(default_factory=dict)
+
+    def is_live_out(self, block: str, reg: str) -> bool:
+        return reg in self.live_out.get(block, ())
+
+
+def _block_use_def(block) -> tuple[set[str], set[str]]:
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for instr in block.instructions:
+        for reg in instr.uses():
+            if reg not in defs:
+                uses.add(reg)
+        defined = instr.defs()
+        if defined is not None:
+            defs.add(defined)
+    return uses, defs
+
+
+def compute_liveness(cfg: CFG) -> LivenessInfo:
+    """Fixpoint liveness for every block of the CFG."""
+    use: dict[str, set[str]] = {}
+    deff: dict[str, set[str]] = {}
+    for label, block in cfg.blocks.items():
+        use[label], deff[label] = _block_use_def(block)
+
+    info = LivenessInfo(
+        live_in={label: set() for label in cfg.blocks},
+        live_out={label: set() for label in cfg.blocks},
+    )
+    order = list(reversed(cfg.reverse_postorder()))  # postorder
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            out: set[str] = set()
+            for succ in cfg.successors(label):
+                out |= info.live_in[succ]
+            new_in = use[label] | (out - deff[label])
+            if out != info.live_out[label] or new_in != info.live_in[label]:
+                info.live_out[label] = out
+                info.live_in[label] = new_in
+                changed = True
+    return info

@@ -1,0 +1,63 @@
+"""Pass pipeline: iterate the optimization passes to a fixpoint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.copyprop import propagate_copies
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.simplify import simplify_cfg
+from repro.ir.validate import validate_cfg
+
+_PASSES = (
+    ("constfold", fold_constants),
+    ("copyprop", propagate_copies),
+    ("dce", eliminate_dead_code),
+    ("simplify", simplify_cfg),
+)
+
+
+@dataclass
+class PassResult:
+    """What the pipeline did: per-pass change counts and round count."""
+
+    changes: dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+    instructions_before: int = 0
+    instructions_after: int = 0
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self.changes.values())
+
+    @property
+    def shrink_ratio(self) -> float:
+        """Fraction of static instructions removed."""
+        if self.instructions_before == 0:
+            return 0.0
+        return 1.0 - self.instructions_after / self.instructions_before
+
+
+def optimize(cfg: CFG, max_rounds: int = 5, validate: bool = True) -> PassResult:
+    """Run constfold -> copyprop -> dce -> simplify until a fixpoint.
+
+    Mutates the CFG in place and returns a :class:`PassResult`.  The CFG
+    is re-validated afterwards (can be disabled for deliberately odd
+    graphs in tests).
+    """
+    result = PassResult(instructions_before=cfg.instruction_count())
+    for _ in range(max_rounds):
+        round_changes = 0
+        for name, pass_fn in _PASSES:
+            count = pass_fn(cfg)
+            result.changes[name] = result.changes.get(name, 0) + count
+            round_changes += count
+        result.rounds += 1
+        if round_changes == 0:
+            break
+    result.instructions_after = cfg.instruction_count()
+    if validate:
+        validate_cfg(cfg)
+    return result

@@ -1,0 +1,111 @@
+"""CFG simplification: jump threading, unreachable-block removal, and
+linear-chain merging.
+
+* **Jump threading** — a block containing only ``jmp T`` is bypassed:
+  every branch to it retargets T directly.  (The entry block is never
+  threaded away; a branch whose two targets become equal stays a branch
+  — constant folding is the pass that knows conditions.)
+* **Unreachable removal** — blocks no longer reachable from the entry
+  are deleted.
+* **Chain merging** — a block whose single successor has it as its only
+  predecessor absorbs that successor, shrinking the edge set the MILP
+  must assign modes to.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Branch, Jump
+
+
+def _retarget(cfg: CFG, mapping: dict[str, str]) -> int:
+    """Apply a label->label redirect map to every terminator."""
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in mapping and label not in seen:
+            seen.add(label)
+            label = mapping[label]
+        return label
+
+    changed = 0
+    for block in cfg:
+        term = block.instructions[-1] if block.instructions else None
+        if isinstance(term, Jump):
+            new = resolve(term.target)
+            if new != term.target:
+                term.target = new
+                changed += 1
+        elif isinstance(term, Branch):
+            new_true, new_false = resolve(term.if_true), resolve(term.if_false)
+            if (new_true, new_false) != (term.if_true, term.if_false):
+                term.if_true, term.if_false = new_true, new_false
+                changed += 1
+    return changed
+
+
+def _thread_jumps(cfg: CFG) -> int:
+    mapping: dict[str, str] = {}
+    for label, block in cfg.blocks.items():
+        if label == cfg.entry:
+            continue
+        if len(block.instructions) == 1 and isinstance(block.instructions[0], Jump):
+            target = block.instructions[0].target
+            if target != label:
+                mapping[label] = target
+    if not mapping:
+        return 0
+    return _retarget(cfg, mapping)
+
+
+def _remove_unreachable(cfg: CFG) -> int:
+    reachable: set[str] = set()
+    stack = [cfg.entry]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(cfg.blocks[label].successors())
+    removed = 0
+    for label in list(cfg.blocks):
+        if label not in reachable:
+            del cfg.blocks[label]
+            removed += 1
+    return removed
+
+
+def _merge_chains(cfg: CFG) -> int:
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = cfg.predecessor_map()
+        for label in list(cfg.blocks):
+            block = cfg.blocks.get(label)
+            if block is None:
+                continue
+            term = block.instructions[-1]
+            if not isinstance(term, Jump):
+                continue
+            succ_label = term.target
+            if succ_label == label or succ_label == cfg.entry:
+                continue
+            if preds[succ_label] != [label]:
+                continue
+            successor = cfg.blocks[succ_label]
+            block.instructions = block.instructions[:-1] + successor.instructions
+            del cfg.blocks[succ_label]
+            merged += 1
+            changed = True
+            break  # predecessor map is stale; recompute
+    return merged
+
+
+def simplify_cfg(cfg: CFG) -> int:
+    """Run threading + unreachable removal + merging; returns changes."""
+    changes = _thread_jumps(cfg)
+    changes += _remove_unreachable(cfg)
+    changes += _merge_chains(cfg)
+    changes += _remove_unreachable(cfg)
+    return changes

@@ -1,0 +1,79 @@
+"""Structural validation of CFGs.
+
+Run after the frontend lowers a program and before anything executes it, so
+the simulator and formulation can assume a well-formed graph.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRValidationError
+from repro.ir.cfg import CFG
+from repro.ir.instructions import Instruction
+
+
+def validate_cfg(cfg: CFG) -> None:
+    """Check all structural invariants; raises :class:`IRValidationError`.
+
+    Invariants:
+
+    * the CFG has an entry block that exists;
+    * every block is terminated, and only its last instruction is a terminator;
+    * every branch/jump target names an existing block;
+    * at least one reachable block returns;
+    * every block is reachable from the entry (dead blocks indicate a
+      frontend bug and would skew profiles);
+    * array regions do not overlap.
+    """
+    if not cfg.blocks:
+        raise IRValidationError(f"{cfg.name}: CFG has no blocks")
+    if cfg.entry not in cfg.blocks:
+        raise IRValidationError(f"{cfg.name}: entry {cfg.entry!r} does not exist")
+
+    for label, block in cfg.blocks.items():
+        if label != block.label:
+            raise IRValidationError(f"{cfg.name}: key {label!r} != block label {block.label!r}")
+        if not block.is_terminated:
+            raise IRValidationError(f"{cfg.name}: block {label!r} lacks a terminator")
+        for instr in block.instructions[:-1]:
+            if instr.is_terminator:
+                raise IRValidationError(
+                    f"{cfg.name}: block {label!r} has a terminator mid-block: {instr!r}"
+                )
+        for target in block.successors():
+            if target not in cfg.blocks:
+                raise IRValidationError(
+                    f"{cfg.name}: block {label!r} branches to missing block {target!r}"
+                )
+
+    reachable = cfg.reachable()
+    unreachable = set(cfg.blocks) - reachable
+    if unreachable:
+        raise IRValidationError(
+            f"{cfg.name}: unreachable blocks: {sorted(unreachable)}"
+        )
+    if not any(not cfg.blocks[label].successors() for label in reachable):
+        raise IRValidationError(f"{cfg.name}: no reachable return block")
+
+    _validate_arrays(cfg)
+
+
+def _validate_arrays(cfg: CFG) -> None:
+    regions = sorted(
+        (base, base + length * cfg.element_size, name)
+        for name, (base, length) in cfg.arrays.items()
+    )
+    for (start_a, end_a, name_a), (start_b, _end_b, name_b) in zip(regions, regions[1:]):
+        if start_b < end_a:
+            raise IRValidationError(
+                f"{cfg.name}: arrays {name_a!r} and {name_b!r} overlap"
+            )
+
+
+def count_op_classes(cfg: CFG) -> dict[str, int]:
+    """Static instruction mix by op class (diagnostic helper)."""
+    counts: dict[str, int] = {}
+    for block in cfg:
+        for instr in block.instructions:
+            key = instr.op_class.name
+            counts[key] = counts.get(key, 0) + 1
+    return counts

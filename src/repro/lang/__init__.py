@@ -1,0 +1,35 @@
+"""A tiny C-like kernel language and its compiler to :mod:`repro.ir`.
+
+Workload programs (the MediaBench-like suite in :mod:`repro.workloads`) are
+written in this language.  The pipeline is conventional:
+
+* :mod:`repro.lang.lexer` — hand-written scanner;
+* :mod:`repro.lang.parser` — recursive-descent parser to the AST of
+  :mod:`repro.lang.ast_nodes`;
+* :mod:`repro.lang.sema` — name resolution and type checking (``int`` and
+  ``float`` scalars, typed arrays, implicit int→float promotion);
+* :mod:`repro.lang.lower` — lowering to a single-function CFG.  Function
+  calls are inlined at their call sites (recursion is rejected), matching
+  the paper's whole-program-CFG view.
+
+Example::
+
+    source = '''
+    func main(n: int) -> int {
+        extern a: int[1024];
+        var acc: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) {
+            acc = acc + a[i];
+        }
+        return acc;
+    }
+    '''
+    from repro.lang import compile_program
+    cfg = compile_program(source, name="sum")
+"""
+
+from repro.lang.compiler import compile_program
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.parser import parse_program
+
+__all__ = ["Token", "TokenKind", "compile_program", "parse_program", "tokenize"]

@@ -1,0 +1,179 @@
+"""AST node definitions for the kernel language.
+
+Nodes are plain mutable dataclasses.  Semantic analysis annotates
+expression nodes in place with their type (the ``ty`` field, "int" or
+"float") so the lowering pass can pick integer vs floating instruction
+forms without a separate typed tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    """Base AST node; line/column point at the defining token."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    ty: str | None = field(default=None, kw_only=True)  # set by sema
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``array[index]`` read."""
+
+    array: str = ""
+    index: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '!'
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # + - * / % < <= > >= == != && || << >> & |
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """User function call (inlined at lowering) or intrinsic.
+
+    Intrinsics: ``sqrt``, ``abs``, ``min``, ``max``, ``int``, ``float``.
+    """
+
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ty: str = "int"
+    init: Expr | None = None
+
+
+@dataclass
+class ArrayDecl(Stmt):
+    """``array name: ty[length]`` (zeroed) or ``extern`` (input-bound)."""
+
+    name: str = ""
+    ty: str = "int"
+    length: int = 0
+    is_extern: bool = False
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = expr`` or ``name[index] = expr``."""
+
+    target: str = ""
+    index: Expr | None = None  # None => scalar assignment
+    value: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body`` — init is a VarDecl or Assign."""
+
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ty: str = "int"
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    return_ty: str | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    functions: list[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)

@@ -1,0 +1,29 @@
+"""The one-call compile pipeline: source text -> validated IR CFG."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.lang.lower import lower_program
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+
+
+def compile_program(source: str, name: str = "program", entry: str = "main") -> CFG:
+    """Compile kernel-language source to a single validated CFG.
+
+    Args:
+        source: program text.
+        name: CFG name for reports.
+        entry: entry function (its parameters become the externally
+            settable registers ``main.<param>`` at run time).
+
+    Returns:
+        a validated :class:`~repro.ir.cfg.CFG` with all calls inlined.
+
+    Raises:
+        LexError, ParseError, SemanticError, IRValidationError.
+    """
+    program = parse_program(source)
+    sema = analyze(program, entry=entry)
+    cfg = lower_program(sema, name)
+    return cfg

@@ -1,0 +1,119 @@
+"""Hand-written scanner for the kernel language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "func", "var", "array", "extern", "if", "else", "while", "for",
+    "return", "break", "continue", "int", "float", "true", "false",
+}
+
+_TWO_CHAR = {"==", "!=", "<=", ">=", "&&", "||", "->", "<<", ">>"}
+_ONE_CHAR = set("+-*/%<>=!&|(){}[];:,")
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    KEYWORD = "keyword"
+    OP = "operator"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r} @{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan source text into tokens (appends an EOF token).
+
+    Comments run from ``#`` to end of line.  Numeric literals with a ``.``
+    or exponent are float literals; everything else digit-initial is int.
+    """
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str):
+        raise LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j >= n or not source[j].isdigit():
+                    error("malformed exponent in numeric literal")
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            kind = TokenKind.FLOAT if is_float else TokenKind.INT
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(TokenKind.OP, two, start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(TokenKind.OP, ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,406 @@
+"""Lowering: typed AST -> single-function IR CFG with call inlining.
+
+Scalars live in virtual registers named ``{instance}.{var}`` where
+``instance`` identifies the inline expansion (``main``, ``idct$1``,
+``idct$2``, ...), so two inlined copies of a function never collide.
+Arrays are program-global data regions laid out by the CFG.
+
+Control-flow constructs lower conventionally:
+
+* ``if``/``while``/``for`` produce the usual diamond/loop block shapes;
+* ``&&``/``||`` are short-circuit, lowered to control flow that leaves
+  0/1 in a result register;
+* ``break``/``continue`` jump to the innermost loop's exit/step block;
+* a user call inlines the callee body; every ``return`` in the callee
+  writes the result register and jumps to a continuation block.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SemanticError
+from repro.ir.builder import FunctionBuilder
+from repro.ir.cfg import CFG
+from repro.lang import ast_nodes as ast
+from repro.lang.sema import INTRINSICS, SemaResult
+
+_CMP_OPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+_FCMP_OPS = {"<": "flt", "<=": "fle", ">": "fgt", ">=": "fge", "==": "feq", "!=": "fne"}
+_ARITH_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+_FARITH_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+_INT_ONLY = {"%": "mod", "&": "and", "|": "or", "<<": "shl", ">>": "shr"}
+
+
+class _Lowerer:
+    def __init__(self, sema: SemaResult, name: str) -> None:
+        self.sema = sema
+        self.fb = FunctionBuilder(name)
+        self.instance_counter = itertools.count(1)
+        # Stack of (continue_target_label, break_target_label).
+        self.loop_stack: list[tuple[str, str]] = []
+        # Stack of (result_reg | None, continuation_label) for inlined calls.
+        self.inline_stack: list[tuple[str | None, str]] = []
+        self.instance = "main"
+
+    # -- helpers -------------------------------------------------------------
+
+    def err(self, node: ast.Node, message: str):
+        raise SemanticError(f"{node.line}:{node.column}: {message}")
+
+    def reg(self, var_name: str) -> str:
+        return f"{self.instance}.{var_name}"
+
+    def promote(self, reg: str, from_ty: str, to_ty: str) -> str:
+        """Insert a conversion when the types differ."""
+        if from_ty == to_ty:
+            return reg
+        if from_ty == "int" and to_ty == "float":
+            return self.fb.unop("i2f", reg)
+        if from_ty == "float" and to_ty == "int":
+            return self.fb.unop("f2i", reg)
+        raise AssertionError(f"cannot promote {from_ty} -> {to_ty}")
+
+    # -- top level ---------------------------------------------------------------
+
+    def lower_program(self) -> CFG:
+        for info in self.sema.arrays.values():
+            self.fb.add_array(info.name, info.length)
+        entry_info = self.sema.functions[self.sema.entry]
+        if entry_info.params:
+            # Entry parameters become externally-set registers main.<param>.
+            pass
+        self.fb.block("entry")
+        self.lower_stmts(entry_info.node.body)
+        if self.fb.current is not None:
+            # Fell off the end of main: return 0.
+            zero = self.fb.const(0)
+            self.fb.ret(zero)
+        self._prune_unreachable()
+        return self.fb.finish()
+
+    def _prune_unreachable(self) -> None:
+        """Drop blocks lowering created but nothing jumps to (e.g. the merge
+        block of an if whose branches both return)."""
+        cfg = self.fb.cfg
+        reachable: set[str] = set()
+        stack = [cfg.entry]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            block = cfg.blocks[label]
+            if block.is_terminated:
+                stack.extend(block.successors())
+        for label in list(cfg.blocks):
+            if label not in reachable:
+                del cfg.blocks[label]
+
+    # -- statements ---------------------------------------------------------------
+
+    def lower_stmts(self, stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if self.fb.current is None:
+                return  # unreachable code after return/break/continue
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            target = self.reg(stmt.name)
+            if stmt.init is not None:
+                value, value_ty = self.lower_expr(stmt.init)
+                value = self.promote(value, value_ty, stmt.ty)
+                self.fb.move(value, target)
+            else:
+                self.fb.const(0 if stmt.ty == "int" else 0.0, target)
+        elif isinstance(stmt, ast.ArrayDecl):
+            pass  # arrays were laid out up front
+        elif isinstance(stmt, ast.Assign):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                self.err(stmt, "'break' outside a loop")
+            self.fb.jump(self.loop_stack[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                self.err(stmt, "'continue' outside a loop")
+            self.fb.jump(self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call) and stmt.expr.ty is None:
+                self.lower_call(stmt.expr, want_value=False)
+            else:
+                self.lower_expr(stmt.expr)
+        else:
+            self.err(stmt, f"cannot lower {type(stmt).__name__}")
+
+    def lower_assign(self, stmt: ast.Assign) -> None:
+        value, value_ty = self.lower_expr(stmt.value)
+        if stmt.index is not None:
+            info = self.sema.arrays[stmt.target]
+            value = self.promote(value, value_ty, info.ty)
+            index, _ = self.lower_expr(stmt.index)
+            self.fb.store_array(stmt.target, index, value)
+        else:
+            # Find the declared type: annotated during sema via scope; the
+            # value expression's checked type is compatible, so promote to
+            # the scalar's static type recorded on the Assign during sema.
+            target_ty = getattr(stmt, "target_ty", None) or value_ty
+            value = self.promote(value, value_ty, target_ty)
+            self.fb.move(value, self.reg(stmt.target))
+
+    def lower_if(self, stmt: ast.If) -> None:
+        cond, _ = self.lower_expr(stmt.cond)
+        then_block = self.fb.new_block()
+        merge_block = self.fb.new_block()
+        else_block = self.fb.new_block() if stmt.else_body else merge_block
+        self.fb.branch(cond, then_block, else_block)
+
+        self.fb.set_current(then_block)
+        self.lower_stmts(stmt.then_body)
+        if self.fb.current is not None:
+            self.fb.jump(merge_block)
+
+        if stmt.else_body:
+            self.fb.set_current(else_block)
+            self.lower_stmts(stmt.else_body)
+            if self.fb.current is not None:
+                self.fb.jump(merge_block)
+
+        self.fb.set_current(merge_block)
+
+    def lower_while(self, stmt: ast.While) -> None:
+        header = self.fb.new_block()
+        body = self.fb.new_block()
+        exit_block = self.fb.new_block()
+        self.fb.jump(header)
+
+        self.fb.set_current(header)
+        cond, _ = self.lower_expr(stmt.cond)
+        self.fb.branch(cond, body, exit_block)
+
+        self.fb.set_current(body)
+        self.loop_stack.append((header.label, exit_block.label))
+        self.lower_stmts(stmt.body)
+        self.loop_stack.pop()
+        if self.fb.current is not None:
+            self.fb.jump(header)
+
+        self.fb.set_current(exit_block)
+
+    def lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        header = self.fb.new_block()
+        body = self.fb.new_block()
+        step_block = self.fb.new_block()
+        exit_block = self.fb.new_block()
+        self.fb.jump(header)
+
+        self.fb.set_current(header)
+        if stmt.cond is not None:
+            cond, _ = self.lower_expr(stmt.cond)
+            self.fb.branch(cond, body, exit_block)
+        else:
+            self.fb.jump(body)
+
+        self.fb.set_current(body)
+        self.loop_stack.append((step_block.label, exit_block.label))
+        self.lower_stmts(stmt.body)
+        self.loop_stack.pop()
+        if self.fb.current is not None:
+            self.fb.jump(step_block)
+
+        self.fb.set_current(step_block)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self.fb.jump(header)
+
+        self.fb.set_current(exit_block)
+
+    def lower_return(self, stmt: ast.Return) -> None:
+        if self.inline_stack:
+            result_reg, continuation = self.inline_stack[-1]
+            if stmt.value is not None:
+                value, value_ty = self.lower_expr(stmt.value)
+                ret_ty = self._current_return_ty()
+                value = self.promote(value, value_ty, ret_ty)
+                if result_reg is not None:
+                    self.fb.move(value, result_reg)
+            self.fb.jump(continuation)
+        else:
+            if stmt.value is not None:
+                value, _ = self.lower_expr(stmt.value)
+                self.fb.ret(value)
+            else:
+                zero = self.fb.const(0)
+                self.fb.ret(zero)
+
+    def _current_return_ty(self) -> str:
+        func_name = self.instance.split("$", 1)[0]
+        return self.sema.functions[func_name].return_ty or "int"
+
+    # -- expressions ---------------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr | None) -> tuple[str, str]:
+        """Lower an expression; returns (register, type)."""
+        assert expr is not None
+        if isinstance(expr, ast.IntLit):
+            return self.fb.const(expr.value), "int"
+        if isinstance(expr, ast.FloatLit):
+            return self.fb.const(float(expr.value)), "float"
+        if isinstance(expr, ast.VarRef):
+            return self.reg(expr.name), expr.ty or "int"
+        if isinstance(expr, ast.IndexExpr):
+            index, _ = self.lower_expr(expr.index)
+            value = self.fb.load_array(expr.array, index)
+            return value, expr.ty or "int"
+        if isinstance(expr, ast.Unary):
+            return self.lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, ast.Call):
+            result = self.lower_call(expr, want_value=True)
+            assert result is not None
+            return result
+        self.err(expr, f"cannot lower {type(expr).__name__}")
+        raise AssertionError("unreachable")
+
+    def lower_unary(self, expr: ast.Unary) -> tuple[str, str]:
+        operand, operand_ty = self.lower_expr(expr.operand)
+        if expr.op == "!":
+            return self.fb.unop("not", operand), "int"
+        op = "fneg" if operand_ty == "float" else "neg"
+        return self.fb.unop(op, operand), operand_ty
+
+    def lower_binary(self, expr: ast.Binary) -> tuple[str, str]:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.lower_short_circuit(expr)
+        lhs, lhs_ty = self.lower_expr(expr.lhs)
+        rhs, rhs_ty = self.lower_expr(expr.rhs)
+        if op in _INT_ONLY:
+            return self.fb.binop(_INT_ONLY[op], lhs, rhs), "int"
+        use_float = "float" in (lhs_ty, rhs_ty)
+        if use_float:
+            lhs = self.promote(lhs, lhs_ty, "float")
+            rhs = self.promote(rhs, rhs_ty, "float")
+        if op in _CMP_OPS:
+            table = _FCMP_OPS if use_float else _CMP_OPS
+            return self.fb.binop(table[op], lhs, rhs), "int"
+        table = _FARITH_OPS if use_float else _ARITH_OPS
+        result_ty = "float" if use_float else "int"
+        return self.fb.binop(table[op], lhs, rhs), result_ty
+
+    def lower_short_circuit(self, expr: ast.Binary) -> tuple[str, str]:
+        result = self.fb.fresh_temp()
+        rhs_block = self.fb.new_block()
+        merge = self.fb.new_block()
+
+        lhs, _ = self.lower_expr(expr.lhs)
+        lhs_bool = self.fb.binop("ne", lhs, self.fb.const(0))
+        short_block = self.fb.new_block()
+        if expr.op == "&&":
+            self.fb.branch(lhs_bool, rhs_block, short_block)
+            short_value = 0
+        else:
+            self.fb.branch(lhs_bool, short_block, rhs_block)
+            short_value = 1
+
+        self.fb.set_current(short_block)
+        self.fb.const(short_value, result)
+        self.fb.jump(merge)
+
+        self.fb.set_current(rhs_block)
+        rhs, _ = self.lower_expr(expr.rhs)
+        rhs_bool = self.fb.binop("ne", rhs, self.fb.const(0))
+        self.fb.move(rhs_bool, result)
+        self.fb.jump(merge)
+
+        self.fb.set_current(merge)
+        return result, "int"
+
+    # -- calls -----------------------------------------------------------------------
+
+    def lower_call(self, expr: ast.Call, want_value: bool) -> tuple[str, str] | None:
+        name = expr.callee
+        if name in INTRINSICS:
+            return self.lower_intrinsic(expr)
+
+        info = self.sema.functions[name]
+        arg_regs: list[str] = []
+        for arg, param in zip(expr.args, info.params):
+            reg, arg_ty = self.lower_expr(arg)
+            reg = self.promote(reg, arg_ty, param.ty)
+            arg_regs.append(reg)
+
+        instance = f"{name}${next(self.instance_counter)}"
+        saved_instance = self.instance
+        saved_loops = self.loop_stack
+        result_reg = self.fb.fresh_temp() if info.return_ty is not None else None
+        continuation = self.fb.new_block()
+
+        # Bind arguments into the callee instance's parameter registers.
+        for reg, param in zip(arg_regs, info.params):
+            self.fb.move(reg, f"{instance}.{param.name}")
+
+        self.instance = instance
+        self.loop_stack = []
+        self.inline_stack.append((result_reg, continuation.label))
+        self.lower_stmts(info.node.body)
+        if self.fb.current is not None:
+            # Callee fell off its end.
+            if result_reg is not None:
+                default = self.fb.const(0 if info.return_ty == "int" else 0.0)
+                self.fb.move(default, result_reg)
+            self.fb.jump(continuation)
+        self.inline_stack.pop()
+        self.loop_stack = saved_loops
+        self.instance = saved_instance
+
+        self.fb.set_current(continuation)
+        if want_value:
+            assert result_reg is not None and info.return_ty is not None
+            return result_reg, info.return_ty
+        return None
+
+    def lower_intrinsic(self, expr: ast.Call) -> tuple[str, str]:
+        name = expr.callee
+        args = [self.lower_expr(arg) for arg in expr.args]
+        if name == "sqrt":
+            reg, ty = args[0]
+            reg = self.promote(reg, ty, "float")
+            return self.fb.unop("sqrt", reg), "float"
+        if name == "abs":
+            reg, ty = args[0]
+            op = "fabs" if ty == "float" else "abs"
+            return self.fb.unop(op, reg), ty
+        if name in ("min", "max"):
+            (a, a_ty), (b, b_ty) = args
+            use_float = "float" in (a_ty, b_ty)
+            if use_float:
+                a = self.promote(a, a_ty, "float")
+                b = self.promote(b, b_ty, "float")
+            op = ("f" + name) if use_float else name
+            result_ty = "float" if use_float else "int"
+            return self.fb.binop(op, a, b), result_ty
+        if name == "int":
+            reg, ty = args[0]
+            return self.promote(reg, ty, "int"), "int"
+        if name == "float":
+            reg, ty = args[0]
+            return self.promote(reg, ty, "float"), "float"
+        raise AssertionError(f"unknown intrinsic {name}")
+
+
+def lower_program(sema: SemaResult, name: str) -> CFG:
+    """Lower an analyzed program to a validated CFG."""
+    return _Lowerer(sema, name).lower_program()

@@ -1,0 +1,352 @@
+"""Recursive-descent parser for the kernel language.
+
+Grammar (EBNF, '#' comments handled by the lexer)::
+
+    program     := funcdef*
+    funcdef     := "func" IDENT "(" [param ("," param)*] ")" ["->" type] block
+    param       := IDENT ":" type
+    type        := "int" | "float"
+    block       := "{" stmt* "}"
+    stmt        := vardecl | arraydecl | ifstmt | whilestmt | forstmt
+                 | returnstmt | "break" ";" | "continue" ";"
+                 | assign-or-expr ";"
+    vardecl     := "var" IDENT ":" type ["=" expr] ";"
+    arraydecl   := ("array" | "extern") IDENT ":" type "[" INT "]" ";"
+    ifstmt      := "if" "(" expr ")" block ["else" (ifstmt | block)]
+    whilestmt   := "while" "(" expr ")" block
+    forstmt     := "for" "(" [vardecl-nosemi | assign] ";" [expr] ";" [assign-nosemi] ")" block
+    returnstmt  := "return" [expr] ";"
+    assign      := lvalue "=" expr
+    lvalue      := IDENT | IDENT "[" expr "]"
+
+    expr        := or
+    or          := and ("||" and)*
+    and         := bitor ("&&" bitor)*
+    bitor       := bitand ("|" bitand)*            # int-only
+    bitand      := shift ("&" shift)*              # int-only
+    shift       := cmp (("<<" | ">>") cmp)*        # int-only
+    cmp         := add (("<"|"<="|">"|">="|"=="|"!=") add)*
+    add         := mul (("+"|"-") mul)*
+    mul         := unary (("*"|"/"|"%") unary)*
+    unary       := ("-"|"!") unary | postfix
+    postfix     := primary ["[" expr "]"]
+    primary     := INT | FLOAT | "true" | "false" | IDENT ["(" args ")"]
+                 | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str):
+        tok = self.current
+        raise ParseError(f"{message} (found {tok.text!r})", tok.line, tok.column)
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind in (
+            TokenKind.OP,
+            TokenKind.KEYWORD,
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            self.error("expected identifier")
+        return self.advance()
+
+    def expect_type(self) -> str:
+        if self.current.text in ("int", "float"):
+            return self.advance().text
+        self.error("expected type 'int' or 'float'")
+        raise AssertionError("unreachable")
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while self.current.kind is not TokenKind.EOF:
+            functions.append(self.parse_funcdef())
+        return ast.Program(functions=functions)
+
+    def parse_funcdef(self) -> ast.FuncDef:
+        start = self.expect("func")
+        name = self.expect_ident().text
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.check(")"):
+            while True:
+                pname = self.expect_ident()
+                self.expect(":")
+                pty = self.expect_type()
+                params.append(ast.Param(name=pname.text, ty=pty, line=pname.line, column=pname.column))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return_ty = None
+        if self.accept("->"):
+            return_ty = self.expect_type()
+        body = self.parse_block()
+        return ast.FuncDef(
+            name=name, params=params, return_ty=return_ty, body=body,
+            line=start.line, column=start.column,
+        )
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.check("}"):
+            if self.current.kind is TokenKind.EOF:
+                self.error("unterminated block")
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return stmts
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.current
+        if self.check("var"):
+            decl = self.parse_vardecl()
+            self.expect(";")
+            return decl
+        if self.check("array") or self.check("extern"):
+            return self.parse_arraydecl()
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("while"):
+            return self.parse_while()
+        if self.check("for"):
+            return self.parse_for()
+        if self.accept("return"):
+            value = None
+            if not self.check(";"):
+                value = self.parse_expr()
+            self.expect(";")
+            return ast.Return(value=value, line=tok.line, column=tok.column)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break(line=tok.line, column=tok.column)
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue(line=tok.line, column=tok.column)
+        stmt = self.parse_assign_or_expr()
+        self.expect(";")
+        return stmt
+
+    def parse_vardecl(self) -> ast.VarDecl:
+        tok = self.expect("var")
+        name = self.expect_ident().text
+        self.expect(":")
+        ty = self.expect_type()
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        return ast.VarDecl(name=name, ty=ty, init=init, line=tok.line, column=tok.column)
+
+    def parse_arraydecl(self) -> ast.ArrayDecl:
+        tok = self.advance()  # 'array' or 'extern'
+        is_extern = tok.text == "extern"
+        name = self.expect_ident().text
+        self.expect(":")
+        ty = self.expect_type()
+        self.expect("[")
+        if self.current.kind is not TokenKind.INT:
+            self.error("array length must be an integer literal")
+        length = int(self.advance().text)
+        self.expect("]")
+        self.expect(";")
+        return ast.ArrayDecl(
+            name=name, ty=ty, length=length, is_extern=is_extern,
+            line=tok.line, column=tok.column,
+        )
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.parse_block()
+        else_body: list[ast.Stmt] = []
+        if self.accept("else"):
+            if self.check("if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body,
+                      line=tok.line, column=tok.column)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_block()
+        return ast.While(cond=cond, body=body, line=tok.line, column=tok.column)
+
+    def parse_for(self) -> ast.For:
+        tok = self.expect("for")
+        self.expect("(")
+        init: ast.Stmt | None = None
+        if not self.check(";"):
+            if self.check("var"):
+                init = self.parse_vardecl()
+            else:
+                init = self.parse_assign_or_expr()
+        self.expect(";")
+        cond: ast.Expr | None = None
+        if not self.check(";"):
+            cond = self.parse_expr()
+        self.expect(";")
+        step: ast.Stmt | None = None
+        if not self.check(")"):
+            step = self.parse_assign_or_expr()
+        self.expect(")")
+        body = self.parse_block()
+        return ast.For(init=init, cond=cond, step=step, body=body,
+                       line=tok.line, column=tok.column)
+
+    def parse_assign_or_expr(self) -> ast.Stmt:
+        tok = self.current
+        expr = self.parse_expr()
+        if self.accept("="):
+            value = self.parse_expr()
+            if isinstance(expr, ast.VarRef):
+                return ast.Assign(target=expr.name, index=None, value=value,
+                                  line=tok.line, column=tok.column)
+            if isinstance(expr, ast.IndexExpr):
+                return ast.Assign(target=expr.array, index=expr.index, value=value,
+                                  line=tok.line, column=tok.column)
+            self.error("invalid assignment target")
+        return ast.ExprStmt(expr=expr, line=tok.line, column=tok.column)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _binary_level(self, sub, ops: tuple[str, ...]) -> ast.Expr:
+        left = sub()
+        while self.current.kind is TokenKind.OP and self.current.text in ops:
+            op_tok = self.advance()
+            right = sub()
+            left = ast.Binary(op=op_tok.text, lhs=left, rhs=right,
+                              line=op_tok.line, column=op_tok.column)
+        return left
+
+    def _parse_or(self) -> ast.Expr:
+        return self._binary_level(self._parse_and, ("||",))
+
+    def _parse_and(self) -> ast.Expr:
+        return self._binary_level(self._parse_bitor, ("&&",))
+
+    def _parse_bitor(self) -> ast.Expr:
+        return self._binary_level(self._parse_bitand, ("|",))
+
+    def _parse_bitand(self) -> ast.Expr:
+        return self._binary_level(self._parse_shift, ("&",))
+
+    def _parse_shift(self) -> ast.Expr:
+        return self._binary_level(self._parse_cmp, ("<<", ">>"))
+
+    def _parse_cmp(self) -> ast.Expr:
+        return self._binary_level(self._parse_add, ("<", "<=", ">", ">=", "==", "!="))
+
+    def _parse_add(self) -> ast.Expr:
+        return self._binary_level(self._parse_mul, ("+", "-"))
+
+    def _parse_mul(self) -> ast.Expr:
+        return self._binary_level(self._parse_unary, ("*", "/", "%"))
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind is TokenKind.OP and tok.text in ("-", "!"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=tok.text, operand=operand, line=tok.line, column=tok.column)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        if self.check("["):
+            if not isinstance(expr, ast.VarRef):
+                self.error("only named arrays can be indexed")
+            self.advance()
+            index = self.parse_expr()
+            self.expect("]")
+            return ast.IndexExpr(array=expr.name, index=index,
+                                 line=expr.line, column=expr.column)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(value=int(tok.text), line=tok.line, column=tok.column)
+        if tok.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatLit(value=float(tok.text), line=tok.line, column=tok.column)
+        if tok.text in ("true", "false") and tok.kind is TokenKind.KEYWORD:
+            self.advance()
+            return ast.IntLit(value=1 if tok.text == "true" else 0,
+                              line=tok.line, column=tok.column)
+        if tok.text in ("int", "float") and tok.kind is TokenKind.KEYWORD:
+            # cast syntax: int(expr) / float(expr)
+            self.advance()
+            self.expect("(")
+            arg = self.parse_expr()
+            self.expect(")")
+            return ast.Call(callee=tok.text, args=[arg], line=tok.line, column=tok.column)
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            if self.check("("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(callee=tok.text, args=args, line=tok.line, column=tok.column)
+            return ast.VarRef(name=tok.text, line=tok.line, column=tok.column)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        self.error("expected expression")
+        raise AssertionError("unreachable")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse source text into a :class:`~repro.lang.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,358 @@
+"""Semantic analysis: name resolution, type checking, call-graph checks.
+
+Annotates every expression node with its type (``"int"`` or ``"float"``)
+in place, so lowering can select integer vs floating instructions.
+
+Rules:
+
+* scalars are function-local and block-scoped; shadowing is rejected;
+* arrays are **program-global** regardless of where they are declared
+  (they name static data-memory regions; helper functions index them
+  directly and take integer offsets as parameters);
+* arithmetic promotes int operands to float when the other side is float;
+  ``%``, bitwise ops and shifts are int-only; ``&&``/``||``/``!`` take ints;
+* assigning float to an int scalar (or storing float into an int array)
+  requires an explicit ``int(...)`` cast;
+* user calls must match arity; int arguments promote to float parameters;
+* recursion (direct or mutual) is rejected — functions are inlined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+
+INTRINSICS = {"sqrt", "abs", "min", "max", "int", "float"}
+
+
+@dataclass
+class ArrayInfo:
+    name: str
+    ty: str
+    length: int
+    is_extern: bool
+
+
+@dataclass
+class FuncInfo:
+    name: str
+    params: list[ast.Param]
+    return_ty: str | None
+    node: ast.FuncDef
+    calls: set[str] = field(default_factory=set)
+
+
+@dataclass
+class SemaResult:
+    """Output of analysis: symbol tables consumed by lowering."""
+
+    functions: dict[str, FuncInfo]
+    arrays: dict[str, ArrayInfo]
+    entry: str = "main"
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.names: dict[str, str] = {}  # name -> type
+
+    def declare(self, name: str, ty: str, node: ast.Node) -> None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                raise SemanticError(
+                    f"{node.line}:{node.column}: redeclaration of {name!r}"
+                )
+            scope = scope.parent
+        self.names[name] = ty
+
+    def lookup(self, name: str) -> str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def analyze(program: ast.Program, entry: str = "main") -> SemaResult:
+    """Type-check a program and return its symbol tables.
+
+    Raises:
+        SemanticError: on any rule violation.
+    """
+    functions: dict[str, FuncInfo] = {}
+    for func in program.functions:
+        if func.name in functions:
+            raise SemanticError(f"duplicate function {func.name!r}")
+        if func.name in INTRINSICS:
+            raise SemanticError(f"function name {func.name!r} shadows an intrinsic")
+        functions[func.name] = FuncInfo(func.name, func.params, func.return_ty, func)
+    if entry not in functions:
+        raise SemanticError(f"program has no entry function {entry!r}")
+
+    # First pass: collect global arrays from every function body.
+    arrays: dict[str, ArrayInfo] = {}
+
+    def collect_arrays(stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.ArrayDecl):
+                if stmt.name in arrays:
+                    raise SemanticError(
+                        f"{stmt.line}:{stmt.column}: duplicate array {stmt.name!r}"
+                    )
+                if stmt.length <= 0:
+                    raise SemanticError(
+                        f"{stmt.line}:{stmt.column}: array {stmt.name!r} length must be positive"
+                    )
+                arrays[stmt.name] = ArrayInfo(stmt.name, stmt.ty, stmt.length, stmt.is_extern)
+            elif isinstance(stmt, ast.If):
+                collect_arrays(stmt.then_body)
+                collect_arrays(stmt.else_body)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                collect_arrays(stmt.body)
+
+    for info in functions.values():
+        collect_arrays(info.node.body)
+
+    checker = _Checker(functions, arrays)
+    for info in functions.values():
+        checker.check_function(info)
+
+    _reject_recursion(functions, entry)
+    return SemaResult(functions=functions, arrays=arrays, entry=entry)
+
+
+def _reject_recursion(functions: dict[str, FuncInfo], entry: str) -> None:
+    state: dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(name: str, chain: list[str]) -> None:
+        if state.get(name) == 1:
+            return
+        if state.get(name) == 0:
+            cycle = " -> ".join(chain + [name])
+            raise SemanticError(f"recursion is not supported (functions are inlined): {cycle}")
+        state[name] = 0
+        for callee in sorted(functions[name].calls):
+            visit(callee, chain + [name])
+        state[name] = 1
+
+    visit(entry, [])
+
+
+class _Checker:
+    def __init__(self, functions: dict[str, FuncInfo], arrays: dict[str, ArrayInfo]) -> None:
+        self.functions = functions
+        self.arrays = arrays
+        self.current: FuncInfo | None = None
+
+    def err(self, node: ast.Node, message: str):
+        raise SemanticError(f"{node.line}:{node.column}: {message}")
+
+    def check_function(self, info: FuncInfo) -> None:
+        self.current = info
+        scope = _Scope()
+        for param in info.params:
+            if param.name in self.arrays:
+                self.err(param, f"parameter {param.name!r} shadows a global array")
+            scope.declare(param.name, param.ty, param)
+        self.check_block(info.node.body, scope)
+
+    def check_block(self, stmts: list[ast.Stmt], scope: _Scope) -> None:
+        for stmt in stmts:
+            self.check_stmt(stmt, scope)
+
+    def check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in self.arrays:
+                self.err(stmt, f"variable {stmt.name!r} shadows a global array")
+            if stmt.init is not None:
+                init_ty = self.check_expr(stmt.init, scope)
+                self._check_assignable(stmt, stmt.ty, init_ty, f"initializer of {stmt.name!r}")
+            scope.declare(stmt.name, stmt.ty, stmt)
+        elif isinstance(stmt, ast.ArrayDecl):
+            pass  # collected globally in the first pass
+        elif isinstance(stmt, ast.Assign):
+            value_ty = self.check_expr(stmt.value, scope)
+            if stmt.index is not None:
+                info = self.arrays.get(stmt.target)
+                if info is None:
+                    self.err(stmt, f"unknown array {stmt.target!r}")
+                index_ty = self.check_expr(stmt.index, scope)
+                if index_ty != "int":
+                    self.err(stmt, "array index must be int")
+                self._check_assignable(stmt, info.ty, value_ty, f"store to {stmt.target!r}")
+            else:
+                target_ty = scope.lookup(stmt.target)
+                if target_ty is None:
+                    self.err(stmt, f"assignment to undeclared variable {stmt.target!r}")
+                self._check_assignable(stmt, target_ty, value_ty, f"assignment to {stmt.target!r}")
+                stmt.target_ty = target_ty  # consumed by lowering for promotion
+        elif isinstance(stmt, ast.If):
+            cond_ty = self.check_expr(stmt.cond, scope)
+            if cond_ty != "int":
+                self.err(stmt, "condition must be int (use a comparison)")
+            self.check_block(stmt.then_body, _Scope(scope))
+            self.check_block(stmt.else_body, _Scope(scope))
+        elif isinstance(stmt, ast.While):
+            cond_ty = self.check_expr(stmt.cond, scope)
+            if cond_ty != "int":
+                self.err(stmt, "loop condition must be int")
+            self.check_block(stmt.body, _Scope(scope))
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                cond_ty = self.check_expr(stmt.cond, inner)
+                if cond_ty != "int":
+                    self.err(stmt, "loop condition must be int")
+            if stmt.step is not None:
+                self.check_stmt(stmt.step, inner)
+            self.check_block(stmt.body, _Scope(inner))
+        elif isinstance(stmt, ast.Return):
+            assert self.current is not None
+            expected = self.current.return_ty
+            if stmt.value is None:
+                if expected is not None:
+                    self.err(stmt, f"{self.current.name!r} must return a {expected}")
+            else:
+                if expected is None:
+                    self.err(stmt, f"{self.current.name!r} returns no value")
+                got = self.check_expr(stmt.value, scope)
+                self._check_assignable(stmt, expected, got, "return value")
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass  # loop-context validity is purely structural; checked at lowering
+        elif isinstance(stmt, ast.ExprStmt):
+            expr = stmt.expr
+            if (
+                isinstance(expr, ast.Call)
+                and expr.callee not in INTRINSICS
+                and expr.callee in self.functions
+                and self.functions[expr.callee].return_ty is None
+            ):
+                # A void call is only legal as a bare statement.
+                info = self.functions[expr.callee]
+                arg_tys = [self.check_expr(arg, scope) for arg in expr.args]
+                if len(arg_tys) != len(info.params):
+                    self.err(expr, f"{expr.callee!r} takes {len(info.params)} args, got {len(arg_tys)}")
+                for arg_ty, param in zip(arg_tys, info.params):
+                    if arg_ty != param.ty and not (param.ty == "float" and arg_ty == "int"):
+                        self.err(
+                            expr,
+                            f"argument {param.name!r} of {expr.callee!r}: "
+                            f"expected {param.ty}, got {arg_ty}",
+                        )
+                if self.current is not None:
+                    self.current.calls.add(expr.callee)
+                expr.ty = None
+            else:
+                self.check_expr(stmt.expr, scope)
+        else:
+            self.err(stmt, f"unhandled statement {type(stmt).__name__}")
+
+    def _check_assignable(self, node: ast.Node, target_ty: str, value_ty: str, what: str) -> None:
+        if target_ty == value_ty:
+            return
+        if target_ty == "float" and value_ty == "int":
+            return  # implicit promotion
+        self.err(node, f"{what}: cannot assign {value_ty} to {target_ty} (use int()/float())")
+
+    # -- expressions -------------------------------------------------------------
+
+    def check_expr(self, expr: ast.Expr | None, scope: _Scope) -> str:
+        assert expr is not None
+        ty = self._expr_type(expr, scope)
+        expr.ty = ty
+        return ty
+
+    def _expr_type(self, expr: ast.Expr, scope: _Scope) -> str:
+        if isinstance(expr, ast.IntLit):
+            return "int"
+        if isinstance(expr, ast.FloatLit):
+            return "float"
+        if isinstance(expr, ast.VarRef):
+            ty = scope.lookup(expr.name)
+            if ty is None:
+                if expr.name in self.arrays:
+                    self.err(expr, f"array {expr.name!r} used without an index")
+                self.err(expr, f"undeclared variable {expr.name!r}")
+            return ty
+        if isinstance(expr, ast.IndexExpr):
+            info = self.arrays.get(expr.array)
+            if info is None:
+                self.err(expr, f"unknown array {expr.array!r}")
+            index_ty = self.check_expr(expr.index, scope)
+            if index_ty != "int":
+                self.err(expr, "array index must be int")
+            return info.ty
+        if isinstance(expr, ast.Unary):
+            operand_ty = self.check_expr(expr.operand, scope)
+            if expr.op == "!":
+                if operand_ty != "int":
+                    self.err(expr, "'!' needs an int operand")
+                return "int"
+            return operand_ty  # unary minus
+        if isinstance(expr, ast.Binary):
+            lhs_ty = self.check_expr(expr.lhs, scope)
+            rhs_ty = self.check_expr(expr.rhs, scope)
+            op = expr.op
+            if op in ("&&", "||"):
+                if lhs_ty != "int" or rhs_ty != "int":
+                    self.err(expr, f"{op!r} needs int operands")
+                return "int"
+            if op in ("%", "&", "|", "<<", ">>"):
+                if lhs_ty != "int" or rhs_ty != "int":
+                    self.err(expr, f"{op!r} is int-only")
+                return "int"
+            if op in ("<", "<=", ">", ">=", "==", "!="):
+                return "int"
+            # + - * /
+            return "float" if "float" in (lhs_ty, rhs_ty) else "int"
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr, scope)
+        self.err(expr, f"unhandled expression {type(expr).__name__}")
+        raise AssertionError("unreachable")
+
+    def _call_type(self, expr: ast.Call, scope: _Scope) -> str:
+        name = expr.callee
+        arg_tys = [self.check_expr(arg, scope) for arg in expr.args]
+        if name in INTRINSICS:
+            return self._intrinsic_type(expr, name, arg_tys)
+        info = self.functions.get(name)
+        if info is None:
+            self.err(expr, f"call to unknown function {name!r}")
+        if len(arg_tys) != len(info.params):
+            self.err(expr, f"{name!r} takes {len(info.params)} args, got {len(arg_tys)}")
+        for arg_ty, param in zip(arg_tys, info.params):
+            if arg_ty != param.ty and not (param.ty == "float" and arg_ty == "int"):
+                self.err(expr, f"argument {param.name!r} of {name!r}: expected {param.ty}, got {arg_ty}")
+        if info.return_ty is None:
+            self.err(expr, f"{name!r} returns no value and cannot be used in an expression")
+        if self.current is not None:
+            self.current.calls.add(name)
+        return info.return_ty
+
+    def _intrinsic_type(self, expr: ast.Call, name: str, arg_tys: list[str]) -> str:
+        def need(n: int) -> None:
+            if len(arg_tys) != n:
+                self.err(expr, f"{name}() takes {n} argument(s), got {len(arg_tys)}")
+
+        if name == "sqrt":
+            need(1)
+            return "float"
+        if name == "abs":
+            need(1)
+            return arg_tys[0]
+        if name in ("min", "max"):
+            need(2)
+            return "float" if "float" in arg_tys else "int"
+        if name == "int":
+            need(1)
+            return "int"
+        if name == "float":
+            need(1)
+            return "float"
+        raise AssertionError(f"unknown intrinsic {name}")

@@ -1,0 +1,52 @@
+"""Extracting the analytical model's four program parameters (Table 7).
+
+The paper obtains ``N_cache``, ``N_overlap``, ``N_dependent`` (cycles) and
+``t_invariant`` (absolute time) from cycle-level simulation.  Our machine
+classifies every executed cycle the same way during the run (see
+:mod:`repro.simulator.machine`), so extraction is a direct read-off from a
+single run at any mode — the cycle *counts* are frequency-invariant, only
+their wall-clock duration changes.
+"""
+
+from __future__ import annotations
+
+from repro.core.analytical.params import ProgramParams
+from repro.ir.cfg import CFG
+from repro.simulator.machine import Machine, RunResult
+
+
+def params_from_run(result: RunResult, name: str = "") -> ProgramParams:
+    """Build :class:`ProgramParams` from a completed simulation run.
+
+    ``N_cache`` covers *every* synchronous memory-system cycle — data-cache
+    hit cycles, the lookup cycles of accesses that go on to miss, and
+    instruction-fetch cycles — so the analytical timing model
+    ``cycles/f + t_invariant`` accounts for the full execution time the
+    simulator produces.
+    """
+    return ProgramParams(
+        n_overlap=result.overlap_cycles,
+        n_dependent=result.dependent_cycles,
+        n_cache=result.cache_cycles + result.dmiss_sync_cycles + result.ifetch_cycles,
+        t_invariant_s=result.t_invariant_s,
+        name=name,
+    )
+
+
+def extract_params(
+    machine: Machine,
+    cfg: CFG,
+    inputs: dict[str, list] | None = None,
+    registers: dict[str, float] | None = None,
+    mode: int | None = None,
+) -> ProgramParams:
+    """Run once and extract the Section 3.2 parameters.
+
+    The run uses the fastest mode by default: at high frequency the least
+    compute is hidden under misses, making ``N_overlap`` the count of
+    compute cycles that can *always* overlap — the compile-time-safe value
+    the model wants.
+    """
+    mode = len(machine.mode_table) - 1 if mode is None else mode
+    result = machine.run(cfg, inputs=inputs, registers=registers, mode=mode)
+    return params_from_run(result, name=cfg.name)

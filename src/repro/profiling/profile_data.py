@@ -1,0 +1,118 @@
+"""Containers for profile data.
+
+All quantities follow the paper's notation (Section 4.2):
+
+* ``G[(i, j)]`` — times region j is entered through edge (i, j);
+* ``D[(h, i, j)]`` — times region i is entered through (h, i) and exited
+  through (i, j) (the *local path* through i);
+* ``T[m][j]``, ``E[m][j]`` — per-invocation execution time (seconds) and
+  CPU energy (nanojoules) of region j under mode m.
+
+Per-invocation values are run totals divided by execution counts; the MILP
+objective multiplies them back by the profiled counts, which reproduces the
+run totals exactly while letting each edge carry its own mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProfileError
+from repro.ir.cfg import Edge
+
+
+@dataclass
+class BlockModeData:
+    """Per-block, per-mode profile: run totals and per-invocation averages."""
+
+    total_time_s: float
+    total_energy_nj: float
+    count: int
+
+    @property
+    def time_per_visit_s(self) -> float:
+        return self.total_time_s / self.count if self.count else 0.0
+
+    @property
+    def energy_per_visit_nj(self) -> float:
+        return self.total_energy_nj / self.count if self.count else 0.0
+
+
+@dataclass
+class ProfileData:
+    """Everything the formulation needs about one (program, input) pair.
+
+    Attributes:
+        name: program name.
+        num_modes: number of DVS modes profiled.
+        block_counts: label -> dynamic execution count.
+        edge_counts: (i, j) -> traversal count G_ij (includes the synthetic
+            entry edge).
+        path_counts: (h, i, j) -> local-path count D_hij.
+        per_mode: mode index -> {label -> BlockModeData}.
+        wall_time_s: mode index -> whole-run wall time.
+        cpu_energy_nj: mode index -> whole-run CPU energy.
+        return_value: the program's result (sanity checks across modes).
+    """
+
+    name: str
+    num_modes: int
+    block_counts: dict[str, int] = field(default_factory=dict)
+    edge_counts: dict[Edge, int] = field(default_factory=dict)
+    path_counts: dict[tuple[str, str, str], int] = field(default_factory=dict)
+    per_mode: dict[int, dict[str, BlockModeData]] = field(default_factory=dict)
+    wall_time_s: dict[int, float] = field(default_factory=dict)
+    cpu_energy_nj: dict[int, float] = field(default_factory=dict)
+    return_value: float | None = None
+
+    def time(self, block: str, mode: int) -> float:
+        """T_jm: per-invocation time of ``block`` under ``mode`` (seconds)."""
+        return self._lookup(block, mode).time_per_visit_s
+
+    def energy(self, block: str, mode: int) -> float:
+        """E_jm: per-invocation CPU energy of ``block`` under ``mode`` (nJ)."""
+        return self._lookup(block, mode).energy_per_visit_nj
+
+    def _lookup(self, block: str, mode: int) -> BlockModeData:
+        try:
+            return self.per_mode[mode][block]
+        except KeyError:
+            raise ProfileError(f"no profile for block {block!r} at mode {mode}") from None
+
+    def edges(self) -> list[Edge]:
+        """Profiled (traversed) edges, including the entry edge."""
+        return list(self.edge_counts)
+
+    def block_energy_share(self, mode: int) -> dict[str, float]:
+        """Fraction of whole-run energy attributable to each block at a mode
+        (drives the paper's Section 5.2 edge filtering)."""
+        total = self.cpu_energy_nj.get(mode, 0.0)
+        if total <= 0:
+            raise ProfileError(f"no energy recorded for mode {mode}")
+        return {
+            label: data.total_energy_nj / total
+            for label, data in self.per_mode[mode].items()
+        }
+
+    def validate(self) -> None:
+        """Internal-consistency checks (counts conserve across structures)."""
+        if not self.per_mode:
+            raise ProfileError("profile holds no per-mode data")
+        for mode, blocks in self.per_mode.items():
+            for label, data in blocks.items():
+                expected = self.block_counts.get(label, 0)
+                if data.count != expected:
+                    raise ProfileError(
+                        f"mode {mode} block {label!r}: count {data.count} != "
+                        f"baseline {expected} (nondeterministic program?)"
+                    )
+        # Local paths through i must sum to the incoming-edge counts of i,
+        # except for the block that ends the program (no outgoing edge).
+        outgoing_by_edge: dict[Edge, int] = {}
+        for (h, i, j), count in self.path_counts.items():
+            outgoing_by_edge[(h, i)] = outgoing_by_edge.get((h, i), 0) + count
+        for edge, count in outgoing_by_edge.items():
+            if count > self.edge_counts.get(edge, 0):
+                raise ProfileError(
+                    f"path counts through edge {edge} exceed its traversal count"
+                )

@@ -1,0 +1,128 @@
+"""JSON (de)serialization for profiles and schedules.
+
+Profiling is the expensive step of the pipeline (one simulation per
+mode), so a real deployment profiles once and reuses the data; likewise
+a schedule is the compiler's deliverable.  Both round-trip through plain
+JSON dicts here.
+
+Edges serialize as ``"src->dst"`` and local paths as ``"h->i->j"``;
+block labels must therefore not contain ``"->"`` (the frontend never
+emits such labels).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ProfileError, ScheduleError
+from repro.core.milp.schedule import DVSSchedule
+from repro.profiling.profile_data import BlockModeData, ProfileData
+
+_SEP = "->"
+FORMAT_VERSION = 1
+
+
+def _edge_key(edge: tuple[str, str]) -> str:
+    return f"{edge[0]}{_SEP}{edge[1]}"
+
+
+def _parse_edge(text: str) -> tuple[str, str]:
+    parts = text.split(_SEP)
+    if len(parts) != 2:
+        raise ProfileError(f"malformed edge key {text!r}")
+    return parts[0], parts[1]
+
+
+def profile_to_dict(profile: ProfileData) -> dict[str, Any]:
+    """Serialize a profile to a JSON-compatible dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "profile",
+        "name": profile.name,
+        "num_modes": profile.num_modes,
+        "return_value": profile.return_value,
+        "block_counts": dict(profile.block_counts),
+        "edge_counts": {_edge_key(e): c for e, c in profile.edge_counts.items()},
+        "path_counts": {
+            f"{h}{_SEP}{i}{_SEP}{j}": c for (h, i, j), c in profile.path_counts.items()
+        },
+        "wall_time_s": {str(m): t for m, t in profile.wall_time_s.items()},
+        "cpu_energy_nj": {str(m): e for m, e in profile.cpu_energy_nj.items()},
+        "per_mode": {
+            str(mode): {
+                label: [d.total_time_s, d.total_energy_nj, d.count]
+                for label, d in blocks.items()
+            }
+            for mode, blocks in profile.per_mode.items()
+        },
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> ProfileData:
+    """Rebuild a :class:`ProfileData` from its dict form (validated)."""
+    if data.get("kind") != "profile":
+        raise ProfileError(f"not a profile document (kind={data.get('kind')!r})")
+    if data.get("format") != FORMAT_VERSION:
+        raise ProfileError(f"unsupported profile format {data.get('format')!r}")
+    profile = ProfileData(name=data["name"], num_modes=int(data["num_modes"]))
+    profile.return_value = data.get("return_value")
+    profile.block_counts = {k: int(v) for k, v in data["block_counts"].items()}
+    profile.edge_counts = {
+        _parse_edge(k): int(v) for k, v in data["edge_counts"].items()
+    }
+    for key, count in data["path_counts"].items():
+        parts = key.split(_SEP)
+        if len(parts) != 3:
+            raise ProfileError(f"malformed path key {key!r}")
+        profile.path_counts[(parts[0], parts[1], parts[2])] = int(count)
+    profile.wall_time_s = {int(m): float(t) for m, t in data["wall_time_s"].items()}
+    profile.cpu_energy_nj = {int(m): float(e) for m, e in data["cpu_energy_nj"].items()}
+    for mode, blocks in data["per_mode"].items():
+        profile.per_mode[int(mode)] = {
+            label: BlockModeData(float(t), float(e), int(c))
+            for label, (t, e, c) in blocks.items()
+        }
+    profile.validate()
+    return profile
+
+
+def schedule_to_dict(schedule: DVSSchedule) -> dict[str, Any]:
+    """Serialize a schedule to a JSON-compatible dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "schedule",
+        "num_modes": schedule.num_modes,
+        "assignment": {_edge_key(e): m for e, m in schedule.assignment.items()},
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> DVSSchedule:
+    if data.get("kind") != "schedule":
+        raise ScheduleError(f"not a schedule document (kind={data.get('kind')!r})")
+    if data.get("format") != FORMAT_VERSION:
+        raise ScheduleError(f"unsupported schedule format {data.get('format')!r}")
+    assignment = {
+        _parse_edge(key): int(mode) for key, mode in data["assignment"].items()
+    }
+    return DVSSchedule(assignment=assignment, num_modes=int(data["num_modes"]))
+
+
+def save_profile(profile: ProfileData, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(profile_to_dict(profile), handle)
+
+
+def load_profile(path: str) -> ProfileData:
+    with open(path) as handle:
+        return profile_from_dict(json.load(handle))
+
+
+def save_schedule(schedule: DVSSchedule, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(schedule_to_dict(schedule), handle)
+
+
+def load_schedule(path: str) -> DVSSchedule:
+    with open(path) as handle:
+        return schedule_from_dict(json.load(handle))

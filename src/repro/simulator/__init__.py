@@ -1,0 +1,66 @@
+"""Wattch/SimpleScalar-like execution substrate.
+
+The paper profiles programs with the Wattch power/performance simulator on
+SimpleScalar.  This subpackage is the reproduction's equivalent: an
+instruction-level timing and energy simulator for the :mod:`repro.ir` ISA
+with the same modelling assumptions the paper's analysis rests on:
+
+1. program logical behaviour does not change with frequency;
+2. main memory is asynchronous with the CPU (miss latency is wall-clock,
+   not cycles);
+3. the clock is gated while the processor waits (no energy during stalls);
+4. frequency and voltage obey the alpha-power law ``f = k (V - Vt)^a / V``;
+5. per-activation energy is ``c_eff * V²`` (Wattch-style class energies).
+
+Key entry points:
+
+* :class:`~repro.simulator.config.MachineConfig` — cache/memory/energy
+  parameters (``PAPER_CONFIG`` mirrors the paper's Table 2; the default
+  ``SCALE_CONFIG`` shrinks caches so laptop-scale workloads exhibit the
+  same hit/miss regimes).
+* :class:`~repro.simulator.dvs.ModeTable` — discrete (V, f) operating
+  points, including the paper's XScale-like 3-level table and generated
+  7/13-level tables on the alpha-power curve.
+* :class:`~repro.simulator.machine.Machine` — executes a CFG under a DVS
+  schedule, returning wall time, CPU energy, per-block/edge/path counts.
+"""
+
+from repro.simulator.config import MachineConfig, PAPER_CONFIG, SCALE_CONFIG
+from repro.simulator.cache import Cache, CacheHierarchy
+from repro.simulator.dvs import (
+    OperatingPoint,
+    ModeTable,
+    TransitionCostModel,
+    XSCALE_3,
+    make_mode_table,
+)
+from repro.simulator.energy import EnergyModel
+from repro.simulator.machine import Machine, RunResult
+from repro.simulator.trace import (
+    Phase,
+    hottest_blocks,
+    mode_residency,
+    phases,
+    render_timeline,
+)
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "EnergyModel",
+    "Machine",
+    "MachineConfig",
+    "ModeTable",
+    "OperatingPoint",
+    "PAPER_CONFIG",
+    "Phase",
+    "RunResult",
+    "SCALE_CONFIG",
+    "TransitionCostModel",
+    "XSCALE_3",
+    "hottest_blocks",
+    "make_mode_table",
+    "mode_residency",
+    "phases",
+    "render_timeline",
+]

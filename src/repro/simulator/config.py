@@ -1,0 +1,73 @@
+"""Machine configuration (the paper's Table 2, plus a scale model).
+
+``PAPER_CONFIG`` reproduces the simulation parameters of Table 2 of the
+paper (64 KB 4-way L1s, 512 KB 4-way unified L2 with 16-cycle latency,
+32-byte lines).  Because our workloads are kernel-scale rather than full
+MediaBench runs, the default ``SCALE_CONFIG`` shrinks the caches while
+keeping latencies and associativities, so the scale-model programs exercise
+the same hit/miss regimes (L1-resident, L2-resident, memory-streaming) that
+full-size programs exercise on the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing for one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    hit_latency_cycles: int
+    access_energy_nf: float  # c_eff in nF: one access costs c_eff * V² nJ
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full machine description consumed by the simulator.
+
+    Attributes:
+        l1d, l1i, l2: cache-level configurations.
+        memory_latency_s: wall-clock DRAM service time per miss (the
+            paper's asynchronous-memory assumption: this does not scale
+            with CPU frequency).
+        base_c_eff_nf: clock-tree/pipeline capacitance charged per *active*
+            CPU cycle (zero during gated stalls).
+        memory_access_energy_nj: DRAM energy per miss, counted separately
+            from CPU energy (the paper's optimization covers CPU energy
+            only; memory energy is frequency-invariant).
+    """
+
+    name: str
+    l1d: CacheConfig
+    l1i: CacheConfig
+    l2: CacheConfig
+    memory_latency_s: float = 150e-9
+    base_c_eff_nf: float = 0.40
+    memory_access_energy_nj: float = 8.0
+
+    def with_memory_latency(self, latency_s: float) -> "MachineConfig":
+        """Copy with a different DRAM latency (used in sweeps)."""
+        return replace(self, memory_latency_s=latency_s)
+
+
+PAPER_CONFIG = MachineConfig(
+    name="paper-table2",
+    l1d=CacheConfig(size_bytes=64 * 1024, assoc=4, line_bytes=32, hit_latency_cycles=1, access_energy_nf=0.80),
+    l1i=CacheConfig(size_bytes=64 * 1024, assoc=4, line_bytes=32, hit_latency_cycles=1, access_energy_nf=0.60),
+    l2=CacheConfig(size_bytes=512 * 1024, assoc=4, line_bytes=32, hit_latency_cycles=16, access_energy_nf=3.00),
+)
+
+SCALE_CONFIG = MachineConfig(
+    name="scale-model",
+    l1d=CacheConfig(size_bytes=4 * 1024, assoc=4, line_bytes=32, hit_latency_cycles=1, access_energy_nf=0.80),
+    l1i=CacheConfig(size_bytes=8 * 1024, assoc=4, line_bytes=32, hit_latency_cycles=1, access_energy_nf=0.60),
+    l2=CacheConfig(size_bytes=32 * 1024, assoc=4, line_bytes=32, hit_latency_cycles=16, access_energy_nf=3.00),
+)

@@ -1,0 +1,177 @@
+"""DVS operating points, mode tables and transition costs.
+
+The (V, f) relationship follows the alpha-power law the paper assumes
+(Section 3.1, citing Sakurai-Newton)::
+
+    f = k * (V - Vt)^a / V          with a = 1.5, Vt = 0.45 V
+
+Three standard tables are provided:
+
+* :data:`XSCALE_3` — the paper's XScale-like experimental table
+  (200 MHz @ 0.7 V, 600 MHz @ 1.3 V, 800 MHz @ 1.65 V, Section 5.1);
+* :func:`make_mode_table` — n-level tables with voltages evenly spaced on
+  [0.7 V, 1.65 V] and frequencies on the alpha-power curve calibrated so
+  the top level runs at 800 MHz (used for the 3/7/13-level studies).
+
+Transition costs follow the paper's Section 4.2 (from Burd & Brodersen)::
+
+    SE = (1 - u) * c * |V1² - V2²|        (energy, Joules)
+    ST = 2 * c / Imax * |V1 - V2|          (time, seconds)
+
+The paper's "typical" point — c = 10 µF giving a 12 µs / 1.2 µJ transition
+between 600 MHz/1.3 V and 200 MHz/0.7 V — pins the defaults u = 0.9 and
+Imax = 1 A used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import AnalysisError
+
+ALPHA = 1.5
+V_THRESHOLD = 0.45
+V_LOW_DEFAULT = 0.70
+V_HIGH_DEFAULT = 1.65
+F_HIGH_DEFAULT = 800e6
+
+
+def alpha_power_frequency(voltage: float, k: float, alpha: float = ALPHA, vt: float = V_THRESHOLD) -> float:
+    """Clock frequency at a supply voltage under the alpha-power law."""
+    if voltage <= vt:
+        raise AnalysisError(f"supply voltage {voltage} V must exceed Vt={vt} V")
+    return k * (voltage - vt) ** alpha / voltage
+
+
+def calibrate_k(f_at_vhigh: float = F_HIGH_DEFAULT, v_high: float = V_HIGH_DEFAULT,
+                alpha: float = ALPHA, vt: float = V_THRESHOLD) -> float:
+    """Technology constant k such that f(v_high) = f_at_vhigh."""
+    return f_at_vhigh * v_high / (v_high - vt) ** alpha
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVS mode: a (frequency, supply voltage) pair."""
+
+    frequency_hz: float
+    voltage: float
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    def __repr__(self) -> str:
+        return f"({self.frequency_hz / 1e6:.0f} MHz, {self.voltage:.3g} V)"
+
+
+class ModeTable:
+    """An ordered set of DVS operating points (slowest first)."""
+
+    def __init__(self, points: Sequence[OperatingPoint], name: str = "modes") -> None:
+        if not points:
+            raise AnalysisError("mode table needs at least one operating point")
+        self.points = tuple(sorted(points, key=lambda p: p.frequency_hz))
+        self.name = name
+        voltages = [p.voltage for p in self.points]
+        if voltages != sorted(voltages):
+            raise AnalysisError("voltages must increase with frequency")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        return self.points[index]
+
+    def __iter__(self) -> Iterator[OperatingPoint]:
+        return iter(self.points)
+
+    @property
+    def fastest(self) -> OperatingPoint:
+        return self.points[-1]
+
+    @property
+    def slowest(self) -> OperatingPoint:
+        return self.points[0]
+
+    def index_of(self, point: OperatingPoint) -> int:
+        return self.points.index(point)
+
+    def voltages(self) -> list[float]:
+        return [p.voltage for p in self.points]
+
+    def frequencies(self) -> list[float]:
+        return [p.frequency_hz for p in self.points]
+
+    def __repr__(self) -> str:
+        return f"ModeTable({self.name!r}, {list(self.points)})"
+
+
+XSCALE_3 = ModeTable(
+    [
+        OperatingPoint(200e6, 0.70),
+        OperatingPoint(600e6, 1.30),
+        OperatingPoint(800e6, 1.65),
+    ],
+    name="xscale-3",
+)
+
+
+def make_mode_table(
+    levels: int,
+    v_low: float = V_LOW_DEFAULT,
+    v_high: float = V_HIGH_DEFAULT,
+    f_high: float = F_HIGH_DEFAULT,
+    alpha: float = ALPHA,
+    vt: float = V_THRESHOLD,
+) -> ModeTable:
+    """Build an n-level table on the alpha-power curve.
+
+    Voltages are evenly spaced on [v_low, v_high]; each level's frequency
+    comes from the alpha-power law with k calibrated so the top level runs
+    at ``f_high``.  This matches how the paper constructs its 3/7/13-level
+    analytic studies.
+    """
+    if levels < 1:
+        raise AnalysisError("levels must be >= 1")
+    k = calibrate_k(f_high, v_high, alpha, vt)
+    if levels == 1:
+        voltages = [v_high]
+    else:
+        step = (v_high - v_low) / (levels - 1)
+        voltages = [v_low + i * step for i in range(levels)]
+    points = [OperatingPoint(alpha_power_frequency(v, k, alpha, vt), v) for v in voltages]
+    return ModeTable(points, name=f"alpha-{levels}")
+
+
+@dataclass(frozen=True)
+class TransitionCostModel:
+    """Energy/time cost of switching between two operating points.
+
+    Attributes:
+        capacitance_f: voltage-regulator capacitance c, in Farads.
+        efficiency: regulator energy efficiency u in [0, 1).
+        i_max_a: maximum regulator current, Amperes.
+    """
+
+    capacitance_f: float = 10e-6
+    efficiency: float = 0.9
+    i_max_a: float = 1.0
+
+    def energy_j(self, v_from: float, v_to: float) -> float:
+        """SE = (1-u) * c * |v1² - v2²| in Joules (0 for same voltage)."""
+        return (1.0 - self.efficiency) * self.capacitance_f * abs(v_from**2 - v_to**2)
+
+    def time_s(self, v_from: float, v_to: float) -> float:
+        """ST = 2c/Imax * |v1 - v2| in seconds (0 for same voltage)."""
+        return 2.0 * self.capacitance_f / self.i_max_a * abs(v_from - v_to)
+
+    def energy_nj(self, v_from: float, v_to: float) -> float:
+        return self.energy_j(v_from, v_to) * 1e9
+
+    def with_capacitance(self, capacitance_f: float) -> "TransitionCostModel":
+        """Copy with a different regulator capacitance (Figure 15 sweeps)."""
+        return TransitionCostModel(capacitance_f, self.efficiency, self.i_max_a)
+
+
+ZERO_TRANSITION = TransitionCostModel(capacitance_f=0.0)

@@ -1,0 +1,81 @@
+"""Wattch-style energy accounting.
+
+Every activation of a structure charges ``c_eff * V²`` nanojoules, where
+``c_eff`` is a per-class effective switched capacitance (nanofarads) and V
+the current supply voltage.  This is the CV² dynamic-power model the paper
+and Wattch both use; clock gating makes stall cycles free (assumption 3 in
+Section 3.1).
+
+Main-memory accesses are charged a *constant* energy, tracked separately —
+the paper's optimization minimizes processor energy only ("the memory
+energy is a constant independent of processor frequency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import OpClass
+from repro.simulator.config import MachineConfig
+
+
+@dataclass
+class EnergyModel:
+    """Accumulates CPU and memory energy for one simulation run.
+
+    Attributes:
+        config: the machine description (base capacitance, cache energies).
+        cpu_energy_nj: dynamic CPU energy so far (nJ).
+        memory_energy_nj: DRAM energy so far (nJ), frequency-invariant.
+    """
+
+    config: MachineConfig
+    cpu_energy_nj: float = 0.0
+    memory_energy_nj: float = 0.0
+
+    def op_energy_nj(self, op_class: OpClass, voltage: float) -> float:
+        """Energy of one instruction: its unit activation plus base clock
+        capacitance for each of its latency cycles."""
+        c_total = op_class.c_eff + self.config.base_c_eff_nf * op_class.latency
+        return c_total * voltage * voltage
+
+    def charge_op(self, op_class: OpClass, voltage: float) -> float:
+        energy = self.op_energy_nj(op_class, voltage)
+        self.cpu_energy_nj += energy
+        return energy
+
+    def charge_cache(self, level: str, voltage: float) -> float:
+        """Energy of one cache access at a given level ('l1d','l1i','l2')."""
+        if level == "l1d":
+            c_eff = self.config.l1d.access_energy_nf
+        elif level == "l1i":
+            c_eff = self.config.l1i.access_energy_nf
+        elif level == "l2":
+            c_eff = self.config.l2.access_energy_nf
+        else:
+            raise ValueError(f"unknown cache level {level!r}")
+        energy = c_eff * voltage * voltage
+        self.cpu_energy_nj += energy
+        return energy
+
+    def charge_sync_cycles(self, cycles: int, voltage: float) -> float:
+        """Base clock energy for synchronous (non-gated) stall cycles, e.g.
+        waiting on an L2 hit: the clock keeps running."""
+        energy = self.config.base_c_eff_nf * cycles * voltage * voltage
+        self.cpu_energy_nj += energy
+        return energy
+
+    def charge_memory_access(self) -> float:
+        energy = self.config.memory_access_energy_nj
+        self.memory_energy_nj += energy
+        return energy
+
+    def charge_transition_nj(self, energy_nj: float) -> float:
+        """DVS mode-switch energy (regulator), counted as CPU energy as the
+        paper's formulation does."""
+        self.cpu_energy_nj += energy_nj
+        return energy_nj
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.cpu_energy_nj + self.memory_energy_nj

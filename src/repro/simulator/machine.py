@@ -1,0 +1,558 @@
+"""Instruction-level timing and energy simulation of IR programs.
+
+The :class:`Machine` executes a CFG under a DVS mode table, producing wall
+time, CPU energy, per-block time/energy, edge counts and local-path counts
+— everything the profiler and the analytical-parameter extraction need.
+
+Timing model
+============
+
+* The CPU issues one instruction at a time, in order; each instruction
+  occupies its :class:`~repro.ir.instructions.OpClass` latency in CPU
+  cycles (cycles scale with the current frequency).
+* Cache hits are synchronous: L1/L2 hit latencies are CPU cycles.
+* Main-memory misses are asynchronous (the paper's assumption 2): the miss
+  is serviced in wall-clock ``memory_latency_s`` regardless of CPU
+  frequency.  The destination register becomes *pending* and execution
+  continues — this is the overlap the paper's model exploits.  One miss may
+  be outstanding at a time (single memory port); a second miss, or an
+  instruction reading a pending register, stalls with the clock gated
+  (assumption 3: gated stalls consume no energy).
+* Executing a mode-set on an edge whose mode differs from the current one
+  stalls for ``ST`` seconds and charges ``SE`` Joules (Section 4.2); a
+  mode-set whose value equals the current mode is silent and free.
+
+Statistics for the analytical model
+===================================
+
+The run classifies every cycle the way Section 3.2 does: compute cycles
+issued while a miss is outstanding accumulate ``overlap_cycles``
+(N_overlap); other compute cycles accumulate ``dependent_cycles``
+(N_dependent); memory-operation cycles that hit in cache accumulate
+``cache_cycles`` (N_cache); and ``t_invariant_s`` is the total wall-clock
+main-memory service time (misses × latency, port-serialized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError, SimulationError
+from repro.ir.cfg import CFG, ENTRY_EDGE_SOURCE, Edge
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Const,
+    Jump,
+    Load,
+    Move,
+    OpClass,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.interp import DataMemory, _FP_BINOPS, _INT_BINOPS, _UNOPS
+from repro.simulator.cache import Cache, CacheHierarchy
+from repro.simulator.config import MachineConfig, SCALE_CONFIG
+from repro.simulator.dvs import ModeTable, TransitionCostModel, XSCALE_3, ZERO_TRANSITION
+from repro.simulator.energy import EnergyModel
+
+# Decoded opcode kinds (tuple dispatch for speed).
+_CONST, _MOVE, _BINOP, _UNOP, _LOAD, _STORE, _BRANCH, _JUMP, _RET = range(9)
+
+_MEM_CLASS = OpClass.MEM
+_COMPUTE_CLASSES = tuple(c for c in OpClass if c is not OpClass.MEM)
+
+
+@dataclass
+class BlockStats:
+    """Per-basic-block accumulation over one run."""
+
+    count: int = 0
+    time_s: float = 0.0
+    cpu_energy_nj: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything observable from one simulated execution."""
+
+    return_value: float | None
+    wall_time_s: float
+    cpu_energy_nj: float
+    memory_energy_nj: float
+    instructions: int
+    block_stats: dict[str, BlockStats]
+    edge_counts: dict[Edge, int]
+    path_counts: dict[tuple[str, str, str], int]
+    cache_stats: dict[str, int]
+    # analytical-model parameter ingredients (Section 3.2)
+    overlap_cycles: int
+    dependent_cycles: int
+    cache_cycles: int
+    dmiss_sync_cycles: int
+    ifetch_cycles: int
+    mem_misses: int
+    t_invariant_s: float
+    gated_wait_s: float
+    # DVS accounting
+    mode_transitions: int = 0
+    modeset_executions: int = 0
+    transition_energy_nj: float = 0.0
+    transition_time_s: float = 0.0
+    final_mode: int = 0
+    memory: DataMemory | None = None
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.cpu_energy_nj + self.memory_energy_nj
+
+
+class Machine:
+    """A DVS-capable processor model executing IR programs.
+
+    Args:
+        config: machine description (caches, memory latency, energies).
+        mode_table: the available (V, f) operating points.
+        transition_model: regulator model for mode-switch costs.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig = SCALE_CONFIG,
+        mode_table: ModeTable = XSCALE_3,
+        transition_model: TransitionCostModel = ZERO_TRANSITION,
+    ) -> None:
+        self.config = config
+        self.mode_table = mode_table
+        self.transition_model = transition_model
+
+    # -- decoding ---------------------------------------------------------------
+
+    def _decode(self, cfg: CFG):
+        """Pre-decode blocks into dispatch tuples and I-fetch line lists."""
+        decoded: dict[str, list] = {}
+        block_lines: dict[str, list[int]] = {}
+        line_bytes = self.config.l1i.line_bytes
+        # Code lives in its own region far above any data address, so
+        # instruction lines never alias data lines in the shared L2.
+        next_addr = 1 << 30
+        for label, block in cfg.blocks.items():
+            instrs = []
+            start_addr = next_addr
+            for instr in block.instructions:
+                cls = instr.op_class
+                if isinstance(instr, Const):
+                    instrs.append((_CONST, instr.dst, instr.value, cls))
+                elif isinstance(instr, Move):
+                    instrs.append((_MOVE, instr.dst, instr.src, cls))
+                elif isinstance(instr, BinOp):
+                    fn = _INT_BINOPS.get(instr.op) or _FP_BINOPS[instr.op]
+                    instrs.append((_BINOP, fn, instr.dst, instr.lhs, instr.rhs, cls))
+                elif isinstance(instr, UnOp):
+                    instrs.append((_UNOP, _UNOPS[instr.op], instr.dst, instr.src, cls))
+                elif isinstance(instr, Load):
+                    instrs.append((_LOAD, instr.dst, instr.base, instr.offset, cls))
+                elif isinstance(instr, Store):
+                    instrs.append((_STORE, instr.src, instr.base, instr.offset, cls))
+                elif isinstance(instr, Branch):
+                    instrs.append((_BRANCH, instr.cond, instr.if_true, instr.if_false, cls))
+                elif isinstance(instr, Jump):
+                    instrs.append((_JUMP, instr.target, None, cls))
+                elif isinstance(instr, Ret):
+                    instrs.append((_RET, instr.value, None, cls))
+                else:
+                    raise SimulationError(f"cannot decode {instr!r}")
+                next_addr += 4
+            decoded[label] = instrs
+            first_line = start_addr // line_bytes
+            last_line = max(start_addr, next_addr - 4) // line_bytes
+            block_lines[label] = [l * line_bytes for l in range(first_line, last_line + 1)]
+        return decoded, block_lines
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        cfg: CFG,
+        inputs: dict[str, list] | None = None,
+        registers: dict[str, float] | None = None,
+        mode: int | None = None,
+        schedule: dict[Edge, int] | None = None,
+        initial_mode: int | None = None,
+        max_steps: int = 200_000_000,
+        trace: list | None = None,
+    ) -> RunResult:
+        """Execute a program.
+
+        Args:
+            cfg: the program to run (validated IR).
+            inputs: array name -> initial contents.
+            registers: initial register values (program parameters).
+            mode: run entirely at this mode index (profiling runs).
+            schedule: edge -> mode index map (DVS-scheduled runs).  The
+                synthetic entry edge may set the starting mode.
+            initial_mode: starting mode when ``schedule`` is given (default:
+                fastest).  Mutually exclusive with ``mode``.
+            max_steps: safety cap on executed instructions.
+            trace: optional list that receives a ``(wall_time_s, label,
+                mode)`` tuple at every block entry — the timeline data
+                :mod:`repro.simulator.trace` analyzes.  Tracing costs one
+                append per block execution; leave None for full speed.
+
+        Returns:
+            a :class:`RunResult`.
+        """
+        if mode is not None and schedule is not None:
+            raise ScheduleError("pass either a fixed mode or a schedule, not both")
+        if schedule is not None:
+            for edge, m in schedule.items():
+                if not 0 <= m < len(self.mode_table):
+                    raise ScheduleError(f"schedule maps {edge} to invalid mode {m}")
+        current_mode = (
+            mode
+            if mode is not None
+            else (initial_mode if initial_mode is not None else len(self.mode_table) - 1)
+        )
+        if not 0 <= current_mode < len(self.mode_table):
+            raise ScheduleError(f"invalid mode index {current_mode}")
+        schedule = schedule or {}
+        # Apply the entry-edge mode before anything executes (no transition
+        # cost: this is the a-priori setting, as in the paper).
+        entry_edge = (ENTRY_EDGE_SOURCE, cfg.entry)
+        if entry_edge in schedule:
+            current_mode = schedule[entry_edge]
+
+        decoded, block_lines = self._decode(cfg)
+        memory = DataMemory(cfg.data_size() + cfg.element_size, cfg.element_size)
+        for name, values in (inputs or {}).items():
+            base, length = cfg.arrays[name]
+            if len(values) > length:
+                raise SimulationError(
+                    f"input for {name!r} has {len(values)} elements, array holds {length}"
+                )
+            memory.write_array(base, values)
+
+        l2 = Cache(self.config.l2, name="l2")
+        dcache = CacheHierarchy(self.config.l1d, l2, name="d")
+        icache = CacheHierarchy(self.config.l1i, l2, name="i")
+        energy = EnergyModel(self.config)
+
+        # Per-mode precomputed constants.
+        mode_points = self.mode_table.points
+        op_energy_tables = [
+            {cls: energy.op_energy_nj(cls, p.voltage) for cls in OpClass} for p in mode_points
+        ]
+        cycle_times = [p.cycle_time_s for p in mode_points]
+        voltages = [p.voltage for p in mode_points]
+
+        regs: dict[str, float] = dict(registers or {})
+        pending: dict[str, float] = {}  # register -> wall time when ready
+
+        now = 0.0
+        miss_done = 0.0
+        mem_latency = self.config.memory_latency_s
+        cpu_energy = 0.0
+        gated_wait = 0.0
+        overlap_cycles = 0
+        dependent_cycles = 0
+        cache_cycles = 0
+        dmiss_sync_cycles = 0
+        ifetch_cycles = 0
+        mem_misses = 0
+        instructions = 0
+        mode_transitions = 0
+        modeset_executions = 0
+        transition_energy_nj = 0.0
+        transition_time_s = 0.0
+
+        block_stats: dict[str, BlockStats] = {label: BlockStats() for label in cfg.blocks}
+        edge_counts: dict[Edge, int] = {}
+        path_counts: dict[tuple[str, str, str], int] = {}
+
+        cycle_time = cycle_times[current_mode]
+        voltage = voltages[current_mode]
+        op_energy = op_energy_tables[current_mode]
+        base_c = self.config.base_c_eff_nf
+        l1d_c = self.config.l1d.access_energy_nf
+        l1i_c = self.config.l1i.access_energy_nf
+        l2_c = self.config.l2.access_energy_nf
+        mem_energy_nj = self.config.memory_access_energy_nj
+        memory_energy = 0.0
+
+        label = cfg.entry
+        prev_block = ENTRY_EDGE_SOURCE
+        edge_counts[entry_edge] = 1
+        return_value: float | None = None
+        finished = False
+
+        mem_read = memory.read
+        mem_write = memory.write
+        daccess = dcache.access
+        iaccess = icache.access
+
+        while not finished:
+            if trace is not None:
+                trace.append((now, label, current_mode))
+            stats = block_stats[label]
+            stats.count += 1
+            t_block = now
+            e_block = cpu_energy
+
+            # Instruction fetch: one I-cache access per line the block spans.
+            for line_addr in block_lines[label]:
+                res = iaccess(line_addr)
+                ifetch_cycles += res.sync_cycles
+                now += res.sync_cycles * cycle_time
+                cpu_energy += (l1i_c + base_c * res.sync_cycles) * voltage * voltage
+                if res.level == "l2":
+                    cpu_energy += l2_c * voltage * voltage
+                if res.memory_miss:
+                    # Instruction miss: synchronous wall-clock fill.
+                    if now < miss_done:
+                        gated_wait += miss_done - now
+                        now = miss_done
+                    mem_misses += 1
+                    memory_energy += mem_energy_nj
+                    miss_done = now + mem_latency
+                    gated_wait += mem_latency
+                    now = miss_done
+
+            next_label: str | None = None
+            for op in decoded[label]:
+                instructions += 1
+                kind = op[0]
+                cls = op[-1]
+
+                if kind == _BINOP:
+                    _, fn, dst, lhs, rhs, _ = op
+                    if pending:
+                        ready = pending.pop(lhs, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                        ready = pending.pop(rhs, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                    lat = cls.latency
+                    if now < miss_done:
+                        overlap_cycles += lat
+                    else:
+                        dependent_cycles += lat
+                    now += lat * cycle_time
+                    cpu_energy += op_energy[cls]
+                    regs[dst] = fn(regs[lhs], regs[rhs])
+                    pending.pop(dst, None)
+                elif kind == _CONST:
+                    _, dst, value, _ = op
+                    if now < miss_done:
+                        overlap_cycles += 1
+                    else:
+                        dependent_cycles += 1
+                    now += cycle_time
+                    cpu_energy += op_energy[cls]
+                    regs[dst] = value
+                    if pending:
+                        pending.pop(dst, None)
+                elif kind == _LOAD:
+                    _, dst, basereg, offset, _ = op
+                    if pending:
+                        ready = pending.pop(basereg, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                    now += cycle_time  # address generation (MEM latency 1)
+                    cpu_energy += op_energy[cls]
+                    address = int(regs[basereg]) + offset
+                    res = daccess(address)
+                    now += res.sync_cycles * cycle_time
+                    cpu_energy += (l1d_c + base_c * res.sync_cycles) * voltage * voltage
+                    if res.level != "l1":
+                        cpu_energy += l2_c * voltage * voltage
+                    if res.memory_miss:
+                        if now < miss_done:  # single memory port
+                            gated_wait += miss_done - now
+                            now = miss_done
+                        mem_misses += 1
+                        memory_energy += mem_energy_nj
+                        miss_done = now + mem_latency
+                        pending[dst] = miss_done
+                        dmiss_sync_cycles += 1 + res.sync_cycles
+                    else:
+                        cache_cycles += 1 + res.sync_cycles
+                        pending.pop(dst, None)
+                    regs[dst] = mem_read(address)
+                elif kind == _STORE:
+                    _, src, basereg, offset, _ = op
+                    if pending:
+                        ready = pending.pop(src, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                        ready = pending.pop(basereg, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                    now += cycle_time
+                    cpu_energy += op_energy[cls]
+                    address = int(regs[basereg]) + offset
+                    res = daccess(address)
+                    now += res.sync_cycles * cycle_time
+                    cpu_energy += (l1d_c + base_c * res.sync_cycles) * voltage * voltage
+                    if res.level != "l1":
+                        cpu_energy += l2_c * voltage * voltage
+                    if res.memory_miss:
+                        if now < miss_done:
+                            gated_wait += miss_done - now
+                            now = miss_done
+                        mem_misses += 1
+                        memory_energy += mem_energy_nj
+                        miss_done = now + mem_latency
+                        # store completes via the store buffer: nothing pending
+                        dmiss_sync_cycles += 1 + res.sync_cycles
+                    else:
+                        cache_cycles += 1 + res.sync_cycles
+                    mem_write(address, regs[src])
+                elif kind == _MOVE:
+                    _, dst, src, _ = op
+                    if pending:
+                        ready = pending.pop(src, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                    if now < miss_done:
+                        overlap_cycles += 1
+                    else:
+                        dependent_cycles += 1
+                    now += cycle_time
+                    cpu_energy += op_energy[cls]
+                    regs[dst] = regs[src]
+                    if pending:
+                        pending.pop(dst, None)
+                elif kind == _UNOP:
+                    _, fn, dst, src, _ = op
+                    if pending:
+                        ready = pending.pop(src, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                    lat = cls.latency
+                    if now < miss_done:
+                        overlap_cycles += lat
+                    else:
+                        dependent_cycles += lat
+                    now += lat * cycle_time
+                    cpu_energy += op_energy[cls]
+                    regs[dst] = fn(regs[src])
+                    if pending:
+                        pending.pop(dst, None)
+                elif kind == _BRANCH:
+                    _, cond, if_true, if_false, _ = op
+                    if pending:
+                        ready = pending.pop(cond, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                    if now < miss_done:
+                        overlap_cycles += 1
+                    else:
+                        dependent_cycles += 1
+                    now += cycle_time
+                    cpu_energy += op_energy[cls]
+                    next_label = if_true if regs[cond] else if_false
+                elif kind == _JUMP:
+                    if now < miss_done:
+                        overlap_cycles += 1
+                    else:
+                        dependent_cycles += 1
+                    now += cycle_time
+                    cpu_energy += op_energy[cls]
+                    next_label = op[1]
+                else:  # _RET
+                    _, value, _, _ = op
+                    if value is not None and pending:
+                        ready = pending.pop(value, None)
+                        if ready is not None and ready > now:
+                            gated_wait += ready - now
+                            now = ready
+                    now += cycle_time
+                    cpu_energy += op_energy[cls]
+                    return_value = regs[value] if value is not None else None
+                    finished = True
+
+                if instructions > max_steps:
+                    raise SimulationError(f"exceeded max_steps={max_steps}")
+
+            if finished:
+                # Drain the outstanding miss before the program "completes".
+                if now < miss_done:
+                    gated_wait += miss_done - now
+                    now = miss_done
+                stats.time_s += now - t_block
+                stats.cpu_energy_nj += cpu_energy - e_block
+                break
+
+            if next_label is None:
+                raise SimulationError(f"block {label!r} fell through")
+
+            stats.time_s += now - t_block
+            stats.cpu_energy_nj += cpu_energy - e_block
+
+            edge = (label, next_label)
+            edge_counts[edge] = edge_counts.get(edge, 0) + 1
+            triple = (prev_block, label, next_label)
+            path_counts[triple] = path_counts.get(triple, 0) + 1
+
+            if edge in schedule:
+                modeset_executions += 1
+                target_mode = schedule[edge]
+                if target_mode != current_mode:
+                    v_from = voltages[current_mode]
+                    v_to = voltages[target_mode]
+                    st = self.transition_model.time_s(v_from, v_to)
+                    se_nj = self.transition_model.energy_j(v_from, v_to) * 1e9
+                    now += st
+                    cpu_energy += se_nj
+                    transition_time_s += st
+                    transition_energy_nj += se_nj
+                    mode_transitions += 1
+                    current_mode = target_mode
+                    cycle_time = cycle_times[current_mode]
+                    voltage = voltages[current_mode]
+                    op_energy = op_energy_tables[current_mode]
+
+            prev_block = label
+            label = next_label
+
+        energy.cpu_energy_nj = cpu_energy
+        energy.memory_energy_nj = memory_energy
+
+        cache_stats = dcache.stats()
+        cache_stats.update({f"i_{k}": v for k, v in icache.stats().items()})
+
+        return RunResult(
+            return_value=return_value,
+            wall_time_s=now,
+            cpu_energy_nj=cpu_energy,
+            memory_energy_nj=memory_energy,
+            instructions=instructions,
+            block_stats=block_stats,
+            edge_counts=edge_counts,
+            path_counts=path_counts,
+            cache_stats=cache_stats,
+            overlap_cycles=overlap_cycles,
+            dependent_cycles=dependent_cycles,
+            cache_cycles=cache_cycles,
+            dmiss_sync_cycles=dmiss_sync_cycles,
+            ifetch_cycles=ifetch_cycles,
+            mem_misses=mem_misses,
+            t_invariant_s=mem_misses * mem_latency,
+            gated_wait_s=gated_wait,
+            mode_transitions=mode_transitions,
+            modeset_executions=modeset_executions,
+            transition_energy_nj=transition_energy_nj,
+            transition_time_s=transition_time_s,
+            final_mode=current_mode,
+            memory=memory,
+        )

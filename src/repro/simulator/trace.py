@@ -1,0 +1,96 @@
+"""Execution-timeline analysis over block-entry traces.
+
+``Machine.run(..., trace=events)`` records a ``(wall_time_s, label,
+mode)`` tuple at every block entry.  This module turns that stream into
+the views a DVS engineer wants:
+
+* :func:`mode_residency` — wall-clock time spent in each mode;
+* :func:`phases` — maximal same-mode spans (where the schedule actually
+  switched, and for how long each regime ran);
+* :func:`render_timeline` — a textual mode-over-time strip for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TraceEvent = tuple[float, str, int]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One maximal constant-mode span of the execution."""
+
+    mode: int
+    start_s: float
+    end_s: float
+    blocks: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def phases(events: list[TraceEvent], end_time_s: float) -> list[Phase]:
+    """Collapse a block-entry trace into constant-mode phases.
+
+    Args:
+        events: the trace list filled by ``Machine.run``.
+        end_time_s: the run's final wall time (closes the last phase).
+    """
+    if not events:
+        return []
+    result: list[Phase] = []
+    span_start, _, span_mode = events[0]
+    count = 0
+    for time_s, _label, mode in events:
+        if mode != span_mode:
+            result.append(Phase(span_mode, span_start, time_s, count))
+            span_start, span_mode, count = time_s, mode, 0
+        count += 1
+    result.append(Phase(span_mode, span_start, end_time_s, count))
+    return result
+
+
+def mode_residency(events: list[TraceEvent], end_time_s: float) -> dict[int, float]:
+    """Wall-clock seconds spent in each mode."""
+    residency: dict[int, float] = {}
+    for phase in phases(events, end_time_s):
+        residency[phase.mode] = residency.get(phase.mode, 0.0) + phase.duration_s
+    return residency
+
+
+def hottest_blocks(events: list[TraceEvent], top: int = 5) -> list[tuple[str, int]]:
+    """Most frequently entered blocks (entry counts, descending)."""
+    counts: dict[str, int] = {}
+    for _t, label, _m in events:
+        counts[label] = counts.get(label, 0) + 1
+    return sorted(counts.items(), key=lambda item: -item[1])[:top]
+
+
+def render_timeline(
+    events: list[TraceEvent],
+    end_time_s: float,
+    width: int = 60,
+    mode_chars: str = "_-=#%@",
+) -> str:
+    """A fixed-width strip where each column shows the dominant mode.
+
+    Modes render as characters from ``mode_chars`` (slowest first), e.g.
+    ``___---===`` for a run that stepped 0 -> 1 -> 2.
+    """
+    if not events or end_time_s <= 0:
+        return ""
+    spans = phases(events, end_time_s)
+    columns = []
+    for i in range(width):
+        t0 = end_time_s * i / width
+        t1 = end_time_s * (i + 1) / width
+        best_mode, best_overlap = spans[0].mode, 0.0
+        for span in spans:
+            overlap = min(span.end_s, t1) - max(span.start_s, t0)
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best_mode = span.mode
+        columns.append(mode_chars[min(best_mode, len(mode_chars) - 1)])
+    return "".join(columns)

@@ -1,0 +1,188 @@
+"""Best-first branch-and-bound MILP solver over the native simplex.
+
+Together with :mod:`repro.solver.simplex` this forms the from-scratch
+replacement for CPLEX used by the paper's DVS formulation.  The search is
+classic LP-based branch and bound:
+
+* each node is an LP relaxation with tightened variable bounds;
+* nodes are explored best-bound-first (a heap keyed on the parent
+  relaxation value), which keeps the global lower bound tight;
+* branching picks the integer variable whose relaxation value is most
+  fractional ("maximum infeasibility" rule);
+* a node is pruned when its relaxation is infeasible or its bound cannot
+  beat the incumbent.
+
+The solver is exact: when it returns ``OPTIMAL`` the incumbent is a proven
+optimum (within ``int_tol``/``gap_tol``).  A ``node_limit``/``time_limit``
+exhaustion returns ``LIMIT`` with the best incumbent found, mirroring how
+commercial solvers degrade.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solver.simplex import solve_lp
+from repro.solver.solution import SolveStatus
+
+_INF = float("inf")
+
+
+@dataclass
+class BranchBoundOptions:
+    """Tuning knobs for the native MILP search."""
+
+    int_tol: float = 1e-6
+    gap_tol: float = 1e-9
+    node_limit: int = 100000
+    time_limit: float = 600.0
+    max_lp_iter: int = 20000
+
+
+@dataclass
+class MilpResult:
+    """Outcome of a branch-and-bound run (original variable space)."""
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    iterations: int = 0
+    nodes: int = 0
+    best_bound: float = float("-inf")
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok
+
+
+def _most_fractional(x: np.ndarray, integer_idx: np.ndarray, tol: float) -> int | None:
+    """Index of the integer variable farthest from integrality, or None."""
+    if integer_idx.size == 0:
+        return None
+    values = x[integer_idx]
+    frac = np.abs(values - np.round(values))
+    worst = int(np.argmax(frac))
+    if frac[worst] <= tol:
+        return None
+    return int(integer_idx[worst])
+
+
+def solve_milp(
+    c,
+    a_ub=None,
+    b_ub=None,
+    a_eq=None,
+    b_eq=None,
+    bounds=None,
+    integrality=None,
+    options: BranchBoundOptions | None = None,
+) -> MilpResult:
+    """Solve a mixed-integer LP by branch and bound on the native simplex.
+
+    Arguments mirror :func:`repro.solver.simplex.solve_lp`, plus
+    ``integrality``: a boolean mask marking the integer variables.
+
+    Returns:
+        :class:`MilpResult`.  ``status == LIMIT`` means a limit was hit;
+        the incumbent (if any) is still returned in ``x``/``objective``.
+    """
+    options = options or BranchBoundOptions()
+    c = np.asarray(c, dtype=float).ravel()
+    n = len(c)
+    if bounds is None:
+        bounds = np.column_stack([np.zeros(n), np.full(n, _INF)])
+    bounds = np.asarray(bounds, dtype=float).reshape(n, 2)
+    integrality = (
+        np.zeros(n, dtype=bool) if integrality is None else np.asarray(integrality, dtype=bool)
+    )
+    integer_idx = np.where(integrality)[0]
+
+    start = time.perf_counter()
+    total_lp_iters = 0
+    nodes_explored = 0
+
+    root = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, max_iter=options.max_lp_iter)
+    total_lp_iters += root.iterations
+    nodes_explored += 1
+    if root.status is SolveStatus.INFEASIBLE:
+        return MilpResult(SolveStatus.INFEASIBLE, nodes=1, iterations=total_lp_iters)
+    if root.status is SolveStatus.UNBOUNDED:
+        return MilpResult(SolveStatus.UNBOUNDED, nodes=1, iterations=total_lp_iters)
+    if root.status is SolveStatus.LIMIT:
+        return MilpResult(SolveStatus.LIMIT, nodes=1, iterations=total_lp_iters)
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = _INF
+
+    counter = itertools.count()  # heap tie-breaker
+    # Heap entries: (relaxation bound, seq, bounds array, relaxation solution)
+    heap: list[tuple[float, int, np.ndarray, np.ndarray, float]] = []
+    heapq.heappush(heap, (root.objective, next(counter), bounds.copy(), root.x, root.objective))
+
+    limit_hit = False
+    while heap:
+        bound, _, node_bounds, node_x, node_obj = heapq.heappop(heap)
+        if bound >= incumbent_obj - options.gap_tol:
+            continue  # cannot improve on incumbent
+        if nodes_explored >= options.node_limit or time.perf_counter() - start > options.time_limit:
+            limit_hit = True
+            break
+
+        branch_var = _most_fractional(node_x, integer_idx, options.int_tol)
+        if branch_var is None:
+            # Integral relaxation: new incumbent.
+            if node_obj < incumbent_obj - options.gap_tol:
+                incumbent_obj = node_obj
+                incumbent_x = node_x.copy()
+            continue
+
+        value = node_x[branch_var]
+        floor_val = np.floor(value)
+        for is_down in (True, False):
+            child_bounds = node_bounds.copy()
+            if is_down:
+                child_bounds[branch_var, 1] = min(child_bounds[branch_var, 1], floor_val)
+            else:
+                child_bounds[branch_var, 0] = max(child_bounds[branch_var, 0], floor_val + 1.0)
+            if child_bounds[branch_var, 0] > child_bounds[branch_var, 1]:
+                continue
+            child = solve_lp(c, a_ub, b_ub, a_eq, b_eq, child_bounds, max_iter=options.max_lp_iter)
+            total_lp_iters += child.iterations
+            nodes_explored += 1
+            if child.status is not SolveStatus.OPTIMAL:
+                continue  # infeasible (or limit) child is pruned
+            if child.objective >= incumbent_obj - options.gap_tol:
+                continue
+            frac = _most_fractional(child.x, integer_idx, options.int_tol)
+            if frac is None:
+                if child.objective < incumbent_obj - options.gap_tol:
+                    incumbent_obj = child.objective
+                    incumbent_x = child.x.copy()
+            else:
+                heapq.heappush(
+                    heap,
+                    (child.objective, next(counter), child_bounds, child.x, child.objective),
+                )
+
+    if incumbent_x is None:
+        status = SolveStatus.LIMIT if limit_hit else SolveStatus.INFEASIBLE
+        return MilpResult(status, nodes=nodes_explored, iterations=total_lp_iters)
+
+    # Snap near-integer values exactly to integers for downstream consumers.
+    snapped = incumbent_x.copy()
+    snapped[integer_idx] = np.round(snapped[integer_idx])
+    status = SolveStatus.LIMIT if limit_hit else SolveStatus.OPTIMAL
+    best_bound = min([bound for bound, *_ in heap], default=incumbent_obj)
+    return MilpResult(
+        status,
+        objective=incumbent_obj,
+        x=snapped,
+        iterations=total_lp_iters,
+        nodes=nodes_explored,
+        best_bound=best_bound,
+    )

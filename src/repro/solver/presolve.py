@@ -1,0 +1,151 @@
+"""LP/MILP presolve reductions.
+
+Standard cheap reductions applied before the native solver sees the
+matrices:
+
+* **empty rows** — ``0 <= b`` rows are dropped (or declared infeasible);
+* **singleton inequality rows** — ``a·x_j <= b`` tightens x_j's bound and
+  drops the row;
+* **fixed variables** — ``lb == ub`` substitutes the constant through
+  the constraint right-hand sides and the objective.
+
+The reductions are exact: :func:`presolve` returns a
+:class:`PresolveResult` that reconstructs a full solution vector (and
+the original objective value) from the reduced problem's solution.
+Equivalence against the unreduced solve is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InfeasibleError
+
+_TOL = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Reduced problem plus the bookkeeping to undo the reduction."""
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: np.ndarray
+    integrality: np.ndarray
+    objective_offset: float
+    kept_columns: np.ndarray  # indices of surviving variables
+    fixed_values: dict[int, float]  # original index -> value
+    rows_dropped: int = 0
+
+    @property
+    def num_original(self) -> int:
+        return len(self.kept_columns) + len(self.fixed_values)
+
+    def restore(self, x_reduced: np.ndarray) -> np.ndarray:
+        """Lift a reduced-space solution back to the original variables."""
+        x = np.zeros(self.num_original)
+        x[self.kept_columns] = x_reduced
+        for index, value in self.fixed_values.items():
+            x[index] = value
+        return x
+
+
+def presolve(c, a_ub, b_ub, a_eq, b_eq, bounds, integrality=None) -> PresolveResult:
+    """Apply the reductions; raises :class:`InfeasibleError` on a provable
+    contradiction (empty row with negative slack, crossed bounds)."""
+    c = np.asarray(c, dtype=float).copy()
+    n = len(c)
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n).copy() if np.size(a_ub) else np.empty((0, n))
+    b_ub = np.asarray(b_ub, dtype=float).ravel().copy()
+    a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n).copy() if np.size(a_eq) else np.empty((0, n))
+    b_eq = np.asarray(b_eq, dtype=float).ravel().copy()
+    bounds = np.asarray(bounds, dtype=float).reshape(n, 2).copy()
+    integrality = (
+        np.zeros(n, dtype=bool) if integrality is None else np.asarray(integrality, dtype=bool).copy()
+    )
+    rows_dropped = 0
+
+    # --- singleton inequality rows become bounds -----------------------------
+    keep_rows = np.ones(len(b_ub), dtype=bool)
+    for row in range(len(b_ub)):
+        nonzero = np.nonzero(np.abs(a_ub[row]) > _TOL)[0]
+        if len(nonzero) == 0:
+            if b_ub[row] < -_TOL:
+                raise InfeasibleError(f"empty row {row} with rhs {b_ub[row]}")
+            keep_rows[row] = False
+            rows_dropped += 1
+        elif len(nonzero) == 1:
+            j = nonzero[0]
+            coef = a_ub[row, j]
+            limit = b_ub[row] / coef
+            if coef > 0:
+                bounds[j, 1] = min(bounds[j, 1], limit)
+            else:
+                bounds[j, 0] = max(bounds[j, 0], limit)
+            keep_rows[row] = False
+            rows_dropped += 1
+    a_ub = a_ub[keep_rows]
+    b_ub = b_ub[keep_rows]
+
+    # Integer variables: round the tightened bounds inward.
+    for j in np.nonzero(integrality)[0]:
+        if np.isfinite(bounds[j, 0]):
+            bounds[j, 0] = np.ceil(bounds[j, 0] - _TOL)
+        if np.isfinite(bounds[j, 1]):
+            bounds[j, 1] = np.floor(bounds[j, 1] + _TOL)
+
+    if np.any(bounds[:, 0] > bounds[:, 1] + _TOL):
+        raise InfeasibleError("presolve crossed a variable's bounds")
+
+    # --- fixed variables substituted out --------------------------------------
+    fixed_mask = np.isfinite(bounds[:, 0]) & (
+        np.abs(bounds[:, 1] - bounds[:, 0]) <= _TOL
+    )
+    fixed_values = {int(j): float(bounds[j, 0]) for j in np.nonzero(fixed_mask)[0]}
+    kept = np.nonzero(~fixed_mask)[0]
+    offset = 0.0
+    if fixed_values:
+        fixed_idx = np.array(sorted(fixed_values), dtype=int)
+        fixed_vec = np.array([fixed_values[j] for j in fixed_idx])
+        if len(b_ub):
+            b_ub = b_ub - a_ub[:, fixed_idx] @ fixed_vec
+        if len(b_eq):
+            b_eq = b_eq - a_eq[:, fixed_idx] @ fixed_vec
+        offset = float(c[fixed_idx] @ fixed_vec)
+    a_ub = a_ub[:, kept] if a_ub.size else np.empty((len(b_ub), len(kept)))
+    a_eq = a_eq[:, kept] if a_eq.size else np.empty((len(b_eq), len(kept)))
+
+    # Re-check empty inequality rows created by substitution.
+    if len(b_ub):
+        keep_rows = np.ones(len(b_ub), dtype=bool)
+        for row in range(len(b_ub)):
+            if not np.any(np.abs(a_ub[row]) > _TOL):
+                if b_ub[row] < -_TOL:
+                    raise InfeasibleError("substitution exposed an infeasible row")
+                keep_rows[row] = False
+                rows_dropped += 1
+        a_ub = a_ub[keep_rows]
+        b_ub = b_ub[keep_rows]
+    if len(b_eq):
+        for row in range(len(b_eq)):
+            if not np.any(np.abs(a_eq[row]) > _TOL) and abs(b_eq[row]) > 1e-7:
+                raise InfeasibleError("substitution exposed an infeasible equality")
+
+    return PresolveResult(
+        c=c[kept],
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds[kept],
+        integrality=integrality[kept],
+        objective_offset=offset,
+        kept_columns=kept,
+        fixed_values=fixed_values,
+        rows_dropped=rows_dropped,
+    )

@@ -1,0 +1,49 @@
+"""Solution containers shared by every solver backend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP/MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    LIMIT = "limit"
+
+    @property
+    def ok(self) -> bool:
+        """True when a proven-optimal solution is available."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`repro.solver.model.Model`.
+
+    Attributes:
+        status: solver outcome.
+        objective: objective value at the incumbent (``nan`` if none).
+        x: variable values in model variable order (empty if none).
+        backend: name of the backend that produced the solution.
+        iterations: simplex iterations (native) or backend-reported count.
+        nodes: branch-and-bound nodes explored (0 for pure LPs).
+        wall_time: solve time in seconds.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    backend: str = "native"
+    iterations: int = 0
+    nodes: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok

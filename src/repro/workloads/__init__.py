@@ -1,0 +1,44 @@
+"""MediaBench-like workload suite.
+
+The paper evaluates on MediaBench (adpcm, epic, gsm, mpeg2/decode,
+ghostscript) plus mpg123.  This package provides kernel-level
+reimplementations of the same codecs' computational cores, written in the
+:mod:`repro.lang` kernel language and compiled to IR:
+
+========== ===============================================================
+adpcm      IMA ADPCM encode + decode (int, branchy, small tables)
+epic       wavelet pyramid + quantization + run-length stats (float,
+           strided column passes)
+gsm        LPC autocorrelation + reflection coefficients + long-term
+           predictor search (int MAC-heavy)
+mpeg       8x8 dequant + 2-D IDCT + motion compensation against a large
+           reference frame (memory-heavy; B-frame input categories)
+mpg123     polyphase subband synthesis (float matrixing + windowing)
+ghostscript edge-function triangle rasterizer into a framebuffer
+dijkstra   O(V^2) shortest paths — irregular, data-dependent memory
+           (extension beyond the paper's set)
+jpeg       baseline encoder core: transform + quantize + zigzag + RLE
+           (extension beyond the paper's set)
+========== ===============================================================
+
+Each workload declares deterministic input generators, optionally split
+into *categories* (the Section 4.3 study uses mpeg inputs with and
+without B-frames).  :mod:`repro.workloads.suite` holds the registry and
+the Table 4-style deadline derivation.
+"""
+
+from repro.workloads.suite import (
+    WorkloadSpec,
+    all_workloads,
+    compile_workload,
+    derive_deadlines,
+    get_workload,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "all_workloads",
+    "compile_workload",
+    "derive_deadlines",
+    "get_workload",
+]

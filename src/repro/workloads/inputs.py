@@ -1,0 +1,111 @@
+"""Deterministic synthetic input generators for the workload suite.
+
+The paper uses MediaBench's bundled inputs (and mpeg test bitstreams from
+mpeg.org).  Those assets are not redistributable here, so every workload
+gets a seeded synthetic generator producing inputs with the same
+*structural* character: band-limited waveforms for the audio codecs,
+smooth-plus-texture images for epic/mpeg, and mixed-size geometry for the
+rasterizer.  Generators are pure functions of their seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def rng(seed: int) -> np.random.Generator:
+    """The suite's deterministic generator factory."""
+    return np.random.default_rng(seed)
+
+
+def speech_like(length: int, seed: int = 0, amplitude: int = 6000) -> list[int]:
+    """Band-limited waveform with pitch pulses: ADPCM/GSM input."""
+    gen = rng(seed)
+    t = np.arange(length)
+    pitch = 80 + (seed % 40)
+    wave = (
+        0.7 * np.sin(2 * math.pi * t / pitch)
+        + 0.2 * np.sin(2 * math.pi * t / (pitch / 3.1))
+        + 0.1 * gen.standard_normal(length)
+    )
+    envelope = 0.5 + 0.5 * np.sin(2 * math.pi * t / (length / 4.0)) ** 2
+    samples = np.clip(wave * envelope * amplitude, -32768, 32767)
+    return [int(s) for s in samples]
+
+
+def image_like(width: int, height: int, seed: int = 0, scale: float = 100.0) -> list[float]:
+    """Smooth gradients + texture: epic's input image (row-major)."""
+    gen = rng(seed)
+    y, x = np.mgrid[0:height, 0:width]
+    smooth = (
+        np.sin(2 * math.pi * x / width * (1 + seed % 3))
+        * np.cos(2 * math.pi * y / height * (2 + seed % 2))
+    )
+    texture = gen.standard_normal((height, width)) * 0.15
+    image = (smooth + texture) * scale
+    return [float(v) for v in image.ravel()]
+
+
+def dct_blocks(num_blocks: int, seed: int = 0, sparsity: float = 0.8) -> list[int]:
+    """Quantized 8x8 DCT coefficient blocks (mostly-zero, low-freq heavy)."""
+    gen = rng(seed)
+    out: list[int] = []
+    for _ in range(num_blocks):
+        block = np.zeros(64)
+        block[0] = gen.integers(-400, 400)
+        num_ac = gen.integers(2, int(64 * (1 - sparsity)) + 3)
+        positions = gen.choice(np.arange(1, 64), size=num_ac, replace=False)
+        block[positions] = gen.integers(-60, 60, size=num_ac)
+        out.extend(int(v) for v in block)
+    return out
+
+
+def motion_vectors(num_blocks: int, seed: int = 0, magnitude: int = 6) -> list[int]:
+    """(dx, dy) per block, bounded so references stay in frame."""
+    gen = rng(seed)
+    out: list[int] = []
+    for _ in range(num_blocks):
+        out.append(int(gen.integers(-magnitude, magnitude + 1)))
+        out.append(int(gen.integers(-magnitude, magnitude + 1)))
+    return out
+
+
+def b_frame_flags(num_blocks: int, category: str) -> list[int]:
+    """Block coding types for the mpeg categories.
+
+    ``no_b``: every block predicted from one reference (like the paper's
+    100b/bbc inputs).  ``with_b``: every third block is bidirectional
+    (like flwr/cact, encoded with 2 B-frames between I and P).
+    """
+    if category == "no_b":
+        return [0] * num_blocks
+    if category == "with_b":
+        return [1 if i % 3 == 2 else 0 for i in range(num_blocks)]
+    raise ValueError(f"unknown mpeg category {category!r}")
+
+
+def subband_samples(granules: int, bands: int, seed: int = 0) -> list[float]:
+    """Per-granule subband samples with 1/f-ish spectral rolloff."""
+    gen = rng(seed)
+    out: list[float] = []
+    for g in range(granules):
+        for band in range(bands):
+            rolloff = 1.0 / (1.0 + band * 0.35)
+            out.append(float(gen.standard_normal() * rolloff * 8000.0))
+    return out
+
+
+def triangles(count: int, extent: int, seed: int = 0) -> list[int]:
+    """Triangle vertex lists (x0,y0,x1,y1,x2,y2) with mixed sizes."""
+    gen = rng(seed)
+    out: list[int] = []
+    for i in range(count):
+        size = 5 + int(gen.integers(0, extent // 6)) if i % 6 else extent // 2
+        cx = int(gen.integers(0, extent))
+        cy = int(gen.integers(0, extent))
+        for _ in range(3):
+            out.append(max(0, min(extent - 1, cx + int(gen.integers(-size, size + 1)))))
+            out.append(max(0, min(extent - 1, cy + int(gen.integers(-size, size + 1)))))
+    return out

@@ -1,0 +1,59 @@
+"""Alpha-power law tests: calibration, inversion, monotonicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.analytical import AlphaPowerLaw
+from repro.core.analytical.alpha_power import DEFAULT_LAW
+
+
+class TestCalibration:
+    def test_default_law_hits_800mhz_at_1_65v(self):
+        assert DEFAULT_LAW.frequency(1.65) == pytest.approx(800e6)
+
+    def test_custom_calibration(self):
+        law = AlphaPowerLaw.calibrated(f_high=1e9, v_high=1.2)
+        assert law.frequency(1.2) == pytest.approx(1e9)
+
+    def test_paper_constants(self):
+        assert DEFAULT_LAW.alpha == 1.5
+        assert DEFAULT_LAW.vt == 0.45
+
+
+class TestInversion:
+    def test_voltage_frequency_roundtrip(self):
+        for v in (0.7, 0.9, 1.2, 1.65):
+            f = DEFAULT_LAW.frequency(v)
+            assert DEFAULT_LAW.voltage(f) == pytest.approx(v, rel=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=st.floats(0.5, 3.0))
+    def test_roundtrip_property(self, v):
+        f = DEFAULT_LAW.frequency(v)
+        assert DEFAULT_LAW.voltage(f) == pytest.approx(v, rel=1e-7)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(AnalysisError):
+            DEFAULT_LAW.voltage(0.0)
+
+    def test_unreachable_frequency_rejected(self):
+        with pytest.raises(AnalysisError):
+            DEFAULT_LAW.voltage(1e15)
+
+    def test_below_threshold_rejected(self):
+        with pytest.raises(AnalysisError):
+            DEFAULT_LAW.frequency(0.45)
+
+
+class TestMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(v1=st.floats(0.5, 3.0), v2=st.floats(0.5, 3.0))
+    def test_frequency_strictly_increasing(self, v1, v2):
+        if v1 == v2:
+            return
+        lo, hi = sorted((v1, v2))
+        assert DEFAULT_LAW.frequency(lo) < DEFAULT_LAW.frequency(hi)
+
+    def test_energy_per_cycle_quadratic(self):
+        assert DEFAULT_LAW.energy_per_cycle(2.0) == 4 * DEFAULT_LAW.energy_per_cycle(1.0)

@@ -1,0 +1,145 @@
+"""Continuous-voltage model tests (paper Section 3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.analytical import (
+    ContinuousCase,
+    ProgramParams,
+    optimize_continuous,
+    savings_ratio_continuous,
+    single_frequency_baseline,
+)
+from repro.core.analytical.continuous import energy_vs_v1_curve
+
+
+def mem_dominated():
+    """f_invariant < f_ideal and N_cache < N_overlap: two-voltage regime."""
+    return ProgramParams(8e5, 8e5, 3e5, 1000e-6)
+
+
+def compute_dominated():
+    return ProgramParams(2e6, 5e5, 3e5, 100e-6)
+
+
+def slack_case():
+    return ProgramParams(2e5, 5e5, 6e5, 1000e-6)
+
+
+class TestCaseClassification:
+    def test_computation_dominated_single_voltage(self):
+        p = compute_dominated()
+        deadline = p.execution_time_s(8e8) * 1.4
+        sol = optimize_continuous(p, deadline)
+        assert sol.case is ContinuousCase.COMPUTATION_DOMINATED
+        assert not sol.uses_two_settings
+
+    def test_memory_dominated_two_voltages(self):
+        p = mem_dominated()
+        sol = optimize_continuous(p, 3000e-6)
+        assert sol.case is ContinuousCase.MEMORY_DOMINATED
+        assert sol.uses_two_settings
+        assert sol.v1 < sol.v2  # slow during overlap, hurry after memory
+
+    def test_memory_dominated_with_slack_single_voltage(self):
+        p = slack_case()
+        deadline = p.execution_time_s(8e8) * 1.5
+        sol = optimize_continuous(p, deadline)
+        assert sol.case is ContinuousCase.MEMORY_DOMINATED_SLACK
+        assert not sol.uses_two_settings
+
+    def test_very_lax_deadline_hits_floor(self):
+        p = compute_dominated()
+        deadline = p.execution_time_s(1.7e8) * 2
+        sol = optimize_continuous(p, deadline)
+        assert sol.case is ContinuousCase.ALL_AT_FLOOR
+        assert sol.v1 == pytest.approx(0.70)
+
+    def test_infeasible_deadline_rejected(self):
+        p = mem_dominated()
+        with pytest.raises(AnalysisError):
+            optimize_continuous(p, p.execution_time_s(8e8) * 0.5)
+
+
+class TestOptimality:
+    def test_two_voltage_beats_single_in_memory_regime(self):
+        p = mem_dominated()
+        deadline = 3000e-6
+        optimum = optimize_continuous(p, deadline)
+        baseline = single_frequency_baseline(p, deadline)
+        assert optimum.energy <= baseline.energy * (1 + 1e-9)
+        assert optimum.energy < baseline.energy  # strictly better here
+
+    def test_no_savings_when_computation_dominated(self):
+        """Paper Section 3.3.3: savings require N_overlap > N_cache AND
+        f_ideal > f_invariant."""
+        p = compute_dominated()
+        deadline = p.execution_time_s(8e8) * 1.4
+        assert savings_ratio_continuous(p, deadline) == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_savings_in_slack_case(self):
+        p = slack_case()
+        deadline = p.execution_time_s(8e8) * 1.5
+        assert savings_ratio_continuous(p, deadline) == pytest.approx(0.0, abs=1e-9)
+
+    def test_optimum_on_curve_minimum(self):
+        """The numeric optimum must match the Figure 3 curve's minimum."""
+        p = mem_dominated()
+        deadline = 3000e-6
+        sol = optimize_continuous(p, deadline)
+        curve = energy_vs_v1_curve(p, deadline, samples=300)
+        curve_min = min(e for _, e in curve)
+        assert sol.energy <= curve_min * (1 + 1e-3)
+
+    def test_deadline_met_exactly(self):
+        p = mem_dominated()
+        deadline = 3000e-6
+        sol = optimize_continuous(p, deadline)
+        region1 = max(p.t_invariant_s + p.n_cache / sol.f1, p.n_overlap / sol.f1)
+        total = region1 + p.n_dependent / sol.f2
+        assert total <= deadline * (1 + 1e-6)
+
+    def test_savings_nan_when_infeasible(self):
+        import math
+
+        p = mem_dominated()
+        assert math.isnan(savings_ratio_continuous(p, 1e-9))
+
+
+class TestFigureCurves:
+    def test_fig2_computation_dominated_curve_is_convex_around_min(self):
+        p = compute_dominated()
+        deadline = p.execution_time_s(8e8) * 1.4
+        curve = energy_vs_v1_curve(p, deadline, samples=120)
+        energies = [e for _, e in curve]
+        i_min = energies.index(min(energies))
+        # decreasing before the min, increasing after (unimodal)
+        assert all(energies[i] >= energies[i + 1] - 1e-6 for i in range(i_min))
+        assert all(energies[i] <= energies[i + 1] + 1e-6 for i in range(i_min, len(energies) - 1))
+
+    def test_fig3_memory_dominated_min_below_v_ideal(self):
+        """Figure 3: optimal v1 sits below the single-voltage v_ideal."""
+        p = mem_dominated()
+        deadline = 3000e-6
+        sol = optimize_continuous(p, deadline)
+        baseline = single_frequency_baseline(p, deadline)
+        assert sol.v1 < baseline.v1
+        assert sol.v2 > baseline.v1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nov=st.floats(1e5, 5e6),
+    ndep=st.floats(1e5, 5e6),
+    ncache=st.floats(1e4, 2e6),
+    slack=st.floats(1.05, 3.0),
+)
+def test_optimum_never_exceeds_baseline(nov, ndep, ncache, slack):
+    """Property: the DVS optimum is never worse than the best single
+    frequency (it can always emulate it)."""
+    p = ProgramParams(nov, ndep, ncache, 500e-6)
+    deadline = p.execution_time_s(8e8) * slack
+    optimum = optimize_continuous(p, deadline)
+    baseline = single_frequency_baseline(p, deadline)
+    assert optimum.energy <= baseline.energy * (1 + 1e-6)

@@ -1,0 +1,166 @@
+"""Discrete-voltage model tests (paper Section 3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.analytical import (
+    ProgramParams,
+    discrete_single_baseline,
+    emin_y_curve,
+    optimize_discrete,
+    savings_ratio_discrete,
+)
+from repro.core.analytical.discrete import two_level_split
+from repro.simulator.dvs import make_mode_table
+
+T3 = make_mode_table(3)
+T7 = make_mode_table(7)
+T13 = make_mode_table(13)
+
+
+def compute_params():
+    return ProgramParams(2e6, 5e6, 1e5, 50e-6)
+
+
+def memory_params():
+    """Large miss time, overlap compute exceeds cache cycles."""
+    return ProgramParams(2e6, 3e6, 1.2e6, 3000e-6)
+
+
+class TestTwoLevelSplit:
+    def test_exact_level_uses_one_assignment(self):
+        cycles = T3[1].frequency_hz * 1e-3
+        parts = two_level_split(cycles, 1e-3, T3, "compute")
+        assert len(parts) == 1
+        assert parts[0].frequency_hz == T3[1].frequency_hz
+
+    def test_split_meets_budget_exactly(self):
+        cycles = 5e5
+        budget = 1.1e-3
+        parts = two_level_split(cycles, budget, T3, "compute")
+        if len(parts) == 2:
+            total_time = sum(p.time_s for p in parts)
+            assert total_time == pytest.approx(budget, rel=1e-9)
+        assert sum(p.cycles for p in parts) == pytest.approx(cycles)
+
+    def test_below_slowest_runs_all_slow(self):
+        parts = two_level_split(1e3, 1.0, T3, "compute")
+        assert len(parts) == 1
+        assert parts[0].frequency_hz == T3.slowest.frequency_hz
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(AnalysisError):
+            two_level_split(1e12, 1e-6, T3, "compute")
+
+    def test_zero_cycles_empty(self):
+        assert two_level_split(0, 1.0, T3, "compute") == []
+
+    def test_energy_below_pure_upper_level(self):
+        cycles = 5e5
+        budget = 1.1e-3
+        parts = two_level_split(cycles, budget, T3, "compute")
+        upper = max(p.voltage for p in parts)
+        pure_upper = cycles * upper * upper
+        assert sum(p.energy for p in parts) <= pure_upper
+
+
+class TestBaseline:
+    def test_picks_slowest_feasible_level(self):
+        p = compute_params()
+        deadline = p.execution_time_s(T3[1].frequency_hz) * 1.01
+        base = discrete_single_baseline(p, deadline, T3)
+        assert base.assignments[0].frequency_hz == T3[1].frequency_hz
+
+    def test_infeasible_deadline_rejected(self):
+        p = compute_params()
+        with pytest.raises(AnalysisError):
+            discrete_single_baseline(p, p.execution_time_s(8e8) * 0.5, T3)
+
+
+class TestOptimizeDiscrete:
+    def test_never_worse_than_baseline(self):
+        for p in (compute_params(), memory_params()):
+            for slack in (1.05, 1.5, 2.5, 3.8):
+                deadline = p.execution_time_s(8e8) * slack
+                opt = optimize_discrete(p, deadline, T7)
+                base = discrete_single_baseline(p, deadline, T7)
+                assert opt.energy <= base.energy * (1 + 1e-9)
+
+    def test_compute_split_uses_at_most_two_levels(self):
+        p = compute_params()
+        deadline = p.execution_time_s(8e8) * 1.5
+        opt = optimize_discrete(p, deadline, T7)
+        if opt.case == "compute-split":
+            assert opt.num_levels_used <= 2
+
+    def test_memory_case_uses_up_to_four_levels(self):
+        """Section 3.4: the memory-bound construction draws from four
+        frequencies (two per region)."""
+        p = memory_params()
+        deadline = p.execution_time_s(8e8) * 1.8
+        opt = optimize_discrete(p, deadline, T13)
+        assert opt.num_levels_used <= 5  # 4 + possible leftover overlap level
+
+    def test_savings_decrease_with_more_levels(self):
+        """The paper's headline discrete result: more voltage levels =>
+        less benefit from intra-program DVS."""
+        p = ProgramParams(1.3e7, 7e7, 2e5, 1000e-6)
+        deadline = p.execution_time_s(8e8) * 1.5
+        s3 = savings_ratio_discrete(p, deadline, T3)
+        s7 = savings_ratio_discrete(p, deadline, T7)
+        s13 = savings_ratio_discrete(p, deadline, T13)
+        assert s3 > s7 > s13
+        assert s13 >= 0
+
+    def test_schedule_time_within_deadline(self):
+        p = memory_params()
+        deadline = p.execution_time_s(8e8) * 1.7
+        opt = optimize_discrete(p, deadline, T7)
+        region_time = {"cache": 0.0, "dependent": 0.0, "compute": 0.0, "overlap-leftover": 0.0}
+        for a in opt.assignments:
+            region_time[a.region] += a.time_s
+        if opt.case == "memory-four-frequency":
+            total = region_time["cache"] + region_time["dependent"] + p.t_invariant_s
+            assert total <= deadline * (1 + 1e-6)
+        elif opt.case == "compute-split":
+            assert region_time["compute"] <= deadline * (1 + 1e-6)
+
+
+class TestEminYCurve:
+    def test_curve_exists_for_memory_case(self):
+        p = memory_params()
+        deadline = p.execution_time_s(8e8) * 1.8
+        curve = emin_y_curve(p, deadline, T7, samples=80)
+        assert len(curve) > 10
+
+    def test_sweep_minimum_matches_curve_minimum(self):
+        p = memory_params()
+        deadline = p.execution_time_s(8e8) * 1.8
+        curve = emin_y_curve(p, deadline, T7, samples=200)
+        opt = optimize_discrete(p, deadline, T7)
+        curve_min = min(e for _, e in curve)
+        assert opt.energy <= curve_min * (1 + 1e-9)
+
+    def test_curve_empty_when_not_memory_bound(self):
+        p = ProgramParams(4e6, 5.8e6, 3e5, 1e-6)  # tiny miss time
+        deadline = p.execution_time_s(8e8) * 1.2
+        assert emin_y_curve(p, deadline, T7) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nov=st.floats(1e5, 5e6),
+    ndep=st.floats(1e5, 5e6),
+    ncache=st.floats(1e4, 3e6),
+    tinv=st.floats(1e-5, 3e-3),
+    slack=st.floats(1.02, 3.5),
+)
+def test_discrete_savings_in_unit_interval(nov, ndep, ncache, tinv, slack):
+    """Property: savings ratio is within [0, 1] whenever feasible."""
+    import math
+
+    p = ProgramParams(nov, ndep, ncache, tinv)
+    deadline = p.execution_time_s(8e8) * slack
+    s = savings_ratio_discrete(p, deadline, T7, y_samples=60)
+    assert math.isnan(s) or 0.0 <= s <= 1.0

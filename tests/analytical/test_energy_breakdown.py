@@ -1,0 +1,89 @@
+"""Energy-breakdown reconstruction tests."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.analysis import energy_breakdown
+from repro.analysis.energy_breakdown import (
+    block_class_histogram,
+    block_line_counts,
+    memory_op_counts,
+)
+from repro.simulator import SCALE_CONFIG, XSCALE_3
+from repro.workloads import compile_workload, get_workload
+
+
+class TestHistograms:
+    def test_class_histogram_counts_all_instructions(self, small_cfg):
+        histogram = block_class_histogram(small_cfg)
+        total = sum(sum(counts.values()) for counts in histogram.values())
+        assert total == small_cfg.instruction_count()
+
+    def test_memory_op_counts(self, small_cfg):
+        mem = memory_op_counts(small_cfg)
+        assert sum(mem.values()) > 0
+        assert all(v >= 0 for v in mem.values())
+
+    def test_line_counts_at_least_one(self, small_cfg):
+        lines = block_line_counts(small_cfg, SCALE_CONFIG)
+        assert all(v >= 1 for v in lines.values())
+
+
+class TestBreakdown:
+    def test_explains_most_of_the_energy(self, small_cfg, small_profile):
+        """The reconstruction covers everything except the L2/miss path;
+        the residual must be a modest fraction for a mixed program."""
+        for mode in (0, 2):
+            breakdown = energy_breakdown(
+                small_cfg, small_profile, mode, XSCALE_3, SCALE_CONFIG
+            )
+            assert breakdown.explained_nj <= breakdown.total_nj * (1 + 1e-9)
+            assert breakdown.residual_fraction < 0.30
+            assert breakdown.total_nj == pytest.approx(
+                small_profile.cpu_energy_nj[mode]
+            )
+
+    def test_categories_scale_with_v_squared(self, small_cfg, small_profile):
+        low = energy_breakdown(small_cfg, small_profile, 0, XSCALE_3, SCALE_CONFIG)
+        high = energy_breakdown(small_cfg, small_profile, 2, XSCALE_3, SCALE_CONFIG)
+        ratio = (0.70 / 1.65) ** 2
+        for key, value in low.by_class.items():
+            assert value == pytest.approx(high.by_class[key] * ratio, rel=1e-9)
+
+    def test_rows_ordered_and_fractions_sum(self, small_cfg, small_profile):
+        breakdown = energy_breakdown(small_cfg, small_profile, 1, XSCALE_3, SCALE_CONFIG)
+        rows = breakdown.rows()
+        assert rows[-1][0] == "l2+misses"
+        values = [v for _, v, _ in rows[:-1]]
+        assert values == sorted(values, reverse=True)
+        assert sum(fraction for _, _, fraction in rows) == pytest.approx(1.0, rel=1e-6)
+
+    def test_missing_mode_rejected(self, small_cfg, small_profile):
+        with pytest.raises(ProfileError):
+            energy_breakdown(small_cfg, small_profile, 9, XSCALE_3, SCALE_CONFIG)
+
+    def test_workload_character_visible(self):
+        """gsm must show multiplies as a leading category; epic must show
+        floating-point work."""
+        from repro.core import DVSOptimizer
+        from repro.simulator import Machine
+
+        machine = Machine(SCALE_CONFIG, XSCALE_3)
+
+        def shares(name):
+            spec = get_workload(name)
+            cfg = compile_workload(name)
+            profile = DVSOptimizer(machine).profile(
+                cfg, inputs=spec.inputs(), registers=spec.registers()
+            )
+            breakdown = energy_breakdown(cfg, profile, 2, XSCALE_3, SCALE_CONFIG)
+            class_total = sum(breakdown.by_class.values())
+            return {k: v / class_total for k, v in breakdown.by_class.items()}
+
+        gsm_shares = shares("gsm")
+        assert gsm_shares.get("int_mul", 0.0) > 0.10  # MAC-bound kernel
+        epic_shares = shares("epic")
+        fp = sum(v for k, v in epic_shares.items() if k.startswith("fp_"))
+        assert fp > 0.05  # the wavelet float work is visible
+        # (address arithmetic dominates raw counts — the realistic outcome)
+        assert epic_shares.get("int_alu", 0.0) > fp / 10

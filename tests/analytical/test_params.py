@@ -1,0 +1,79 @@
+"""ProgramParams tests: derived frequencies and single-frequency timing."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.analytical import ProgramParams
+
+
+def params(nov=4e6, ndep=5e6, ncache=3e5, tinv=1e-3):
+    return ProgramParams(nov, ndep, ncache, tinv)
+
+
+class TestValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            ProgramParams(-1, 0, 0, 0)
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(AnalysisError):
+            params().f_ideal(0)
+
+
+class TestDerivedFrequencies:
+    def test_f_invariant_definition(self):
+        p = params(nov=4e6, ncache=3e5, tinv=1e-3)
+        assert p.f_invariant() == pytest.approx((4e6 - 3e5) / 1e-3)
+
+    def test_f_invariant_zero_when_cache_dominates(self):
+        assert params(nov=1e5, ncache=2e5).f_invariant() == 0.0
+
+    def test_f_invariant_infinite_without_misses(self):
+        assert params(tinv=0.0).f_invariant() == float("inf")
+
+    def test_f_ideal(self):
+        p = params(nov=4e6, ndep=6e6)
+        assert p.f_ideal(1e-3) == pytest.approx(1e10)
+
+    def test_f_ideal_slack_requires_slack(self):
+        with pytest.raises(AnalysisError):
+            params(tinv=2e-3).f_ideal_slack(1e-3)
+
+
+class TestExecutionTime:
+    def test_compute_dominated_regime(self):
+        p = params(nov=8e6, ncache=0, tinv=1e-6)
+        f = 1e9
+        # overlap compute (8ms at 1GHz) dwarfs 1us of memory
+        assert p.execution_time_s(f) == pytest.approx((8e6 + 5e6) / f)
+
+    def test_memory_dominated_regime(self):
+        p = params(nov=1e3, ncache=1e3, tinv=1e-3)
+        f = 1e9
+        expected = 1e-3 + 1e3 / f + 5e6 / f
+        assert p.execution_time_s(f) == pytest.approx(expected)
+
+    def test_time_decreases_with_frequency(self):
+        p = params()
+        assert p.execution_time_s(8e8) < p.execution_time_s(2e8)
+
+    def test_min_single_frequency_meets_deadline_exactly(self):
+        p = params()
+        for slack in (1.05, 1.3, 2.0, 3.5):
+            deadline = p.execution_time_s(8e8) * slack
+            f = p.min_single_frequency(deadline)
+            assert p.execution_time_s(f) == pytest.approx(deadline, rel=1e-9)
+
+    def test_min_single_frequency_infeasible_below_memory_floor(self):
+        p = params(tinv=1e-3)
+        with pytest.raises(AnalysisError):
+            p.min_single_frequency(0.5e-3)
+
+    def test_region1_active_cycles_is_max(self):
+        assert params(nov=5, ncache=9).region1_active_cycles == 9
+        assert params(nov=9, ncache=5).region1_active_cycles == 9
+
+    def test_scaled(self):
+        p = params().scaled(2.0)
+        assert p.n_overlap == 8e6
+        assert p.t_invariant_s == 2e-3

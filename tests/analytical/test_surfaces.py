@@ -1,0 +1,105 @@
+"""Sweep/surface tests (the machinery behind Figures 5-11)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.analytical import ProgramParams
+from repro.analysis import Surface, sweep_continuous, sweep_discrete
+from repro.simulator.dvs import make_mode_table
+
+T7 = make_mode_table(7)
+
+
+def base_params():
+    return ProgramParams(8e5, 8e5, 3e5, 1000e-6)
+
+
+class TestSweeps:
+    def test_continuous_surface_shape(self):
+        surface = sweep_continuous(
+            base_params(), 3000e-6,
+            "n_overlap", np.linspace(2e5, 1.8e6, 5),
+            "n_dependent", np.linspace(1e5, 1.5e6, 4),
+        )
+        assert surface.z.shape == (4, 5)
+        assert surface.x_axis == "n_overlap"
+
+    def test_deadline_axis_supported(self):
+        surface = sweep_continuous(
+            base_params(), 3000e-6,
+            "t_deadline", np.linspace(2000e-6, 5000e-6, 4),
+            "n_cache", np.linspace(1e5, 6e5, 3),
+        )
+        assert surface.z.shape == (3, 4)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep_continuous(
+                base_params(), 3000e-6,
+                "bogus", [1, 2], "n_cache", [1e5],
+            )
+
+    def test_discrete_sweep_runs(self):
+        surface = sweep_discrete(
+            base_params(), 3000e-6,
+            "n_overlap", np.linspace(2e5, 1.8e6, 4),
+            "n_dependent", np.linspace(1e5, 1.5e6, 3),
+            T7, y_samples=40,
+        )
+        assert surface.z.shape == (3, 4)
+        assert np.nanmax(surface.z) >= 0
+
+    def test_fig5_structure_zero_plateau_and_ridge(self):
+        """Figure 5's qualitative shape: zero savings when N_overlap is
+        small (<= N_cache) and when N_overlap is very large (compute
+        dominance); positive savings in between."""
+        p = ProgramParams(0, 0, 3e5, 1000e-6)
+        surface = sweep_continuous(
+            p, 3000e-6,
+            "n_overlap", [1e5, 8e5, 1.5e6],
+            "n_dependent", [8e5],
+        )
+        row = surface.z[0]
+        assert row[0] == pytest.approx(0.0, abs=1e-9)   # N_ov < N_cache
+        assert row[1] > 0.005                           # memory-dominated ridge
+        assert row[2] == pytest.approx(0.0, abs=1e-9)   # compute-dominated
+
+
+class TestSurfaceHelpers:
+    def _surface(self):
+        z = np.array([[0.1, np.nan], [0.4, 0.2]])
+        return Surface("x", "y", np.array([1.0, 2.0]), np.array([10.0, 20.0]), z)
+
+    def test_max_savings_ignores_nan(self):
+        assert self._surface().max_savings == pytest.approx(0.4)
+
+    def test_argmax_coordinates(self):
+        assert self._surface().argmax() == (1.0, 20.0)
+
+    def test_feasible_fraction(self):
+        assert self._surface().feasible_fraction == pytest.approx(0.75)
+
+    def test_row_column_access(self):
+        s = self._surface()
+        assert s.row(1).tolist() == [0.4, 0.2]
+        assert s.column(0).tolist() == [0.1, 0.4]
+
+
+class TestReport:
+    def test_table_renders_aligned(self):
+        from repro.analysis import Table
+
+        t = Table("Demo", ["name", "value"])
+        t.add_row(["alpha", 1.2345])
+        t.add_row(["b", 2])
+        text = t.render()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.23" in text
+
+    def test_format_series_downsamples(self):
+        from repro.analysis import format_series
+
+        text = format_series("Fig", list(range(100)), list(range(100)), max_points=10)
+        assert text.count("\n") < 20

@@ -1,0 +1,64 @@
+"""Shared fixtures: a small mixed compute/memory program and machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DVSOptimizer
+from repro.lang import compile_program
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+
+SMALL_SOURCE = """
+func main(n: int) -> int {
+    extern a: int[4096];
+    array b: int[4096];
+    var acc: int = 0;
+    # streaming phase (memory-bound)
+    for (var i: int = 0; i < n; i = i + 1) {
+        b[i] = a[i] * 3 + 1;
+    }
+    # compute phase (cpu-bound, small working set)
+    for (var r: int = 0; r < 30; r = r + 1) {
+        for (var j: int = 0; j < 48; j = j + 1) {
+            acc = (acc + b[j] * b[j]) % 9973;
+        }
+    }
+    return acc;
+}
+"""
+
+SMALL_N = 4096
+
+
+@pytest.fixture(scope="session")
+def small_cfg():
+    return compile_program(SMALL_SOURCE, "small-mixed")
+
+
+@pytest.fixture(scope="session")
+def small_inputs():
+    return {"a": [i % 251 for i in range(SMALL_N)]}
+
+
+@pytest.fixture(scope="session")
+def small_registers():
+    return {"main.n": SMALL_N}
+
+
+@pytest.fixture(scope="session")
+def machine3():
+    """Scale-model machine with the XScale-like 3-mode table and the
+    paper's typical transition cost (c = 10 uF, u = 0.9, Imax = 1 A)."""
+    return Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+
+
+@pytest.fixture(scope="session")
+def optimizer(machine3):
+    return DVSOptimizer(machine3)
+
+
+@pytest.fixture(scope="session")
+def small_profile(optimizer, small_cfg, small_inputs, small_registers):
+    """Profile of the small program under all three modes (shared: three
+    simulator runs are the expensive part of these tests)."""
+    return optimizer.profile(small_cfg, inputs=small_inputs, registers=small_registers)

@@ -1,0 +1,137 @@
+"""Tests for CFG structure, edges, orders and array layout."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import CFG, BasicBlock, FunctionBuilder, Jump, Ret
+from repro.ir.cfg import ENTRY_EDGE_SOURCE
+
+
+def diamond() -> CFG:
+    """entry -> (left | right) -> merge -> ret"""
+    fb = FunctionBuilder("diamond")
+    entry = fb.block("entry")
+    cond = fb.const(1)
+    left = fb.new_block("left")
+    right = fb.new_block("right")
+    merge = fb.new_block("merge")
+    fb.branch(cond, left, right)
+    fb.set_current(left)
+    fb.jump(merge)
+    fb.set_current(right)
+    fb.jump(merge)
+    fb.set_current(merge)
+    fb.ret()
+    return fb.finish()
+
+
+class TestStructure:
+    def test_duplicate_label_rejected(self):
+        cfg = CFG("x")
+        cfg.add_block(BasicBlock("a"))
+        with pytest.raises(IRError):
+            cfg.add_block(BasicBlock("a"))
+
+    def test_entry_defaults_to_first_block(self):
+        cfg = CFG("x")
+        cfg.add_block(BasicBlock("first"))
+        assert cfg.entry == "first"
+
+    def test_missing_block_lookup(self):
+        cfg = CFG("x")
+        with pytest.raises(IRError):
+            cfg.block("nope")
+
+    def test_edges_of_diamond(self):
+        cfg = diamond()
+        edges = set(cfg.edges())
+        assert edges == {
+            ("entry", "left"), ("entry", "right"),
+            ("left", "merge"), ("right", "merge"),
+        }
+
+    def test_entry_edge_included_on_request(self):
+        cfg = diamond()
+        assert (ENTRY_EDGE_SOURCE, "entry") in cfg.edges(include_entry=True)
+
+    def test_predecessors(self):
+        cfg = diamond()
+        assert set(cfg.predecessors("merge")) == {"left", "right"}
+        preds = cfg.predecessor_map()
+        assert preds["entry"] == []
+        assert set(preds["merge"]) == {"left", "right"}
+
+    def test_exit_blocks(self):
+        cfg = diamond()
+        assert cfg.exit_blocks() == ["merge"]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = diamond()
+        order = cfg.reverse_postorder()
+        assert order[0] == "entry"
+        assert order[-1] == "merge"
+        assert set(order) == set(cfg.blocks)
+
+    def test_reverse_postorder_respects_dominance(self):
+        cfg = diamond()
+        order = cfg.reverse_postorder()
+        assert order.index("entry") < order.index("left")
+        assert order.index("left") < order.index("merge")
+        assert order.index("right") < order.index("merge")
+
+    def test_len_and_iter(self):
+        cfg = diamond()
+        assert len(cfg) == 4
+        assert [b.label for b in cfg] == list(cfg.blocks)
+
+    def test_pretty_renders(self):
+        assert "entry:" in diamond().pretty()
+
+
+class TestArrays:
+    def test_layout_is_line_aligned_and_disjoint(self):
+        cfg = CFG("x")
+        base_a = cfg.add_array("a", 10)
+        base_b = cfg.add_array("b", 3)
+        assert base_a == 0
+        assert base_b % 32 == 0
+        assert base_b >= 10 * cfg.element_size
+
+    def test_duplicate_array_rejected(self):
+        cfg = CFG("x")
+        cfg.add_array("a", 4)
+        with pytest.raises(IRError):
+            cfg.add_array("a", 4)
+
+    def test_unknown_array_base(self):
+        with pytest.raises(IRError):
+            CFG("x").array_base("ghost")
+
+    def test_data_size_covers_all(self):
+        cfg = CFG("x")
+        cfg.add_array("a", 10)
+        base_b = cfg.add_array("b", 5)
+        assert cfg.data_size() == base_b + 5 * cfg.element_size
+
+
+class TestBlock:
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Ret())
+        with pytest.raises(IRError):
+            block.append(Jump("x"))
+
+    def test_terminator_access_requires_termination(self):
+        block = BasicBlock("b")
+        with pytest.raises(IRError):
+            _ = block.terminator
+        block.append(Jump("x"))
+        assert block.terminator.targets() == ("x",)
+
+    def test_body_excludes_terminator(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry")
+        fb.const(1)
+        fb.ret()
+        block = fb.cfg.block("entry")
+        assert len(block.body) == len(block) - 1

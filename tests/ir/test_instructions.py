@@ -1,0 +1,93 @@
+"""Tests for the instruction set definitions."""
+
+import pytest
+
+from repro.ir import BinOp, Branch, Const, Jump, Load, Move, OpClass, Ret, Store, UnOp
+from repro.ir.instructions import BINARY_OPS, UNARY_OPS, classify_op
+
+
+class TestOpClass:
+    def test_latencies_positive(self):
+        for cls in OpClass:
+            assert cls.latency >= 1
+            assert cls.c_eff > 0
+
+    def test_division_slower_than_addition(self):
+        assert OpClass.INT_DIV.latency > OpClass.INT_ALU.latency
+        assert OpClass.FP_DIV.latency > OpClass.FP_ADD.latency
+
+    def test_fp_costs_more_energy_than_int(self):
+        assert OpClass.FP_MUL.c_eff > OpClass.INT_MUL.c_eff
+
+
+class TestClassify:
+    def test_every_binary_op_classifies(self):
+        for op in BINARY_OPS:
+            assert classify_op(op) in OpClass
+
+    def test_every_unary_op_classifies(self):
+        for op in UNARY_OPS:
+            assert classify_op(op) in OpClass
+
+    def test_int_ops(self):
+        assert classify_op("add") is OpClass.INT_ALU
+        assert classify_op("mul") is OpClass.INT_MUL
+        assert classify_op("div") is OpClass.INT_DIV
+
+    def test_fp_ops(self):
+        assert classify_op("fadd") is OpClass.FP_ADD
+        assert classify_op("fmul") is OpClass.FP_MUL
+        assert classify_op("sqrt") is OpClass.FP_DIV
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            classify_op("frobnicate")
+
+
+class TestUsesDefs:
+    def test_binop(self):
+        instr = BinOp("add", "d", "a", "b")
+        assert list(instr.uses()) == ["a", "b"]
+        assert instr.defs() == "d"
+        assert not instr.is_terminator
+
+    def test_invalid_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("nosuch", "d", "a", "b")
+
+    def test_invalid_unop_rejected(self):
+        with pytest.raises(ValueError):
+            UnOp("nosuch", "d", "a")
+
+    def test_load_store(self):
+        load = Load("d", "base", 8)
+        store = Store("v", "base", 4)
+        assert list(load.uses()) == ["base"]
+        assert load.defs() == "d"
+        assert set(store.uses()) == {"v", "base"}
+        assert store.defs() is None
+
+    def test_branch_targets(self):
+        br = Branch("c", "t", "f")
+        assert br.is_terminator
+        assert br.targets() == ("t", "f")
+        assert list(br.uses()) == ["c"]
+
+    def test_jump_and_ret(self):
+        assert Jump("x").targets() == ("x",)
+        assert Ret("v").targets() == ()
+        assert list(Ret("v").uses()) == ["v"]
+        assert list(Ret(None).uses()) == []
+
+    def test_const_and_move(self):
+        c = Const("d", 3)
+        m = Move("d", "s")
+        assert c.defs() == "d"
+        assert list(c.uses()) == []
+        assert list(m.uses()) == ["s"]
+
+    def test_reprs_render(self):
+        for instr in (Const("d", 1), Move("d", "s"), BinOp("add", "d", "a", "b"),
+                      UnOp("neg", "d", "s"), Load("d", "b", 4), Store("s", "b"),
+                      Branch("c", "t", "f"), Jump("t"), Ret("v"), Ret()):
+            assert repr(instr)

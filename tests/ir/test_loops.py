@@ -1,0 +1,139 @@
+"""Tests for dominators and natural-loop detection."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, compute_dominators, find_natural_loops
+from repro.ir.loops import dominates, loop_nesting, validate_loop
+
+
+def single_loop():
+    fb = FunctionBuilder("loop")
+    fb.block("entry")
+    c = fb.const(1, "%c")
+    header = fb.new_block("header")
+    body = fb.new_block("body")
+    exit_ = fb.new_block("exit")
+    fb.jump(header)
+    fb.set_current(header)
+    fb.branch("%c", body, exit_)
+    fb.set_current(body)
+    fb.jump(header)
+    fb.set_current(exit_)
+    fb.ret()
+    return fb.finish()
+
+
+def nested_loops():
+    fb = FunctionBuilder("nested")
+    fb.block("entry")
+    c = fb.const(1, "%c")
+    outer = fb.new_block("outer")
+    inner = fb.new_block("inner")
+    inner_body = fb.new_block("inner_body")
+    outer_latch = fb.new_block("outer_latch")
+    exit_ = fb.new_block("exit")
+    fb.jump(outer)
+    fb.set_current(outer)
+    fb.branch("%c", inner, exit_)
+    fb.set_current(inner)
+    fb.branch("%c", inner_body, outer_latch)
+    fb.set_current(inner_body)
+    fb.jump(inner)
+    fb.set_current(outer_latch)
+    fb.jump(outer)
+    fb.set_current(exit_)
+    fb.ret()
+    return fb.finish()
+
+
+class TestDominators:
+    def test_entry_has_no_idom(self):
+        cfg = single_loop()
+        idom = compute_dominators(cfg)
+        assert idom["entry"] is None
+
+    def test_loop_structure_dominance(self):
+        cfg = single_loop()
+        idom = compute_dominators(cfg)
+        assert idom["header"] == "entry"
+        assert idom["body"] == "header"
+        assert idom["exit"] == "header"
+
+    def test_dominates_reflexive_and_transitive(self):
+        cfg = nested_loops()
+        idom = compute_dominators(cfg)
+        assert dominates(idom, "outer", "outer")
+        assert dominates(idom, "entry", "inner_body")
+        assert dominates(idom, "outer", "inner")
+        assert not dominates(idom, "inner_body", "outer")
+
+    def test_diamond_merge_dominated_by_fork(self):
+        fb = FunctionBuilder("d")
+        fb.block("entry")
+        c = fb.const(1, "%c")
+        a = fb.new_block("a")
+        b = fb.new_block("b")
+        m = fb.new_block("m")
+        fb.branch("%c", a, b)
+        fb.set_current(a)
+        fb.jump(m)
+        fb.set_current(b)
+        fb.jump(m)
+        fb.set_current(m)
+        fb.ret()
+        idom = compute_dominators(fb.finish())
+        assert idom["m"] == "entry"  # neither a nor b dominates the merge
+
+
+class TestNaturalLoops:
+    def test_single_loop_found(self):
+        cfg = single_loop()
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "header"
+        assert loop.back_edges == [("body", "header")]
+        assert loop.blocks == {"header", "body"}
+        validate_loop(cfg, loop)
+
+    def test_nested_loops_found_with_nesting(self):
+        cfg = nested_loops()
+        loops = find_natural_loops(cfg)
+        headers = {l.header for l in loops}
+        assert headers == {"outer", "inner"}
+        outer = next(l for l in loops if l.header == "outer")
+        inner = next(l for l in loops if l.header == "inner")
+        assert inner.blocks <= outer.blocks
+        depths = loop_nesting(loops)
+        assert depths["outer"] == 1
+        assert depths["inner"] == 2
+
+    def test_entry_edges_come_from_outside(self):
+        cfg = single_loop()
+        loop = find_natural_loops(cfg)[0]
+        assert loop.entry_edges(cfg) == [("entry", "header")]
+
+    def test_loop_free_graph_has_no_loops(self):
+        fb = FunctionBuilder("straight")
+        fb.block("entry")
+        fb.ret()
+        assert find_natural_loops(fb.finish()) == []
+
+    def test_frontend_for_loop_detected(self):
+        from repro.lang import compile_program
+
+        cfg = compile_program(
+            """
+            func main(n: int) -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < n; i = i + 1) {
+                    for (var j: int = 0; j < n; j = j + 1) { s = s + 1; }
+                }
+                return s;
+            }
+            """
+        )
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 2
+        depths = loop_nesting(loops)
+        assert sorted(depths.values()) == [1, 2]

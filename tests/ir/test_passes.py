@@ -1,0 +1,333 @@
+"""Optimization-pass tests: per-pass behaviour, semantic preservation
+(including a hypothesis oracle), and the fixpoint pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import FunctionBuilder, interpret, validate_cfg
+from repro.ir.instructions import BinOp, Branch, Const, Jump, Load, Move, Ret, Store
+from repro.ir.passes import (
+    compute_liveness,
+    eliminate_dead_code,
+    fold_constants,
+    optimize,
+    propagate_copies,
+    simplify_cfg,
+)
+from repro.lang import compile_program
+
+
+def build_straightline(instructions_builder):
+    fb = FunctionBuilder("t")
+    fb.add_array("mem", 16)
+    fb.block("entry")
+    ret_reg = instructions_builder(fb)
+    fb.ret(ret_reg)
+    return fb.finish()
+
+
+class TestConstFold:
+    def test_folds_constant_binop(self):
+        def body(fb):
+            a = fb.const(6)
+            b = fb.const(7)
+            return fb.binop("mul", a, b)
+
+        cfg = build_straightline(body)
+        folded = fold_constants(cfg)
+        assert folded == 1
+        assert interpret(cfg).return_value == 42
+        # The mul became a Const.
+        kinds = [type(i).__name__ for i in cfg.block("entry").instructions]
+        assert "BinOp" not in kinds
+
+    def test_folds_through_moves(self):
+        def body(fb):
+            a = fb.const(10)
+            b = fb.move(a)
+            return fb.binop("add", b, a)
+
+        cfg = build_straightline(body)
+        fold_constants(cfg)
+        assert interpret(cfg).return_value == 20
+
+    def test_division_by_zero_not_folded(self):
+        def body(fb):
+            a = fb.const(1)
+            z = fb.const(0)
+            return fb.binop("div", a, z)
+
+        cfg = build_straightline(body)
+        assert fold_constants(cfg) == 0  # the trap stays a runtime event
+
+    def test_branch_on_constant_becomes_jump(self):
+        fb = FunctionBuilder("t")
+        fb.block("entry")
+        c = fb.const(1)
+        t = fb.new_block("t")
+        f = fb.new_block("f")
+        fb.branch(c, t, f)
+        fb.set_current(t)
+        one = fb.const(1)
+        fb.ret(one)
+        fb.set_current(f)
+        two = fb.const(2)
+        fb.ret(two)
+        cfg = fb.finish()
+        fold_constants(cfg)
+        assert isinstance(cfg.block("entry").terminator, Jump)
+        simplify_cfg(cfg)
+        assert "f" not in cfg.blocks  # untaken side removed
+        assert interpret(cfg).return_value == 1
+
+    def test_unknown_register_blocks_folding(self):
+        fb = FunctionBuilder("t")
+        fb.add_array("a", 4)
+        fb.block("entry")
+        base = fb.const(0)
+        loaded = fb.load(base)  # unknown at compile time
+        one = fb.const(1)
+        result = fb.binop("add", loaded, one)
+        fb.ret(result)
+        cfg = fb.finish()
+        folded = fold_constants(cfg)
+        # only constants feed consts; the add must survive
+        assert any(isinstance(i, BinOp) for i in cfg.block("entry").instructions)
+
+
+class TestCopyProp:
+    def test_use_rewritten_through_copy(self):
+        def body(fb):
+            a = fb.const(5, "%a")
+            b = fb.move("%a", "%b")
+            return fb.binop("add", "%b", "%b")
+
+        cfg = build_straightline(body)
+        rewritten = propagate_copies(cfg)
+        assert rewritten == 2
+        add = next(i for i in cfg.block("entry").instructions if isinstance(i, BinOp))
+        assert add.lhs == "%a" and add.rhs == "%a"
+        assert interpret(cfg).return_value == 10
+
+    def test_chain_resolves_to_origin(self):
+        def body(fb):
+            fb.const(3, "%a")
+            fb.move("%a", "%b")
+            fb.move("%b", "%c")
+            return fb.binop("add", "%c", "%c")
+
+        cfg = build_straightline(body)
+        propagate_copies(cfg)
+        add = next(i for i in cfg.block("entry").instructions if isinstance(i, BinOp))
+        assert add.lhs == "%a"
+
+    def test_redefinition_kills_copy(self):
+        def body(fb):
+            fb.const(1, "%a")
+            fb.move("%a", "%b")
+            fb.const(9, "%a")       # %a redefined: %b must keep old value
+            return fb.binop("add", "%b", "%a")
+
+        cfg = build_straightline(body)
+        propagate_copies(cfg)
+        assert interpret(cfg).return_value == 10
+
+
+class TestLiveness:
+    def test_loop_carried_register_live_around_backedge(self):
+        cfg = compile_program("""
+        func main(n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        """)
+        info = compute_liveness(cfg)
+        # The accumulator is live out of the loop body (read next iteration
+        # or at the return).
+        body_labels = [l for l in cfg.blocks if "bb" in l]
+        assert any("main.s" in info.live_out[l] for l in cfg.blocks)
+
+    def test_dead_past_last_use(self):
+        def body(fb):
+            fb.const(1, "%dead")
+            return fb.const(2, "%live")
+
+        cfg = build_straightline(body)
+        info = compute_liveness(cfg)
+        assert "%dead" not in info.live_out["entry"]
+
+
+class TestDCE:
+    def test_removes_dead_arithmetic(self):
+        def body(fb):
+            a = fb.const(1)
+            b = fb.const(2)
+            fb.binop("add", a, b)       # dead
+            return fb.const(7)
+
+        cfg = build_straightline(body)
+        removed = eliminate_dead_code(cfg)
+        assert removed >= 1
+        assert interpret(cfg).return_value == 7
+
+    def test_keeps_stores(self):
+        def body(fb):
+            v = fb.const(5)
+            base = fb.const(0)
+            fb.store(v, base)           # side effect: must stay
+            return fb.const(0)
+
+        cfg = build_straightline(body)
+        eliminate_dead_code(cfg)
+        assert any(isinstance(i, Store) for i in cfg.block("entry").instructions)
+
+    def test_keeps_trapping_division(self):
+        def body(fb):
+            a = fb.const(1)
+            z = fb.const(0)
+            fb.binop("div", a, z)       # dead result but trapping
+            return fb.const(3)
+
+        cfg = build_straightline(body)
+        eliminate_dead_code(cfg)
+        assert any(
+            isinstance(i, BinOp) and i.op == "div"
+            for i in cfg.block("entry").instructions
+        )
+
+    def test_removes_dead_load(self):
+        def body(fb):
+            base = fb.const(0)
+            fb.load(base)               # dead
+            return fb.const(4)
+
+        cfg = build_straightline(body)
+        eliminate_dead_code(cfg)
+        assert not any(isinstance(i, Load) for i in cfg.block("entry").instructions)
+
+    def test_cascading_chain_within_block(self):
+        def body(fb):
+            a = fb.const(1)
+            b = fb.binop("add", a, a)   # feeds only c
+            fb.binop("add", b, b)       # dead -> makes b dead -> makes a dead?
+            return fb.const(9)
+
+        cfg = build_straightline(body)
+        eliminate_dead_code(cfg)
+        body_instrs = cfg.block("entry").instructions
+        assert not any(isinstance(i, BinOp) for i in body_instrs)
+
+
+class TestSimplify:
+    def test_threads_empty_jump_block(self):
+        fb = FunctionBuilder("t")
+        fb.block("entry")
+        c = fb.const(1)
+        hop = fb.new_block("hop")
+        final = fb.new_block("final")
+        other = fb.new_block("other")
+        fb.branch(c, hop, other)
+        fb.set_current(hop)
+        fb.jump(final)
+        fb.set_current(other)
+        fb.jump(final)
+        fb.set_current(final)
+        fb.ret(c)
+        cfg = fb.finish()
+        simplify_cfg(cfg)
+        assert "hop" not in cfg.blocks
+        assert interpret(cfg).return_value == 1
+
+    def test_merges_linear_chain(self):
+        fb = FunctionBuilder("t")
+        fb.block("entry")
+        a = fb.const(2)
+        nxt = fb.new_block("next")
+        fb.jump(nxt)
+        fb.set_current(nxt)
+        b = fb.binop("mul", a, a)
+        fb.ret(b)
+        cfg = fb.finish()
+        simplify_cfg(cfg)
+        assert len(cfg.blocks) == 1
+        assert interpret(cfg).return_value == 4
+
+    def test_entry_never_removed(self):
+        fb = FunctionBuilder("t")
+        fb.block("entry")
+        target = fb.new_block("target")
+        fb.jump(target)
+        fb.set_current(target)
+        v = fb.const(1)
+        fb.ret(v)
+        cfg = fb.finish()
+        simplify_cfg(cfg)
+        assert cfg.entry in cfg.blocks
+
+
+class TestPipeline:
+    def test_workload_semantics_preserved(self):
+        from repro.workloads import get_workload
+
+        spec = get_workload("adpcm")
+        cfg = compile_program(spec.source, "adpcm-opt")
+        inputs, regs = spec.inputs(), spec.registers()
+        before = interpret(cfg, inputs=inputs, registers=regs).return_value
+        result = optimize(cfg)
+        validate_cfg(cfg)
+        after = interpret(cfg, inputs=inputs, registers=regs).return_value
+        assert before == after
+        assert result.shrink_ratio > 0.02
+        assert result.rounds >= 1
+
+    def test_result_counts(self):
+        cfg = compile_program(
+            "func main() -> int { var x: int = 2 + 3; var dead: int = x * 9; return x; }"
+        )
+        result = optimize(cfg)
+        assert result.instructions_after <= result.instructions_before
+        assert result.total_changes > 0
+
+    def test_idempotent_at_fixpoint(self):
+        cfg = compile_program(
+            "func main(n: int) -> int { var s: int = 0; "
+            "for (var i: int = 0; i < n; i = i + 1) { s = s + i * 2; } return s; }"
+        )
+        optimize(cfg)
+        second = optimize(cfg)
+        assert second.total_changes == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.integers(-50, 50),
+    b=st.integers(1, 30),
+    n=st.integers(0, 12),
+)
+def test_optimized_program_matches_unoptimized(a, b, n):
+    """Property: the pass pipeline never changes a program's result."""
+    source = f"""
+    func main(n: int) -> int {{
+        array scratch: int[16];
+        var x: int = {a};
+        var y: int = {b};
+        var s: int = x * y + 3;
+        var unused: int = s * 31;          # dead
+        var alias: int = s;                 # copy
+        for (var i: int = 0; i < n; i = i + 1) {{
+            scratch[i % 16] = alias + i;
+            s = s + scratch[i % 16] % y;
+        }}
+        if (2 > 1) {{ s = s + 100; }} else {{ s = s - 100; }}
+        return s + alias;
+    }}
+    """
+    plain = compile_program(source, "plain")
+    tuned = compile_program(source, "tuned")
+    optimize(tuned)
+    regs = {"main.n": n}
+    assert (
+        interpret(plain, registers=regs).return_value
+        == interpret(tuned, registers=regs).return_value
+    )

@@ -1,0 +1,98 @@
+"""Tests for CFG structural validation."""
+
+import pytest
+
+from repro.errors import IRError, IRValidationError
+from repro.ir import CFG, BasicBlock, FunctionBuilder, Jump, Ret, validate_cfg
+from repro.ir.instructions import Const
+from repro.ir.validate import count_op_classes
+
+
+def test_empty_cfg_rejected():
+    with pytest.raises(IRValidationError):
+        validate_cfg(CFG("empty"))
+
+
+def test_missing_entry_rejected():
+    cfg = CFG("x", entry="ghost")
+    cfg.blocks["a"] = BasicBlock("a", [Ret()])
+    with pytest.raises(IRValidationError):
+        validate_cfg(cfg)
+
+
+def test_unterminated_block_rejected():
+    cfg = CFG("x")
+    cfg.add_block(BasicBlock("a", [Const("r", 1)]))
+    with pytest.raises(IRValidationError):
+        validate_cfg(cfg)
+
+
+def test_branch_to_missing_block_rejected():
+    cfg = CFG("x")
+    cfg.add_block(BasicBlock("a", [Jump("ghost")]))
+    with pytest.raises(IRValidationError):
+        validate_cfg(cfg)
+
+
+def test_unreachable_block_rejected():
+    cfg = CFG("x")
+    cfg.add_block(BasicBlock("a", [Ret()]))
+    cfg.add_block(BasicBlock("dead", [Ret()]))
+    with pytest.raises(IRValidationError):
+        validate_cfg(cfg)
+
+
+def test_mid_block_terminator_rejected():
+    cfg = CFG("x")
+    block = BasicBlock("a")
+    block.instructions = [Jump("a"), Const("r", 1), Ret()]  # bypass append guard
+    cfg.add_block(block)
+    with pytest.raises(IRValidationError):
+        validate_cfg(cfg)
+
+
+def test_no_return_rejected():
+    cfg = CFG("x")
+    cfg.add_block(BasicBlock("a", [Jump("b")]))
+    cfg.add_block(BasicBlock("b", [Jump("a")]))
+    with pytest.raises(IRValidationError):
+        validate_cfg(cfg)
+
+
+def test_overlapping_arrays_rejected():
+    cfg = CFG("x")
+    cfg.add_block(BasicBlock("a", [Ret()]))
+    cfg.arrays["p"] = (0, 10)
+    cfg.arrays["q"] = (16, 10)  # overlaps p's [0, 40) byte range
+    with pytest.raises(IRValidationError):
+        validate_cfg(cfg)
+
+
+def test_valid_cfg_passes():
+    fb = FunctionBuilder("ok")
+    fb.add_array("a", 8)
+    fb.block("entry")
+    v = fb.const(1)
+    fb.ret(v)
+    validate_cfg(fb.cfg)
+
+
+def test_count_op_classes():
+    fb = FunctionBuilder("mix")
+    fb.block("entry")
+    a = fb.const(1)
+    b = fb.const(2)
+    fb.binop("add", a, b)
+    fb.binop("fmul", a, b)
+    fb.ret()
+    counts = count_op_classes(fb.finish())
+    assert counts["MOVE"] == 2
+    assert counts["INT_ALU"] == 1
+    assert counts["FP_MUL"] == 1
+    assert counts["BRANCH"] == 1
+
+
+def test_builder_requires_current_block():
+    fb = FunctionBuilder("f")
+    with pytest.raises(IRError):
+        fb.const(1)

@@ -1,0 +1,72 @@
+"""Frontend robustness: every malformed input fails with the *right*
+package exception, never an internal error — including fuzzed text."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LangError, LexError, ParseError, ReproError, SemanticError
+from repro.lang import compile_program
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize("source,exc,fragment", [
+        ("func main() -> int { return 1 $ 2; }", LexError, "unexpected character"),
+        ("func main() -> int { return 1e; }", LexError, "exponent"),
+        ("func main() -> int { return (1; }", ParseError, "expected"),
+        ("func main() -> int { var x int = 1; return x; }", ParseError, "expected"),
+        ("func main() -> int { if 1 { } return 0; }", ParseError, "expected"),
+        ("func main() -> int { return y; }", SemanticError, "undeclared"),
+        ("func main() -> int { return 1.5; }", SemanticError, "return"),
+        ("func main() -> int { break; }", SemanticError, "outside a loop"),
+        ("func other() -> int { return 1; }", SemanticError, "entry"),
+    ])
+    def test_error_class_and_message(self, source, exc, fragment):
+        with pytest.raises(exc, match=fragment):
+            compile_program(source)
+
+    def test_lex_error_carries_position(self):
+        try:
+            compile_program("func main() -> int {\n  return @1;\n}")
+        except LexError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected a LexError")
+
+    def test_all_frontend_errors_are_repro_errors(self):
+        for source in (
+            "func main() -> int { return $; }",
+            "func main() -> int { return (; }",
+            "func main() -> int { return ghost(); }",
+        ):
+            with pytest.raises(ReproError):
+                compile_program(source)
+
+
+@settings(max_examples=120, deadline=None)
+@given(text=st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=120))
+def test_fuzzed_source_never_crashes_internally(text):
+    """Property: arbitrary printable garbage either compiles (it would
+    have to be a valid program) or raises a package exception — never
+    an AttributeError/IndexError/etc. from inside the compiler."""
+    try:
+        compile_program(text)
+    except ReproError:
+        pass  # LexError / ParseError / SemanticError / validation
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+    value=st.integers(-10**6, 10**6),
+)
+def test_fuzzed_identifiers_roundtrip(name, value):
+    """Property: any lexable identifier works as a variable name and the
+    program computes with it."""
+    from repro.ir import interpret
+    from repro.lang.lexer import KEYWORDS
+
+    if name in KEYWORDS or name in ("sqrt", "abs", "min", "max", "int", "float"):
+        return
+    source = f"func main() -> int {{ var {name}: int = {value}; return {name}; }}"
+    cfg = compile_program(source)
+    assert interpret(cfg).return_value == value

@@ -1,0 +1,68 @@
+"""Tests for the kernel-language lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("func main x1 _y while")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.IDENT,
+            TokenKind.IDENT, TokenKind.KEYWORD,
+        ]
+
+    def test_int_literals(self):
+        assert kinds("0 42 123456") == [TokenKind.INT] * 3
+
+    def test_float_literals(self):
+        assert kinds("1.5 0.25 2e3 1.5e-2 .5") == [TokenKind.FLOAT] * 5
+
+    def test_malformed_exponent_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("1e")
+        with pytest.raises(LexError):
+            tokenize("1e+")
+
+    def test_two_char_operators_lex_as_one_token(self):
+        assert texts("== != <= >= && || -> << >>") == [
+            "==", "!=", "<=", ">=", "&&", "||", "->", "<<", ">>",
+        ]
+
+    def test_single_char_operators(self):
+        assert texts("+ - * / % ( ) { } [ ] ; : , ! & |") == list(
+            "+-*/%(){}[];:,!&|"
+        )
+
+    def test_comments_skipped(self):
+        assert texts("a # comment with * stuff\nb") == ["a", "b"]
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a\n  $")
+        assert exc.value.line == 2
+        assert exc.value.column == 3
+
+    def test_positions_track_lines_and_columns(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_adjacent_operators_do_not_merge_wrongly(self):
+        # "a<-b" is '<' then '-' (not an arrow)
+        assert texts("a<-b") == ["a", "<", "-", "b"]

@@ -1,0 +1,262 @@
+"""Lowering tests: compiled programs must compute what Python computes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SemanticError
+from repro.ir import interpret, validate_cfg
+from repro.lang import compile_program
+
+
+def run(source: str, inputs=None, registers=None):
+    cfg = compile_program(source)
+    validate_cfg(cfg)
+    return interpret(cfg, inputs=inputs, registers=registers).return_value
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run("func main() -> int { return 2 + 3 * 4 - 6 / 2; }") == 11
+
+    def test_c_division_semantics(self):
+        assert run("func main() -> int { return -7 / 2; }") == -3
+        assert run("func main() -> int { return -7 % 2; }") == -1
+
+    def test_float_arithmetic(self):
+        assert run("func main() -> float { return 1.5 * 2.0 + 0.25; }") == pytest.approx(3.25)
+
+    def test_mixed_promotion(self):
+        assert run("func main() -> float { return 3 + 0.5; }") == pytest.approx(3.5)
+
+    def test_comparisons(self):
+        assert run("func main() -> int { return (3 < 4) + (4 <= 4) + (5 > 4) + (3 != 3); }") == 3
+
+    def test_float_comparison(self):
+        assert run("func main() -> int { if (1.5 < 2.5) { return 7; } return 0; }") == 7
+
+    def test_bitwise_and_shifts(self):
+        assert run("func main() -> int { return (12 & 10) | (1 << 4) | (32 >> 2); }") == (12 & 10) | 16 | 8
+
+    def test_unary(self):
+        assert run("func main() -> int { return -(-5) + !0 + !7; }") == 6
+
+    def test_intrinsics(self):
+        assert run("func main() -> int { return abs(-3) + min(2, 9) + max(2, 9); }") == 14
+        assert run("func main() -> float { return sqrt(16.0); }") == pytest.approx(4.0)
+        assert run("func main() -> float { return fmin0(); } func fmin0() -> float { return min(1.5, 0.5); }") == pytest.approx(0.5)
+
+    def test_casts(self):
+        assert run("func main() -> int { return int(3.99) + int(float(2) * 2.0); }") == 7
+
+
+class TestShortCircuit:
+    def test_and_short_circuits(self):
+        # Division by zero on the rhs must not execute when lhs is false.
+        source = """
+        func main() -> int {
+            var zero: int = 0;
+            if (0 != 0 && 1 / zero > 0) { return 1; }
+            return 2;
+        }
+        """
+        assert run(source) == 2
+
+    def test_or_short_circuits(self):
+        source = """
+        func main() -> int {
+            var zero: int = 0;
+            if (1 == 1 || 1 / zero > 0) { return 1; }
+            return 2;
+        }
+        """
+        assert run(source) == 1
+
+    def test_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                src = f"func main() -> int {{ return ({a} != 0 && {b} != 0) * 10 + ({a} != 0 || {b} != 0); }}"
+                assert run(src) == (a and b) * 10 + (1 if (a or b) else 0)
+
+    def test_nonzero_is_truthy(self):
+        assert run("func main() -> int { return 5 && 7; }") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "func main(n: int) -> int { if (n > 2) { return 10; } else { return 20; } }"
+        cfg = compile_program(src)
+        assert interpret(cfg, registers={"main.n": 5}).return_value == 10
+        assert interpret(cfg, registers={"main.n": 1}).return_value == 20
+
+    def test_while_loop(self):
+        assert run("""
+        func main() -> int {
+            var s: int = 0; var i: int = 0;
+            while (i < 10) { s = s + i; i = i + 1; }
+            return s;
+        }""") == 45
+
+    def test_for_with_break_continue(self):
+        assert run("""
+        func main() -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                s = s + i;
+            }
+            return s;
+        }""") == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loop_break_targets_inner(self):
+        assert run("""
+        func main() -> int {
+            var s: int = 0;
+            for (var i: int = 0; i < 3; i = i + 1) {
+                for (var j: int = 0; j < 10; j = j + 1) {
+                    if (j == 2) { break; }
+                    s = s + 1;
+                }
+            }
+            return s;
+        }""") == 6
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(SemanticError, match="outside a loop"):
+            compile_program("func main() -> int { break; return 0; }")
+
+    def test_fallthrough_returns_zero(self):
+        assert run("func main() -> int { var x: int = 5; }") == 0
+
+    def test_unreachable_code_after_return_dropped(self):
+        assert run("func main() -> int { return 1; return 2; }") == 1
+
+
+class TestArrays:
+    def test_read_write(self):
+        assert run("""
+        func main() -> int {
+            array a: int[8];
+            for (var i: int = 0; i < 8; i = i + 1) { a[i] = i * i; }
+            return a[5] + a[7];
+        }""") == 25 + 49
+
+    def test_extern_input_binding(self):
+        src = "func main() -> int { extern a: int[4]; return a[0] + a[3]; }"
+        cfg = compile_program(src)
+        assert interpret(cfg, inputs={"a": [10, 0, 0, 32]}).return_value == 42
+
+    def test_float_array(self):
+        assert run("""
+        func main() -> float {
+            array a: float[4];
+            a[0] = 1.5; a[1] = a[0] * 2.0;
+            return a[1];
+        }""") == pytest.approx(3.0)
+
+    def test_int_stored_into_float_array_promotes(self):
+        assert run("""
+        func main() -> float { array a: float[2]; a[0] = 3; return a[0] + 0.5; }
+        """) == pytest.approx(3.5)
+
+
+class TestInlining:
+    def test_simple_call(self):
+        assert run("""
+        func double(x: int) -> int { return x * 2; }
+        func main() -> int { return double(21); }
+        """) == 42
+
+    def test_two_instances_do_not_collide(self):
+        assert run("""
+        func inc(x: int) -> int { var local: int = x + 1; return local; }
+        func main() -> int { return inc(1) * 100 + inc(2); }
+        """) == 203
+
+    def test_nested_calls(self):
+        assert run("""
+        func add1(x: int) -> int { return x + 1; }
+        func add2(x: int) -> int { return add1(add1(x)); }
+        func main() -> int { return add2(40); }
+        """) == 42
+
+    def test_early_return_in_callee(self):
+        assert run("""
+        func clamp(v: int) -> int {
+            if (v > 10) { return 10; }
+            if (v < 0) { return 0; }
+            return v;
+        }
+        func main() -> int { return clamp(99) * 100 + clamp(-5) * 10 + clamp(7); }
+        """) == 1007
+
+    def test_void_call_side_effect(self):
+        assert run("""
+        func put(i: int, v: int) { g[i] = v; }
+        func main() -> int { array g: int[4]; put(1, 33); return g[1]; }
+        """) == 33
+
+    def test_callee_fallthrough_returns_zero(self):
+        assert run("""
+        func maybe(v: int) -> int { if (v > 0) { return 5; } }
+        func main() -> int { return maybe(1) * 10 + maybe(-1); }
+        """) == 50
+
+    def test_loop_inside_callee(self):
+        assert run("""
+        func total(n: int) -> int {
+            var s: int = 0;
+            for (var i: int = 1; i <= n; i = i + 1) { s = s + i; }
+            return s;
+        }
+        func main() -> int { return total(4) + total(10); }
+        """) == 10 + 55
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(-100, 100),
+    b=st.integers(-100, 100),
+    c=st.integers(1, 50),
+)
+def test_compiled_arithmetic_matches_python(a, b, c):
+    """Property: compiled integer arithmetic agrees with a Python oracle
+    using C-style truncation."""
+    src = f"""
+    func main() -> int {{
+        var a: int = {a}; var b: int = {b}; var c: int = {c};
+        var q: int = (a * b) / c;
+        var r: int = (a - b) % c;
+        return q * 1000 + r * 7 + max(a, b) - min(a, b);
+    }}
+    """
+    def cdiv(x, y):
+        q = abs(x) // abs(y)
+        return q if (x >= 0) == (y >= 0) else -q
+
+    q = cdiv(a * b, c)
+    r = (a - b) - cdiv(a - b, c) * c
+    expected = q * 1000 + r * 7 + max(a, b) - min(a, b)
+    assert run(src) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=24))
+def test_compiled_reduction_matches_python(values):
+    """Property: an array sum/min/max loop matches Python's."""
+    n = len(values)
+    src = f"""
+    func main(n: int) -> int {{
+        extern a: int[24];
+        var s: int = 0; var lo: int = a[0]; var hi: int = a[0];
+        for (var i: int = 0; i < n; i = i + 1) {{
+            s = s + a[i];
+            lo = min(lo, a[i]);
+            hi = max(hi, a[i]);
+        }}
+        return s * 100 + hi - lo;
+    }}
+    """
+    cfg = compile_program(src)
+    got = interpret(cfg, inputs={"a": values}, registers={"main.n": n}).return_value
+    assert got == sum(values) * 100 + max(values) - min(values)

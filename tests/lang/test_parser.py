@@ -1,0 +1,157 @@
+"""Tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import parse_program
+from repro.lang import ast_nodes as ast
+
+
+def parse_main_body(body: str):
+    program = parse_program(f"func main() -> int {{ {body} }}")
+    return program.function("main").body
+
+
+class TestTopLevel:
+    def test_function_signature(self):
+        p = parse_program("func f(a: int, b: float) -> float { return b; }")
+        f = p.function("f")
+        assert [param.name for param in f.params] == ["a", "b"]
+        assert [param.ty for param in f.params] == ["int", "float"]
+        assert f.return_ty == "float"
+
+    def test_void_function(self):
+        p = parse_program("func f() { return; }")
+        assert p.function("f").return_ty is None
+
+    def test_multiple_functions(self):
+        p = parse_program("func a() { } func b() { }")
+        assert [f.name for f in p.functions] == ["a", "b"]
+
+    def test_missing_paren_reports_error(self):
+        with pytest.raises(ParseError):
+            parse_program("func f( { }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("func f() { return;")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        (stmt,) = parse_main_body("var x: int = 3; return x;")[:1]
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.ty == "int"
+        assert isinstance(stmt.init, ast.IntLit)
+
+    def test_array_and_extern_decl(self):
+        body = parse_main_body("array a: int[8]; extern b: float[4]; return 0;")
+        assert isinstance(body[0], ast.ArrayDecl) and not body[0].is_extern
+        assert isinstance(body[1], ast.ArrayDecl) and body[1].is_extern
+        assert body[1].ty == "float"
+        assert body[1].length == 4
+
+    def test_array_length_must_be_literal(self):
+        with pytest.raises(ParseError):
+            parse_main_body("array a: int[n]; return 0;")
+
+    def test_if_else_chain(self):
+        (stmt,) = parse_main_body(
+            "if (1) { return 1; } else if (2) { return 2; } else { return 3; }"
+        )[:1]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+
+    def test_while(self):
+        (stmt,) = parse_main_body("while (1) { } return 0;")[:1]
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        (stmt,) = parse_main_body(
+            "for (var i: int = 0; i < 3; i = i + 1) { } return 0;"
+        )[:1]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_with_empty_sections(self):
+        (stmt,) = parse_main_body("for (;;) { break; } return 0;")[:1]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        body = parse_main_body("while (1) { break; continue; } return 0;")
+        loop = body[0]
+        assert isinstance(loop.body[0], ast.Break)
+        assert isinstance(loop.body[1], ast.Continue)
+
+    def test_scalar_and_array_assignment(self):
+        body = parse_main_body("var x: int = 0; x = 1; return 0;")
+        assert isinstance(body[1], ast.Assign)
+        assert body[1].index is None
+        body = parse_main_body("array a: int[4]; a[2] = 1; return 0;")
+        assert isinstance(body[1], ast.Assign)
+        assert isinstance(body[1].index, ast.IntLit)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_main_body("1 + 2 = 3; return 0;")
+
+
+class TestExpressions:
+    def expr(self, text: str) -> ast.Expr:
+        body = parse_main_body(f"var x: int = {text}; return 0;")
+        return body[0].init
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.rhs.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        e = self.expr("1 < 2 && 3 < 4")
+        assert e.op == "&&"
+        assert e.lhs.op == "<"
+
+    def test_precedence_and_over_or(self):
+        e = self.expr("1 || 2 && 3")
+        assert e.op == "||"
+        assert e.rhs.op == "&&"
+
+    def test_shift_precedence_between_cmp_and_bitand(self):
+        e = self.expr("1 & 2 << 3")
+        assert e.op == "&"
+        assert e.rhs.op == "<<"
+
+    def test_parentheses_override(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    def test_unary_chain(self):
+        e = self.expr("--1")
+        assert isinstance(e, ast.Unary) and isinstance(e.operand, ast.Unary)
+
+    def test_call_with_args(self):
+        e = self.expr("min(1, 2)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 2
+
+    def test_cast_syntax(self):
+        e = self.expr("float(3)")
+        assert isinstance(e, ast.Call) and e.callee == "float"
+
+    def test_index_expression(self):
+        body = parse_main_body("array a: int[4]; var x: int = a[1 + 2]; return 0;")
+        e = body[1].init
+        assert isinstance(e, ast.IndexExpr)
+        assert e.array == "a"
+
+    def test_true_false_literals(self):
+        assert self.expr("true").value == 1
+        assert self.expr("false").value == 0
+
+    def test_left_associativity(self):
+        e = self.expr("10 - 3 - 2")
+        assert e.op == "-"
+        assert e.lhs.op == "-"
+        assert e.rhs.value == 2

@@ -1,0 +1,200 @@
+"""Tests for semantic analysis: scoping, typing, promotion, recursion."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+
+
+def check(source: str):
+    return analyze(parse_program(source))
+
+
+def check_main(body: str):
+    return check(f"func main() -> int {{ {body} }}")
+
+
+class TestScoping:
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_main("return x;")
+
+    def test_assignment_to_undeclared_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_main("x = 1; return 0;")
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check_main("var x: int = 1; if (1) { var x: int = 2; } return x;")
+
+    def test_sibling_scopes_may_reuse_names(self):
+        check_main(
+            "if (1) { var t: int = 1; } else { var t: int = 2; } return 0;"
+        )
+
+    def test_loop_variable_scoped_to_loop(self):
+        check_main(
+            "for (var i: int = 0; i < 2; i = i + 1) { }"
+            "for (var i: int = 0; i < 2; i = i + 1) { }"
+            "return 0;"
+        )
+
+    def test_param_shadowing_array_rejected(self):
+        source = """
+        func helper(a: int) -> int { return a; }
+        func main() -> int { array a: int[4]; return helper(1); }
+        """
+        with pytest.raises(SemanticError, match="shadows a global array"):
+            check(source)
+
+    def test_arrays_are_global_across_functions(self):
+        check(
+            """
+            func touch(i: int) -> int { return shared[i]; }
+            func main() -> int { array shared: int[8]; return touch(0); }
+            """
+        )
+
+    def test_duplicate_array_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate array"):
+            check_main("array a: int[4]; array a: int[4]; return 0;")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate function"):
+            check("func f() { } func f() { } func main() -> int { return 0; }")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(SemanticError, match="entry"):
+            check("func helper() { }")
+
+
+class TestTyping:
+    def test_int_to_float_promotes(self):
+        check_main("var f: float = 3; return 0;")
+
+    def test_float_to_int_requires_cast(self):
+        with pytest.raises(SemanticError, match="int\\(\\)/float\\(\\)"):
+            check_main("var i: int = 3.5; return 0;")
+
+    def test_explicit_cast_accepted(self):
+        check_main("var i: int = int(3.5); return 0;")
+
+    def test_mixed_arithmetic_is_float(self):
+        with pytest.raises(SemanticError):
+            check_main("var i: int = 1 + 2.0; return 0;")
+
+    def test_mod_is_int_only(self):
+        with pytest.raises(SemanticError, match="int-only"):
+            check_main("var x: float = 1.0 % 2.0; return 0;")
+
+    def test_shift_is_int_only(self):
+        with pytest.raises(SemanticError, match="int-only"):
+            check_main("var x: int = int(1.0 << 2); return 0;")
+
+    def test_logical_ops_need_ints(self):
+        with pytest.raises(SemanticError):
+            check_main("if (1.0 && 1) { } return 0;")
+
+    def test_condition_must_be_int(self):
+        with pytest.raises(SemanticError, match="condition"):
+            check_main("if (1.5) { } return 0;")
+
+    def test_array_index_must_be_int(self):
+        with pytest.raises(SemanticError, match="index must be int"):
+            check_main("array a: int[4]; return a[1.0];")
+
+    def test_float_store_to_int_array_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main("array a: int[4]; a[0] = 1.5; return 0;")
+
+    def test_int_store_to_float_array_promotes(self):
+        check_main("array a: float[4]; a[0] = 1; return 0;")
+
+    def test_array_without_index_rejected(self):
+        with pytest.raises(SemanticError, match="without an index"):
+            check_main("array a: int[4]; return a;")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(SemanticError):
+            check("func main() -> int { return 1.5; }")
+
+    def test_return_value_from_void_rejected(self):
+        with pytest.raises(SemanticError):
+            check("func f() { return 1; } func main() -> int { f(); return 0; }")
+
+    def test_missing_return_value_rejected(self):
+        with pytest.raises(SemanticError, match="must return"):
+            check_main("return;")
+
+    def test_expression_types_annotated(self):
+        sema = check_main("var x: float = 1.5 + 2.0; return 0;")
+        decl = sema.functions["main"].node.body[0]
+        assert decl.init.ty == "float"
+
+
+class TestCalls:
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="takes 1 args"):
+            check("func f(a: int) -> int { return a; } func main() -> int { return f(); }")
+
+    def test_arg_promotion_int_to_float(self):
+        check("func f(a: float) -> float { return a; } func main() -> int { return int(f(1)); }")
+
+    def test_float_arg_to_int_param_rejected(self):
+        with pytest.raises(SemanticError, match="expected int"):
+            check("func f(a: int) -> int { return a; } func main() -> int { return f(1.5); }")
+
+    def test_void_call_as_statement_ok(self):
+        check(
+            """
+            func store(i: int) { array g: int[4]; g[i] = 1; }
+            func main() -> int { store(2); return 0; }
+            """
+        )
+
+    def test_void_call_in_expression_rejected(self):
+        with pytest.raises(SemanticError, match="returns no value"):
+            check(
+                """
+                func nothing() { }
+                func main() -> int { return nothing() + 1; }
+                """
+            )
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check_main("return ghost();")
+
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check("func main() -> int { return main(); }")
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check(
+                """
+                func a() -> int { return b(); }
+                func b() -> int { return a(); }
+                func main() -> int { return a(); }
+                """
+            )
+
+    def test_intrinsic_arity_checked(self):
+        with pytest.raises(SemanticError, match="takes 2"):
+            check_main("return min(1);")
+
+    def test_intrinsic_shadowing_rejected(self):
+        with pytest.raises(SemanticError, match="shadows an intrinsic"):
+            check("func sqrt(x: float) -> float { return x; } func main() -> int { return 0; }")
+
+    def test_call_graph_recorded(self):
+        sema = check(
+            """
+            func inner() -> int { return 1; }
+            func outer() -> int { return inner(); }
+            func main() -> int { return outer(); }
+            """
+        )
+        assert sema.functions["main"].calls == {"outer"}
+        assert sema.functions["outer"].calls == {"inner"}

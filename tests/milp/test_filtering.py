@@ -1,0 +1,94 @@
+"""Edge-filtering tests (paper Section 5.2)."""
+
+import pytest
+
+from repro.ir.cfg import ENTRY_EDGE_SOURCE
+from repro.core.milp import build_formulation, filter_edges
+from repro.core.milp.filtering import no_filtering
+from repro.core.milp.formulation import FormulationOptions
+from repro.simulator import TransitionCostModel, XSCALE_3
+
+
+class TestFilterEdges:
+    def test_no_filtering_keeps_all_edges_independent(self, small_profile):
+        result = no_filtering(small_profile)
+        assert result.num_independent == len(small_profile.edge_counts)
+        assert not result.filtered
+
+    def test_threshold_zero_filters_nothing(self, small_profile):
+        result = filter_edges(small_profile, threshold=0.0)
+        assert not result.filtered
+
+    def test_default_threshold_filters_tail(self, small_profile):
+        result = filter_edges(small_profile, threshold=0.02)
+        assert result.num_independent < len(small_profile.edge_counts)
+        assert result.energy_covered >= 0.98 - 1e-9
+
+    def test_large_threshold_filters_more(self, small_profile):
+        small = filter_edges(small_profile, threshold=0.02)
+        large = filter_edges(small_profile, threshold=0.30)
+        assert large.num_independent <= small.num_independent
+
+    def test_entry_edge_never_filtered(self, small_profile):
+        result = filter_edges(small_profile, threshold=0.9)
+        entry_edges = [e for e in small_profile.edge_counts if e[0] == ENTRY_EDGE_SOURCE]
+        for edge in entry_edges:
+            assert result.resolve(edge) == edge
+
+    def test_representative_is_incoming_edge_of_source(self, small_profile):
+        result = filter_edges(small_profile, threshold=0.02)
+        for edge in result.filtered:
+            rep = result.resolve(edge)
+            assert rep != edge
+            assert rep in small_profile.edge_counts
+
+    def test_resolve_is_idempotent(self, small_profile):
+        result = filter_edges(small_profile, threshold=0.3)
+        for edge in small_profile.edge_counts:
+            rep = result.resolve(edge)
+            assert result.resolve(rep) == rep
+
+
+class TestFilteredFormulation:
+    @pytest.fixture(scope="class")
+    def deadline(self, small_profile):
+        return small_profile.wall_time_s[2] + 0.5 * (
+            small_profile.wall_time_s[0] - small_profile.wall_time_s[2]
+        )
+
+    def test_filtering_shrinks_model(self, small_profile, deadline, machine3):
+        options = FormulationOptions(
+            transition_model=machine3.transition_model,
+            filter_result=filter_edges(small_profile),
+        )
+        filtered = build_formulation(small_profile, XSCALE_3, deadline, options)
+        full = build_formulation(
+            small_profile, XSCALE_3, deadline,
+            FormulationOptions(transition_model=machine3.transition_model),
+        )
+        assert filtered.model.num_integer < full.model.num_integer
+
+    def test_filtered_energy_close_to_full(self, small_profile, deadline, machine3):
+        """The paper's Table 3: filtering leaves the optimal energy
+        essentially unchanged."""
+        options_full = FormulationOptions(transition_model=machine3.transition_model)
+        options_filt = FormulationOptions(
+            transition_model=machine3.transition_model,
+            filter_result=filter_edges(small_profile),
+        )
+        full = build_formulation(small_profile, XSCALE_3, deadline, options_full).solve()
+        filt = build_formulation(small_profile, XSCALE_3, deadline, options_filt).solve()
+        assert full.ok and filt.ok
+        assert filt.objective <= full.objective * 1.02  # within 2%
+        assert filt.objective >= full.objective * (1 - 1e-9)  # never better
+
+    def test_filtered_deadline_still_met(self, small_profile, deadline, machine3, optimizer, small_cfg, small_inputs, small_registers):
+        """Deadlines are exact even with filtering (the paper's claim)."""
+        outcome = optimizer.optimize(
+            small_cfg, deadline, profile=small_profile, use_filtering=True
+        )
+        run = optimizer.verify(
+            small_cfg, outcome.schedule,
+            inputs=small_inputs, registers=small_registers,
+        )
+        assert run.wall_time_s <= deadline * (1 + 1e-9)

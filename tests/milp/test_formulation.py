@@ -1,0 +1,127 @@
+"""MILP-formulation tests on the shared small program's profile."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ir.cfg import ENTRY_EDGE_SOURCE
+from repro.core.milp import FormulationOptions, build_formulation
+from repro.core.milp.filtering import no_filtering
+from repro.simulator import TransitionCostModel, XSCALE_3
+from repro.simulator.dvs import ZERO_TRANSITION
+
+
+@pytest.fixture(scope="module")
+def deadline(small_profile):
+    t_fast = small_profile.wall_time_s[2]
+    t_slow = small_profile.wall_time_s[0]
+    return t_fast + 0.5 * (t_slow - t_fast)
+
+
+class TestStructure:
+    def test_one_binary_per_edge_mode(self, small_profile, deadline):
+        form = build_formulation(small_profile, XSCALE_3, deadline)
+        num_edges = len(small_profile.edge_counts)
+        assert form.model.num_integer == num_edges * 3
+        assert len(form.edge_vars) == num_edges
+
+    def test_zero_transition_model_adds_no_aux_vars(self, small_profile, deadline):
+        form = build_formulation(
+            small_profile, XSCALE_3, deadline,
+            FormulationOptions(transition_model=ZERO_TRANSITION),
+        )
+        assert form.num_paths == 0
+        continuous = len(form.model.variables) - form.model.num_integer
+        assert continuous == 0
+
+    def test_transition_model_adds_paths(self, small_profile, deadline):
+        form = build_formulation(
+            small_profile, XSCALE_3, deadline,
+            FormulationOptions(transition_model=TransitionCostModel()),
+        )
+        assert form.num_paths > 0
+
+    def test_missing_mode_rejected(self, small_profile, deadline):
+        from repro.simulator.dvs import make_mode_table
+
+        with pytest.raises(ModelError):
+            build_formulation(small_profile, make_mode_table(7), deadline)
+
+
+class TestSolutions:
+    def test_solution_objective_matches_schedule_prediction(self, small_profile, deadline, machine3):
+        """The MILP objective must equal the schedule's profile-replay
+        prediction: the formulation is an exact encoding."""
+        from repro.core.milp.transition import TransitionCosts
+
+        form = build_formulation(
+            small_profile, XSCALE_3, deadline,
+            FormulationOptions(transition_model=machine3.transition_model),
+        )
+        solution = form.solve()
+        assert solution.ok
+        schedule = form.extract_schedule(solution)
+        costs = TransitionCosts.from_model(machine3.transition_model)
+        energy, duration = schedule.predict(small_profile, XSCALE_3, costs)
+        assert energy == pytest.approx(solution.objective, rel=1e-6)
+        assert duration == pytest.approx(form.predicted_time(solution), rel=1e-6)
+        assert duration <= deadline * (1 + 1e-9)
+
+    def test_every_edge_gets_exactly_one_mode(self, small_profile, deadline):
+        form = build_formulation(small_profile, XSCALE_3, deadline)
+        solution = form.solve()
+        schedule = form.extract_schedule(solution)
+        assert set(schedule.assignment) == set(small_profile.edge_counts)
+
+    def test_tight_deadline_forces_fast_modes(self, small_profile):
+        deadline = small_profile.wall_time_s[2] * 1.001
+        form = build_formulation(small_profile, XSCALE_3, deadline)
+        solution = form.solve()
+        assert solution.ok
+        schedule = form.extract_schedule(solution)
+        # overwhelmingly mode 2; weighted energy close to all-fast energy
+        assert solution.objective >= small_profile.cpu_energy_nj[2] * 0.99
+
+    def test_lax_deadline_allows_slowest(self, small_profile):
+        deadline = small_profile.wall_time_s[0] * 1.1
+        form = build_formulation(small_profile, XSCALE_3, deadline)
+        solution = form.solve()
+        schedule = form.extract_schedule(solution)
+        assert schedule.modes_used() == {0}
+        assert solution.objective == pytest.approx(small_profile.cpu_energy_nj[0], rel=1e-6)
+
+    def test_infeasible_deadline_reported(self, small_profile):
+        deadline = small_profile.wall_time_s[2] * 0.5
+        form = build_formulation(small_profile, XSCALE_3, deadline)
+        solution = form.solve()
+        assert not solution.ok
+
+    def test_native_and_scipy_backends_agree(self, small_profile, deadline):
+        """Both solver backends find the same optimal energy (the native
+        branch-and-bound is exact)."""
+        form = build_formulation(
+            small_profile, XSCALE_3, deadline,
+            FormulationOptions(transition_model=TransitionCostModel()),
+        )
+        scipy_solution = form.solve(backend="scipy")
+        native_solution = form.solve(backend="native", time_limit=300.0)
+        assert scipy_solution.ok and native_solution.ok
+        assert native_solution.objective == pytest.approx(
+            scipy_solution.objective, rel=1e-6
+        )
+
+    def test_transition_costs_reduce_switching(self, small_profile, deadline):
+        """With huge transition costs the optimizer must schedule fewer
+        dynamic transitions than with free ones (Figure 15's mechanism)."""
+        free = build_formulation(
+            small_profile, XSCALE_3, deadline,
+            FormulationOptions(transition_model=ZERO_TRANSITION),
+        )
+        costly = build_formulation(
+            small_profile, XSCALE_3, deadline,
+            FormulationOptions(
+                transition_model=TransitionCostModel(capacitance_f=100e-6)
+            ),
+        )
+        free_solution = free.solve()
+        costly_solution = costly.solve()
+        assert free_solution.objective <= costly_solution.objective * (1 + 1e-9)

@@ -1,0 +1,116 @@
+"""Multi-input-category formulation tests (paper Section 4.3)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.milp import CategoryProfile, build_multidata_formulation
+from repro.simulator import TransitionCostModel, XSCALE_3
+
+
+@pytest.fixture(scope="module")
+def category_profiles(optimizer, small_cfg, small_registers):
+    """Two input 'categories' for the small program: different data
+    amplitudes give slightly different profiles (same control flow)."""
+    inputs_a = {"a": [i % 251 for i in range(4096)]}
+    inputs_b = {"a": [(i * 7) % 97 for i in range(4096)]}
+    prof_a = optimizer.profile(small_cfg, inputs=inputs_a, registers=small_registers)
+    prof_b = optimizer.profile(small_cfg, inputs=inputs_b, registers=small_registers)
+    return (inputs_a, prof_a), (inputs_b, prof_b)
+
+
+@pytest.fixture(scope="module")
+def deadline(category_profiles):
+    (_, prof_a), (_, prof_b) = category_profiles
+    t_fast = max(prof_a.wall_time_s[2], prof_b.wall_time_s[2])
+    t_slow = max(prof_a.wall_time_s[0], prof_b.wall_time_s[0])
+    return t_fast + 0.5 * (t_slow - t_fast)
+
+
+class TestMultidata:
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ModelError):
+            build_multidata_formulation([], XSCALE_3)
+
+    def test_zero_weights_rejected(self, category_profiles, deadline):
+        (_, prof_a), _ = category_profiles
+        with pytest.raises(ModelError):
+            build_multidata_formulation(
+                [CategoryProfile(prof_a, 0.0, deadline)], XSCALE_3
+            )
+
+    def test_single_category_matches_plain_formulation(
+        self, category_profiles, deadline, machine3
+    ):
+        """With one category the multidata model must equal Section 4.2's."""
+        from repro.core.milp import FormulationOptions, build_formulation
+
+        (_, prof_a), _ = category_profiles
+        multi = build_multidata_formulation(
+            [CategoryProfile(prof_a, 1.0, deadline)],
+            XSCALE_3,
+            transition_model=machine3.transition_model,
+        )
+        plain = build_formulation(
+            prof_a, XSCALE_3, deadline,
+            FormulationOptions(transition_model=machine3.transition_model),
+        )
+        s_multi = multi.solve()
+        s_plain = plain.solve()
+        assert s_multi.objective == pytest.approx(s_plain.objective, rel=1e-9)
+
+    def test_schedule_meets_both_deadlines(
+        self, optimizer, small_cfg, small_registers, category_profiles, deadline
+    ):
+        """The weighted schedule must meet the deadline on *every*
+        category's input, not just the average (the paper's guarantee)."""
+        (inputs_a, prof_a), (inputs_b, prof_b) = category_profiles
+        outcome = optimizer.optimize_multi(
+            small_cfg,
+            [
+                CategoryProfile(prof_a, 0.5, deadline),
+                CategoryProfile(prof_b, 0.5, deadline),
+            ],
+        )
+        for inputs in (inputs_a, inputs_b):
+            run = optimizer.verify(
+                small_cfg, outcome.schedule, inputs=inputs, registers=small_registers
+            )
+            assert run.wall_time_s <= deadline * (1 + 1e-9)
+
+    def test_weighted_objective_is_average_of_replays(
+        self, optimizer, small_cfg, category_profiles, deadline, machine3
+    ):
+        from repro.core.milp.transition import TransitionCosts
+
+        (_, prof_a), (_, prof_b) = category_profiles
+        outcome = optimizer.optimize_multi(
+            small_cfg,
+            [
+                CategoryProfile(prof_a, 0.7, deadline),
+                CategoryProfile(prof_b, 0.3, deadline),
+            ],
+            hoist=False,
+        )
+        costs = TransitionCosts.from_model(machine3.transition_model)
+        e_a, _ = outcome.schedule.predict(prof_a, XSCALE_3, costs)
+        e_b, _ = outcome.schedule.predict(prof_b, XSCALE_3, costs)
+        weighted = 0.7 * e_a + 0.3 * e_b
+        assert outcome.predicted_energy_nj == pytest.approx(weighted, rel=1e-6)
+
+    def test_per_category_deadlines(self, optimizer, small_cfg, category_profiles):
+        """Categories may carry different deadlines; the binding (tighter)
+        one governs."""
+        (_, prof_a), (_, prof_b) = category_profiles
+        t_fast = prof_a.wall_time_s[2]
+        t_slow = prof_a.wall_time_s[0]
+        tight = t_fast * 1.02
+        lax = t_slow * 1.05
+        outcome = optimizer.optimize_multi(
+            small_cfg,
+            [
+                CategoryProfile(prof_a, 0.5, tight),
+                CategoryProfile(prof_b, 0.5, lax),
+            ],
+        )
+        # The tight deadline forces predominantly fast execution.
+        assert outcome.predicted_energy_nj >= prof_a.cpu_energy_nj[2] * 0.45

@@ -1,0 +1,85 @@
+"""DVSSchedule tests: validation, prediction, hoisting post-pass."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.ir.cfg import ENTRY_EDGE_SOURCE
+from repro.core.milp import DVSSchedule
+from repro.core.milp.transition import TransitionCosts
+from repro.simulator import TransitionCostModel, XSCALE_3
+
+
+class TestBasics:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ScheduleError):
+            DVSSchedule(assignment={("a", "b"): 7}, num_modes=3)
+
+    def test_initial_mode_from_entry_edge(self):
+        schedule = DVSSchedule(
+            assignment={(ENTRY_EDGE_SOURCE, "entry"): 1, ("a", "b"): 2},
+            num_modes=3,
+        )
+        assert schedule.initial_mode == 1
+
+    def test_initial_mode_absent(self):
+        schedule = DVSSchedule(assignment={("a", "b"): 2}, num_modes=3)
+        assert schedule.initial_mode is None
+
+    def test_static_count_excludes_entry(self):
+        schedule = DVSSchedule(
+            assignment={(ENTRY_EDGE_SOURCE, "entry"): 1, ("a", "b"): 2},
+            num_modes=3,
+        )
+        assert schedule.static_modeset_count == 1
+
+    def test_validate_against_cfg(self, small_cfg):
+        schedule = DVSSchedule(assignment={("ghost", "blk"): 0}, num_modes=3)
+        with pytest.raises(ScheduleError):
+            schedule.validate_against(small_cfg)
+
+    def test_modes_used(self):
+        schedule = DVSSchedule(assignment={("a", "b"): 2, ("b", "c"): 0}, num_modes=3)
+        assert schedule.modes_used() == {0, 2}
+
+
+class TestHoisting:
+    def test_hoist_removes_silent_back_edge(self, optimizer, small_cfg, small_profile):
+        """A loop back edge whose mode equals all its predecessors' modes
+        is dropped; the verified run must be unchanged."""
+        deadline = small_profile.wall_time_s[0] * 1.05
+        outcome = optimizer.optimize(
+            small_cfg, deadline, profile=small_profile, hoist=False
+        )
+        full = outcome.schedule
+        hoisted = full.hoist_silent(small_profile)
+        assert len(hoisted) < len(full)
+        # Entry edge survives.
+        assert hoisted.initial_mode == full.initial_mode
+
+    def test_hoisted_schedule_runs_identically(
+        self, optimizer, small_cfg, small_profile, small_inputs, small_registers
+    ):
+        deadline = small_profile.wall_time_s[2] + 0.5 * (
+            small_profile.wall_time_s[0] - small_profile.wall_time_s[2]
+        )
+        outcome = optimizer.optimize(
+            small_cfg, deadline, profile=small_profile, hoist=False
+        )
+        full_run = optimizer.verify(
+            small_cfg, outcome.schedule, inputs=small_inputs, registers=small_registers
+        )
+        hoisted = outcome.schedule.hoist_silent(small_profile)
+        hoisted_run = optimizer.verify(
+            small_cfg, hoisted, inputs=small_inputs, registers=small_registers
+        )
+        assert hoisted_run.cpu_energy_nj == pytest.approx(full_run.cpu_energy_nj, rel=1e-12)
+        assert hoisted_run.wall_time_s == pytest.approx(full_run.wall_time_s, rel=1e-12)
+        assert hoisted_run.mode_transitions == full_run.mode_transitions
+        # ... while executing strictly fewer dynamic mode-set instructions.
+        assert hoisted_run.modeset_executions <= full_run.modeset_executions
+
+    def test_prediction_requires_full_schedule(self, small_profile):
+        schedule = DVSSchedule(assignment={}, num_modes=3)
+        costs = TransitionCosts.from_model(TransitionCostModel())
+        with pytest.raises(ScheduleError):
+            schedule.predict(small_profile, XSCALE_3, costs)

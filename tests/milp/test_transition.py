@@ -1,0 +1,43 @@
+"""TransitionCosts (the linearized CE/CT constants) unit tests."""
+
+import pytest
+
+from repro.core.milp.transition import TransitionCosts
+from repro.simulator import TransitionCostModel
+from repro.simulator.dvs import ZERO_TRANSITION
+
+
+class TestTransitionCosts:
+    def test_from_paper_defaults(self):
+        costs = TransitionCosts.from_model(TransitionCostModel())
+        # CE = (1-u)c = 0.1 * 10uF = 1e-6 J/V²; CT = 2c/Imax = 20 us/V
+        assert costs.ce_j_per_v2 == pytest.approx(1e-6)
+        assert costs.ct_s_per_v == pytest.approx(20e-6)
+
+    def test_linear_form_matches_model(self):
+        """CE·|V1²−V2²| and CT·|V1−V2| must equal the model's SE/ST —
+        the identity the MILP's linearization relies on."""
+        model = TransitionCostModel()
+        costs = TransitionCosts.from_model(model)
+        for v1, v2 in [(0.7, 1.3), (1.3, 1.65), (0.7, 1.65), (1.0, 1.0)]:
+            assert costs.ce_j_per_v2 * abs(v1**2 - v2**2) == pytest.approx(
+                model.energy_j(v1, v2)
+            )
+            assert costs.ct_s_per_v * abs(v1 - v2) == pytest.approx(
+                model.time_s(v1, v2)
+            )
+
+    def test_nj_unit_helper(self):
+        costs = TransitionCosts.from_model(TransitionCostModel())
+        assert costs.ce_nj_per_v2 == pytest.approx(costs.ce_j_per_v2 * 1e9)
+
+    def test_zero_model_is_free(self):
+        assert TransitionCosts.from_model(ZERO_TRANSITION).is_free
+        assert not TransitionCosts.from_model(TransitionCostModel()).is_free
+
+    def test_perfect_regulator_free_energy_but_not_time(self):
+        perfect = TransitionCostModel(capacitance_f=10e-6, efficiency=1.0)
+        costs = TransitionCosts.from_model(perfect)
+        assert costs.ce_j_per_v2 == 0.0
+        assert costs.ct_s_per_v > 0.0
+        assert not costs.is_free

@@ -1,0 +1,106 @@
+"""Serialization round-trip tests for profiles and schedules."""
+
+import json
+
+import pytest
+
+from repro.errors import ProfileError, ScheduleError
+from repro.core.milp.schedule import DVSSchedule
+from repro.profiling.serialize import (
+    load_profile,
+    load_schedule,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestProfileRoundTrip:
+    def test_roundtrip_preserves_everything(self, small_profile):
+        rebuilt = profile_from_dict(profile_to_dict(small_profile))
+        assert rebuilt.name == small_profile.name
+        assert rebuilt.block_counts == small_profile.block_counts
+        assert rebuilt.edge_counts == small_profile.edge_counts
+        assert rebuilt.path_counts == small_profile.path_counts
+        assert rebuilt.wall_time_s == small_profile.wall_time_s
+        assert rebuilt.cpu_energy_nj == small_profile.cpu_energy_nj
+        for mode in small_profile.per_mode:
+            for label in small_profile.per_mode[mode]:
+                assert rebuilt.time(label, mode) == small_profile.time(label, mode)
+                assert rebuilt.energy(label, mode) == small_profile.energy(label, mode)
+
+    def test_json_serializable(self, small_profile):
+        text = json.dumps(profile_to_dict(small_profile))
+        rebuilt = profile_from_dict(json.loads(text))
+        assert rebuilt.return_value == small_profile.return_value
+
+    def test_file_roundtrip(self, small_profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile(small_profile, str(path))
+        rebuilt = load_profile(str(path))
+        assert rebuilt.edge_counts == small_profile.edge_counts
+
+    def test_rebuilt_profile_optimizes_identically(
+        self, small_profile, optimizer, small_cfg
+    ):
+        """A deserialized profile must drive the MILP to the same result."""
+        deadline = small_profile.wall_time_s[1] * 1.05
+        original = optimizer.optimize(small_cfg, deadline, profile=small_profile)
+        rebuilt_profile = profile_from_dict(profile_to_dict(small_profile))
+        rebuilt = optimizer.optimize(small_cfg, deadline, profile=rebuilt_profile)
+        assert rebuilt.predicted_energy_nj == pytest.approx(
+            original.predicted_energy_nj, rel=1e-12
+        )
+        assert rebuilt.schedule.assignment == original.schedule.assignment
+
+    def test_wrong_kind_rejected(self, small_profile):
+        data = profile_to_dict(small_profile)
+        data["kind"] = "schedule"
+        with pytest.raises(ProfileError):
+            profile_from_dict(data)
+
+    def test_wrong_version_rejected(self, small_profile):
+        data = profile_to_dict(small_profile)
+        data["format"] = 99
+        with pytest.raises(ProfileError):
+            profile_from_dict(data)
+
+    def test_corrupted_counts_rejected(self, small_profile):
+        data = profile_to_dict(small_profile)
+        first_block = next(iter(data["block_counts"]))
+        data["block_counts"][first_block] += 1  # breaks validation
+        with pytest.raises(ProfileError):
+            profile_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip(self):
+        schedule = DVSSchedule(
+            assignment={("__start__", "entry"): 2, ("a", "b"): 0, ("b", "a"): 1},
+            num_modes=3,
+        )
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt.assignment == schedule.assignment
+        assert rebuilt.num_modes == 3
+        assert rebuilt.initial_mode == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        schedule = DVSSchedule(assignment={("x", "y"): 1}, num_modes=2)
+        path = tmp_path / "sched.json"
+        save_schedule(schedule, str(path))
+        assert load_schedule(str(path)).assignment == schedule.assignment
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_dict({"kind": "profile", "format": 1})
+
+    def test_invalid_mode_rejected_on_load(self):
+        data = {
+            "kind": "schedule", "format": 1, "num_modes": 2,
+            "assignment": {"a->b": 7},
+        }
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(data)

@@ -1,0 +1,112 @@
+"""Cache tests: hit/miss behaviour, LRU replacement, hierarchy timing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import Cache, CacheHierarchy
+from repro.simulator.config import CacheConfig
+
+SMALL = CacheConfig(size_bytes=256, assoc=2, line_bytes=32, hit_latency_cycles=1, access_energy_nf=1.0)
+L2_CFG = CacheConfig(size_bytes=1024, assoc=4, line_bytes=32, hit_latency_cycles=16, access_energy_nf=3.0)
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        cache = Cache(SMALL)
+        assert cache.num_sets == 256 // (2 * 32)
+
+    def test_cold_miss_then_hit(self):
+        cache = Cache(SMALL)
+        assert cache.lookup(0) is False
+        assert cache.lookup(0) is True
+        assert cache.lookup(31) is True  # same 32-byte line
+        assert cache.lookup(32) is False  # next line
+
+    def test_stats_counting(self):
+        cache = Cache(SMALL)
+        cache.lookup(0)
+        cache.lookup(0)
+        cache.lookup(64)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.accesses == 3
+        cache.reset_stats()
+        assert cache.accesses == 0
+
+    def test_lru_eviction_order(self):
+        cache = Cache(SMALL)  # 4 sets, 2-way; set = line % 4
+        # Three lines mapping to set 0: lines 0, 4, 8 -> addresses 0, 128, 256.
+        cache.lookup(0)
+        cache.lookup(128)
+        cache.lookup(0)      # refresh line 0 -> LRU is 128
+        cache.lookup(256)    # evicts 128
+        assert cache.contains(0)
+        assert not cache.contains(128)
+        assert cache.contains(256)
+
+    def test_invalid_geometry_rejected(self):
+        bad = CacheConfig(size_bytes=16, assoc=2, line_bytes=32, hit_latency_cycles=1, access_energy_nf=1.0)
+        with pytest.raises(ValueError):
+            Cache(bad)
+
+
+class TestHierarchy:
+    def test_l1_hit_cycles(self):
+        hier = CacheHierarchy(SMALL, Cache(L2_CFG))
+        hier.access(0)  # cold
+        res = hier.access(0)
+        assert res.level == "l1"
+        assert res.sync_cycles == 1
+        assert res.memory_miss is False
+
+    def test_l2_hit_after_l1_eviction(self):
+        hier = CacheHierarchy(SMALL, Cache(L2_CFG))
+        hier.access(0)
+        hier.access(128)
+        hier.access(256)  # evicts line 0 from L1 (2-way set 0) but not from L2
+        res = hier.access(0)
+        assert res.level == "l2"
+        assert res.sync_cycles == 1 + 16
+
+    def test_cold_miss_goes_to_memory(self):
+        hier = CacheHierarchy(SMALL, Cache(L2_CFG))
+        res = hier.access(4096)
+        assert res.level == "mem"
+        assert res.memory_miss is True
+        assert res.sync_cycles == 1 + 16  # both lookups still happen
+
+    def test_stats_merge(self):
+        hier = CacheHierarchy(SMALL, Cache(L2_CFG))
+        hier.access(0)
+        hier.access(0)
+        stats = hier.stats()
+        assert stats["l1_hits"] == 1
+        assert stats["l1_misses"] == 1
+        assert stats["l2_misses"] == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(addresses=st.lists(st.integers(0, 4095), min_size=1, max_size=200))
+def test_cache_capacity_invariant(addresses):
+    """Property: no set ever holds more than `assoc` lines, and a repeat
+    access to the most recent address always hits."""
+    cache = Cache(SMALL)
+    for addr in addresses:
+        cache.lookup(addr)
+        assert cache.lookup(addr) is True  # immediate re-access hits
+    for cache_set in cache.sets:
+        assert len(cache_set) <= SMALL.assoc
+
+
+@settings(max_examples=50, deadline=None)
+@given(addresses=st.lists(st.integers(0, 8191), min_size=1, max_size=100))
+def test_working_set_smaller_than_assoc_never_evicts(addresses):
+    """Property: cycling over `assoc` lines of one set never misses after
+    the cold pass (true-LRU guarantees this; FIFO/random would not)."""
+    cache = Cache(SMALL)
+    lines = [0, 128]  # two lines in set 0 (= assoc)
+    for line in lines:
+        cache.lookup(line)
+    for _ in range(20):
+        for line in lines:
+            assert cache.lookup(line) is True

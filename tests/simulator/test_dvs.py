@@ -1,0 +1,106 @@
+"""DVS mode-table and transition-cost tests."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.simulator import (
+    ModeTable,
+    OperatingPoint,
+    TransitionCostModel,
+    XSCALE_3,
+    make_mode_table,
+)
+from repro.simulator.dvs import ZERO_TRANSITION, alpha_power_frequency, calibrate_k
+
+
+class TestAlphaPower:
+    def test_calibration_hits_target(self):
+        k = calibrate_k(800e6, 1.65)
+        assert alpha_power_frequency(1.65, k) == pytest.approx(800e6)
+
+    def test_frequency_increases_with_voltage(self):
+        k = calibrate_k()
+        freqs = [alpha_power_frequency(v, k) for v in (0.7, 1.0, 1.3, 1.65)]
+        assert freqs == sorted(freqs)
+
+    def test_below_threshold_rejected(self):
+        with pytest.raises(AnalysisError):
+            alpha_power_frequency(0.3, calibrate_k())
+
+
+class TestModeTable:
+    def test_xscale_matches_paper_section_5_1(self):
+        assert len(XSCALE_3) == 3
+        assert XSCALE_3[0].frequency_hz == 200e6 and XSCALE_3[0].voltage == 0.70
+        assert XSCALE_3[1].frequency_hz == 600e6 and XSCALE_3[1].voltage == 1.30
+        assert XSCALE_3[2].frequency_hz == 800e6 and XSCALE_3[2].voltage == 1.65
+
+    def test_sorted_slowest_first(self):
+        table = ModeTable([OperatingPoint(600e6, 1.3), OperatingPoint(200e6, 0.7)])
+        assert table.slowest.frequency_hz == 200e6
+        assert table.fastest.frequency_hz == 600e6
+
+    def test_nonmonotonic_voltage_rejected(self):
+        with pytest.raises(AnalysisError):
+            ModeTable([OperatingPoint(200e6, 1.3), OperatingPoint(600e6, 0.7)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ModeTable([])
+
+    def test_make_mode_table_levels(self):
+        for levels in (1, 3, 7, 13):
+            table = make_mode_table(levels)
+            assert len(table) == levels
+            assert table.fastest.frequency_hz == pytest.approx(800e6)
+            assert table.fastest.voltage == pytest.approx(1.65)
+
+    def test_make_mode_table_voltages_evenly_spaced(self):
+        table = make_mode_table(7)
+        volts = table.voltages()
+        steps = [b - a for a, b in zip(volts, volts[1:])]
+        assert all(s == pytest.approx(steps[0]) for s in steps)
+
+    def test_denser_tables_refine(self):
+        t3, t13 = make_mode_table(3), make_mode_table(13)
+        # Every 3-level voltage appears in the 13-level table.
+        for v in t3.voltages():
+            assert any(math.isclose(v, w, abs_tol=1e-9) for w in t13.voltages())
+
+    def test_index_of(self):
+        assert XSCALE_3.index_of(XSCALE_3[1]) == 1
+
+
+class TestTransitionCosts:
+    def test_paper_typical_point(self):
+        """c = 10 uF must give the paper's 12 us / 1.2 uJ transition
+        between 600 MHz/1.3 V and 200 MHz/0.7 V (Section 6.2)."""
+        model = TransitionCostModel()  # defaults: c=10uF, u=0.9, Imax=1A
+        assert model.time_s(1.3, 0.7) == pytest.approx(12e-6)
+        assert model.energy_j(1.3, 0.7) == pytest.approx(1.2e-6)
+
+    def test_symmetry(self):
+        model = TransitionCostModel()
+        assert model.energy_j(0.7, 1.65) == model.energy_j(1.65, 0.7)
+        assert model.time_s(0.7, 1.65) == model.time_s(1.65, 0.7)
+
+    def test_same_voltage_is_free(self):
+        model = TransitionCostModel()
+        assert model.energy_j(1.3, 1.3) == 0.0
+        assert model.time_s(1.3, 1.3) == 0.0
+
+    def test_cost_scales_with_capacitance(self):
+        small = TransitionCostModel().with_capacitance(1e-6)
+        large = TransitionCostModel().with_capacitance(100e-6)
+        assert large.energy_j(0.7, 1.3) == pytest.approx(100 * small.energy_j(0.7, 1.3))
+        assert large.time_s(0.7, 1.3) == pytest.approx(100 * small.time_s(0.7, 1.3))
+
+    def test_zero_transition_model(self):
+        assert ZERO_TRANSITION.energy_j(0.7, 1.65) == 0.0
+        assert ZERO_TRANSITION.time_s(0.7, 1.65) == 0.0
+
+    def test_energy_nj_helper(self):
+        model = TransitionCostModel()
+        assert model.energy_nj(1.3, 0.7) == pytest.approx(1.2e-6 * 1e9)

@@ -1,0 +1,77 @@
+"""Energy-model unit tests."""
+
+import pytest
+
+from repro.ir import OpClass
+from repro.simulator import EnergyModel, SCALE_CONFIG
+
+
+class TestEnergyModel:
+    def test_op_energy_is_cv_squared(self):
+        model = EnergyModel(SCALE_CONFIG)
+        e1 = model.op_energy_nj(OpClass.INT_ALU, 1.0)
+        e2 = model.op_energy_nj(OpClass.INT_ALU, 2.0)
+        assert e2 == pytest.approx(4 * e1)
+
+    def test_latency_cycles_charge_base_capacitance(self):
+        model = EnergyModel(SCALE_CONFIG)
+        div = model.op_energy_nj(OpClass.INT_DIV, 1.0)
+        alu = model.op_energy_nj(OpClass.INT_ALU, 1.0)
+        expected_delta = (
+            (OpClass.INT_DIV.c_eff - OpClass.INT_ALU.c_eff)
+            + SCALE_CONFIG.base_c_eff_nf * (OpClass.INT_DIV.latency - OpClass.INT_ALU.latency)
+        )
+        assert div - alu == pytest.approx(expected_delta)
+
+    def test_charge_accumulates(self):
+        model = EnergyModel(SCALE_CONFIG)
+        model.charge_op(OpClass.INT_ALU, 1.0)
+        model.charge_op(OpClass.INT_ALU, 1.0)
+        assert model.cpu_energy_nj == pytest.approx(
+            2 * model.op_energy_nj(OpClass.INT_ALU, 1.0)
+        )
+
+    def test_cache_levels_have_distinct_energy(self):
+        model = EnergyModel(SCALE_CONFIG)
+        e_l1d = model.charge_cache("l1d", 1.0)
+        e_l2 = model.charge_cache("l2", 1.0)
+        assert e_l2 > e_l1d
+
+    def test_unknown_cache_level_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(SCALE_CONFIG).charge_cache("l9", 1.0)
+
+    def test_memory_energy_separate_from_cpu(self):
+        model = EnergyModel(SCALE_CONFIG)
+        model.charge_memory_access()
+        assert model.cpu_energy_nj == 0.0
+        assert model.memory_energy_nj == SCALE_CONFIG.memory_access_energy_nj
+        assert model.total_energy_nj == model.memory_energy_nj
+
+    def test_transition_counts_as_cpu_energy(self):
+        model = EnergyModel(SCALE_CONFIG)
+        model.charge_transition_nj(1200.0)
+        assert model.cpu_energy_nj == 1200.0
+
+    def test_sync_cycles_charge_base_only(self):
+        model = EnergyModel(SCALE_CONFIG)
+        energy = model.charge_sync_cycles(16, 1.0)
+        assert energy == pytest.approx(SCALE_CONFIG.base_c_eff_nf * 16)
+
+
+class TestConfig:
+    def test_paper_config_matches_table_2(self):
+        from repro.simulator import PAPER_CONFIG
+
+        assert PAPER_CONFIG.l1d.size_bytes == 64 * 1024
+        assert PAPER_CONFIG.l1d.assoc == 4
+        assert PAPER_CONFIG.l1d.line_bytes == 32
+        assert PAPER_CONFIG.l1d.hit_latency_cycles == 1
+        assert PAPER_CONFIG.l2.size_bytes == 512 * 1024
+        assert PAPER_CONFIG.l2.hit_latency_cycles == 16
+
+    def test_with_memory_latency_copies(self):
+        slow = SCALE_CONFIG.with_memory_latency(1e-6)
+        assert slow.memory_latency_s == 1e-6
+        assert SCALE_CONFIG.memory_latency_s != 1e-6
+        assert slow.l1d == SCALE_CONFIG.l1d

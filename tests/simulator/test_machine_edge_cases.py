@@ -1,0 +1,143 @@
+"""Machine edge cases: tiny caches, entry-edge semantics, transition
+accounting details, store-buffer behaviour, drain-at-exit."""
+
+import pytest
+
+from repro.ir import FunctionBuilder
+from repro.ir.cfg import ENTRY_EDGE_SOURCE
+from repro.lang import compile_program
+from repro.simulator import Machine, MachineConfig, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.simulator.config import CacheConfig
+
+TINY_ICACHE = MachineConfig(
+    name="tiny-i",
+    l1d=SCALE_CONFIG.l1d,
+    l1i=CacheConfig(size_bytes=128, assoc=1, line_bytes=32, hit_latency_cycles=1, access_energy_nf=0.6),
+    l2=CacheConfig(size_bytes=512, assoc=2, line_bytes=32, hit_latency_cycles=16, access_energy_nf=3.0),
+)
+
+
+def big_code_loop():
+    """A loop whose body spans more lines than a 128-byte I-cache holds."""
+    source = "func main() -> int {\n var s: int = 0;\n"
+    source += "for (var i: int = 0; i < 50; i = i + 1) {\n"
+    for k in range(40):
+        source += f"  s = s + {k};\n"
+    source += "}\nreturn s;\n}"
+    return compile_program(source, "bigcode")
+
+
+class TestInstructionCache:
+    def test_tiny_icache_thrashes(self):
+        cfg = big_code_loop()
+        roomy = Machine(SCALE_CONFIG).run(cfg, mode=2)
+        tiny = Machine(TINY_ICACHE).run(cfg, mode=2)
+        assert tiny.cache_stats["i_l1_misses"] > roomy.cache_stats["i_l1_misses"]
+        assert tiny.wall_time_s > roomy.wall_time_s
+
+    def test_icache_misses_hit_wall_time_not_result(self):
+        cfg = big_code_loop()
+        assert (
+            Machine(TINY_ICACHE).run(cfg, mode=2).return_value
+            == Machine(SCALE_CONFIG).run(cfg, mode=2).return_value
+        )
+
+
+class TestStoreBuffer:
+    def test_store_miss_does_not_stall_compute(self):
+        """Stores fire-and-forget through the store buffer: compute after
+        a missing store proceeds (only a second miss would stall)."""
+        fb = FunctionBuilder("stores")
+        fb.add_array("a", 4096)
+        fb.block("entry")
+        v = fb.const(7)
+        base = fb.const(0)
+        fb.store(v, base)           # cold miss
+        # 20 independent ALU ops that should overlap the miss
+        regs = [fb.const(1)]
+        for _ in range(20):
+            regs.append(fb.binop("add", regs[-1], v))
+        fb.ret(regs[-1])
+        cfg = fb.finish()
+        result = Machine().run(cfg, mode=2)
+        assert result.mem_misses >= 1
+        assert result.overlap_cycles > 0  # the adds ran under the miss
+
+    def test_memory_image_correct_after_store_misses(self):
+        src = """
+        func main() -> int {
+            array a: int[4096];
+            for (var i: int = 0; i < 4096; i = i + 1) { a[i] = i * 3; }
+            var s: int = 0;
+            for (var i: int = 0; i < 4096; i = i + 256) { s = s + a[i]; }
+            return s;
+        }
+        """
+        cfg = compile_program(src, "wb")
+        result = Machine().run(cfg, mode=1)
+        assert result.return_value == sum(i * 3 for i in range(0, 4096, 256))
+
+
+class TestTransitionAccounting:
+    def test_entry_edge_mode_set_is_free(self):
+        cfg = compile_program(
+            "func main() -> int { var s: int = 0;"
+            " for (var i: int = 0; i < 30; i = i + 1) { s = s + i; } return s; }",
+            "free-entry",
+        )
+        machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+        result = machine.run(cfg, schedule={(ENTRY_EDGE_SOURCE, cfg.entry): 0})
+        assert result.mode_transitions == 0
+        assert result.transition_energy_nj == 0.0
+        fixed = machine.run(cfg, mode=0)
+        assert result.cpu_energy_nj == pytest.approx(fixed.cpu_energy_nj)
+
+    def test_transition_both_directions_cost_equally(self):
+        cfg = compile_program(
+            """
+            func main() -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 10; i = i + 1) { s = s + i; }
+                for (var j: int = 0; j < 10; j = j + 1) { s = s + j; }
+                for (var k: int = 0; k < 10; k = k + 1) { s = s + k; }
+                return s;
+            }
+            """,
+            "updown",
+        )
+        machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+        base = machine.run(cfg, mode=2)
+        once = sorted(
+            e for e, c in base.edge_counts.items()
+            if c == 1 and e[0] != ENTRY_EDGE_SOURCE
+        )
+        # Drop to 0 on one boundary, climb back to 2 on another.
+        schedule = {
+            (ENTRY_EDGE_SOURCE, cfg.entry): 2,
+            once[1]: 0,
+            once[2]: 2,
+        }
+        result = machine.run(cfg, schedule=schedule)
+        model = TransitionCostModel()
+        expected = 2 * model.energy_nj(1.65, 0.70)
+        assert result.mode_transitions == 2
+        assert result.transition_energy_nj == pytest.approx(expected)
+        assert result.final_mode == 2
+
+
+class TestDrain:
+    def test_outstanding_miss_drained_before_return(self):
+        """A store miss issued just before the return must still be
+        reflected in wall time (the program 'completes' only when memory
+        settles)."""
+        fb = FunctionBuilder("drain")
+        fb.add_array("a", 4096)
+        fb.block("entry")
+        v = fb.const(1)
+        base = fb.const(4000 * 4)
+        fb.store(v, base)  # cold miss right before ret
+        fb.ret(v)
+        cfg = fb.finish()
+        machine = Machine()
+        result = machine.run(cfg, mode=2)
+        assert result.wall_time_s >= machine.config.memory_latency_s

@@ -1,0 +1,136 @@
+"""Tests for execution tracing and timeline analysis."""
+
+import pytest
+
+from repro.ir.cfg import ENTRY_EDGE_SOURCE
+from repro.lang import compile_program
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.simulator.trace import (
+    Phase,
+    hottest_blocks,
+    mode_residency,
+    phases,
+    render_timeline,
+)
+
+
+@pytest.fixture(scope="module")
+def two_phase():
+    cfg = compile_program("""
+    func main() -> int {
+        var s: int = 0;
+        for (var i: int = 0; i < 40; i = i + 1) { s = s + i; }
+        for (var j: int = 0; j < 40; j = j + 1) { s = s + j * 3; }
+        return s;
+    }
+    """, "twophase")
+    return cfg
+
+
+class TestTraceRecording:
+    def test_trace_counts_block_entries(self, two_phase):
+        machine = Machine()
+        events = []
+        result = machine.run(two_phase, mode=1, trace=events)
+        total_entries = sum(stats.count for stats in result.block_stats.values())
+        assert len(events) == total_entries
+
+    def test_trace_times_monotonic(self, two_phase):
+        events = []
+        Machine().run(two_phase, mode=2, trace=events)
+        times = [t for t, _, _ in events]
+        assert times == sorted(times)
+
+    def test_trace_records_schedule_modes(self, two_phase):
+        machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+        baseline = machine.run(two_phase, mode=2)
+        once_edges = [
+            e for e, c in baseline.edge_counts.items()
+            if c == 1 and e[0] != ENTRY_EDGE_SOURCE
+        ]
+        edge = once_edges[len(once_edges) // 2]
+        events = []
+        result = machine.run(
+            two_phase,
+            schedule={(ENTRY_EDGE_SOURCE, two_phase.entry): 2, edge: 0},
+            trace=events,
+        )
+        modes_seen = {m for _, _, m in events}
+        assert modes_seen == {0, 2}
+
+    def test_no_trace_by_default(self, two_phase):
+        result = Machine().run(two_phase, mode=0)
+        assert result.return_value is not None  # merely: runs fine untraced
+
+
+class TestAnalysis:
+    def _traced(self, two_phase):
+        machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+        base_events = []
+        baseline = machine.run(two_phase, mode=2, trace=base_events)
+        once_edges = {
+            e for e, c in baseline.edge_counts.items()
+            if c == 1 and e[0] != ENTRY_EDGE_SOURCE
+        }
+        # Pick the once-edge crossed nearest mid-run (the inter-loop
+        # boundary), located from the baseline trace.
+        crossing_time = {}
+        for (t_prev, prev, _), (t_cur, cur, _) in zip(base_events, base_events[1:]):
+            if (prev, cur) in once_edges:
+                crossing_time[(prev, cur)] = t_cur
+        edge = min(
+            crossing_time,
+            key=lambda e: abs(crossing_time[e] - 0.45 * baseline.wall_time_s),
+        )
+        events = []
+        result = machine.run(
+            two_phase,
+            schedule={(ENTRY_EDGE_SOURCE, two_phase.entry): 2, edge: 0},
+            trace=events,
+        )
+        return events, result
+
+    def test_phases_cover_run(self, two_phase):
+        events, result = self._traced(two_phase)
+        spans = phases(events, result.wall_time_s)
+        assert spans[0].start_s == events[0][0]
+        assert spans[-1].end_s == pytest.approx(result.wall_time_s)
+        # contiguous
+        for a, b in zip(spans, spans[1:]):
+            assert a.end_s == pytest.approx(b.start_s)
+        assert sum(span.blocks for span in spans) == len(events)
+
+    def test_two_mode_schedule_gives_two_phases(self, two_phase):
+        events, result = self._traced(two_phase)
+        spans = phases(events, result.wall_time_s)
+        assert [span.mode for span in spans] == [2, 0]
+
+    def test_residency_sums_to_wall_time(self, two_phase):
+        events, result = self._traced(two_phase)
+        residency = mode_residency(events, result.wall_time_s)
+        assert sum(residency.values()) == pytest.approx(
+            result.wall_time_s - events[0][0]
+        )
+        assert set(residency) == {0, 2}
+
+    def test_hottest_blocks(self, two_phase):
+        events, _ = self._traced(two_phase)
+        top = hottest_blocks(events, top=3)
+        assert len(top) == 3
+        counts = [c for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] >= 40  # a loop header
+
+    def test_render_timeline_shape(self, two_phase):
+        events, result = self._traced(two_phase)
+        strip = render_timeline(events, result.wall_time_s, width=40)
+        assert len(strip) == 40
+        assert set(strip) <= {"_", "-", "=", "#", "%", "@"}
+        # fast phase first, slow after
+        assert strip[0] == "="
+        assert strip[-1] == "_"
+
+    def test_empty_trace(self):
+        assert phases([], 1.0) == []
+        assert render_timeline([], 1.0) == ""
+        assert mode_residency([], 1.0) == {}

@@ -1,0 +1,164 @@
+"""Tests for the LP/MILP modelling layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.solver import Model, Sense
+from repro.solver.model import LinExpr, lin_sum
+
+
+class TestLinExpr:
+    def test_variable_arithmetic_builds_terms(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x + 3 * y - 1
+        assert expr.terms[x] == 2
+        assert expr.terms[y] == 3
+        assert expr.constant == -1
+
+    def test_addition_merges_like_terms(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = x + x + 2 * x
+        assert expr.terms[x] == 4
+
+    def test_subtraction_and_negation(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = -(x - y)
+        assert expr.terms[x] == -1
+        assert expr.terms[y] == 1
+
+    def test_rsub_constant(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = 5 - x
+        assert expr.constant == 5
+        assert expr.terms[x] == -1
+
+    def test_division_scales(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = (4 * x) / 2
+        assert expr.terms[x] == 2
+
+    def test_multiplying_two_expressions_raises(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        with pytest.raises(ModelError):
+            _ = (x + 1) * (y + 1)
+
+    def test_value_evaluates_at_point(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x + y + 1
+        assert expr.value([3.0, 4.0]) == pytest.approx(11.0)
+
+    def test_lin_sum_matches_builtin_sum(self):
+        m = Model()
+        variables = [m.add_var(f"v{i}") for i in range(10)]
+        a = lin_sum(2 * v for v in variables)
+        b = sum((2 * v for v in variables), LinExpr())
+        assert a.terms == b.terms
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(ModelError):
+            LinExpr.coerce("nope")
+
+
+class TestConstraints:
+    def test_le_builds_constraint(self):
+        m = Model()
+        x = m.add_var("x")
+        con = m.add_constraint(2 * x <= 5)
+        assert con.sense is Sense.LE
+        assert con.rhs == pytest.approx(5)
+
+    def test_ge_and_eq(self):
+        m = Model()
+        x = m.add_var("x")
+        assert (x >= 1).sense is Sense.GE
+        assert (x + 0 == 1).sense is Sense.EQ
+
+    def test_violation_measures(self):
+        m = Model()
+        x = m.add_var("x")
+        con = x <= 3
+        assert con.violation([5.0]) == pytest.approx(2.0)
+        assert con.violation([2.0]) == 0.0
+
+    def test_add_constraint_rejects_bool(self):
+        m = Model()
+        with pytest.raises(ModelError):
+            m.add_constraint(True)
+
+
+class TestModel:
+    def test_duplicate_variable_name_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ModelError):
+            m.add_var("x")
+
+    def test_invalid_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ModelError):
+            m.add_var("x", lb=2, ub=1)
+
+    def test_to_arrays_shapes(self):
+        m = Model()
+        x = m.add_var("x", ub=4)
+        y = m.add_binary("y")
+        m.add_constraint(x + y <= 3)
+        m.add_constraint(x - y >= 0)
+        m.add_constraint(x + 2 * y == 2)
+        m.minimize(x + y)
+        c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, c0 = m.to_arrays()
+        assert c.shape == (2,)
+        assert a_ub.shape == (2, 2)  # GE converted to LE
+        assert a_eq.shape == (1, 2)
+        assert bounds.shape == (2, 2)
+        assert integrality.tolist() == [False, True]
+        assert c0 == 0.0
+
+    def test_ge_row_negated(self):
+        m = Model()
+        x = m.add_var("x")
+        m.add_constraint(x >= 2)
+        _, a_ub, b_ub, *_ = m.to_arrays()
+        assert a_ub[0, 0] == -1.0
+        assert b_ub[0] == -2.0
+
+    def test_maximize_negates(self):
+        m = Model()
+        x = m.add_var("x", ub=10)
+        m.maximize(x)
+        s = m.solve(backend="native")
+        assert s.ok
+        assert m.value_of(x, s) == pytest.approx(10.0)
+        assert s.objective == pytest.approx(-10.0)
+
+    def test_unknown_backend_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ModelError):
+            m.solve(backend="cplex")
+
+    def test_value_of_expression(self):
+        m = Model()
+        x = m.add_var("x", lb=1, ub=1)
+        m.minimize(x)
+        s = m.solve(backend="native")
+        assert m.value_of(2 * x + 1, s) == pytest.approx(3.0)
+
+    def test_empty_model_solves(self):
+        m = Model()
+        m.minimize(LinExpr(constant=7.0))
+        s = m.solve(backend="native")
+        assert s.ok
+        assert s.objective == pytest.approx(7.0)

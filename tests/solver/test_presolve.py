@@ -1,0 +1,145 @@
+"""Presolve tests: reductions are exact and equivalence-preserving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InfeasibleError
+from repro.solver import solve_lp, solve_milp
+from repro.solver.presolve import presolve
+
+INF = float("inf")
+
+
+class TestReductions:
+    def test_singleton_row_becomes_bound(self):
+        # 2x <= 6  ->  x <= 3, row dropped
+        result = presolve(
+            c=[1.0, 1.0],
+            a_ub=[[2.0, 0.0]],
+            b_ub=[6.0],
+            a_eq=[], b_eq=[],
+            bounds=[[0, INF], [0, INF]],
+        )
+        assert len(result.b_ub) == 0
+        assert result.bounds[0, 1] == pytest.approx(3.0)
+        assert result.rows_dropped == 1
+
+    def test_negative_coefficient_singleton_tightens_lower(self):
+        # -x <= -2  ->  x >= 2
+        result = presolve(
+            c=[1.0], a_ub=[[-1.0]], b_ub=[-2.0], a_eq=[], b_eq=[],
+            bounds=[[0, INF]],
+        )
+        assert result.bounds[0, 0] == pytest.approx(2.0)
+
+    def test_empty_feasible_row_dropped(self):
+        result = presolve(
+            c=[1.0], a_ub=[[0.0]], b_ub=[5.0], a_eq=[], b_eq=[],
+            bounds=[[0, 1]],
+        )
+        assert len(result.b_ub) == 0
+
+    def test_empty_infeasible_row_raises(self):
+        with pytest.raises(InfeasibleError):
+            presolve(c=[1.0], a_ub=[[0.0]], b_ub=[-1.0], a_eq=[], b_eq=[],
+                     bounds=[[0, 1]])
+
+    def test_fixed_variable_substituted(self):
+        # y fixed at 2; x + y <= 5 becomes x <= 3
+        result = presolve(
+            c=[1.0, 4.0],
+            a_ub=[[1.0, 1.0]],
+            b_ub=[5.0],
+            a_eq=[], b_eq=[],
+            bounds=[[0, INF], [2, 2]],
+        )
+        assert result.fixed_values == {1: 2.0}
+        assert result.objective_offset == pytest.approx(8.0)
+        assert result.b_ub[0] == pytest.approx(3.0)
+        assert len(result.c) == 1
+
+    def test_crossed_bounds_raise(self):
+        with pytest.raises(InfeasibleError):
+            presolve(
+                c=[1.0, 1.0],
+                a_ub=[[1.0, 0.0], [-1.0, 0.0]],
+                b_ub=[1.0, -3.0],  # x <= 1 and x >= 3
+                a_eq=[], b_eq=[],
+                bounds=[[0, INF], [0, 1]],
+            )
+
+    def test_integer_bounds_rounded_inward(self):
+        result = presolve(
+            c=[1.0], a_ub=[[2.0]], b_ub=[5.0], a_eq=[], b_eq=[],
+            bounds=[[0, INF]], integrality=[True],
+        )
+        assert result.bounds[0, 1] == pytest.approx(2.0)  # floor(2.5)
+
+    def test_restore_reassembles_solution(self):
+        result = presolve(
+            c=[1.0, 4.0, 2.0],
+            a_ub=[[1.0, 1.0, 0.0]],
+            b_ub=[5.0],
+            a_eq=[], b_eq=[],
+            bounds=[[0, INF], [2, 2], [0, INF]],
+        )
+        x = result.restore(np.array([1.5, 0.5]))
+        assert x.tolist() == [1.5, 2.0, 0.5]
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10000), n=st.integers(2, 6), m=st.integers(1, 5))
+def test_presolved_lp_equivalent(seed, n, m):
+    """Property: solving the presolved LP + restoring gives the same
+    optimum as solving the original."""
+    gen = np.random.default_rng(seed)
+    c = gen.uniform(-3, 3, n)
+    a_ub = gen.uniform(-2, 2, (m, n))
+    # include a singleton row and a fixed variable for coverage
+    a_ub[0] = 0.0
+    a_ub[0, 0] = gen.choice([-1.5, 2.0])
+    x0 = gen.uniform(0, 2, n)
+    x0[-1] = 1.0  # must agree with the fixed variable below
+    b_ub = a_ub @ x0 + gen.uniform(0.5, 2.0, m)
+    bounds = np.column_stack([np.zeros(n), gen.uniform(2.5, 6, n)])
+    bounds[-1] = [1.0, 1.0]  # fixed variable
+
+    original = solve_lp(c, a_ub, b_ub, bounds=bounds)
+    reduced = presolve(c, a_ub, b_ub, [], [], bounds)
+    sub = solve_lp(
+        reduced.c, reduced.a_ub, reduced.b_ub,
+        reduced.a_eq if reduced.a_eq.size else None,
+        reduced.b_eq if len(reduced.b_eq) else None,
+        bounds=reduced.bounds,
+    )
+    assert original.ok and sub.ok
+    assert sub.objective + reduced.objective_offset == pytest.approx(
+        original.objective, abs=1e-6, rel=1e-6
+    )
+    restored = reduced.restore(sub.x)
+    assert np.all(a_ub @ restored <= b_ub + 1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), n=st.integers(2, 6))
+def test_presolved_milp_equivalent(seed, n):
+    gen = np.random.default_rng(seed)
+    c = -gen.uniform(1, 5, n)
+    weights = gen.uniform(0.5, 2, (1, n))
+    # Budget always admits the forced-on variable plus some of the rest.
+    b_ub = np.array([weights[0, 0] + weights[0, 1:].sum() * 0.6])
+    bounds = np.array([[0, 1]] * n, dtype=float)
+    bounds[0] = [1.0, 1.0]  # one variable forced on
+    integrality = np.ones(n, dtype=bool)
+
+    original = solve_milp(c, weights, b_ub, bounds=bounds, integrality=integrality)
+    reduced = presolve(c, weights, b_ub, [], [], bounds, integrality)
+    sub = solve_milp(
+        reduced.c, reduced.a_ub, reduced.b_ub,
+        bounds=reduced.bounds, integrality=reduced.integrality,
+    )
+    assert original.ok and sub.ok
+    assert sub.objective + reduced.objective_offset == pytest.approx(
+        original.objective, abs=1e-6
+    )

@@ -1,0 +1,75 @@
+"""Solution-container and backend-dispatch tests."""
+
+import numpy as np
+import pytest
+
+from repro.solver import Model, SolveStatus
+from repro.solver.solution import Solution
+
+
+class TestSolveStatus:
+    def test_only_optimal_is_ok(self):
+        assert SolveStatus.OPTIMAL.ok
+        for status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED, SolveStatus.LIMIT):
+            assert not status.ok
+
+    def test_solution_ok_mirrors_status(self):
+        assert Solution(SolveStatus.OPTIMAL, 1.0, np.array([1.0])).ok
+        assert not Solution(SolveStatus.INFEASIBLE).ok
+
+
+class TestBackendDispatch:
+    def _model(self):
+        m = Model("dispatch")
+        x = m.add_binary("x")
+        y = m.add_var("y", ub=3.0)
+        m.add_constraint(x + y <= 3.5)
+        m.maximize(2 * x + y)
+        return m, x, y
+
+    def test_auto_prefers_scipy(self):
+        m, *_ = self._model()
+        solution = m.solve(backend="auto")
+        assert solution.backend == "scipy"
+
+    def test_native_reports_backend(self):
+        m, *_ = self._model()
+        solution = m.solve(backend="native")
+        assert solution.backend == "native"
+        assert solution.nodes >= 1
+
+    def test_backends_agree_on_values(self):
+        m, x, y = self._model()
+        a = m.solve(backend="scipy")
+        b = m.solve(backend="native")
+        assert a.objective == pytest.approx(b.objective, rel=1e-9)
+        assert m.value_of(x, a) == m.value_of(x, b)
+
+    def test_wall_time_recorded(self):
+        m, *_ = self._model()
+        solution = m.solve()
+        assert solution.wall_time > 0
+
+    def test_time_limit_option_accepted_by_both(self):
+        m, *_ = self._model()
+        assert m.solve(backend="scipy", time_limit=10.0).ok
+        assert m.solve(backend="native", time_limit=10.0).ok
+
+    def test_infeasible_model_both_backends(self):
+        m = Model("infeasible")
+        x = m.add_var("x", ub=1.0)
+        m.add_constraint(x >= 2.0)
+        m.minimize(x)
+        for backend in ("scipy", "native"):
+            assert m.solve(backend=backend).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_model_both_backends(self):
+        m = Model("unbounded")
+        x = m.add_var("x")
+        m.minimize(-1 * x)
+        for backend in ("scipy", "native"):
+            status = m.solve(backend=backend).status
+            assert status in (SolveStatus.UNBOUNDED, SolveStatus.INFEASIBLE)
+            # (HiGHS may report either for trivially unbounded LPs; the
+            # native simplex reports UNBOUNDED)
+        assert m.solve(backend="native").status is SolveStatus.UNBOUNDED

@@ -1,0 +1,99 @@
+"""CLI tests: every subcommand drives the real pipeline."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("adpcm", "epic", "gsm", "mpeg", "mpg123", "ghostscript"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_default_mode(self, capsys):
+        assert main(["run", "adpcm"]) == 0
+        out = capsys.readouterr().out
+        assert "800 MHz" in out
+        assert "result=" in out
+
+    def test_run_explicit_mode(self, capsys):
+        assert main(["run", "adpcm", "--mode", "0"]) == 0
+        assert "200 MHz" in capsys.readouterr().out
+
+    def test_unknown_workload_errors(self, capsys):
+        assert main(["run", "doom"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_mpeg_category(self, capsys):
+        assert main(["run", "mpeg", "--category", "with_b"]) == 0
+
+    def test_bad_category_errors(self, capsys):
+        assert main(["run", "mpeg", "--category", "interlaced"]) == 1
+
+
+class TestParams:
+    def test_params_output(self, capsys):
+        assert main(["params", "adpcm"]) == 0
+        out = capsys.readouterr().out
+        assert "N_overlap" in out
+        assert "t_invariant" in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_modes(self, capsys):
+        assert main(["profile", "ghostscript"]) == 0
+        out = capsys.readouterr().out
+        assert "mode 0" in out and "mode 2" in out
+
+    def test_profile_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "p.json"
+        assert main(["profile", "ghostscript", "-o", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["kind"] == "profile"
+        assert data["name"] == "ghostscript"
+
+
+class TestOptimizeCommand:
+    def test_optimize_end_to_end(self, capsys, tmp_path):
+        sched_path = tmp_path / "s.json"
+        assert main([
+            "optimize", "ghostscript", "--deadline-frac", "0.5",
+            "-o", str(sched_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MILP edge schedule" in out
+        assert json.loads(sched_path.read_text())["kind"] == "schedule"
+
+    def test_optimize_reuses_profile(self, capsys, tmp_path):
+        prof_path = tmp_path / "p.json"
+        main(["profile", "ghostscript", "-o", str(prof_path)])
+        capsys.readouterr()
+        assert main([
+            "optimize", "ghostscript", "--profile", str(prof_path),
+            "--deadline-frac", "0.7",
+        ]) == 0
+        assert "deadline" in capsys.readouterr().out
+
+    def test_optimize_with_comparison(self, capsys):
+        assert main([
+            "optimize", "ghostscript", "--deadline-frac", "0.6", "--compare",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "greedy heuristic" in out
+        assert "block-grain MILP" in out
+        assert "best single mode" in out
+
+
+class TestBoundCommand:
+    def test_bound_with_levels(self, capsys):
+        assert main(["bound", "ghostscript", "--levels", "7",
+                     "--deadline-frac", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "7 levels" in out
+        assert "%" in out

@@ -1,0 +1,106 @@
+"""Cross-module integration tests: the full paper pipeline on one real
+workload, plus analytical-vs-MILP consistency (the Section 6.5 check).
+"""
+
+import pytest
+
+from repro.core import DVSOptimizer
+from repro.core.analytical import ProgramParams, savings_ratio_discrete
+from repro.profiling import extract_params
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.simulator.dvs import ZERO_TRANSITION
+from repro.workloads import compile_workload, derive_deadlines, get_workload
+
+
+@pytest.fixture(scope="module")
+def adpcm_setup():
+    spec = get_workload("adpcm")
+    cfg = compile_workload("adpcm")
+    machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+    optimizer = DVSOptimizer(machine)
+    profile = optimizer.profile(cfg, inputs=spec.inputs(), registers=spec.registers())
+    return spec, cfg, machine, optimizer, profile
+
+
+class TestFullPipelineOnAdpcm:
+    def test_five_deadlines_all_verified(self, adpcm_setup):
+        """The paper's experimental flow (Figure 13) end to end: derive
+        Table 4-style deadlines, solve the MILP at each, and verify each
+        schedule meets its deadline on the simulator with the predicted
+        energy."""
+        spec, cfg, machine, optimizer, profile = adpcm_setup
+        deadlines = derive_deadlines(
+            profile.wall_time_s[0], profile.wall_time_s[1], profile.wall_time_s[2]
+        )
+        previous_energy = float("inf")
+        for i, deadline in enumerate(deadlines, start=1):
+            outcome = optimizer.optimize(cfg, deadline, profile=profile)
+            run = optimizer.verify(
+                cfg, outcome.schedule, inputs=spec.inputs(), registers=spec.registers()
+            )
+            # Tolerances: profiles carry per-visit *averages*; when a block
+            # is entered through edges scheduled at different modes, the
+            # cold-visit part of its cost (e.g. first-entry I-cache fills)
+            # is attributed at the average rather than the actual mode.
+            # That is inherent to profile-driven formulations (the paper's
+            # included) and stays at ppm scale.
+            assert run.wall_time_s <= deadline * (1 + 1e-4), f"deadline {i}"
+            assert run.cpu_energy_nj == pytest.approx(
+                outcome.predicted_energy_nj, rel=1e-4
+            ), f"deadline {i}"
+            assert run.cpu_energy_nj <= previous_energy * (1 + 1e-9)
+            previous_energy = run.cpu_energy_nj
+
+    def test_lax_deadline_halves_energy(self, adpcm_setup):
+        """Figure 17's headline: moving from the stringent to the lax
+        deadline cuts energy by roughly 2x or more."""
+        spec, cfg, machine, optimizer, profile = adpcm_setup
+        deadlines = derive_deadlines(
+            profile.wall_time_s[0], profile.wall_time_s[1], profile.wall_time_s[2]
+        )
+        tight = optimizer.optimize(cfg, deadlines[0], profile=profile)
+        lax = optimizer.optimize(cfg, deadlines[4], profile=profile)
+        assert lax.predicted_energy_nj < tight.predicted_energy_nj / 1.8
+
+    def test_analytical_bound_dominates_milp(self, adpcm_setup):
+        """Section 6.5: the analytical model (free transitions, continuous
+        splitting) upper-bounds MILP savings at matching deadlines."""
+        spec, cfg, machine, optimizer, profile = adpcm_setup
+        params = extract_params(
+            machine, cfg, inputs=spec.inputs(), registers=spec.registers()
+        )
+        deadlines = derive_deadlines(
+            profile.wall_time_s[0], profile.wall_time_s[1], profile.wall_time_s[2]
+        )
+        free_machine = Machine(SCALE_CONFIG, XSCALE_3, ZERO_TRANSITION)
+        free_optimizer = DVSOptimizer(free_machine)
+        for deadline in deadlines[1:4]:
+            outcome = free_optimizer.optimize(cfg, deadline, profile=profile)
+            _, baseline = free_optimizer.best_single_mode(profile, deadline)
+            milp_savings = max(0.0, 1 - outcome.predicted_energy_nj / baseline)
+            # Analytical bound computed on the machine's own params but at
+            # the *matching* relative deadline position.
+            bound = savings_ratio_discrete(params, deadline, XSCALE_3)
+            assert bound == bound  # not NaN
+            assert bound >= milp_savings - 0.06  # small tolerance: different baselines
+
+    def test_transition_costs_only_hurt(self, adpcm_setup):
+        spec, cfg, machine, optimizer, profile = adpcm_setup
+        deadline = profile.wall_time_s[1] * 1.05
+        costly = optimizer.optimize(cfg, deadline, profile=profile)
+        free_machine = Machine(SCALE_CONFIG, XSCALE_3, ZERO_TRANSITION)
+        free = DVSOptimizer(free_machine).optimize(cfg, deadline, profile=profile)
+        assert free.predicted_energy_nj <= costly.predicted_energy_nj * (1 + 1e-9)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_quickstart_names_importable(self):
+        from repro.core import DVSOptimizer  # noqa: F401
+        from repro.lang import compile_program  # noqa: F401
+        from repro.simulator import Machine, XSCALE_3  # noqa: F401
+        from repro.workloads import get_workload  # noqa: F401

@@ -1,0 +1,164 @@
+"""Whole-pipeline property tests over randomly generated programs.
+
+A hypothesis strategy builds random (but well-formed) kernel-language
+programs — nested loops, branches, array traffic, arithmetic — and the
+tests push each one through the complete stack:
+
+* compiled CFG validates;
+* machine simulation computes exactly what the reference interpreter
+  computes, at every mode;
+* the optimization pass pipeline preserves the result;
+* profiles obey their conservation laws;
+* the MILP produces a schedule whose verified run meets the deadline.
+
+This is the repository's broadest net: any disagreement between the
+compiler, the simulator, the profiler and the optimizer shows up here.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DVSOptimizer
+from repro.ir import interpret, validate_cfg
+from repro.ir.passes import optimize as run_passes
+from repro.lang import compile_program
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+
+ARRAY_LEN = 64
+
+
+@st.composite
+def random_program(draw) -> tuple[str, dict]:
+    """Generate (source, inputs) for a random well-formed program."""
+    seed_values = draw(
+        st.lists(st.integers(-100, 100), min_size=ARRAY_LEN, max_size=ARRAY_LEN)
+    )
+    num_stmts = draw(st.integers(2, 5))
+    body_parts: list[str] = []
+    scalars = ["s0", "s1"]
+    body_parts.append("var s0: int = 1;")
+    body_parts.append("var s1: int = 2;")
+
+    def expr(depth: int) -> str:
+        choice = draw(st.integers(0, 5 if depth < 2 else 2))
+        if choice == 0:
+            return str(draw(st.integers(-20, 20)))
+        if choice == 1:
+            return draw(st.sampled_from(scalars))
+        if choice == 2:
+            index = draw(st.integers(0, ARRAY_LEN - 1))
+            return f"data[{index}]"
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
+
+    counter = [0]
+
+    def fresh_loop_var() -> str:
+        counter[0] += 1
+        return f"i{counter[0]}"
+
+    def statement(depth: int) -> str:
+        kinds = ["assign", "array", "if"]
+        if depth < 2:
+            kinds.append("for")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "assign":
+            target = draw(st.sampled_from(scalars))
+            return f"{target} = ({expr(0)}) % 1000003;"
+        if kind == "array":
+            index = draw(st.integers(0, ARRAY_LEN - 1))
+            return f"data[{index}] = ({expr(0)}) % 251;"
+        if kind == "if":
+            op = draw(st.sampled_from(["<", ">", "==", "!="]))
+            then_stmt = statement(depth + 1)
+            else_stmt = statement(depth + 1)
+            return (
+                f"if ({expr(0)} {op} {expr(0)}) {{ {then_stmt} }} "
+                f"else {{ {else_stmt} }}"
+            )
+        loop_var = fresh_loop_var()
+        trips = draw(st.integers(1, 12))
+        inner = statement(depth + 1)
+        use = draw(st.sampled_from(scalars))
+        return (
+            f"for (var {loop_var}: int = 0; {loop_var} < {trips}; "
+            f"{loop_var} = {loop_var} + 1) {{ "
+            f"{inner} {use} = ({use} + data[{loop_var} % {ARRAY_LEN}]) % 65521; }}"
+        )
+
+    for _ in range(num_stmts):
+        body_parts.append(statement(0))
+
+    source = (
+        "func main() -> int {\n"
+        f"    extern data: int[{ARRAY_LEN}];\n"
+        + "\n".join("    " + part for part in body_parts)
+        + "\n    return (s0 + s1 * 31) % 1000003;\n}"
+    )
+    return source, {"data": seed_values}
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=random_program())
+def test_simulator_matches_interpreter_on_random_programs(program):
+    source, inputs = program
+    cfg = compile_program(source, "fuzz")
+    validate_cfg(cfg)
+    expected = interpret(cfg, inputs=inputs).return_value
+    machine = Machine()
+    for mode in (0, 2):
+        assert machine.run(cfg, inputs=inputs, mode=mode).return_value == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=random_program())
+def test_pass_pipeline_preserves_random_programs(program):
+    source, inputs = program
+    plain = compile_program(source, "fuzz-plain")
+    tuned = compile_program(source, "fuzz-tuned")
+    run_passes(tuned)
+    assert (
+        interpret(plain, inputs=inputs).return_value
+        == interpret(tuned, inputs=inputs).return_value
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(program=random_program())
+def test_profile_conservation_on_random_programs(program):
+    source, inputs = program
+    cfg = compile_program(source, "fuzz-profile")
+    machine = Machine()
+    optimizer = DVSOptimizer(machine)
+    profile = optimizer.profile(cfg, inputs=inputs)
+    # Incoming edge counts conserve block counts.
+    incoming: dict[str, int] = {}
+    for (_, dst), count in profile.edge_counts.items():
+        incoming[dst] = incoming.get(dst, 0) + count
+    for label, count in profile.block_counts.items():
+        assert incoming.get(label, 0) == count
+    # Per-mode block totals sum to run totals.
+    for mode in profile.per_mode:
+        total = sum(d.total_time_s for d in profile.per_mode[mode].values())
+        assert total == pytest.approx(profile.wall_time_s[mode], rel=1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(program=random_program(), frac=st.floats(0.1, 0.9))
+def test_milp_schedule_feasible_on_random_programs(program, frac):
+    source, inputs = program
+    cfg = compile_program(source, "fuzz-milp")
+    machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+    optimizer = DVSOptimizer(machine)
+    profile = optimizer.profile(cfg, inputs=inputs)
+    t_fast, t_slow = profile.wall_time_s[2], profile.wall_time_s[0]
+    deadline = t_fast + frac * (t_slow - t_fast)
+    outcome = optimizer.optimize(cfg, deadline, profile=profile)
+    run = optimizer.verify(cfg, outcome.schedule, inputs=inputs)
+    assert run.wall_time_s <= deadline * (1 + 1e-4)
+    assert run.return_value == profile.return_value
+    # Never worse than the best single mode.
+    _, baseline = optimizer.best_single_mode(profile, deadline)
+    assert run.cpu_energy_nj <= baseline * (1 + 1e-4)

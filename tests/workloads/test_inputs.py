@@ -1,0 +1,65 @@
+"""Input-generator tests: determinism, ranges, category structure."""
+
+import pytest
+
+from repro.workloads import inputs as gen
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        assert gen.speech_like(100, seed=3) == gen.speech_like(100, seed=3)
+        assert gen.image_like(8, 8, seed=1) == gen.image_like(8, 8, seed=1)
+        assert gen.triangles(5, 64, seed=2) == gen.triangles(5, 64, seed=2)
+
+    def test_different_seeds_differ(self):
+        assert gen.speech_like(100, seed=0) != gen.speech_like(100, seed=1)
+
+
+class TestRanges:
+    def test_speech_within_16_bits(self):
+        samples = gen.speech_like(500, seed=0)
+        assert all(-32768 <= s <= 32767 for s in samples)
+        assert all(isinstance(s, int) for s in samples)
+
+    def test_image_size(self):
+        img = gen.image_like(16, 8, seed=0)
+        assert len(img) == 128
+        assert all(isinstance(v, float) for v in img)
+
+    def test_dct_blocks_structure(self):
+        blocks = gen.dct_blocks(3, seed=0)
+        assert len(blocks) == 3 * 64
+        # Mostly-zero AC structure per block.
+        for b in range(3):
+            block = blocks[b * 64 : (b + 1) * 64]
+            zeros = sum(1 for v in block if v == 0)
+            assert zeros > 32
+
+    def test_motion_vectors_bounded(self):
+        mvs = gen.motion_vectors(10, seed=0, magnitude=4)
+        assert len(mvs) == 20
+        assert all(-4 <= v <= 4 for v in mvs)
+
+    def test_triangles_in_extent(self):
+        tri = gen.triangles(8, 64, seed=0)
+        assert len(tri) == 48
+        assert all(0 <= v < 64 for v in tri)
+
+    def test_subband_rolloff(self):
+        data = gen.subband_samples(200, 32, seed=0)
+        low = [abs(data[g * 32]) for g in range(200)]
+        high = [abs(data[g * 32 + 31]) for g in range(200)]
+        assert sum(low) / len(low) > sum(high) / len(high)
+
+
+class TestCategories:
+    def test_no_b_flags_all_zero(self):
+        assert gen.b_frame_flags(9, "no_b") == [0] * 9
+
+    def test_with_b_every_third(self):
+        flags = gen.b_frame_flags(9, "with_b")
+        assert flags == [0, 0, 1, 0, 0, 1, 0, 0, 1]
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            gen.b_frame_flags(4, "interlaced")

@@ -1,0 +1,70 @@
+"""Suite registry and deadline-derivation tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import all_workloads, compile_workload, derive_deadlines, get_workload
+
+
+class TestRegistry:
+    def test_all_members(self):
+        names = {w.name for w in all_workloads()}
+        assert names == {
+            "adpcm", "epic", "gsm", "mpeg", "mpg123", "ghostscript",
+            "dijkstra", "jpeg",
+        }
+
+    def test_paper_suite_subset(self):
+        from repro.workloads.suite import PAPER_SUITE
+
+        names = {w.name for w in all_workloads()}
+        assert set(PAPER_SUITE) < names
+        assert "dijkstra" not in PAPER_SUITE  # extensions stay out of
+        assert "jpeg" not in PAPER_SUITE      # the paper-table benches
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError):
+            get_workload("doom")
+
+    def test_mpeg_has_categories(self):
+        assert get_workload("mpeg").categories == ("no_b", "with_b")
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ReproError):
+            get_workload("mpeg").inputs(category="interlaced")
+
+    def test_compile_workload_cached(self):
+        a = compile_workload("adpcm")
+        b = compile_workload("adpcm")
+        assert a is b
+
+    def test_registers_name_entry_params(self):
+        for spec in all_workloads():
+            for key in spec.registers():
+                assert key.startswith("main.")
+
+
+class TestDeadlines:
+    def test_five_deadlines_ordered(self):
+        d = derive_deadlines(30e-3, 10e-3, 7.5e-3)
+        assert len(d) == 5
+        assert d == sorted(d)
+
+    def test_d1_just_above_fastest(self):
+        d = derive_deadlines(30e-3, 10e-3, 7.5e-3)
+        assert 7.5e-3 < d[0] < 8e-3
+
+    def test_d5_just_below_slowest(self):
+        """Like the paper's Deadline 5: the slowest mode alone cannot
+        quite meet it."""
+        d = derive_deadlines(30e-3, 10e-3, 7.5e-3)
+        assert d[4] < 30e-3
+        assert d[4] > 29e-3
+
+    def test_d3_just_above_middle(self):
+        d = derive_deadlines(30e-3, 10e-3, 7.5e-3)
+        assert 10e-3 < d[2] < 10.5e-3
+
+    def test_misordered_times_rejected(self):
+        with pytest.raises(ReproError):
+            derive_deadlines(1e-3, 2e-3, 3e-3)

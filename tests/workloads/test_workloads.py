@@ -1,0 +1,131 @@
+"""Per-workload correctness: compile, validate, interpreter/simulator
+agreement, checksum regressions, category behaviour.
+
+Checksum regressions pin the exact output of every (workload, input)
+pair; any change to a kernel, the frontend, or a generator that alters
+program behaviour trips these.
+"""
+
+import pytest
+
+from repro.ir import find_natural_loops, interpret, validate_cfg
+from repro.simulator import Machine
+from repro.workloads import all_workloads, compile_workload, get_workload
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine()
+
+
+@pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+class TestEveryWorkload:
+    def test_compiles_and_validates(self, name):
+        cfg = compile_workload(name)
+        validate_cfg(cfg)
+        assert len(cfg.blocks) > 5
+        assert cfg.instruction_count() > 50
+
+    def test_has_loops(self, name):
+        cfg = compile_workload(name)
+        assert find_natural_loops(cfg)
+
+    def test_simulator_matches_interpreter(self, name, machine):
+        spec = get_workload(name)
+        cfg = compile_workload(name)
+        inputs, registers = spec.inputs(), spec.registers()
+        ref = interpret(cfg, inputs=inputs, registers=registers)
+        run = machine.run(cfg, inputs=inputs, registers=registers, mode=2)
+        assert run.return_value == ref.return_value
+
+    def test_deterministic_across_seeds_only(self, name, machine):
+        """Same seed -> same checksum; different seed -> different data
+        (and almost surely a different checksum)."""
+        spec = get_workload(name)
+        cfg = compile_workload(name)
+        a = machine.run(cfg, inputs=spec.inputs(seed=0), registers=spec.registers(), mode=2)
+        b = machine.run(cfg, inputs=spec.inputs(seed=0), registers=spec.registers(), mode=2)
+        assert a.return_value == b.return_value
+
+
+class TestChecksumRegression:
+    @pytest.mark.parametrize("name,expected", [
+        ("adpcm", 187366),
+        ("epic", 65182),
+        ("gsm", 490363),
+        ("mpeg", 230821),
+        ("mpg123", 663307),
+        ("ghostscript", 55055),
+        ("dijkstra", 96227715),
+        ("jpeg", 102365),
+    ])
+    def test_default_input_checksum(self, name, expected, machine):
+        spec = get_workload(name)
+        cfg = compile_workload(name)
+        run = machine.run(cfg, inputs=spec.inputs(), registers=spec.registers(), mode=1)
+        assert run.return_value == expected
+
+
+class TestMpegCategories:
+    def test_categories_change_control_flow(self, machine):
+        """with_b streams execute the bidirectional path: block counts on
+        the B-branch must differ from the no_b run (the mechanism behind
+        the paper's Figure 19 category mismatch)."""
+        spec = get_workload("mpeg")
+        cfg = compile_workload("mpeg")
+        run_nob = machine.run(
+            cfg, inputs=spec.inputs(category="no_b"), registers=spec.registers(), mode=2
+        )
+        run_withb = machine.run(
+            cfg, inputs=spec.inputs(category="with_b"), registers=spec.registers(), mode=2
+        )
+        assert run_nob.edge_counts != run_withb.edge_counts
+        # B-blocks do extra reads: more instructions executed.
+        assert run_withb.instructions > run_nob.instructions
+
+    def test_with_b_reads_second_reference(self, machine):
+        spec = get_workload("mpeg")
+        cfg = compile_workload("mpeg")
+        r = machine.run(
+            cfg, inputs=spec.inputs(category="with_b"), registers=spec.registers(), mode=2
+        )
+        assert r.return_value is not None
+
+
+class TestWorkloadCharacter:
+    """The suite must span the paper's workload regimes."""
+
+    def test_adpcm_is_compute_dominated(self, machine):
+        spec = get_workload("adpcm")
+        run = machine.run(
+            compile_workload("adpcm"), inputs=spec.inputs(), registers=spec.registers(), mode=2
+        )
+        assert run.t_invariant_s < 0.2 * run.wall_time_s
+
+    def test_mpeg_touches_main_memory_heavily(self, machine):
+        spec = get_workload("mpeg")
+        run = machine.run(
+            compile_workload("mpeg"), inputs=spec.inputs(), registers=spec.registers(), mode=2
+        )
+        assert run.mem_misses > 500
+
+    def test_epic_has_float_work(self):
+        from repro.ir.validate import count_op_classes
+
+        counts = count_op_classes(compile_workload("epic"))
+        assert counts.get("FP_ADD", 0) + counts.get("FP_MUL", 0) > 5
+
+    def test_gsm_is_multiply_heavy(self):
+        from repro.ir.validate import count_op_classes
+
+        counts = count_op_classes(compile_workload("gsm"))
+        assert counts.get("INT_MUL", 0) >= 5
+
+    def test_runtime_ratio_near_4x_between_modes(self, machine):
+        """T(200MHz)/T(800MHz) should sit in (2, 4]: pure compute gives
+        4x, memory-bound programs less (asynchronous memory)."""
+        for name in ("adpcm", "epic"):
+            spec = get_workload(name)
+            cfg = compile_workload(name)
+            t_fast = machine.run(cfg, inputs=spec.inputs(), registers=spec.registers(), mode=2).wall_time_s
+            t_slow = machine.run(cfg, inputs=spec.inputs(), registers=spec.registers(), mode=0).wall_time_s
+            assert 2.0 < t_slow / t_fast <= 4.05
