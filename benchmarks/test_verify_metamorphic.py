@@ -1,0 +1,111 @@
+"""Verification regressions over the real benchmark suite.
+
+The ``tests/verify`` suite exercises the oracles on a toy program; these
+experiments pin the two headline metamorphic relations on the paper's
+actual benchmarks and deadline ladder:
+
+* Table 6's x-axis reading: optimal energy is non-increasing as the
+  deadline loosens from D1 (stringent) to D5 (lax);
+* Section 6.5's comparison: the analytical savings bound dominates the
+  MILP's realized savings at (nearly) every comparable point.
+
+Both write their evidence tables to ``benchmarks/results/``.
+"""
+
+import math
+
+from repro.analysis import Table
+from repro.core.analytical import savings_ratio_discrete
+from repro.errors import ScheduleError
+from repro.verify import metamorphic, tolerances
+
+from conftest import TABLE_BENCHMARKS, single_run, write_artifact
+
+
+def _milp_savings(context, deadline):
+    outcome = context.optimizer.optimize(context.cfg, deadline, profile=context.profile)
+    assert outcome.certificate is not None and outcome.certificate.ok
+    _, baseline_energy = context.optimizer.best_single_mode(context.profile, deadline)
+    return max(0.0, 1.0 - outcome.predicted_energy_nj / baseline_energy)
+
+
+def test_verify_deadline_monotonicity(benchmark, context_cache, xscale_table):
+    """Tab6-style ladder: loosening D1 -> D5 never raises optimal energy."""
+
+    def compute():
+        rows = {}
+        for name in TABLE_BENCHMARKS:
+            context = context_cache.get(name, xscale_table)
+            result = metamorphic.deadline_monotonicity(
+                context.optimizer, context.cfg, context.profile, context.deadlines
+            )
+            energies = []
+            for deadline in context.deadlines:
+                try:
+                    outcome = context.optimizer.optimize(
+                        context.cfg, deadline, profile=context.profile
+                    )
+                    energies.append(outcome.predicted_energy_nj / 1e3)
+                except ScheduleError:
+                    energies.append(math.nan)
+            rows[name] = (result, energies)
+        return rows
+
+    rows = single_run(benchmark, compute)
+
+    table = Table(
+        "Verification: optimal energy (uJ) is non-increasing over D1..D5",
+        ["Benchmark", "D1", "D2", "D3", "D4", "D5", "monotone"],
+        float_format="{:.1f}",
+    )
+    for name in TABLE_BENCHMARKS:
+        result, energies = rows[name]
+        assert result.ok, f"{name}: {result.detail}"
+        table.add_row(
+            [name]
+            + ["-" if math.isnan(e) else e for e in energies]
+            + ["yes" if result.ok else "NO"]
+        )
+    write_artifact("verify_deadline_monotonicity", table.render())
+
+
+def test_verify_bound_dominates_milp(benchmark, context_cache, xscale_table):
+    """Tab1-vs-Tab6 oracle: the analytical upper bound on savings sits
+    at or above the MILP's realized savings (within the paper's one
+    rounding-blamed inversion's worth of slack)."""
+
+    def compute():
+        cells = []
+        for name in TABLE_BENCHMARKS:
+            context = context_cache.get(name, xscale_table)
+            for label, deadline in zip(
+                ("D1", "D2", "D3", "D4", "D5"), context.deadlines
+            ):
+                try:
+                    milp = _milp_savings(context, deadline)
+                except ScheduleError:
+                    continue
+                bound = savings_ratio_discrete(
+                    context.params, deadline, xscale_table, y_samples=120
+                )
+                if math.isnan(bound):
+                    continue
+                cells.append((name, label, bound, milp))
+        return cells
+
+    cells = single_run(benchmark, compute)
+
+    table = Table(
+        "Verification: analytical bound vs MILP savings (XScale-3)",
+        ["Benchmark", "Deadline", "Bound", "MILP", "dominates"],
+        float_format="{:.3f}",
+    )
+    dominated = 0
+    for name, label, bound, milp in cells:
+        ok = bound >= milp - tolerances.BOUND_DOMINANCE_SLACK
+        dominated += ok
+        table.add_row([name, label, bound, milp, "yes" if ok else "NO"])
+
+    assert len(cells) >= 15
+    assert dominated / len(cells) >= 0.85, table.render()
+    write_artifact("verify_bound_dominates_milp", table.render())

@@ -9,10 +9,18 @@
     python -m repro optimize gsm --deadline-frac 0.5 \\
         --profile gsm-profile.json -o gsm-schedule.json --compare
     python -m repro bound epic --levels 7 --deadline-frac 0.5
+    python -m repro verify gsm --deadline-frac 0.5
+    python -m repro fuzz --runs 50 --seed 0
 
 ``--deadline-frac f`` places the deadline a fraction ``f`` of the way
 from the all-fast to the all-slow runtime (0 = flat out, 1 = everything
 at the slowest mode).
+
+``verify`` runs the full independent-verification battery (solution
+certificate, schedule check, differential and metamorphic oracles) over
+one workload; ``fuzz`` runs it over seeded random programs.  Both exit
+non-zero on any oracle failure, as does ``optimize`` when its verified
+run misses the deadline or diverges from the predicted energy.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.profiling import extract_params
 from repro.profiling.serialize import load_profile, save_profile, save_schedule
 from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
 from repro.simulator.dvs import make_mode_table
+from repro.verify import tolerances
 from repro.workloads import all_workloads, compile_workload, get_workload
 
 
@@ -119,6 +128,24 @@ def cmd_optimize(args) -> int:
     print(f"  MILP edge schedule : {run.cpu_energy_nj / 1e3:9.1f} uJ in "
           f"{run.wall_time_s * 1e3:.3f} ms, {run.mode_transitions} transitions "
           f"({1 - run.cpu_energy_nj / baseline:+.1%} vs single mode {mode})")
+    # Verification gates the exit code: a deadline miss or a prediction
+    # mismatch is a pipeline failure, not a log line.
+    status = 0
+    if run.wall_time_s > deadline * (1 + tolerances.DEADLINE_REL_SLACK):
+        print(f"error: verified run missed the deadline "
+              f"({run.wall_time_s * 1e3:.3f} ms > {deadline * 1e3:.3f} ms)",
+              file=sys.stderr)
+        status = 1
+    energy_err = (abs(run.cpu_energy_nj - outcome.predicted_energy_nj)
+                  / max(1.0, outcome.predicted_energy_nj))
+    if energy_err > tolerances.ENERGY_PREDICTION_REL_TOL:
+        print(f"error: simulated energy diverged from the MILP prediction "
+              f"(rel err {energy_err:.2e} > "
+              f"{tolerances.ENERGY_PREDICTION_REL_TOL:.0e})", file=sys.stderr)
+        status = 1
+    if outcome.certificate is not None and not outcome.certificate.ok:
+        print(f"error: {outcome.certificate.summary}", file=sys.stderr)
+        status = 1
     if args.compare:
         greedy = greedy_schedule(
             profile, machine.mode_table, deadline,
@@ -141,7 +168,7 @@ def cmd_optimize(args) -> int:
     if args.output:
         save_schedule(outcome.schedule, args.output)
         print(f"schedule written to {args.output}")
-    return 0
+    return status
 
 
 def cmd_bound(args) -> int:
@@ -155,6 +182,51 @@ def cmd_bound(args) -> int:
     print(f"{args.workload}: analytical savings bound at deadline "
           f"{deadline * 1e3:.3f} ms with {len(machine.mode_table)} levels: {bound:.1%}")
     return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.verify.fuzz import verify_program
+
+    spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
+    machine = _machine(args.levels, args.capacitance_uf)
+    results = verify_program(
+        spec.source,
+        inputs,
+        machine=machine,
+        registers=registers,
+        deadline_fracs=tuple(args.deadline_frac),
+        check_backends=not args.no_backends,
+        check_metamorphic=not args.no_metamorphic,
+    )
+    failures = [r for r in results if not r.ok]
+    for result in results:
+        print(f"  {result}")
+    print(f"{args.workload}: {len(results)} checks, {len(failures)} failures")
+    return 1 if failures else 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.verify.fuzz import fuzz
+
+    machine = _machine(args.levels, args.capacitance_uf)
+
+    def progress(done: int, total: int, failures: int) -> None:
+        if done % 10 == 0 or done == total or failures:
+            print(f"  {done}/{total} programs, {failures} failures", flush=True)
+
+    report = fuzz(
+        runs=args.runs,
+        seed=args.seed,
+        machine=machine,
+        check_backends=not args.no_backends,
+        check_metamorphic=not args.no_metamorphic,
+        stop_on_failure=not args.keep_going,
+        on_progress=progress,
+    )
+    print(report.summary)
+    for failure in report.failures:
+        print(f"\n{failure}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -203,6 +275,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_bound)
     p_bound.add_argument("--deadline-frac", type=float, default=0.5)
     p_bound.set_defaults(fn=cmd_bound)
+
+    p_verify = sub.add_parser(
+        "verify", help="run the independent verification battery on a workload"
+    )
+    add_common(p_verify)
+    p_verify.add_argument("--deadline-frac", type=float, nargs="+",
+                          default=[0.35, 0.7],
+                          help="deadline positions to verify at (default 0.35 0.7)")
+    p_verify.add_argument("--no-backends", action="store_true",
+                          help="skip the solver-differential oracle")
+    p_verify.add_argument("--no-metamorphic", action="store_true",
+                          help="skip the metamorphic battery")
+    p_verify.set_defaults(fn=cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="fuzz the full pipeline with seeded random programs"
+    )
+    p_fuzz.add_argument("--runs", type=int, default=50, help="programs to generate")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed (program i uses seed+i)")
+    p_fuzz.add_argument("--levels", type=int, default=None,
+                        help="use an n-level alpha-power table instead of XScale-3")
+    p_fuzz.add_argument("--capacitance-uf", type=float, default=10.0,
+                        help="regulator capacitance in uF (default 10)")
+    p_fuzz.add_argument("--no-backends", action="store_true",
+                        help="skip the solver-differential oracle")
+    p_fuzz.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the metamorphic battery")
+    p_fuzz.add_argument("--keep-going", action="store_true",
+                        help="collect all failures instead of stopping at the first")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
 
     return parser
 

@@ -115,7 +115,10 @@ def build_block_formulation(
             energy_terms.add_term(e_var, count * costs.ce_nj_per_v2)
             time_terms.add_term(t_var, count * costs.ct_s_per_v)
 
-    model.add_constraint(time_terms <= deadline_s, name="deadline")
+    # Deadline-relative units (rhs = 1): see the same scaling in
+    # core/milp/formulation.py.
+    scale = 1.0 / deadline_s if deadline_s > 0 else 1.0
+    model.add_constraint(time_terms * scale <= deadline_s * scale, name="deadline")
     model.minimize(energy_terms)
     return BlockFormulation(
         model=model,

@@ -159,14 +159,19 @@ def build_formulation(
                 delta_v.add_term(out_vars[m], -voltages[m])
             e_var = model.add_var(f"e[{h}->{i}->{j}]", lb=0.0)
             t_var = model.add_var(f"t[{h}->{i}->{j}]", lb=0.0)
-            model.add_constraint(delta_v2 <= e_var)
-            model.add_constraint(-1.0 * e_var <= delta_v2)
-            model.add_constraint(delta_v <= t_var)
-            model.add_constraint(-1.0 * t_var <= delta_v)
+            model.add_constraint(delta_v2 <= e_var, name=f"abs_e+[{h}->{i}->{j}]")
+            model.add_constraint(-1.0 * e_var <= delta_v2, name=f"abs_e-[{h}->{i}->{j}]")
+            model.add_constraint(delta_v <= t_var, name=f"abs_t+[{h}->{i}->{j}]")
+            model.add_constraint(-1.0 * t_var <= delta_v, name=f"abs_t-[{h}->{i}->{j}]")
             energy_terms.add_term(e_var, count * costs.ce_nj_per_v2)
             time_terms.add_term(t_var, count * costs.ct_s_per_v)
 
-    model.add_constraint(time_terms <= deadline_s, name="deadline")
+    # Emit the deadline row in deadline-relative units (rhs = 1).  Raw
+    # per-edge times are ~1e-9..1e-5 s, far below solver feasibility
+    # tolerances; an absolute 1e-6 slip on a seconds row is a multi-percent
+    # deadline miss, while on the scaled row it is a 1e-6 relative one.
+    scale = 1.0 / deadline_s if deadline_s > 0 else 1.0
+    model.add_constraint(time_terms * scale <= deadline_s * scale, name="deadline")
     model.minimize(energy_terms)
 
     return MilpFormulation(

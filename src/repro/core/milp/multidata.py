@@ -92,7 +92,9 @@ def build_multidata_formulation(
             variables = [
                 model.add_binary(f"k[{rep[0]}->{rep[1]}][{m}]") for m in range(num_modes)
             ]
-            model.add_constraint(lin_sum(variables) == 1)
+            model.add_constraint(
+                lin_sum(variables) == 1, name=f"onemode[{rep[0]}->{rep[1]}]"
+            )
             rep_vars[rep] = variables
             independent.append(rep)
     edge_vars = {edge: rep_vars[resolve(edge)] for edge in all_edges}
@@ -118,10 +120,10 @@ def build_multidata_formulation(
             delta_v.add_term(out_vars[m], -voltages[m])
         e_var = model.add_var(f"e[{h}->{i}->{j}]", lb=0.0)
         t_var = model.add_var(f"t[{h}->{i}->{j}]", lb=0.0)
-        model.add_constraint(delta_v2 <= e_var)
-        model.add_constraint(-1.0 * e_var <= delta_v2)
-        model.add_constraint(delta_v <= t_var)
-        model.add_constraint(-1.0 * t_var <= delta_v)
+        model.add_constraint(delta_v2 <= e_var, name=f"abs_e+[{h}->{i}->{j}]")
+        model.add_constraint(-1.0 * e_var <= delta_v2, name=f"abs_e-[{h}->{i}->{j}]")
+        model.add_constraint(delta_v <= t_var, name=f"abs_t+[{h}->{i}->{j}]")
+        model.add_constraint(-1.0 * t_var <= delta_v, name=f"abs_t-[{h}->{i}->{j}]")
         aux[key] = (e_var, t_var)
         return aux[key]
 
@@ -147,8 +149,12 @@ def build_multidata_formulation(
                 e_var, t_var = pair
                 objective.add_term(e_var, weight * count * costs.ce_nj_per_v2)
                 time_terms.add_term(t_var, count * costs.ct_s_per_v)
+        # Deadline-relative units (rhs = 1): see the same scaling in
+        # formulation.py — seconds-scale rows sit below solver tolerances.
+        scale = 1.0 / category.deadline_s if category.deadline_s > 0 else 1.0
         model.add_constraint(
-            time_terms <= category.deadline_s, name=f"deadline[{profile.name}]"
+            time_terms * scale <= category.deadline_s * scale,
+            name=f"deadline[{profile.name}]",
         )
         if first_time_expr is None:
             first_time_expr = time_terms

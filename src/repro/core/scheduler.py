@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.errors import ScheduleError
 from repro.ir.cfg import CFG
+from repro.verify.certificate import CertificateReport, verify_certificate
 from repro.core.milp.filtering import FilterResult, filter_edges, no_filtering
 from repro.core.milp.formulation import (
     FormulationOptions,
@@ -52,6 +53,10 @@ class OptimizationOutcome:
     predicted_time_s: float
     solve_time_s: float
     filter_result: FilterResult | None = None
+    # Independent re-check of the solve (constraint residuals, bounds,
+    # integrality, objective recomputation); always attached by the
+    # optimizer, which refuses to ship an uncertified solution.
+    certificate: CertificateReport | None = None
 
     @property
     def num_independent_edges(self) -> int:
@@ -153,6 +158,8 @@ class DVSOptimizer:
                 f"MILP for {profile.name!r} at deadline {deadline_s:.6g}s "
                 f"finished with status {solution.status.value}"
             )
+        certificate = verify_certificate(formulation, solution)
+        certificate.raise_if_invalid()
         schedule = formulation.extract_schedule(solution)
         schedule.validate_against(cfg)
         if hoist:
@@ -166,6 +173,7 @@ class DVSOptimizer:
             predicted_time_s=formulation.predicted_time(solution),
             solve_time_s=solve_time,
             filter_result=filter_result,
+            certificate=certificate,
         )
 
     def optimize_multi(
@@ -197,6 +205,8 @@ class DVSOptimizer:
             raise ScheduleError(
                 f"multi-category MILP finished with status {solution.status.value}"
             )
+        certificate = verify_certificate(formulation, solution)
+        certificate.raise_if_invalid()
         schedule = formulation.extract_schedule(solution)
         schedule.validate_against(cfg)
         if hoist:
@@ -212,6 +222,7 @@ class DVSOptimizer:
             predicted_time_s=formulation.predicted_time(solution),
             solve_time_s=solve_time,
             filter_result=filter_result,
+            certificate=certificate,
         )
 
     # -- verification ---------------------------------------------------------------

@@ -78,5 +78,10 @@ class ScheduleError(ReproError):
     """A DVS schedule is inconsistent with the program it targets."""
 
 
+class VerificationError(ReproError):
+    """An independent verification check (certificate, schedule check or
+    oracle) rejected a pipeline result."""
+
+
 class AnalysisError(ReproError):
     """Analytical-model inputs are outside the modelled regime."""

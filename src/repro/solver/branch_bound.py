@@ -154,8 +154,13 @@ def solve_milp(
             child = solve_lp(c, a_ub, b_ub, a_eq, b_eq, child_bounds, max_iter=options.max_lp_iter)
             total_lp_iters += child.iterations
             nodes_explored += 1
+            if child.status is SolveStatus.LIMIT:
+                # An unsolved child cannot be pruned soundly: its subtree
+                # may hold the optimum.  Degrade the whole run to LIMIT.
+                limit_hit = True
+                continue
             if child.status is not SolveStatus.OPTIMAL:
-                continue  # infeasible (or limit) child is pruned
+                continue  # infeasible child is pruned
             if child.objective >= incumbent_obj - options.gap_tol:
                 continue
             frac = _most_fractional(child.x, integer_idx, options.int_tol)

@@ -321,12 +321,15 @@ class Model:
 
     # -- solving ---------------------------------------------------------------
 
-    def solve(self, backend: str = "auto", **options) -> Solution:
+    def solve(self, backend: str = "auto", relax: bool = False, **options) -> Solution:
         """Solve the model.
 
         Args:
             backend: ``"auto"`` (scipy when importable, else native),
                 ``"scipy"`` or ``"native"``.
+            relax: solve the LP relaxation (integrality dropped) instead of
+                the full MILP — the verification oracles use this to
+                cross-check backends on the continuous problem.
             **options: forwarded to the backend (e.g. ``time_limit``,
                 ``node_limit`` for the native branch-and-bound).
 
@@ -341,21 +344,23 @@ class Model:
             try:
                 from repro.solver import scipy_backend
 
-                solution = scipy_backend.solve_model(self, **options)
+                solution = scipy_backend.solve_model(self, relax=relax, **options)
                 solution.wall_time = time.perf_counter() - start
                 return solution
             except ImportError:
                 if backend == "scipy":
                     raise
-        solution = self._solve_native(**options)
+        solution = self._solve_native(relax=relax, **options)
         solution.wall_time = time.perf_counter() - start
         return solution
 
-    def _solve_native(self, **options) -> Solution:
+    def _solve_native(self, relax: bool = False, **options) -> Solution:
         from repro.solver.branch_bound import BranchBoundOptions, solve_milp
         from repro.solver.simplex import solve_lp
 
         c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, c0 = self.to_arrays()
+        if relax:
+            integrality = np.zeros_like(integrality)
         if integrality.any():
             bb_options = BranchBoundOptions(**options)
             result = solve_milp(c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, options=bb_options)

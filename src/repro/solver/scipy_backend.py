@@ -23,13 +23,19 @@ _STATUS_MAP = {
 }
 
 
-def solve_model(model, time_limit: float | None = None, **_ignored) -> Solution:
+def solve_model(
+    model, time_limit: float | None = None, relax: bool = False, **_ignored
+) -> Solution:
     """Solve a :class:`repro.solver.model.Model` with HiGHS.
 
     Extra keyword options accepted by the native backend (node limits etc.)
     are ignored so callers can pass one option set to either backend.
+    ``relax=True`` drops all integrality restrictions (the LP relaxation),
+    which the verification oracles compare across backends.
     """
     c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, c0 = model.to_arrays()
+    if relax:
+        integrality = np.zeros_like(integrality)
     n = len(c)
     if n == 0:
         return Solution(SolveStatus.OPTIMAL, objective=c0, x=np.empty(0), backend="scipy")

@@ -55,7 +55,8 @@ class _StandardForm:
     a: np.ndarray
     b: np.ndarray
     # For original variable i: kind 'shift' (x = lo + z[col]),
-    # 'neg' (x = up - z[col]) or 'free' (x = z[col] - z[col2]).
+    # 'neg' (x = up - z[col]), 'free' (x = z[col] - z[col2]) or
+    # 'fix' (x = const; the column was substituted away).
     recover: list[tuple[str, int, int, float]] = field(default_factory=list)
     offset: float = 0.0  # constant added to objective by substitutions
 
@@ -99,6 +100,17 @@ def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, bounds) -> _StandardForm:
             rhs_shift_ub += a_ub[:, i] * up if len(b_ub) else 0.0
             rhs_shift_eq += a_eq[:, i] * up if len(b_eq) else 0.0
             offset += c[i] * up
+        elif lo == up:
+            # Fixed variable (branch-and-bound pins binaries this way):
+            # substitute the constant instead of carrying a column plus a
+            # degenerate z + s = 0 row.  The degenerate rows are not just
+            # wasteful — long runs of zero-level pivots on them accumulate
+            # enough tableau error to corrupt the reduced-cost row.
+            recover.append(("fix", -1, -1, lo))
+            if lo != 0.0:
+                rhs_shift_ub += a_ub[:, i] * lo if len(b_ub) else 0.0
+                rhs_shift_eq += a_eq[:, i] * lo if len(b_eq) else 0.0
+                offset += c[i] * lo
         else:
             # x = lo + z (z >= 0); finite upper bound becomes a new row
             j = len(columns)
@@ -189,8 +201,14 @@ def _run_simplex(
         ratios = tableau[positive, -1] / column[positive]
         best = np.min(ratios)
         ties = positive[ratios <= best + _TOL]
-        # Bland tie-break: leave the basic variable with smallest index.
-        row = ties[np.argmin(basis[ties])]
+        if iteration < bland_after:
+            # Stability tie-break: pivot on the largest eligible element.
+            # Degenerate vertices tie many rows; repeatedly pivoting on
+            # near-tolerance elements compounds tableau roundoff.
+            row = ties[np.argmax(column[ties])]
+        else:
+            # Bland tie-break: leave the basic variable with smallest index.
+            row = ties[np.argmin(basis[ties])]
         _pivot(tableau, basis, row, col)
     return SolveStatus.LIMIT, max_iter
 
@@ -301,6 +319,8 @@ def _recover_x(z: np.ndarray, form: _StandardForm, n: int) -> np.ndarray:
             x[i] = const + z[j]
         elif kind == "neg":
             x[i] = const - z[j]
+        elif kind == "fix":
+            x[i] = const
         else:  # free
             x[i] = z[j] - z[j2]
     return x

@@ -1,0 +1,228 @@
+"""Solution certificates: re-check a solve without trusting the solver.
+
+:func:`verify_certificate` takes the raw :class:`~repro.solver.model.Model`
+(or a built :class:`~repro.core.milp.formulation.MilpFormulation`) plus the
+:class:`~repro.solver.solution.Solution` a backend returned and re-derives
+everything a correct solution must satisfy:
+
+* every constraint's residual is within feasibility tolerance;
+* every variable sits inside its bounds;
+* every integer variable is integral;
+* the reported objective equals the objective recomputed from the raw
+  solution vector;
+* (for MILP formulations) every edge selects exactly one mode.
+
+The arithmetic here deliberately goes through
+:meth:`repro.solver.model.LinExpr.value` / ``Constraint.violation`` — pure
+expression evaluation, no solver code path — so a bug in simplex,
+branch-and-bound or the scipy bridge cannot hide itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.solver.model import Model
+from repro.solver.solution import Solution
+from repro.verify import tolerances
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One failed certificate check.
+
+    Attributes:
+        name: the violated constraint's name (or a synthetic name such as
+            ``bound[x3]`` / ``integrality[k[a->b][1]]`` / ``objective``).
+        kind: ``constraint`` | ``bound`` | ``integrality`` | ``objective``
+            | ``selection`` | ``solution``.
+        magnitude: how far outside tolerance the check landed.
+        detail: human-readable explanation.
+    """
+
+    name: str
+    kind: str
+    magnitude: float
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.name}: {self.detail}"
+
+
+@dataclass
+class CertificateReport:
+    """Outcome of independently re-checking one solve."""
+
+    ok: bool
+    objective_reported: float
+    objective_recomputed: float
+    objective_error: float
+    max_constraint_violation: float
+    worst_constraint: str
+    num_constraints: int
+    num_variables: int
+    num_integer: int
+    violations: list[ConstraintViolation] = field(default_factory=list)
+
+    @property
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"certificate ok: {self.num_constraints} constraints, "
+                f"{self.num_integer}/{self.num_variables} integer variables, "
+                f"max residual {self.max_constraint_violation:.2e}, "
+                f"objective error {self.objective_error:.2e}"
+            )
+        worst = self.violations[0]
+        return f"certificate FAILED ({len(self.violations)} violations): {worst}"
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.errors.VerificationError` when not ok."""
+        if not self.ok:
+            from repro.errors import VerificationError
+
+            raise VerificationError(self.summary)
+
+
+def _constraint_name(constraint, index: int) -> str:
+    return constraint.name or f"row[{index}]"
+
+
+def verify_certificate(
+    target: Model | object,
+    solution: Solution,
+    feas_abs_tol: float = tolerances.FEAS_ABS_TOL,
+    feas_rel_tol: float = tolerances.FEAS_REL_TOL,
+    int_tol: float = tolerances.INTEGRALITY_TOL,
+    objective_rel_tol: float = tolerances.OBJECTIVE_REL_TOL,
+) -> CertificateReport:
+    """Independently certify a solution against its model.
+
+    Args:
+        target: the :class:`~repro.solver.model.Model` that was solved, or
+            any object exposing a ``model`` attribute (for convenience a
+            :class:`~repro.core.milp.formulation.MilpFormulation` works
+            directly; edge-selection checks activate when ``edge_vars``
+            is present).
+        solution: the backend's solution for that model.
+        feas_abs_tol, feas_rel_tol: constraint-residual slack; the
+            relative part scales with the row's right-hand side.
+        int_tol: integrality slack for integer variables.
+        objective_rel_tol: allowed relative objective mismatch.
+
+    Returns:
+        a :class:`CertificateReport`; never raises on a bad solution —
+        call :meth:`CertificateReport.raise_if_invalid` for that.
+    """
+    model: Model = target if isinstance(target, Model) else target.model
+    edge_vars = getattr(target, "edge_vars", None)
+    violations: list[ConstraintViolation] = []
+
+    def fail(name: str, kind: str, magnitude: float, detail: str) -> None:
+        violations.append(ConstraintViolation(name, kind, magnitude, detail))
+
+    if not solution.ok or solution.x.size != len(model.variables):
+        detail = (
+            f"status {solution.status.value} with {solution.x.size} values "
+            f"for {len(model.variables)} variables"
+        )
+        fail("solution", "solution", math.inf, detail)
+        return CertificateReport(
+            ok=False,
+            objective_reported=solution.objective,
+            objective_recomputed=math.nan,
+            objective_error=math.inf,
+            max_constraint_violation=math.inf,
+            worst_constraint="solution",
+            num_constraints=len(model.constraints),
+            num_variables=len(model.variables),
+            num_integer=model.num_integer,
+            violations=violations,
+        )
+
+    x = solution.x
+
+    # Constraint residuals.
+    max_violation = 0.0
+    worst = "-"
+    for index, constraint in enumerate(model.constraints):
+        residual = constraint.violation(x)
+        if residual > max_violation:
+            max_violation = residual
+            worst = _constraint_name(constraint, index)
+        allowed = feas_abs_tol + feas_rel_tol * max(1.0, abs(constraint.rhs))
+        if residual > allowed:
+            fail(
+                _constraint_name(constraint, index),
+                "constraint",
+                residual,
+                f"residual {residual:.3e} exceeds tolerance {allowed:.3e}",
+            )
+
+    # Variable bounds.
+    for var in model.variables:
+        value = float(x[var.index])
+        slack = feas_abs_tol + feas_rel_tol * max(1.0, abs(value))
+        if value < var.lb - slack or value > var.ub + slack:
+            overflow = max(var.lb - value, value - var.ub)
+            fail(
+                f"bound[{var.name}]",
+                "bound",
+                overflow,
+                f"value {value:.6g} outside [{var.lb:.6g}, {var.ub:.6g}]",
+            )
+
+    # Integrality.
+    for var in model.variables:
+        if not var.is_integer:
+            continue
+        value = float(x[var.index])
+        drift = abs(value - round(value))
+        if drift > int_tol:
+            fail(
+                f"integrality[{var.name}]",
+                "integrality",
+                drift,
+                f"integer variable holds {value:.6g}",
+            )
+
+    # Objective recomputation.
+    recomputed = model.objective.value(x)
+    objective_error = tolerances.rel_err(recomputed, solution.objective)
+    if objective_error > objective_rel_tol:
+        fail(
+            "objective",
+            "objective",
+            objective_error,
+            f"reported {solution.objective:.9g} but the solution vector "
+            f"gives {recomputed:.9g}",
+        )
+
+    # DVS-specific: one mode per edge (redundant with the onemode rows but
+    # checked at the decoded-binary level, where extraction reads it).
+    if edge_vars:
+        for edge, variables in edge_vars.items():
+            chosen = sum(1 for var in variables if x[var.index] > 0.5)
+            if chosen != 1:
+                fail(
+                    f"onemode[{edge[0]}->{edge[1]}]",
+                    "selection",
+                    abs(chosen - 1),
+                    f"edge selects {chosen} modes",
+                )
+                break  # tied edges share variables; one report suffices
+
+    violations.sort(key=lambda v: v.magnitude, reverse=True)
+    return CertificateReport(
+        ok=not violations,
+        objective_reported=solution.objective,
+        objective_recomputed=recomputed,
+        objective_error=objective_error,
+        max_constraint_violation=max_violation,
+        worst_constraint=worst,
+        num_constraints=len(model.constraints),
+        num_variables=len(model.variables),
+        num_integer=model.num_integer,
+        violations=violations,
+    )

@@ -1,0 +1,157 @@
+"""Random well-formed kernel-language programs.
+
+One generator body serves two consumers:
+
+* the hypothesis test suite (``tests/test_random_programs.py``) draws
+  through the :func:`random_program` strategy, keeping hypothesis's
+  shrinking;
+* the fuzz CLI (``repro fuzz``) draws through a plain seeded
+  :class:`random.Random`, so reproduction needs only ``--seed``, not a
+  hypothesis database.
+
+Both paths share :func:`_generate_parts`, which is written against a
+minimal draw interface (``draw_int``, ``choice``) rather than a specific
+randomness source.  Programs are nested loops, branches, array traffic
+and arithmetic over a fixed ``data`` array — enough to exercise the
+compiler, simulator, profiler and MILP end to end while staying cheap to
+simulate at every mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+ARRAY_LEN = 64
+
+try:  # hypothesis is a dev dependency; the fuzz CLI must run without it.
+    from hypothesis import strategies as _st
+
+    _HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without dev deps
+    _HAVE_HYPOTHESIS = False
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A generated source plus everything needed to rerun and shrink it.
+
+    Attributes:
+        source: complete kernel-language source text.
+        inputs: array name -> initial contents.
+        statements: the top-level statement list the source was assembled
+            from (the unit the fuzz minimizer deletes).
+    """
+
+    source: str
+    inputs: dict[str, list[int]]
+    statements: tuple[str, ...]
+
+    def as_tuple(self) -> tuple[str, dict]:
+        return self.source, self.inputs
+
+
+def build_source(statements: Sequence[str]) -> str:
+    """Assemble a complete program around a top-level statement list."""
+    body_parts = ["var s0: int = 1;", "var s1: int = 2;", *statements]
+    return (
+        "func main() -> int {\n"
+        f"    extern data: int[{ARRAY_LEN}];\n"
+        + "\n".join("    " + part for part in body_parts)
+        + "\n    return (s0 + s1 * 31) % 1000003;\n}"
+    )
+
+
+def _generate_parts(
+    draw_int: Callable[[int, int], int],
+    choice: Callable[[Sequence[str]], str],
+) -> tuple[list[str], list[int]]:
+    """Generate (top-level statements, data array) through a draw interface."""
+    seed_values = [draw_int(-100, 100) for _ in range(ARRAY_LEN)]
+    num_stmts = draw_int(2, 5)
+    scalars = ["s0", "s1"]
+
+    def expr(depth: int) -> str:
+        kind = draw_int(0, 5 if depth < 2 else 2)
+        if kind == 0:
+            return str(draw_int(-20, 20))
+        if kind == 1:
+            return choice(scalars)
+        if kind == 2:
+            index = draw_int(0, ARRAY_LEN - 1)
+            return f"data[{index}]"
+        op = choice(["+", "-", "*"])
+        return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
+
+    counter = [0]
+
+    def fresh_loop_var() -> str:
+        counter[0] += 1
+        return f"i{counter[0]}"
+
+    def statement(depth: int) -> str:
+        kinds = ["assign", "array", "if"]
+        if depth < 2:
+            kinds.append("for")
+        kind = choice(kinds)
+        if kind == "assign":
+            target = choice(scalars)
+            return f"{target} = ({expr(0)}) % 1000003;"
+        if kind == "array":
+            index = draw_int(0, ARRAY_LEN - 1)
+            return f"data[{index}] = ({expr(0)}) % 251;"
+        if kind == "if":
+            op = choice(["<", ">", "==", "!="])
+            then_stmt = statement(depth + 1)
+            else_stmt = statement(depth + 1)
+            return (
+                f"if ({expr(0)} {op} {expr(0)}) {{ {then_stmt} }} "
+                f"else {{ {else_stmt} }}"
+            )
+        loop_var = fresh_loop_var()
+        trips = draw_int(1, 12)
+        inner = statement(depth + 1)
+        use = choice(scalars)
+        return (
+            f"for (var {loop_var}: int = 0; {loop_var} < {trips}; "
+            f"{loop_var} = {loop_var} + 1) {{ "
+            f"{inner} {use} = ({use} + data[{loop_var} % {ARRAY_LEN}]) % 65521; }}"
+        )
+
+    statements = [statement(0) for _ in range(num_stmts)]
+    return statements, seed_values
+
+
+def generate_program(seed: int | random.Random) -> GeneratedProgram:
+    """Generate one program from a plain seed (the fuzz CLI's path)."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    statements, seed_values = _generate_parts(rng.randint, rng.choice)
+    return GeneratedProgram(
+        source=build_source(statements),
+        inputs={"data": seed_values},
+        statements=tuple(statements),
+    )
+
+
+if _HAVE_HYPOTHESIS:
+
+    @_st.composite
+    def random_program(draw) -> tuple[str, dict]:
+        """Hypothesis strategy yielding ``(source, inputs)`` pairs."""
+
+        def draw_int(lo: int, hi: int) -> int:
+            return draw(_st.integers(lo, hi))
+
+        def choice(seq: Sequence[str]) -> str:
+            return draw(_st.sampled_from(list(seq)))
+
+        statements, seed_values = _generate_parts(draw_int, choice)
+        return build_source(statements), {"data": seed_values}
+
+else:  # pragma: no cover - exercised only without dev deps
+
+    def random_program(*_args, **_kwargs):
+        raise ImportError(
+            "hypothesis is not installed; use generate_program(seed) instead"
+        )

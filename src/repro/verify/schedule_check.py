@@ -1,0 +1,271 @@
+"""Independent validation of a DVS schedule against its program.
+
+:func:`check_schedule` re-derives, from first principles, everything a
+deployable :class:`~repro.core.milp.schedule.DVSSchedule` must satisfy:
+
+* every scheduled edge is a real CFG edge and every mode index exists;
+* hoisted (unscheduled) profiled edges inherit a *consistent* mode from
+  their profiled predecessors — the safety condition of the silent
+  mode-set post-pass;
+* the replayed energy/time use transition costs recomputed directly from
+  the :class:`~repro.simulator.dvs.TransitionCostModel` (SE/ST), not the
+  MILP's linearized CE/CT constants, and the two formulations must agree;
+* the replayed time meets the deadline;
+* (informational) a WCET-style worst-case bound of the scheduled program
+  under profile-derived loop bounds, for judging how far the profiled
+  guarantee is from a hard one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.milp.schedule import DVSSchedule
+from repro.core.milp.transition import TransitionCosts
+from repro.ir.cfg import CFG, ENTRY_EDGE_SOURCE, Edge
+from repro.profiling.profile_data import ProfileData
+from repro.simulator.config import MachineConfig
+from repro.simulator.dvs import ModeTable, TransitionCostModel
+from repro.verify import tolerances
+
+
+@dataclass
+class ScheduleCheckReport:
+    """Outcome of independently validating one schedule."""
+
+    ok: bool
+    issues: list[str] = field(default_factory=list)
+    replayed_energy_nj: float = math.nan
+    replayed_time_s: float = math.nan
+    transition_energy_nj: float = 0.0
+    transition_time_s: float = 0.0
+    num_transitions: int = 0
+    deadline_s: float = math.nan
+    deadline_met: bool = True
+    # WCET-style hard bound (informational: the paper's guarantee is
+    # profile-relative, so a missed WCET is reported but not a failure).
+    wcet_s: float | None = None
+    wcet_meets_deadline: bool | None = None
+
+    @property
+    def summary(self) -> str:
+        if not self.ok:
+            return f"schedule check FAILED: {self.issues[0]}"
+        wcet = ""
+        if self.wcet_s is not None:
+            verdict = "holds" if self.wcet_meets_deadline else "not guaranteed"
+            wcet = f", WCET bound {self.wcet_s:.6g}s ({verdict})"
+        return (
+            f"schedule ok: replay {self.replayed_energy_nj / 1e3:.1f} uJ in "
+            f"{self.replayed_time_s * 1e3:.3f} ms vs deadline "
+            f"{self.deadline_s * 1e3:.3f} ms, "
+            f"{self.num_transitions} profiled switch sites{wcet}"
+        )
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            from repro.errors import VerificationError
+
+            raise VerificationError(self.summary)
+
+
+def _effective_modes(
+    schedule: DVSSchedule,
+    profile: ProfileData,
+    issues: list[str],
+) -> dict[Edge, int] | None:
+    """Mode in effect while executing each profiled edge's target block.
+
+    Scheduled edges carry their own mode.  A profiled edge the hoisting
+    pass stripped inherits the mode of its profiled predecessors — legal
+    only when they all agree, which is exactly what hoisting promises.
+    """
+    effective: dict[Edge, int] = dict(schedule.assignment)
+    pending = [edge for edge in profile.edge_counts if edge not in effective]
+    # Predecessor modes propagate; iterate until stable (chains of hoisted
+    # edges resolve once their own predecessors have).
+    for _ in range(len(pending) + 1):
+        progressed = False
+        for edge in list(pending):
+            i, j = edge
+            incoming = {
+                effective[(h, i2)]
+                for (h, i2, j2), count in profile.path_counts.items()
+                if i2 == i and j2 == j and count > 0 and (h, i2) in effective
+            }
+            if not incoming:
+                continue
+            if len(incoming) > 1:
+                issues.append(
+                    f"unscheduled edge {edge} is reached with conflicting "
+                    f"modes {sorted(incoming)}: hoisting was unsafe"
+                )
+                return None
+            effective[edge] = incoming.pop()
+            pending.remove(edge)
+            progressed = True
+        if not pending:
+            break
+        if not progressed:
+            issues.append(
+                f"cannot resolve a mode for unscheduled edges {sorted(pending)}"
+            )
+            return None
+    return effective
+
+
+def check_schedule(
+    schedule: DVSSchedule,
+    cfg: CFG,
+    profile: ProfileData,
+    mode_table: ModeTable,
+    transition_model: TransitionCostModel,
+    deadline_s: float,
+    config: MachineConfig | None = None,
+    deadline_rel_slack: float = tolerances.DEADLINE_REL_SLACK,
+) -> ScheduleCheckReport:
+    """Validate a schedule against CFG, profile and machine model.
+
+    Args:
+        schedule: the schedule under test (pre- or post-hoisting).
+        cfg: the program it targets.
+        profile: the profile the schedule was derived from.
+        mode_table: operating points the mode indices refer to.
+        transition_model: the physical SE/ST regulator model.
+        deadline_s: the deadline the schedule must meet.
+        config: when given, a WCET-style worst-case bound of the
+            scheduled program is computed (informational).
+        deadline_rel_slack: relative deadline slack.
+
+    Returns:
+        a :class:`ScheduleCheckReport`; never raises on a bad schedule.
+    """
+    issues: list[str] = []
+
+    # 1. Structural: real edges, real modes.
+    cfg_edges = set(cfg.edges(include_entry=True))
+    for edge in schedule.assignment:
+        if edge not in cfg_edges:
+            issues.append(f"scheduled edge {edge} is not a CFG edge")
+    num_modes = len(mode_table)
+    for edge, mode in schedule.assignment.items():
+        if not 0 <= mode < num_modes:
+            issues.append(f"edge {edge} assigned mode {mode} outside 0..{num_modes - 1}")
+    if schedule.num_modes != num_modes:
+        issues.append(
+            f"schedule targets {schedule.num_modes} modes but the table has {num_modes}"
+        )
+    if issues:
+        return ScheduleCheckReport(ok=False, issues=issues, deadline_s=deadline_s)
+
+    # 2. The linearized CE/CT constants must agree with the physical SE/ST
+    #    model on every mode pair (guards drift between the two codepaths).
+    costs = TransitionCosts.from_model(transition_model)
+    voltages = mode_table.voltages()
+    for a in range(num_modes):
+        for b in range(a + 1, num_modes):
+            se_exact = transition_model.energy_nj(voltages[a], voltages[b])
+            se_linear = costs.ce_nj_per_v2 * abs(voltages[a] ** 2 - voltages[b] ** 2)
+            st_exact = transition_model.time_s(voltages[a], voltages[b])
+            st_linear = costs.ct_s_per_v * abs(voltages[a] - voltages[b])
+            if not tolerances.close(se_linear, se_exact, tolerances.FEAS_REL_TOL):
+                issues.append(
+                    f"linearized SE {se_linear:.6g} != physical SE {se_exact:.6g} "
+                    f"for modes {a}->{b}"
+                )
+            if not tolerances.close(st_linear, st_exact, tolerances.FEAS_REL_TOL):
+                issues.append(
+                    f"linearized ST {st_linear:.6g} != physical ST {st_exact:.6g} "
+                    f"for modes {a}->{b}"
+                )
+
+    # 3. Replay the profiled counts under the schedule with physical costs.
+    effective = _effective_modes(schedule, profile, issues)
+    if effective is None:
+        return ScheduleCheckReport(ok=False, issues=issues, deadline_s=deadline_s)
+
+    energy = 0.0
+    duration = 0.0
+    for edge, count in profile.edge_counts.items():
+        mode = effective[edge]
+        energy += count * profile.energy(edge[1], mode)
+        duration += count * profile.time(edge[1], mode)
+    transition_energy = 0.0
+    transition_time = 0.0
+    num_transitions = 0
+    for (h, i, j), count in profile.path_counts.items():
+        if (h, i) not in effective or (i, j) not in effective:
+            continue
+        m_in = effective[(h, i)]
+        m_out = effective[(i, j)]
+        if m_in == m_out:
+            continue
+        num_transitions += 1
+        transition_energy += count * transition_model.energy_nj(
+            voltages[m_in], voltages[m_out]
+        )
+        transition_time += count * transition_model.time_s(
+            voltages[m_in], voltages[m_out]
+        )
+    energy += transition_energy
+    duration += transition_time
+
+    deadline_met = duration <= deadline_s * (1 + deadline_rel_slack)
+    if not deadline_met:
+        issues.append(
+            f"replayed time {duration:.6g}s exceeds deadline {deadline_s:.6g}s"
+        )
+
+    # 4. Optional WCET bound of the *scheduled* program: every block is
+    #    charged at the slowest mode any profiled incoming edge runs it at.
+    wcet_s: float | None = None
+    wcet_ok: bool | None = None
+    if config is not None:
+        wcet_s = _scheduled_wcet(cfg, profile, effective, mode_table, config)
+        wcet_ok = wcet_s is not None and wcet_s <= deadline_s * (1 + deadline_rel_slack)
+
+    return ScheduleCheckReport(
+        ok=not issues,
+        issues=issues,
+        replayed_energy_nj=energy,
+        replayed_time_s=duration,
+        transition_energy_nj=transition_energy,
+        transition_time_s=transition_time,
+        num_transitions=num_transitions,
+        deadline_s=deadline_s,
+        deadline_met=deadline_met,
+        wcet_s=wcet_s,
+        wcet_meets_deadline=wcet_ok,
+    )
+
+
+def _scheduled_wcet(
+    cfg: CFG,
+    profile: ProfileData,
+    effective: dict[Edge, int],
+    mode_table: ModeTable,
+    config: MachineConfig,
+) -> float | None:
+    """Worst-case time of the scheduled program under profiled loop bounds.
+
+    Conservative in the mode dimension: each block is costed at the
+    slowest mode the schedule ever enters it with, so the bound holds for
+    every interleaving of the scheduled mode-sets along worst-case paths.
+    """
+    from repro.core.baselines.wcet import loop_bounds_from_profile, program_wcet
+    from repro.errors import ReproError
+
+    slowest_for_block: dict[str, int] = {}
+    for (src, dst), mode in effective.items():
+        incumbent = slowest_for_block.get(dst)
+        if incumbent is None or mode < incumbent:
+            slowest_for_block[dst] = mode
+    worst_mode = min(slowest_for_block.values()) if slowest_for_block else 0
+    try:
+        bounds = loop_bounds_from_profile(cfg, profile)
+        return program_wcet(
+            cfg, config, mode_table[worst_mode].frequency_hz, bounds
+        )
+    except ReproError:
+        return None

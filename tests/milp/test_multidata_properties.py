@@ -1,0 +1,121 @@
+"""Multidata properties: the weighted model degenerates cleanly.
+
+``test_multidata.py`` checks that a single category reproduces the plain
+Section 4.2 objective.  These properties pin the stronger claims the
+verification subsystem relies on: the *schedule* (not just the optimum)
+is identical, the category weight is a pure scale that never moves the
+argmin, duplicating a category is a no-op, and every multidata solution
+carries a valid certificate against its own model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.milp import (
+    CategoryProfile,
+    FormulationOptions,
+    build_formulation,
+    build_multidata_formulation,
+)
+from repro.simulator import XSCALE_3
+from repro.verify.certificate import verify_certificate
+
+
+@pytest.fixture(scope="module")
+def profile_and_window(optimizer, small_cfg, small_inputs, small_registers):
+    profile = optimizer.profile(
+        small_cfg, inputs=small_inputs, registers=small_registers
+    )
+    t_fast = profile.wall_time_s[2]
+    t_slow = profile.wall_time_s[0]
+    return profile, t_fast, t_slow
+
+
+def _deadline(window, frac):
+    _, t_fast, t_slow = window
+    return t_fast + frac * (t_slow - t_fast)
+
+
+def _multi(profile, weight_deadlines, machine):
+    return build_multidata_formulation(
+        [CategoryProfile(profile, w, d) for w, d in weight_deadlines],
+        XSCALE_3,
+        transition_model=machine.transition_model,
+    )
+
+
+class TestSingleCategoryDegeneration:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        weight=st.floats(0.05, 40.0),
+        frac=st.sampled_from([0.3, 0.55, 0.8]),
+    )
+    def test_weight_is_a_pure_scale(self, profile_and_window, machine3, weight, frac):
+        """Weights are normalized, so any positive weight yields exactly
+        the plain formulation's optimum and schedule."""
+        profile = profile_and_window[0]
+        deadline = _deadline(profile_and_window, frac)
+        multi = _multi(profile, [(weight, deadline)], machine3)
+        plain = build_formulation(
+            profile, XSCALE_3, deadline,
+            FormulationOptions(transition_model=machine3.transition_model),
+        )
+        s_multi = multi.solve()
+        s_plain = plain.solve()
+        assert s_multi.objective == pytest.approx(s_plain.objective, rel=1e-8)
+        assert multi.extract_schedule(s_multi) == plain.extract_schedule(s_plain)
+
+    def test_duplicated_category_is_a_noop(self, profile_and_window, machine3):
+        """Splitting one category into two identical halves changes
+        neither the optimum nor the schedule."""
+        profile = profile_and_window[0]
+        deadline = _deadline(profile_and_window, 0.5)
+        single = _multi(profile, [(1.0, deadline)], machine3)
+        split = _multi(profile, [(0.25, deadline), (0.75, deadline)], machine3)
+        s_single = single.solve()
+        s_split = split.solve()
+        assert s_split.objective == pytest.approx(s_single.objective, rel=1e-8)
+        assert split.extract_schedule(s_split) == single.extract_schedule(s_single)
+
+    def test_slack_duplicate_deadline_never_binds(self, profile_and_window, machine3):
+        """A duplicate category whose deadline is looser than the other's
+        cannot change the solution — only the tighter row binds."""
+        profile = profile_and_window[0]
+        tight = _deadline(profile_and_window, 0.4)
+        loose = _deadline(profile_and_window, 0.95)
+        base = _multi(profile, [(1.0, tight)], machine3)
+        padded = _multi(profile, [(0.5, tight), (0.5, loose)], machine3)
+        s_base = base.solve()
+        s_padded = padded.solve()
+        assert s_padded.objective == pytest.approx(s_base.objective, rel=1e-8)
+
+
+class TestMultidataCertificates:
+    @pytest.mark.parametrize("frac", [0.35, 0.7])
+    def test_solution_certifies_against_its_model(
+        self, profile_and_window, machine3, frac
+    ):
+        profile = profile_and_window[0]
+        deadline = _deadline(profile_and_window, frac)
+        formulation = _multi(
+            profile, [(0.6, deadline), (0.4, deadline * 1.2)], machine3
+        )
+        solution = formulation.solve()
+        report = verify_certificate(formulation, solution)
+        assert report.ok, report.summary
+
+    def test_both_per_category_deadline_rows_exist(
+        self, profile_and_window, machine3
+    ):
+        profile = profile_and_window[0]
+        deadline = _deadline(profile_and_window, 0.5)
+        formulation = _multi(
+            profile, [(0.5, deadline), (0.5, deadline)], machine3
+        )
+        rows = [
+            c for c in formulation.model.constraints
+            if c.name.startswith("deadline[")
+        ]
+        assert len(rows) == 2

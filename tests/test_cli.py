@@ -97,3 +97,48 @@ class TestBoundCommand:
         out = capsys.readouterr().out
         assert "7 levels" in out
         assert "%" in out
+
+
+class TestOptimizeVerificationGate:
+    def test_prediction_mismatch_fails_the_command(self, capsys, monkeypatch):
+        """The exit code is gated on verification, not just on solving:
+        an impossible tolerance must turn a clean run into a failure."""
+        from repro.verify import tolerances
+
+        monkeypatch.setattr(tolerances, "ENERGY_PREDICTION_REL_TOL", -1.0)
+        assert main(["optimize", "ghostscript", "--deadline-frac", "0.5"]) == 1
+        err = capsys.readouterr().err
+        assert "diverged from the MILP prediction" in err
+
+    def test_deadline_slack_gate(self, capsys, monkeypatch):
+        from repro.verify import tolerances
+
+        monkeypatch.setattr(tolerances, "DEADLINE_REL_SLACK", -1.0)
+        assert main(["optimize", "ghostscript", "--deadline-frac", "0.5"]) == 1
+        assert "missed the deadline" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    def test_verify_passes_on_real_workload(self, capsys):
+        assert main([
+            "verify", "adpcm", "--deadline-frac", "0.5",
+            "--no-backends", "--no-metamorphic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ok   certificate" in out
+        assert "0 failures" in out
+
+    def test_verify_unknown_workload_errors(self, capsys):
+        assert main(["verify", "doom"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke(self, capsys):
+        assert main([
+            "fuzz", "--runs", "2", "--seed", "0",
+            "--no-backends", "--no-metamorphic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all oracles passed" in out
+        assert "2/2 programs" in out

@@ -1,8 +1,9 @@
 """Whole-pipeline property tests over randomly generated programs.
 
-A hypothesis strategy builds random (but well-formed) kernel-language
-programs — nested loops, branches, array traffic, arithmetic — and the
-tests push each one through the complete stack:
+The :func:`repro.verify.generators.random_program` hypothesis strategy
+builds random (but well-formed) kernel-language programs — nested loops,
+branches, array traffic, arithmetic — and the tests push each one
+through the complete stack:
 
 * compiled CFG validates;
 * machine simulation computes exactly what the reference interpreter
@@ -13,6 +14,8 @@ tests push each one through the complete stack:
 
 This is the repository's broadest net: any disagreement between the
 compiler, the simulator, the profiler and the optimizer shows up here.
+The same generator drives the seeded ``repro fuzz`` CLI, which layers
+the full oracle battery of :mod:`repro.verify` on top.
 """
 
 from __future__ import annotations
@@ -25,79 +28,9 @@ from repro.ir import interpret, validate_cfg
 from repro.ir.passes import optimize as run_passes
 from repro.lang import compile_program
 from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.verify.generators import ARRAY_LEN, random_program
 
-ARRAY_LEN = 64
-
-
-@st.composite
-def random_program(draw) -> tuple[str, dict]:
-    """Generate (source, inputs) for a random well-formed program."""
-    seed_values = draw(
-        st.lists(st.integers(-100, 100), min_size=ARRAY_LEN, max_size=ARRAY_LEN)
-    )
-    num_stmts = draw(st.integers(2, 5))
-    body_parts: list[str] = []
-    scalars = ["s0", "s1"]
-    body_parts.append("var s0: int = 1;")
-    body_parts.append("var s1: int = 2;")
-
-    def expr(depth: int) -> str:
-        choice = draw(st.integers(0, 5 if depth < 2 else 2))
-        if choice == 0:
-            return str(draw(st.integers(-20, 20)))
-        if choice == 1:
-            return draw(st.sampled_from(scalars))
-        if choice == 2:
-            index = draw(st.integers(0, ARRAY_LEN - 1))
-            return f"data[{index}]"
-        op = draw(st.sampled_from(["+", "-", "*"]))
-        return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
-
-    counter = [0]
-
-    def fresh_loop_var() -> str:
-        counter[0] += 1
-        return f"i{counter[0]}"
-
-    def statement(depth: int) -> str:
-        kinds = ["assign", "array", "if"]
-        if depth < 2:
-            kinds.append("for")
-        kind = draw(st.sampled_from(kinds))
-        if kind == "assign":
-            target = draw(st.sampled_from(scalars))
-            return f"{target} = ({expr(0)}) % 1000003;"
-        if kind == "array":
-            index = draw(st.integers(0, ARRAY_LEN - 1))
-            return f"data[{index}] = ({expr(0)}) % 251;"
-        if kind == "if":
-            op = draw(st.sampled_from(["<", ">", "==", "!="]))
-            then_stmt = statement(depth + 1)
-            else_stmt = statement(depth + 1)
-            return (
-                f"if ({expr(0)} {op} {expr(0)}) {{ {then_stmt} }} "
-                f"else {{ {else_stmt} }}"
-            )
-        loop_var = fresh_loop_var()
-        trips = draw(st.integers(1, 12))
-        inner = statement(depth + 1)
-        use = draw(st.sampled_from(scalars))
-        return (
-            f"for (var {loop_var}: int = 0; {loop_var} < {trips}; "
-            f"{loop_var} = {loop_var} + 1) {{ "
-            f"{inner} {use} = ({use} + data[{loop_var} % {ARRAY_LEN}]) % 65521; }}"
-        )
-
-    for _ in range(num_stmts):
-        body_parts.append(statement(0))
-
-    source = (
-        "func main() -> int {\n"
-        f"    extern data: int[{ARRAY_LEN}];\n"
-        + "\n".join("    " + part for part in body_parts)
-        + "\n    return (s0 + s1 * 31) % 1000003;\n}"
-    )
-    return source, {"data": seed_values}
+__all__ = ["ARRAY_LEN", "random_program"]
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,0 +1,22 @@
+"""Fixtures for the verification-subsystem tests.
+
+Built on top of the session-scoped ``small_*`` fixtures of the root
+conftest: one solved MILP outcome (schedule + formulation + solution)
+is shared across the certificate, schedule-check and oracle tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def small_deadline(small_profile):
+    t_fast = small_profile.wall_time_s[2]
+    t_slow = small_profile.wall_time_s[0]
+    return t_fast + 0.5 * (t_slow - t_fast)
+
+
+@pytest.fixture(scope="session")
+def small_outcome(optimizer, small_cfg, small_profile, small_deadline):
+    return optimizer.optimize(small_cfg, small_deadline, profile=small_profile)

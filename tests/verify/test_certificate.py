@@ -1,0 +1,142 @@
+"""Certificate tests: solver-free re-validation of MILP solutions.
+
+The deliberate-corruption cases are the point of the subsystem: a
+solution whose mode assignment has been tampered with must be rejected
+with the *named* constraint it violates, exactly as an adversarial
+solver bug would be.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import VerificationError
+from repro.solver.solution import Solution, SolveStatus
+from repro.verify.certificate import verify_certificate
+
+
+def _edge_with_modes(formulation, solution):
+    """Some independent edge, its variables and its chosen mode."""
+    edge = formulation.independent_edges[0]
+    variables = formulation.edge_vars[edge]
+    chosen = next(
+        m for m, var in enumerate(variables) if solution.x[var.index] > 0.5
+    )
+    return edge, variables, chosen
+
+
+class TestValidSolutions:
+    @pytest.mark.parametrize("backend", ["native", "scipy"])
+    def test_both_backends_certify(self, small_outcome, backend):
+        solution = small_outcome.formulation.model.solve(backend=backend)
+        report = verify_certificate(small_outcome.formulation, solution)
+        assert report.ok, report.summary
+        assert report.violations == []
+        assert report.objective_error <= 1e-6
+        assert "certificate ok" in report.summary
+
+    def test_optimizer_attaches_certificate(self, small_outcome):
+        certificate = small_outcome.certificate
+        assert certificate is not None and certificate.ok
+        # The recomputed objective is the predicted energy (both in nJ).
+        assert small_outcome.predicted_energy_nj == pytest.approx(
+            certificate.objective_recomputed, rel=1e-6
+        )
+
+    def test_accepts_bare_model(self, small_outcome):
+        report = verify_certificate(
+            small_outcome.formulation.model, small_outcome.solution
+        )
+        assert report.ok
+
+    def test_raise_if_invalid_is_a_noop_when_ok(self, small_outcome):
+        small_outcome.certificate.raise_if_invalid()
+
+
+class TestCorruptedSolutions:
+    def test_double_mode_selection_names_onemode_row(self, small_outcome):
+        """Turning on a second mode for one edge violates its onemode row."""
+        formulation = small_outcome.formulation
+        solution = small_outcome.formulation.model.solve(backend="scipy")
+        edge, variables, chosen = _edge_with_modes(formulation, solution)
+        x = solution.x.copy()
+        other = (chosen + 1) % len(variables)
+        x[variables[other].index] = 1.0
+        corrupted = dataclasses.replace(solution, x=x)
+
+        report = verify_certificate(formulation, corrupted)
+        assert not report.ok
+        names = [v.name for v in report.violations]
+        assert f"onemode[{edge[0]}->{edge[1]}]" in names
+        with pytest.raises(VerificationError):
+            report.raise_if_invalid()
+
+    def test_mutated_mode_assignment_is_rejected(self, small_outcome):
+        """Swapping an edge to a different mode (still one-hot) no longer
+        matches the reported objective — and, when swapped toward the slow
+        mode under a midpoint deadline, typically breaks the deadline row
+        too.  Either way the certificate names what broke."""
+        formulation = small_outcome.formulation
+        solution = small_outcome.formulation.model.solve(backend="scipy")
+        edge, variables, chosen = _edge_with_modes(formulation, solution)
+        x = solution.x.copy()
+        other = (chosen + 1) % len(variables)
+        x[variables[chosen].index] = 0.0
+        x[variables[other].index] = 1.0
+        corrupted = dataclasses.replace(solution, x=x)
+
+        report = verify_certificate(formulation, corrupted)
+        assert not report.ok
+        names = {v.name for v in report.violations}
+        assert names & {"objective", "deadline"}, report.summary
+
+    def test_fractional_binary_names_integrality(self, small_outcome):
+        formulation = small_outcome.formulation
+        solution = small_outcome.formulation.model.solve(backend="scipy")
+        _, variables, chosen = _edge_with_modes(formulation, solution)
+        x = solution.x.copy()
+        x[variables[chosen].index] = 0.6
+        corrupted = dataclasses.replace(solution, x=x)
+
+        report = verify_certificate(formulation, corrupted)
+        assert not report.ok
+        assert any(v.kind == "integrality" for v in report.violations)
+
+    def test_misreported_objective_is_rejected(self, small_outcome):
+        solution = small_outcome.solution
+        lying = dataclasses.replace(
+            solution, objective=solution.objective * 0.5
+        )
+        report = verify_certificate(small_outcome.formulation, lying)
+        assert not report.ok
+        assert any(v.name == "objective" for v in report.violations)
+
+    def test_out_of_bounds_value_is_rejected(self, small_outcome):
+        formulation = small_outcome.formulation
+        solution = small_outcome.formulation.model.solve(backend="scipy")
+        _, variables, chosen = _edge_with_modes(formulation, solution)
+        x = solution.x.copy()
+        x[variables[chosen].index] = 2.0  # binaries live in [0, 1]
+        corrupted = dataclasses.replace(solution, x=x)
+
+        report = verify_certificate(formulation, corrupted)
+        assert not report.ok
+        assert any(v.kind == "bound" for v in report.violations)
+
+
+class TestDegenerateInputs:
+    def test_failed_status_is_not_certifiable(self, small_outcome):
+        infeasible = Solution(status=SolveStatus.INFEASIBLE)
+        report = verify_certificate(small_outcome.formulation, infeasible)
+        assert not report.ok
+        assert report.violations[0].kind == "solution"
+
+    def test_wrong_vector_length_is_not_certifiable(self, small_outcome):
+        solution = small_outcome.solution
+        truncated = dataclasses.replace(solution, x=np.array(solution.x[:3]))
+        report = verify_certificate(small_outcome.formulation, truncated)
+        assert not report.ok
+        assert report.violations[0].kind == "solution"

@@ -1,0 +1,96 @@
+"""Fuzz-driver tests: the oracle battery and the campaign loop.
+
+The real acceptance run (``repro fuzz --runs 50``) lives in CI; here the
+battery runs on a couple of seeds with the expensive oracles switched
+off, plus unit coverage of the report/minimizer plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.fuzz import (
+    CheckResult,
+    FuzzFailure,
+    FuzzReport,
+    fuzz,
+    verify_program,
+)
+from repro.verify.generators import generate_program
+
+EXPECTED_CHECKS = {
+    "compiles",
+    "simulator-matches-interpreter",
+    "passes-preserve-semantics",
+    "profile-conservation",
+    "certificate",
+    "schedule-check",
+    "simulation-matches-prediction",
+    "schedule-replay-matches-objective",
+    "never-worse-than-single-mode",
+    "analytical-bound-dominates",
+}
+
+
+class TestVerifyProgram:
+    def test_full_battery_passes_on_seed_zero(self):
+        program = generate_program(0)
+        results = verify_program(
+            program.source, program.inputs,
+            check_backends=False, check_metamorphic=False,
+        )
+        assert results and all(r.ok for r in results), [str(r) for r in results]
+        assert EXPECTED_CHECKS <= {r.name for r in results}
+
+    def test_uncompilable_source_is_one_failed_check(self):
+        results = verify_program("func main( {", None)
+        assert len(results) == 1
+        assert results[0].name == "compiles" and not results[0].ok
+
+    def test_only_oracle_filters_passing_checks(self):
+        program = generate_program(1)
+        results = verify_program(
+            program.source, program.inputs,
+            check_backends=False, check_metamorphic=False,
+            only_oracle="certificate",
+        )
+        assert results
+        assert {r.name for r in results} == {"certificate"}
+
+
+class TestFuzzCampaign:
+    def test_two_clean_runs(self):
+        report = fuzz(
+            runs=2, seed=0, check_backends=False, check_metamorphic=False
+        )
+        assert report.ok
+        assert report.runs == 2
+        assert report.checks > 0
+        assert "all oracles passed" in report.summary
+
+    def test_progress_callback_fires_per_program(self):
+        seen = []
+        fuzz(
+            runs=2, seed=0, check_backends=False, check_metamorphic=False,
+            on_progress=lambda done, total, failures: seen.append(
+                (done, total, failures)
+            ),
+        )
+        assert seen == [(1, 2, 0), (2, 2, 0)]
+
+
+class TestReporting:
+    def test_check_result_renders_verdict(self):
+        assert str(CheckResult("certificate", True, "fine")).startswith("ok")
+        assert str(CheckResult("certificate", False, "bad")).startswith("FAIL")
+
+    def test_failure_report_carries_reproducer(self):
+        failure = FuzzFailure(
+            run_index=3, seed=12, oracle="backends-agree",
+            detail="objectives differ", source="src", minimized_source="min",
+        )
+        report = FuzzReport(runs=4, checks=40, failures=[failure])
+        assert not report.ok
+        assert "1 FAILURES" in report.summary
+        rendered = str(failure)
+        assert "seed 12" in rendered and "min" in rendered

@@ -1,0 +1,62 @@
+"""Metamorphic-oracle tests: provable-direction problem transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import metamorphic
+from repro.verify.generators import generate_program
+
+
+class TestDeadlineMonotonicity:
+    def test_small_program_is_monotone(
+        self, optimizer, small_cfg, small_profile
+    ):
+        t_fast = small_profile.wall_time_s[2]
+        t_slow = small_profile.wall_time_s[0]
+        deadlines = [
+            t_fast + frac * (t_slow - t_fast) for frac in (0.25, 0.5, 0.75)
+        ]
+        result = metamorphic.deadline_monotonicity(
+            optimizer, small_cfg, small_profile, deadlines
+        )
+        assert result.ok, result.detail
+
+
+class TestModeAddition:
+    def test_widen_preserves_original_points(self, machine3):
+        table = machine3.mode_table
+        wide = metamorphic.widen_mode_table(table)
+        assert len(wide) == len(table) + 1
+        original = {(p.frequency_hz, p.voltage) for p in table}
+        widened = {(p.frequency_hz, p.voltage) for p in wide}
+        assert original <= widened
+        assert wide.name == f"{table.name}+mid"
+
+    def test_adding_a_mode_never_raises_energy(
+        self, machine3, small_cfg, small_deadline, small_inputs, small_registers
+    ):
+        result = metamorphic.mode_addition_monotonicity(
+            machine3, small_cfg, small_deadline,
+            inputs=small_inputs, registers=small_registers,
+        )
+        assert result.ok, result.detail
+
+
+class TestFiltering:
+    def test_filtering_within_threshold(
+        self, optimizer, small_cfg, small_profile, small_deadline
+    ):
+        result = metamorphic.filtering_within_threshold(
+            optimizer, small_cfg, small_profile, small_deadline
+        )
+        assert result.ok, result.detail
+
+
+class TestNoopPasses:
+    def test_reoptimizing_clean_code_changes_nothing(self, optimizer):
+        program = generate_program(0)
+        result = metamorphic.noop_passes_preserve(
+            program.source, optimizer, inputs=program.inputs
+        )
+        assert result.ok, result.detail

@@ -1,0 +1,118 @@
+"""Schedule-check tests: structural, replay and deadline validation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.milp.schedule import DVSSchedule
+from repro.errors import VerificationError
+from repro.verify.schedule_check import check_schedule
+
+
+def _check(outcome, machine, cfg, profile, deadline=None, **kwargs):
+    return check_schedule(
+        outcome.schedule,
+        cfg,
+        profile,
+        machine.mode_table,
+        machine.transition_model,
+        outcome.formulation.deadline_s if deadline is None else deadline,
+        **kwargs,
+    )
+
+
+class TestValidSchedules:
+    def test_optimized_schedule_passes(
+        self, small_outcome, machine3, small_cfg, small_profile
+    ):
+        report = _check(small_outcome, machine3, small_cfg, small_profile)
+        assert report.ok, report.issues
+        assert report.deadline_met
+        assert "schedule ok" in report.summary
+
+    def test_replay_matches_solver_objective(
+        self, small_outcome, machine3, small_cfg, small_profile
+    ):
+        """The profile replay — physical SE/ST costs, hoisted edges
+        resolved through predecessor agreement — reproduces the MILP's
+        objective."""
+        report = _check(small_outcome, machine3, small_cfg, small_profile)
+        assert report.replayed_energy_nj == pytest.approx(
+            small_outcome.predicted_energy_nj, rel=1e-6
+        )
+        assert report.replayed_time_s == pytest.approx(
+            small_outcome.predicted_time_s, rel=1e-6
+        )
+
+    def test_wcet_bound_is_informational(
+        self, small_outcome, machine3, small_cfg, small_profile
+    ):
+        report = _check(
+            small_outcome, machine3, small_cfg, small_profile,
+            config=machine3.config,
+        )
+        assert report.ok
+        assert report.wcet_s is not None
+        # The WCET bound may or may not hold — it must never flip ok.
+        assert report.wcet_meets_deadline in (True, False)
+
+
+class TestBrokenSchedules:
+    def test_unknown_edge_is_structural_failure(
+        self, small_outcome, machine3, small_cfg, small_profile
+    ):
+        schedule = small_outcome.schedule
+        assignment = dict(schedule.assignment)
+        assignment[("no_such_block", "nowhere")] = 0
+        bad = DVSSchedule(assignment=assignment, num_modes=schedule.num_modes)
+        report = check_schedule(
+            bad, small_cfg, small_profile, machine3.mode_table,
+            machine3.transition_model, small_outcome.formulation.deadline_s,
+        )
+        assert not report.ok
+        assert any("not a CFG edge" in issue for issue in report.issues)
+
+    def test_mode_out_of_range_is_rejected(
+        self, small_outcome, machine3, small_cfg, small_profile
+    ):
+        schedule = small_outcome.schedule
+        # The constructor validates mode ranges, so corrupt after the
+        # fact — modelling a deserialized or hand-edited schedule.
+        bad = DVSSchedule(
+            assignment=dict(schedule.assignment), num_modes=schedule.num_modes
+        )
+        some_edge = next(iter(bad.assignment))
+        bad.assignment[some_edge] = 99
+        report = check_schedule(
+            bad, small_cfg, small_profile, machine3.mode_table,
+            machine3.transition_model, small_outcome.formulation.deadline_s,
+        )
+        assert not report.ok
+        assert any("outside 0..2" in issue for issue in report.issues)
+
+    def test_mode_count_mismatch_is_rejected(
+        self, small_outcome, machine3, small_cfg, small_profile
+    ):
+        schedule = small_outcome.schedule
+        bad = DVSSchedule(assignment=dict(schedule.assignment), num_modes=7)
+        report = check_schedule(
+            bad, small_cfg, small_profile, machine3.mode_table,
+            machine3.transition_model, small_outcome.formulation.deadline_s,
+        )
+        assert not report.ok
+        assert any("targets 7 modes" in issue for issue in report.issues)
+
+    def test_impossible_deadline_fails_replay(
+        self, small_outcome, machine3, small_cfg, small_profile
+    ):
+        report = _check(
+            small_outcome, machine3, small_cfg, small_profile,
+            deadline=small_outcome.predicted_time_s * 0.5,
+        )
+        assert not report.ok
+        assert not report.deadline_met
+        assert any("exceeds deadline" in issue for issue in report.issues)
+        with pytest.raises(VerificationError):
+            report.raise_if_invalid()
