@@ -3,13 +3,21 @@
 Each ``test_tabN_*``/``test_figNN_*`` module regenerates one table or
 figure from the paper's evaluation.  Expensive artifacts — per-workload,
 per-mode-table simulation profiles — are built once per session and
-shared across experiments through the caches below.  Every experiment
-writes its regenerated table/series to ``benchmarks/results/<name>.txt``
-so the output survives pytest's capture.
+shared across experiments through the caches below, and additionally
+persisted in the :mod:`repro.runtime` content-addressed artifact store
+(``benchmarks/.artifact-cache`` by default, ``$REPRO_CACHE_DIR`` when
+set), so *repeated* benchmark runs skip re-simulation entirely.  Keys
+hash the workload source, inputs and machine configuration, so editing
+a kernel or the simulator config invalidates exactly the stale entries;
+``REPRO_BENCH_CACHE=off`` (or deleting the directory) forces a fresh
+build.  Every experiment writes its regenerated table/series to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -19,11 +27,22 @@ from repro.core import DVSOptimizer
 from repro.core.analytical import ProgramParams
 from repro.profiling import extract_params
 from repro.profiling.profile_data import ProfileData
+from repro.profiling.serialize import profile_from_dict, profile_to_dict
+from repro.runtime import hashing
+from repro.runtime.cache import ArtifactStore, CACHE_DIR_ENV
 from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
 from repro.simulator.dvs import ModeTable, make_mode_table
 from repro.workloads import compile_workload, derive_deadlines, get_workload
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _artifact_store() -> ArtifactStore | None:
+    """The persistent cross-session store, unless disabled."""
+    if os.environ.get("REPRO_BENCH_CACHE", "").lower() in ("off", "0", "no"):
+        return None
+    root = os.environ.get(CACHE_DIR_ENV) or Path(__file__).parent / ".artifact-cache"
+    return ArtifactStore(root)
 
 #: The four benchmarks of the paper's Tables 1/6/7.
 TABLE_BENCHMARKS = ("adpcm", "epic", "gsm", "mpeg")
@@ -66,6 +85,42 @@ class _ContextCache:
     def __init__(self) -> None:
         self._cache: dict[tuple[str, str], WorkloadContext] = {}
         self._xscale_deadlines: dict[str, list[float]] = {}
+        self._store = _artifact_store()
+
+    def _profile_for(self, spec, cfg, machine: Machine) -> ProfileData:
+        """Per-mode profile, served from the persistent store when warm."""
+        optimizer = DVSOptimizer(machine)
+        if self._store is None:
+            return optimizer.profile(cfg, inputs=spec.inputs(),
+                                     registers=spec.registers())
+        key = hashing.profile_key(spec.source, spec.categories[0], 0, machine)
+        payload = self._store.get(key)
+        if payload is not None:
+            return profile_from_dict(payload["profile"])
+        profile = optimizer.profile(cfg, inputs=spec.inputs(),
+                                    registers=spec.registers())
+        self._store.put(key, {"profile": profile_to_dict(profile)})
+        return profile
+
+    def _params_for(self, spec, cfg, machine: Machine) -> ProgramParams:
+        """Section 3.2 parameters, served from the persistent store."""
+        if self._store is None:
+            return extract_params(machine, cfg, inputs=spec.inputs(),
+                                  registers=spec.registers())
+        key = hashing.params_key(spec.source, spec.categories[0], 0, machine)
+        payload = self._store.get(key)
+        if payload is not None:
+            return ProgramParams(**payload["params"])
+        params = extract_params(machine, cfg, inputs=spec.inputs(),
+                                registers=spec.registers())
+        self._store.put(key, {"params": {
+            "n_overlap": params.n_overlap,
+            "n_dependent": params.n_dependent,
+            "n_cache": params.n_cache,
+            "t_invariant_s": params.t_invariant_s,
+            "name": params.name,
+        }})
+        return params
 
     def get(self, name: str, table: ModeTable) -> WorkloadContext:
         key = (name, table.name)
@@ -75,10 +130,8 @@ class _ContextCache:
         cfg = compile_workload(name)
         machine = Machine(SCALE_CONFIG, table, TransitionCostModel())
         optimizer = DVSOptimizer(machine)
-        profile = optimizer.profile(cfg, inputs=spec.inputs(), registers=spec.registers())
-        params = extract_params(
-            machine, cfg, inputs=spec.inputs(), registers=spec.registers()
-        )
+        profile = self._profile_for(spec, cfg, machine)
+        params = self._params_for(spec, cfg, machine)
         if table.name == XSCALE_3.name and name not in self._xscale_deadlines:
             times = profile.wall_time_s
             self._xscale_deadlines[name] = derive_deadlines(times[0], times[1], times[2])

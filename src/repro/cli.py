@@ -11,6 +11,7 @@
     python -m repro bound epic --levels 7 --deadline-frac 0.5
     python -m repro verify gsm --deadline-frac 0.5
     python -m repro fuzz --runs 50 --seed 0
+    python -m repro sweep --workloads adpcm,epic,gsm,mpeg --jobs 4
 
 ``--deadline-frac f`` places the deadline a fraction ``f`` of the way
 from the all-fast to the all-slow runtime (0 = flat out, 1 = everything
@@ -21,11 +22,20 @@ certificate, schedule check, differential and metamorphic oracles) over
 one workload; ``fuzz`` runs it over seeded random programs.  Both exit
 non-zero on any oracle failure, as does ``optimize`` when its verified
 run misses the deadline or diverges from the predicted energy.
+
+``sweep`` drives whole experiment grids (suite x deadline fraction x
+mode-table level count) through :mod:`repro.runtime`: a process pool
+executes independent grid points concurrently and every expensive
+artifact is memoized in the content-addressed store.  ``profile`` and
+``optimize`` consult the same store when one is configured (via
+``--cache-dir`` or ``$REPRO_CACHE_DIR``), so a profile captured by a
+sweep is reused by a later interactive ``optimize`` and vice versa.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core import DVSOptimizer
@@ -33,7 +43,15 @@ from repro.core.analytical import savings_ratio_discrete
 from repro.core.baselines import build_block_formulation, greedy_schedule
 from repro.errors import ReproError
 from repro.profiling import extract_params
-from repro.profiling.serialize import load_profile, save_profile, save_schedule
+from repro.profiling.serialize import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+    save_schedule,
+)
+from repro.runtime import hashing
+from repro.runtime.cache import ArtifactStore, CACHE_DIR_ENV, DEFAULT_CACHE_DIR
 from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
 from repro.simulator.dvs import make_mode_table
 from repro.verify import tolerances
@@ -50,6 +68,35 @@ def _workload_context(name: str, category: str | None, seed: int):
     cfg = compile_workload(name)
     inputs = spec.inputs(category=category, seed=seed)
     return spec, cfg, inputs, spec.registers()
+
+
+def _store_from_args(args) -> ArtifactStore | None:
+    """The artifact store a command should use, or None.
+
+    Caching engages when ``--cache-dir`` is given or ``$REPRO_CACHE_DIR``
+    is set; ``--no-cache`` always wins.  Commands that cache share keys
+    with :mod:`repro.runtime`, so the CLI and sweeps reuse each other's
+    artifacts.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    root = getattr(args, "cache_dir", None) or os.environ.get(CACHE_DIR_ENV)
+    return ArtifactStore(root) if root else None
+
+
+def _cached_profile(store, optimizer, spec, cfg, category, seed, inputs, registers):
+    """Profile via the artifact store when one is configured."""
+    key = None
+    if store is not None:
+        key = hashing.profile_key(spec.source, category, seed, optimizer.machine)
+        payload = store.get(key)
+        if payload is not None:
+            return profile_from_dict(payload["profile"]), "cache hit"
+    profile = optimizer.profile(cfg, inputs=inputs, registers=registers)
+    if store is not None:
+        store.put(key, {"profile": profile_to_dict(profile)})
+        return profile, "profiled, cached"
+    return profile, "profiled"
 
 
 def cmd_list(_args) -> int:
@@ -92,7 +139,13 @@ def cmd_profile(args) -> int:
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
     machine = _machine(args.levels, args.capacitance_uf)
     optimizer = DVSOptimizer(machine)
-    profile = optimizer.profile(cfg, inputs=inputs, registers=registers)
+    category = args.category or spec.categories[0]
+    store = _store_from_args(args)
+    profile, how = _cached_profile(
+        store, optimizer, spec, cfg, category, args.seed, inputs, registers
+    )
+    if store is not None:
+        print(f"profile for {args.workload} ({how})")
     for mode in sorted(profile.wall_time_s):
         print(f"  mode {mode} ({machine.mode_table[mode]}): "
               f"{profile.wall_time_s[mode] * 1e3:.3f} ms, "
@@ -104,24 +157,64 @@ def cmd_profile(args) -> int:
 
 
 def _resolve_deadline(profile, frac: float) -> float:
-    modes = sorted(profile.wall_time_s)
-    t_fast = profile.wall_time_s[modes[-1]]
-    t_slow = profile.wall_time_s[modes[0]]
-    return t_fast + frac * (t_slow - t_fast)
+    # Delegates to the profile, which rejects single-mode profiles (a
+    # degenerate fast->slow range would silently yield zero slack).
+    return profile.deadline_at(frac)
 
 
 def cmd_optimize(args) -> int:
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
     machine = _machine(args.levels, args.capacitance_uf)
     optimizer = DVSOptimizer(machine)
-    profile = (
-        load_profile(args.profile)
-        if args.profile
-        else optimizer.profile(cfg, inputs=inputs, registers=registers)
-    )
+    category = args.category or spec.categories[0]
+    store = _store_from_args(args)
+    if args.profile:
+        profile = load_profile(args.profile)
+    else:
+        profile, _ = _cached_profile(
+            store, optimizer, spec, cfg, category, args.seed, inputs, registers
+        )
     deadline = _resolve_deadline(profile, args.deadline_frac)
-    outcome = optimizer.optimize(cfg, deadline, profile=profile)
-    run = optimizer.verify(cfg, outcome.schedule, inputs=inputs, registers=registers)
+
+    # The schedule artifact round-trips through the same store keys a
+    # sweep uses, so `repro sweep` and `repro optimize` reuse each
+    # other's MILP solves.  Certificates only exist on fresh solves; a
+    # cached schedule is still verified by re-simulation below.
+    sched_key = (
+        hashing.schedule_key(spec.source, category, args.seed, machine,
+                             args.deadline_frac)
+        if store is not None and not args.profile
+        else None
+    )
+    cached = store.get(sched_key) if sched_key is not None else None
+    if cached is not None:
+        from repro.profiling.serialize import schedule_from_dict
+
+        schedule = schedule_from_dict(cached["schedule"])
+        predicted_energy_nj = cached["predicted_energy_nj"]
+        certificate = None
+        print("  (schedule from artifact cache)")
+    else:
+        outcome = optimizer.optimize(cfg, deadline, profile=profile)
+        schedule = outcome.schedule
+        predicted_energy_nj = outcome.predicted_energy_nj
+        certificate = outcome.certificate
+        if sched_key is not None:
+            from repro.profiling.serialize import schedule_to_dict
+
+            store.put(sched_key, {
+                "schedule": schedule_to_dict(schedule),
+                "deadline_s": deadline,
+                "predicted_energy_nj": outcome.predicted_energy_nj,
+                "predicted_time_s": outcome.predicted_time_s,
+                "solver": {
+                    "status": outcome.solution.status.value,
+                    "solve_time_s": outcome.solve_time_s,
+                    "num_independent_edges": outcome.num_independent_edges,
+                    "num_assignments": len(schedule.assignment),
+                },
+            })
+    run = optimizer.verify(cfg, schedule, inputs=inputs, registers=registers)
     mode, baseline = optimizer.best_single_mode(profile, deadline)
     print(f"deadline {deadline * 1e3:.3f} ms "
           f"(fraction {args.deadline_frac:.2f} of the fast->slow range)")
@@ -136,15 +229,15 @@ def cmd_optimize(args) -> int:
               f"({run.wall_time_s * 1e3:.3f} ms > {deadline * 1e3:.3f} ms)",
               file=sys.stderr)
         status = 1
-    energy_err = (abs(run.cpu_energy_nj - outcome.predicted_energy_nj)
-                  / max(1.0, outcome.predicted_energy_nj))
+    energy_err = (abs(run.cpu_energy_nj - predicted_energy_nj)
+                  / max(1.0, predicted_energy_nj))
     if energy_err > tolerances.ENERGY_PREDICTION_REL_TOL:
         print(f"error: simulated energy diverged from the MILP prediction "
               f"(rel err {energy_err:.2e} > "
               f"{tolerances.ENERGY_PREDICTION_REL_TOL:.0e})", file=sys.stderr)
         status = 1
-    if outcome.certificate is not None and not outcome.certificate.ok:
-        print(f"error: {outcome.certificate.summary}", file=sys.stderr)
+    if certificate is not None and not certificate.ok:
+        print(f"error: {certificate.summary}", file=sys.stderr)
         status = 1
     if args.compare:
         greedy = greedy_schedule(
@@ -166,7 +259,7 @@ def cmd_optimize(args) -> int:
               f"{block_run.wall_time_s * 1e3:.3f} ms")
         print(f"  best single mode   : {baseline / 1e3:9.1f} uJ")
     if args.output:
-        save_schedule(outcome.schedule, args.output)
+        save_schedule(schedule, args.output)
         print(f"schedule written to {args.output}")
     return status
 
@@ -229,6 +322,87 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_levels(text: str) -> tuple[int | None, ...]:
+    """``"xscale"`` or comma-joined level counts (``"xscale,7,13"``)."""
+    out: list[int | None] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part in ("xscale", "xscale-3"):
+            out.append(None)
+        else:
+            try:
+                out.append(int(part))
+            except ValueError:
+                raise ReproError(
+                    f"bad --levels entry {part!r} (want 'xscale' or an integer)"
+                ) from None
+    if not out:
+        raise ReproError("--levels selected no mode tables")
+    return tuple(out)
+
+
+def cmd_sweep(args) -> int:
+    from repro.runtime.executor import FaultSpec
+    from repro.runtime.sweep import SweepConfig, run_sweep
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+    fracs = tuple(float(f) for f in args.deadline_fracs.split(","))
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+    )
+    config = SweepConfig(
+        workloads=workloads,
+        deadline_fracs=fracs,
+        levels=_parse_levels(args.levels),
+        seed=args.seed,
+        capacitance_uf=args.capacitance_uf,
+        jobs=args.jobs,
+        task_timeout_s=args.timeout if args.timeout > 0 else None,
+        retries=args.retries,
+        fault=FaultSpec.parse(args.inject_fault) if args.inject_fault else None,
+        cache_dir=cache_dir,
+        output_dir=args.output_dir,
+    )
+
+    total_tasks = 0
+
+    def progress(result) -> None:
+        if args.quiet:
+            return
+        mark = {"ok": " ", "failed": "!", "skipped": "-"}[result.status]
+        cache = f" [{result.cache}]" if result.cache != "off" else ""
+        retries = f" (attempt {result.attempts})" if result.attempts > 1 else ""
+        print(f"  {mark} {result.task_id}{cache}{retries}"
+              + (f": {result.error}" if result.error else ""),
+              flush=True)
+
+    report = run_sweep(config, on_task=progress)
+
+    records = report.experiment_records
+    ok = [r for r in records if r["status"] == "ok"]
+    print(f"\nsweep: {len(ok)}/{len(records)} experiments ok, "
+          f"{len(report.results)} tasks in {report.wall_time_s:.2f}s "
+          f"(jobs={config.jobs})")
+    if report.cache_stats:
+        stats = report.cache_stats
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({cache_dir})")
+    for record in ok:
+        savings = record["savings_vs_single_mode"]
+        bound = record["savings_bound"]
+        savings_text = f"{savings:+.1%}" if savings is not None else "n/a"
+        bound_text = f" (bound {bound:.1%})" if bound is not None else ""
+        print(f"  {record['experiment']:<44s} savings {savings_text}{bound_text}")
+    for record in report.failures:
+        failed = ", ".join(sorted(record.get("failures", {"verify": None})))
+        print(f"  {record['experiment']:<44s} {record['status'].upper()}: {failed}",
+              file=sys.stderr)
+    print(f"manifest: {report.manifest_path}\nresults : {report.results_path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,13 +430,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_params)
     p_params.set_defaults(fn=cmd_params)
 
+    def add_cache(p):
+        p.add_argument("--cache-dir", default=None,
+                       help="artifact-store directory (default: $REPRO_CACHE_DIR; "
+                            "caching off when neither is set)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore the artifact store entirely")
+
     p_profile = sub.add_parser("profile", help="profile a workload at every mode")
     add_common(p_profile)
+    add_cache(p_profile)
     p_profile.add_argument("-o", "--output", default=None, help="write profile JSON")
     p_profile.set_defaults(fn=cmd_profile)
 
     p_opt = sub.add_parser("optimize", help="MILP-optimize DVS mode placement")
     add_common(p_opt)
+    add_cache(p_opt)
     p_opt.add_argument("--deadline-frac", type=float, default=0.5,
                        help="deadline position in the fast->slow range (default 0.5)")
     p_opt.add_argument("--profile", default=None, help="reuse a profile JSON")
@@ -306,6 +489,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--keep-going", action="store_true",
                         help="collect all failures instead of stopping at the first")
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid in parallel with artifact caching",
+    )
+    p_sweep.add_argument("--workloads", default="adpcm,epic,gsm,mpeg,mpg123,ghostscript",
+                         help="comma-joined workload names (default: the paper suite)")
+    p_sweep.add_argument("--deadline-fracs", default="0.35,0.7",
+                         help="comma-joined deadline fractions (default 0.35,0.7)")
+    p_sweep.add_argument("--levels", default="xscale",
+                         help="comma-joined mode tables: 'xscale' and/or level "
+                              "counts, e.g. 'xscale,7,13' (default xscale)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default 1)")
+    p_sweep.add_argument("--seed", type=int, default=0, help="input seed")
+    p_sweep.add_argument("--capacitance-uf", type=float, default=10.0,
+                         help="regulator capacitance in uF (default 10)")
+    p_sweep.add_argument("--timeout", type=float, default=600.0,
+                         help="per-task wall-clock budget in seconds "
+                              "(default 600; 0 disables)")
+    p_sweep.add_argument("--retries", type=int, default=1,
+                         help="retry budget per task (default 1)")
+    p_sweep.add_argument("--inject-fault", default=None, metavar="PATTERN[@N]",
+                         help="kill task ids matching a glob (testing); "
+                              "@N fails only the first N attempts")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="artifact-store directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="run without the artifact store")
+    p_sweep.add_argument("--output-dir", default="sweep-results",
+                         help="manifest/results directory (default sweep-results)")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-task progress lines")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     return parser
 

@@ -85,3 +85,20 @@ class VerificationError(ReproError):
 
 class AnalysisError(ReproError):
     """Analytical-model inputs are outside the modelled regime."""
+
+
+class OrchestrationError(ReproError):
+    """The experiment runtime (task DAG, executor, sweep) hit an invalid
+    state: malformed graph, unresolvable dependency, bad grid config."""
+
+
+class TaskTimeout(OrchestrationError):
+    """A runtime task exceeded its per-task wall-clock budget."""
+
+
+class InjectedFault(OrchestrationError):
+    """A deliberately injected task failure (fault-injection testing)."""
+
+
+class CacheError(ReproError):
+    """The content-addressed artifact store is unusable or inconsistent."""

@@ -83,6 +83,26 @@ class ProfileData:
         """Profiled (traversed) edges, including the entry edge."""
         return list(self.edge_counts)
 
+    def deadline_at(self, frac: float) -> float:
+        """Deadline a fraction of the way from all-fast to all-slow.
+
+        ``frac=0`` is the fastest-mode runtime (no slack), ``frac=1`` the
+        slowest-mode runtime.  A profile with a single mode has no
+        fast->slow range — every fraction would collapse to the same
+        zero-slack deadline — so it is rejected instead of silently
+        producing a degenerate optimization instance.
+        """
+        modes = sorted(self.wall_time_s)
+        if len(modes) < 2:
+            raise ProfileError(
+                f"profile {self.name!r} has {len(modes)} mode(s); deadline "
+                "fractions need at least two (use --levels >= 2 or pass an "
+                "absolute deadline)"
+            )
+        t_fast = self.wall_time_s[modes[-1]]
+        t_slow = self.wall_time_s[modes[0]]
+        return t_fast + frac * (t_slow - t_fast)
+
     def block_energy_share(self, mode: int) -> dict[str, float]:
         """Fraction of whole-run energy attributable to each block at a mode
         (drives the paper's Section 5.2 edge filtering)."""

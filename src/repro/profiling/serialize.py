@@ -108,6 +108,43 @@ def schedule_from_dict(data: dict[str, Any]) -> DVSSchedule:
     return DVSSchedule(assignment=assignment, num_modes=int(data["num_modes"]))
 
 
+#: The observable facts of one simulated execution that experiment
+#: artifacts persist (the full RunResult drags the data memory along).
+_RUN_SUMMARY_FIELDS = (
+    "return_value",
+    "wall_time_s",
+    "cpu_energy_nj",
+    "memory_energy_nj",
+    "transition_energy_nj",
+    "transition_time_s",
+    "instructions",
+    "mem_misses",
+    "mode_transitions",
+    "modeset_executions",
+    "final_mode",
+)
+
+
+def run_summary_to_dict(result) -> dict[str, Any]:
+    """Serialize the persistent slice of a simulator ``RunResult``."""
+    summary: dict[str, Any] = {"format": FORMAT_VERSION, "kind": "run-summary"}
+    for name in _RUN_SUMMARY_FIELDS:
+        summary[name] = getattr(result, name)
+    return summary
+
+
+def run_summary_from_dict(data: dict[str, Any]) -> dict[str, Any]:
+    """Validate and strip a run-summary document down to its fields."""
+    if data.get("kind") != "run-summary":
+        raise ProfileError(f"not a run-summary document (kind={data.get('kind')!r})")
+    if data.get("format") != FORMAT_VERSION:
+        raise ProfileError(f"unsupported run-summary format {data.get('format')!r}")
+    missing = [name for name in _RUN_SUMMARY_FIELDS if name not in data]
+    if missing:
+        raise ProfileError(f"run-summary document is missing fields {missing}")
+    return {name: data[name] for name in _RUN_SUMMARY_FIELDS}
+
+
 def save_profile(profile: ProfileData, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(profile_to_dict(profile), handle)

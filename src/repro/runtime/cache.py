@@ -1,0 +1,163 @@
+"""Content-addressed on-disk artifact store.
+
+Layout::
+
+    <root>/
+      ab/
+        ab3f...e1.json        # one JSON document per artifact
+
+Each document wraps its payload with the key it was stored under and the
+store format version, so a document moved or corrupted on disk is
+detected on read (and treated as a miss) instead of silently feeding a
+wrong artifact into an experiment.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+concurrent workers — the sweep executor runs many — can race on the same
+key and the store still ends up with exactly one intact document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CacheError
+
+#: Version of the on-disk envelope (not of the payloads inside it).
+STORE_FORMAT = 1
+
+#: Environment variable naming the default store root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback store root (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one store handle."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalid: int = 0  # corrupt/mismatched documents treated as misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "invalid": self.invalid}
+
+
+@dataclass
+class ArtifactStore:
+    """A directory of content-addressed JSON artifacts.
+
+    Args:
+        root: store directory; created lazily on first write.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # -- addressing -------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key (sharded by the first two hex chars)."""
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise CacheError(f"malformed artifact key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read/write -------------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Payload stored under ``key``, or None (counted as a miss).
+
+        A document that fails to parse or whose envelope does not match
+        the key is a miss, never an exception: a half-written or stale
+        file must not take down a sweep.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != STORE_FORMAT
+            or document.get("key") != key
+            or "payload" not in document
+        ):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        self.stats.hits += 1
+        return document["payload"]
+
+    def put(self, key: str, payload: dict[str, Any]) -> Path:
+        """Atomically store ``payload`` under ``key``; returns its path."""
+        path = self.path_for(key)
+        document = {"format": STORE_FORMAT, "key": key, "payload": payload}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            raise CacheError(f"cannot write artifact {key[:12]}…: {error}") from error
+        self.stats.writes += 1
+        return path
+
+    def contains(self, key: str) -> bool:
+        """True when an intact document exists (does not touch stats)."""
+        path = self.path_for(key)
+        return path.is_file()
+
+    # -- maintenance ------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            for entry in shard.glob("*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def default_store(root: str | Path | None = None) -> ArtifactStore:
+    """The store at ``root``, ``$REPRO_CACHE_DIR``, or ``.repro-cache``."""
+    if root is None:
+        root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+    return ArtifactStore(root)

@@ -1,0 +1,363 @@
+"""Experiment task DAGs.
+
+One grid point of the paper's evaluation — (workload, input category,
+seed, mode table, deadline fraction) — is an :class:`ExperimentSpec`,
+and runs as a six-stage pipeline mirroring the paper's Figure 13 flow::
+
+    compile ──> profile ──┬─> params ──> bound
+                          ├─────────────> optimize ──> simulate ──┐
+                          └───────────────────────────────────────┴─> verify
+
+:func:`build_task_graph` merges the pipelines of a whole sweep into one
+DAG, **deduplicating shared stages**: every experiment on ``gsm`` with
+the same inputs and machine shares a single ``profile`` task, so a
+4-deadline sweep profiles each workload once, not four times.  Task ids
+double as single-flight locks — the executor runs each id exactly once
+per sweep regardless of how many experiments depend on it.
+
+Tasks carry JSON-only payloads (specs in, artifact dicts out) so they
+cross process boundaries and land in the content-addressed store
+unchanged.  :func:`execute_task` is the single worker entry point that
+maps a task kind to its computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core import DVSOptimizer
+from repro.core.analytical import savings_ratio_discrete
+from repro.errors import OrchestrationError, ScheduleError
+from repro.profiling import extract_params
+from repro.profiling.serialize import (
+    profile_from_dict,
+    profile_to_dict,
+    run_summary_from_dict,
+    run_summary_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.runtime import hashing
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+from repro.simulator.dvs import make_mode_table
+from repro.verify import tolerances
+from repro.workloads import compile_workload, get_workload
+
+#: Pipeline stages in dependency order.
+TASK_KINDS = ("compile", "profile", "params", "bound", "optimize", "simulate", "verify")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A JSON-representable machine description (mirrors the CLI flags)."""
+
+    levels: int | None = None  # None -> the paper's XScale-3 table
+    capacitance_uf: float = 10.0
+
+    def build(self) -> Machine:
+        table = XSCALE_3 if self.levels is None else make_mode_table(self.levels)
+        return Machine(
+            SCALE_CONFIG,
+            table,
+            TransitionCostModel(capacitance_f=self.capacitance_uf * 1e-6),
+        )
+
+    @property
+    def table_tag(self) -> str:
+        return "xscale-3" if self.levels is None else f"alpha-{self.levels}"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One grid point of a sweep."""
+
+    workload: str
+    deadline_frac: float
+    category: str | None = None
+    seed: int = 0
+    machine: MachineSpec = field(default_factory=MachineSpec)
+
+    def resolved_category(self) -> str:
+        """The concrete input category (a workload's first when unset),
+        so explicit-default and implicit-default grid points share cache
+        entries and ids."""
+        return self.category or get_workload(self.workload).categories[0]
+
+    @property
+    def shared_id(self) -> str:
+        """Identity of the (program, input, machine) triple — the part
+        shared by every deadline fraction swept over it."""
+        return (f"{self.workload}.{self.resolved_category()}.s{self.seed}"
+                f".{self.machine.table_tag}.c{self.machine.capacitance_uf:g}")
+
+    @property
+    def experiment_id(self) -> str:
+        return f"{self.shared_id}.d{self.deadline_frac:.3f}"
+
+    def payload(self) -> dict[str, Any]:
+        """JSON-compatible worker payload."""
+        return {
+            "workload": self.workload,
+            "category": self.resolved_category(),
+            "seed": self.seed,
+            "levels": self.machine.levels,
+            "capacitance_uf": self.machine.capacitance_uf,
+            "deadline_frac": self.deadline_frac,
+        }
+
+
+@dataclass
+class Task:
+    """One node of the sweep DAG."""
+
+    task_id: str
+    kind: str
+    spec: dict[str, Any]
+    deps: tuple[str, ...] = ()
+    cache_key: str | None = None  # None -> never memoized
+    experiments: tuple[str, ...] = ()  # experiment ids needing this task
+
+
+@dataclass
+class TaskGraph:
+    """A validated DAG of tasks plus the experiments they serve."""
+
+    tasks: dict[str, Task]
+    experiments: list[ExperimentSpec]
+
+    def validate(self) -> None:
+        """Reject dangling dependencies and cycles."""
+        for task in self.tasks.values():
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise OrchestrationError(
+                        f"task {task.task_id!r} depends on unknown task {dep!r}"
+                    )
+        self.topo_order()
+
+    def topo_order(self) -> list[str]:
+        """Kahn topological order; raises on cycles."""
+        indegree = {tid: len(task.deps) for tid, task in self.tasks.items()}
+        dependents: dict[str, list[str]] = {tid: [] for tid in self.tasks}
+        for task in self.tasks.values():
+            for dep in task.deps:
+                dependents[dep].append(task.task_id)
+        ready = sorted(tid for tid, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            tid = ready.pop(0)
+            order.append(tid)
+            newly = []
+            for succ in dependents[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    newly.append(succ)
+            # Sorted insertion keeps the order deterministic for any
+            # completion pattern, which keeps manifests reproducible.
+            ready = sorted(ready + newly)
+        if len(order) != len(self.tasks):
+            cyclic = sorted(set(self.tasks) - set(order))
+            raise OrchestrationError(f"task graph has a cycle through {cyclic}")
+        return order
+
+    def tasks_for_experiment(self, experiment_id: str) -> list[Task]:
+        return [t for t in self.tasks.values() if experiment_id in t.experiments]
+
+
+def build_task_graph(experiments: list[ExperimentSpec]) -> TaskGraph:
+    """Merge per-experiment pipelines into one deduplicated DAG."""
+    if not experiments:
+        raise OrchestrationError("sweep grid is empty")
+    seen_ids = set()
+    for exp in experiments:
+        if exp.experiment_id in seen_ids:
+            raise OrchestrationError(
+                f"duplicate grid point {exp.experiment_id!r}"
+            )
+        seen_ids.add(exp.experiment_id)
+
+    tasks: dict[str, Task] = {}
+
+    def ensure(task_id: str, kind: str, spec: dict[str, Any],
+               deps: tuple[str, ...], cache_key: str | None,
+               experiment_id: str) -> str:
+        task = tasks.get(task_id)
+        if task is None:
+            tasks[task_id] = Task(task_id=task_id, kind=kind, spec=spec,
+                                  deps=deps, cache_key=cache_key,
+                                  experiments=(experiment_id,))
+        elif experiment_id not in task.experiments:
+            task.experiments += (experiment_id,)
+        return task_id
+
+    for exp in experiments:
+        eid = exp.experiment_id
+        spec = exp.payload()
+        source = get_workload(exp.workload).source
+        machine = exp.machine.build()
+        category, seed, frac = exp.resolved_category(), exp.seed, exp.deadline_frac
+
+        compile_id = ensure(
+            f"compile:{exp.workload}", "compile", spec, (), None, eid)
+        profile_id = ensure(
+            f"profile:{exp.shared_id}", "profile", spec, (compile_id,),
+            hashing.profile_key(source, category, seed, machine), eid)
+        params_id = ensure(
+            f"params:{exp.shared_id}", "params", spec, (compile_id,),
+            hashing.params_key(source, category, seed, machine), eid)
+        ensure(
+            f"bound:{eid}", "bound", spec, (profile_id, params_id), None, eid)
+        optimize_id = ensure(
+            f"optimize:{eid}", "optimize", spec, (profile_id,),
+            hashing.schedule_key(source, category, seed, machine, frac), eid)
+        simulate_id = ensure(
+            f"simulate:{eid}", "simulate", spec, (optimize_id,),
+            hashing.run_summary_key(source, category, seed, machine, frac), eid)
+        ensure(
+            f"verify:{eid}", "verify", spec,
+            (profile_id, optimize_id, simulate_id), None, eid)
+
+    graph = TaskGraph(tasks=tasks, experiments=list(experiments))
+    graph.validate()
+    return graph
+
+
+# -- task computations (run inside worker processes) ------------------------------
+
+
+def _context(spec: dict[str, Any]):
+    workload = get_workload(spec["workload"])
+    cfg = compile_workload(spec["workload"])
+    machine = MachineSpec(spec["levels"], spec["capacitance_uf"]).build()
+    inputs = workload.inputs(category=spec["category"], seed=spec["seed"])
+    return workload, cfg, machine, inputs, workload.registers()
+
+
+def _task_compile(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
+    cfg = compile_workload(spec["workload"])
+    return {
+        "workload": spec["workload"],
+        "num_blocks": len(cfg.blocks),
+        "num_instructions": sum(len(b.instructions) for b in cfg.blocks.values()),
+    }
+
+
+def _task_profile(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
+    _, cfg, machine, inputs, registers = _context(spec)
+    profile = DVSOptimizer(machine).profile(cfg, inputs=inputs, registers=registers)
+    return {"profile": profile_to_dict(profile)}
+
+
+def _task_params(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
+    _, cfg, machine, inputs, registers = _context(spec)
+    params = extract_params(machine, cfg, inputs=inputs, registers=registers)
+    return {
+        "params": {
+            "n_overlap": params.n_overlap,
+            "n_dependent": params.n_dependent,
+            "n_cache": params.n_cache,
+            "t_invariant_s": params.t_invariant_s,
+            "name": params.name,
+        }
+    }
+
+
+def _task_bound(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
+    from repro.core.analytical import ProgramParams
+
+    profile = profile_from_dict(deps["profile"]["profile"])
+    machine = MachineSpec(spec["levels"], spec["capacitance_uf"]).build()
+    params = ProgramParams(**deps["params"]["params"])
+    deadline = profile.deadline_at(spec["deadline_frac"])
+    bound = savings_ratio_discrete(params, deadline, machine.mode_table)
+    return {
+        "deadline_s": deadline,
+        # nan (infeasible) is not JSON; record the absence explicitly.
+        "savings_bound": None if bound != bound else bound,
+    }
+
+
+def _task_optimize(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
+    _, cfg, machine, _, _ = _context(spec)
+    profile = profile_from_dict(deps["profile"]["profile"])
+    deadline = profile.deadline_at(spec["deadline_frac"])
+    outcome = DVSOptimizer(machine).optimize(cfg, deadline, profile=profile)
+    return {
+        "schedule": schedule_to_dict(outcome.schedule),
+        "deadline_s": deadline,
+        "predicted_energy_nj": outcome.predicted_energy_nj,
+        "predicted_time_s": outcome.predicted_time_s,
+        "solver": {
+            "status": outcome.solution.status.value,
+            "solve_time_s": outcome.solve_time_s,
+            "num_independent_edges": outcome.num_independent_edges,
+            "num_assignments": len(outcome.schedule.assignment),
+        },
+    }
+
+
+def _task_simulate(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
+    _, cfg, machine, inputs, registers = _context(spec)
+    schedule = schedule_from_dict(deps["optimize"]["schedule"])
+    run = DVSOptimizer(machine).verify(cfg, schedule, inputs=inputs, registers=registers)
+    return {"run": run_summary_to_dict(run)}
+
+
+def _task_verify(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
+    profile = profile_from_dict(deps["profile"]["profile"])
+    machine = MachineSpec(spec["levels"], spec["capacitance_uf"]).build()
+    optimize = deps["optimize"]
+    run = run_summary_from_dict(deps["simulate"]["run"])
+    deadline = optimize["deadline_s"]
+
+    checks: dict[str, bool] = {}
+    checks["deadline_met"] = (
+        run["wall_time_s"] <= deadline * (1 + tolerances.DEADLINE_REL_SLACK)
+    )
+    energy_err = (
+        abs(run["cpu_energy_nj"] - optimize["predicted_energy_nj"])
+        / max(1.0, optimize["predicted_energy_nj"])
+    )
+    checks["energy_predicted"] = energy_err <= tolerances.ENERGY_PREDICTION_REL_TOL
+    checks["result_preserved"] = run["return_value"] == profile.return_value
+
+    baseline_mode = baseline_energy = savings = None
+    try:
+        baseline_mode, baseline_energy = DVSOptimizer(machine).best_single_mode(
+            profile, deadline
+        )
+        if baseline_energy > 0:
+            savings = 1.0 - run["cpu_energy_nj"] / baseline_energy
+    except ScheduleError:
+        pass  # deadline below the fastest single mode: no baseline exists
+
+    return {
+        "ok": all(checks.values()),
+        "checks": checks,
+        "energy_prediction_rel_err": energy_err,
+        "baseline_mode": baseline_mode,
+        "baseline_energy_nj": baseline_energy,
+        "savings_vs_single_mode": savings,
+    }
+
+
+_TASK_FNS: dict[str, Callable[[dict[str, Any], dict[str, Any]], dict[str, Any]]] = {
+    "compile": _task_compile,
+    "profile": _task_profile,
+    "params": _task_params,
+    "bound": _task_bound,
+    "optimize": _task_optimize,
+    "simulate": _task_simulate,
+    "verify": _task_verify,
+}
+
+
+def execute_task(kind: str, spec: dict[str, Any],
+                 deps: dict[str, Any]) -> dict[str, Any]:
+    """Run one task kind; ``deps`` maps dep *kind* to its output dict."""
+    try:
+        fn = _TASK_FNS[kind]
+    except KeyError:
+        raise OrchestrationError(f"unknown task kind {kind!r}") from None
+    return fn(spec, deps)

@@ -1,0 +1,349 @@
+"""Parallel task-graph execution with timeouts, retries and degradation.
+
+The scheduler keeps a frontier of ready tasks (all dependencies
+finished) and feeds a ``ProcessPoolExecutor`` up to ``jobs`` tasks deep.
+Experiments are CPU-bound pure-Python simulation, so processes — not
+threads — are what buys wall-clock time.
+
+Failure semantics, in order of application:
+
+* **cache hit** — a task whose key is in the artifact store never runs;
+  the stored payload becomes its output.
+* **timeout** — each task may carry a wall-clock budget, enforced
+  *inside* the worker with a SIGALRM interval timer (workers run tasks
+  on their main thread), raising :class:`~repro.errors.TaskTimeout`.
+* **retry** — a failed task is resubmitted up to ``retries`` times with
+  exponential backoff; attempts are counted in the parent so a retried
+  task lands on a fresh worker.
+* **degradation** — a task that exhausts its retries records a
+  structured failure; its dependents are marked ``skipped`` with the
+  failing task named as the reason, and every other task in the sweep
+  proceeds.  The executor itself only raises for malformed graphs,
+  never for failing experiments.
+
+Fault injection (:class:`FaultSpec`) deliberately kills matching task
+attempts inside the worker — the degradation path is tested, not
+assumed.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import multiprocessing
+import signal
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import InjectedFault, OrchestrationError, TaskTimeout
+from repro.runtime.cache import ArtifactStore
+from repro.runtime.dag import Task, TaskGraph, execute_task
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Kill worker tasks whose id matches a glob pattern.
+
+    Args:
+        pattern: fnmatch glob over task ids (e.g. ``"optimize:gsm*"``).
+        fail_attempts: how many leading attempts to kill; ``None`` kills
+            every attempt (the task can never succeed).
+    """
+
+    pattern: str
+    fail_attempts: int | None = None
+
+    def applies(self, task_id: str, attempt: int) -> bool:
+        if not fnmatch.fnmatch(task_id, self.pattern):
+            return False
+        return self.fail_attempts is None or attempt <= self.fail_attempts
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``PATTERN`` or ``PATTERN@N`` (fail the first N attempts)."""
+        if "@" in text:
+            pattern, _, count = text.rpartition("@")
+            try:
+                return cls(pattern, fail_attempts=int(count))
+            except ValueError:
+                raise OrchestrationError(
+                    f"malformed fault spec {text!r} (want PATTERN or PATTERN@N)"
+                ) from None
+        return cls(text)
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs for one :func:`run_graph` invocation."""
+
+    jobs: int = 1
+    task_timeout_s: float | None = None
+    retries: int = 1
+    backoff_s: float = 0.05
+    fault: FaultSpec | None = None
+
+
+@dataclass
+class TaskResult:
+    """What one task did, for the manifest and for dependents."""
+
+    task_id: str
+    kind: str
+    status: str  # "ok" | "failed" | "skipped"
+    experiments: tuple[str, ...]
+    cache: str  # "hit" | "miss" | "off"
+    attempts: int = 0
+    wall_time_s: float = 0.0
+    output: dict[str, Any] | None = None
+    error: str | None = None
+    error_type: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+# -- worker side -----------------------------------------------------------------
+
+
+def _init_worker(parent_sys_path: list[str]) -> None:
+    """Make the parent's import roots visible under spawn-style start."""
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _with_timeout(timeout_s: float | None, fn: Callable[[], dict]) -> dict:
+    """Run ``fn`` under a SIGALRM deadline when the platform allows it."""
+    import threading
+
+    can_alarm = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        return fn()
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded its {timeout_s:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_task_entry(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: compute one task, never raise.
+
+    Returns a transport dict ``{ok, output|error, wall_time_s}``; errors
+    travel as (type name, message) pairs so the parent need not unpickle
+    arbitrary exception state.
+    """
+    start = time.perf_counter()
+    try:
+        if payload.get("inject_fault"):
+            raise InjectedFault(
+                f"injected fault in {payload['task_id']} "
+                f"(attempt {payload['attempt']})"
+            )
+        output = _with_timeout(
+            payload.get("timeout_s"),
+            lambda: execute_task(payload["kind"], payload["spec"], payload["deps"]),
+        )
+        store_root = payload.get("store_root")
+        if store_root is not None and payload.get("cache_key"):
+            ArtifactStore(store_root).put(payload["cache_key"], output)
+        return {
+            "ok": True,
+            "output": output,
+            "wall_time_s": time.perf_counter() - start,
+        }
+    except BaseException as error:  # noqa: BLE001 — transported, not swallowed
+        return {
+            "ok": False,
+            "error": str(error),
+            "error_type": type(error).__name__,
+            "wall_time_s": time.perf_counter() - start,
+        }
+
+
+# -- parent side -----------------------------------------------------------------
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits sys.path); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class _InlineFuture:
+    """A completed-immediately future for jobs=1 inline execution."""
+
+    def __init__(self, value: dict[str, Any]) -> None:
+        self._value = value
+
+    def result(self) -> dict[str, Any]:
+        return self._value
+
+
+def run_graph(
+    graph: TaskGraph,
+    store: ArtifactStore | None = None,
+    config: ExecutorConfig = ExecutorConfig(),
+    on_task: Callable[[TaskResult], None] | None = None,
+) -> dict[str, TaskResult]:
+    """Execute a task graph; returns results for every task.
+
+    Args:
+        graph: a validated :class:`TaskGraph`.
+        store: optional artifact store consulted before running any
+            cacheable task and written through by workers.
+        config: parallelism/timeout/retry/fault settings.
+        on_task: progress callback, invoked once per finished task.
+    """
+    if config.jobs < 1:
+        raise OrchestrationError(f"jobs must be >= 1, got {config.jobs}")
+    graph.validate()
+
+    order = graph.topo_order()
+    results: dict[str, TaskResult] = {}
+    probed: set[str] = set()  # tasks already looked up in the store
+    attempts: dict[str, int] = {tid: 0 for tid in order}
+    inflight: dict[Future, str] = {}
+    pool: ProcessPoolExecutor | None = None
+    if config.jobs > 1:
+        pool = ProcessPoolExecutor(
+            max_workers=config.jobs,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        )
+
+    def finish(result: TaskResult) -> None:
+        results[result.task_id] = result
+        if on_task is not None:
+            on_task(result)
+
+    def ready_tasks() -> list[Task]:
+        out = []
+        for tid in order:
+            if tid in results or tid in inflight.values():
+                continue
+            task = graph.tasks[tid]
+            if all(dep in results for dep in task.deps):
+                out.append(task)
+        return out
+
+    def resolve_without_running(task: Task) -> TaskResult | None:
+        """Skip on failed deps; serve cache hits without a worker."""
+        failed_deps = [d for d in task.deps if not results[d].ok]
+        if failed_deps:
+            return TaskResult(
+                task_id=task.task_id, kind=task.kind, status="skipped",
+                experiments=task.experiments, cache="off",
+                error=f"dependency {failed_deps[0]} "
+                      f"{results[failed_deps[0]].status}",
+                error_type="SkippedDependency",
+            )
+        if (store is not None and task.cache_key is not None
+                and task.task_id not in probed):
+            probed.add(task.task_id)
+            start = time.perf_counter()
+            payload = store.get(task.cache_key)
+            if payload is not None:
+                return TaskResult(
+                    task_id=task.task_id, kind=task.kind, status="ok",
+                    experiments=task.experiments, cache="hit",
+                    wall_time_s=time.perf_counter() - start, output=payload,
+                )
+        return None
+
+    def submit(task: Task) -> None:
+        attempts[task.task_id] += 1
+        attempt = attempts[task.task_id]
+        payload = {
+            "task_id": task.task_id,
+            "kind": task.kind,
+            "spec": task.spec,
+            "deps": {
+                graph.tasks[dep].kind: results[dep].output for dep in task.deps
+            },
+            "attempt": attempt,
+            "timeout_s": config.task_timeout_s,
+            "cache_key": task.cache_key,
+            "store_root": str(store.root) if store is not None else None,
+            "inject_fault": bool(
+                config.fault and config.fault.applies(task.task_id, attempt)
+            ),
+        }
+        if pool is not None:
+            inflight[pool.submit(_run_task_entry, payload)] = task.task_id
+        else:
+            inflight[_InlineFuture(_run_task_entry(payload))] = task.task_id
+
+    def absorb(task_id: str, transport: dict[str, Any]) -> None:
+        task = graph.tasks[task_id]
+        if transport["ok"]:
+            finish(TaskResult(
+                task_id=task_id, kind=task.kind, status="ok",
+                experiments=task.experiments,
+                cache="miss" if (store and task.cache_key) else "off",
+                attempts=attempts[task_id],
+                wall_time_s=transport["wall_time_s"],
+                output=transport["output"],
+            ))
+            return
+        if attempts[task_id] <= config.retries:
+            time.sleep(config.backoff_s * (2 ** (attempts[task_id] - 1)))
+            submit(task)
+            return
+        finish(TaskResult(
+            task_id=task_id, kind=task.kind, status="failed",
+            experiments=task.experiments,
+            cache="miss" if (store and task.cache_key) else "off",
+            attempts=attempts[task_id],
+            wall_time_s=transport["wall_time_s"],
+            error=transport["error"],
+            error_type=transport["error_type"],
+        ))
+
+    try:
+        while len(results) < len(graph.tasks):
+            progressed = False
+            for task in ready_tasks():
+                resolved = resolve_without_running(task)
+                if resolved is not None:
+                    finish(resolved)
+                    progressed = True
+                elif len(inflight) < config.jobs:
+                    submit(task)
+                    progressed = True
+            if inflight:
+                if pool is not None:
+                    done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+                else:
+                    done = list(inflight)
+                for future in done:
+                    task_id = inflight.pop(future)
+                    absorb(task_id, future.result())
+                progressed = True
+            if not progressed:
+                stuck = sorted(set(graph.tasks) - set(results))
+                raise OrchestrationError(
+                    f"scheduler stalled with tasks unresolved: {stuck}"
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    return results

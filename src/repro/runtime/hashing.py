@@ -1,0 +1,152 @@
+"""Content-addressed cache keys for experiment artifacts.
+
+Every expensive artifact (a per-mode profile, a MILP schedule, a
+simulated run) is stored under a key that *is* a hash of everything the
+artifact depends on:
+
+* the workload **source text** (not its name — editing a kernel
+  invalidates its artifacts automatically),
+* the **input selector** (category, seed),
+* the **machine**: cache geometry and energies, DRAM latency, the full
+  mode table as (frequency, voltage) pairs, and the regulator transition
+  model,
+* stage-specific parameters (the deadline fraction for a schedule),
+* the serialization :data:`~repro.profiling.serialize.FORMAT_VERSION`
+  and this module's :data:`KEY_VERSION`.
+
+Two producers that agree on those inputs — the ``repro profile``/
+``repro optimize`` CLI, the benchmark session cache, a parallel sweep —
+therefore share cache entries, and any change to the simulator's
+observable configuration changes the key rather than silently serving a
+stale artifact.
+
+Hashes are SHA-256 over a *canonical* JSON form (sorted keys, no
+whitespace, lossless float repr), so key stability does not depend on
+dict insertion order or on which process computed the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any
+
+from repro.errors import CacheError
+from repro.profiling.serialize import FORMAT_VERSION
+from repro.simulator.machine import Machine
+
+#: Bumped whenever key semantics change; part of every key document.
+KEY_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for hashing: sorted keys, compact, floats
+    via ``repr`` (Python's shortest round-trip form, stable across runs).
+
+    Raises:
+        CacheError: the object holds something JSON cannot express
+            (a set, an object, NaN/Infinity).
+    """
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    except (TypeError, ValueError) as error:
+        raise CacheError(f"value is not canonically hashable: {error}") from error
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 of a workload's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def machine_fingerprint(machine: Machine) -> dict[str, Any]:
+    """Everything about a :class:`Machine` that can change simulation
+    results, as a JSON-compatible dict.
+
+    The mode table is fingerprinted by its numeric (frequency, voltage)
+    points, not its display name, so ``make_mode_table(3)`` and a
+    hand-built identical table share artifacts.
+    """
+    return {
+        "config": asdict(machine.config),
+        "modes": [[p.frequency_hz, p.voltage] for p in machine.mode_table],
+        "transition": asdict(machine.transition_model),
+    }
+
+
+def workload_fingerprint(source: str, category: str | None, seed: int) -> dict[str, Any]:
+    """The (program, input) half of an artifact key."""
+    return {
+        "source_sha256": source_digest(source),
+        "category": category,
+        "seed": seed,
+    }
+
+
+def artifact_key(kind: str, **parts: Any) -> str:
+    """The content address for one artifact kind.
+
+    Args:
+        kind: artifact kind tag (``"profile"``, ``"params"``,
+            ``"schedule"``, ``"run-summary"``, ...).
+        **parts: the key document fields (fingerprints, stage params).
+
+    Returns:
+        A 64-char hex digest; the same inputs always produce the same
+        key, in any process on any platform.
+    """
+    document = {
+        "key_version": KEY_VERSION,
+        "format": FORMAT_VERSION,
+        "kind": kind,
+        **parts,
+    }
+    return stable_hash(document)
+
+
+def profile_key(source: str, category: str | None, seed: int,
+                machine: Machine) -> str:
+    """Key for a per-mode :class:`~repro.profiling.profile_data.ProfileData`."""
+    return artifact_key(
+        "profile",
+        workload=workload_fingerprint(source, category, seed),
+        machine=machine_fingerprint(machine),
+    )
+
+
+def params_key(source: str, category: str | None, seed: int,
+               machine: Machine) -> str:
+    """Key for extracted Section 3.2 analytical parameters."""
+    return artifact_key(
+        "params",
+        workload=workload_fingerprint(source, category, seed),
+        machine=machine_fingerprint(machine),
+    )
+
+
+def schedule_key(source: str, category: str | None, seed: int,
+                 machine: Machine, deadline_frac: float) -> str:
+    """Key for a MILP schedule (plus its solver stats) at one deadline."""
+    return artifact_key(
+        "schedule",
+        workload=workload_fingerprint(source, category, seed),
+        machine=machine_fingerprint(machine),
+        deadline_frac=deadline_frac,
+    )
+
+
+def run_summary_key(source: str, category: str | None, seed: int,
+                    machine: Machine, deadline_frac: float) -> str:
+    """Key for the simulated execution of a schedule."""
+    return artifact_key(
+        "run-summary",
+        workload=workload_fingerprint(source, category, seed),
+        machine=machine_fingerprint(machine),
+        deadline_frac=deadline_frac,
+    )

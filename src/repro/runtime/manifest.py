@@ -1,0 +1,194 @@
+"""JSONL manifests and deterministic result records for sweeps.
+
+A sweep emits two files:
+
+* ``manifest.jsonl`` — the *operational* log: a header describing the
+  run, one record per task (status, wall time, cache hit/miss, attempt
+  count, solver stats) and a summary footer with aggregate counters.
+  Wall-clock fields make this file inherently timing-dependent.
+* ``results.jsonl`` — the *scientific* record: one line per experiment,
+  sorted by experiment id, holding only run-invariant quantities
+  (deadlines, predicted/measured energies, verification verdicts, cache
+  keys).  Two sweeps over the same grid produce **byte-identical**
+  results files regardless of ``--jobs``, cache temperature or machine
+  load — this is the file the determinism tests diff.
+
+Records are JSON with sorted keys and fixed separators so byte equality
+is meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.runtime.dag import ExperimentSpec, TaskGraph
+from repro.runtime.executor import TaskResult
+
+#: Fields of a task record that vary run to run; scrub these before
+#: comparing manifests across runs.
+TIMING_FIELDS = ("wall_time_s", "solver_time_s")
+
+
+def _dump(record: dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def task_record(result: TaskResult) -> dict[str, Any]:
+    """Manifest line for one finished task."""
+    record: dict[str, Any] = {
+        "type": "task",
+        "task": result.task_id,
+        "kind": result.kind,
+        "status": result.status,
+        "cache": result.cache,
+        "attempts": result.attempts,
+        "retries": max(0, result.attempts - 1),
+        "wall_time_s": result.wall_time_s,
+        "experiments": sorted(result.experiments),
+    }
+    if result.error is not None:
+        record["error"] = result.error
+        record["error_type"] = result.error_type
+    if result.kind == "optimize" and result.output is not None:
+        solver = result.output.get("solver", {})
+        record["solver_status"] = solver.get("status")
+        record["solver_time_s"] = solver.get("solve_time_s")
+        record["num_independent_edges"] = solver.get("num_independent_edges")
+    return record
+
+
+def summary_record(results: dict[str, TaskResult],
+                   wall_time_s: float | None = None) -> dict[str, Any]:
+    """Aggregate footer: task statuses and cache traffic."""
+    statuses = {"ok": 0, "failed": 0, "skipped": 0}
+    cache = {"hit": 0, "miss": 0, "off": 0}
+    retries = 0
+    for result in results.values():
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+        cache[result.cache] = cache.get(result.cache, 0) + 1
+        retries += max(0, result.attempts - 1)
+    record: dict[str, Any] = {
+        "type": "summary",
+        "tasks": len(results),
+        "statuses": statuses,
+        "cache": cache,
+        "retries": retries,
+    }
+    if wall_time_s is not None:
+        record["wall_time_s"] = wall_time_s
+    return record
+
+
+def write_manifest(
+    path: str | Path,
+    run_info: dict[str, Any],
+    results: dict[str, TaskResult],
+    wall_time_s: float | None = None,
+) -> Path:
+    """Write header + per-task records (sorted by task id) + summary."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [_dump({"type": "header", **run_info})]
+    for task_id in sorted(results):
+        lines.append(_dump(task_record(results[task_id])))
+    lines.append(_dump(summary_record(results, wall_time_s)))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def experiment_record(
+    spec: ExperimentSpec,
+    graph: TaskGraph,
+    results: dict[str, TaskResult],
+) -> dict[str, Any]:
+    """Deterministic per-experiment result line.
+
+    Every field here must be a pure function of the grid point — never
+    of scheduling order, cache temperature or wall-clock time.
+    """
+    eid = spec.experiment_id
+    by_kind: dict[str, TaskResult] = {}
+    for task in graph.tasks_for_experiment(eid):
+        by_kind[task.kind] = results[task.task_id]
+
+    record: dict[str, Any] = {
+        "type": "experiment",
+        "experiment": eid,
+        "workload": spec.workload,
+        "category": spec.category or "default",
+        "seed": spec.seed,
+        "mode_table": spec.machine.table_tag,
+        "capacitance_uf": spec.machine.capacitance_uf,
+        "deadline_frac": spec.deadline_frac,
+        "tasks": {
+            kind: result.status for kind, result in sorted(by_kind.items())
+        },
+        "cache_keys": {
+            task.kind: task.cache_key
+            for task in sorted(graph.tasks_for_experiment(eid),
+                               key=lambda t: t.task_id)
+            if task.cache_key is not None
+        },
+    }
+
+    failures = {
+        kind: {"error_type": r.error_type, "error": r.error}
+        for kind, r in sorted(by_kind.items())
+        if r.status != "ok"
+    }
+    if failures:
+        record["status"] = "failed"
+        record["failures"] = failures
+        return record
+
+    bound = by_kind["bound"].output
+    optimize = by_kind["optimize"].output
+    run = by_kind["simulate"].output["run"]
+    verify = by_kind["verify"].output
+    record.update({
+        "status": "ok" if verify["ok"] else "verify_failed",
+        "deadline_s": optimize["deadline_s"],
+        "savings_bound": bound["savings_bound"],
+        "predicted_energy_nj": optimize["predicted_energy_nj"],
+        "predicted_time_s": optimize["predicted_time_s"],
+        "measured_energy_nj": run["cpu_energy_nj"],
+        "measured_time_s": run["wall_time_s"],
+        "mode_transitions": run["mode_transitions"],
+        "return_value": run["return_value"],
+        "verified": verify["ok"],
+        "checks": verify["checks"],
+        "baseline_mode": verify["baseline_mode"],
+        "baseline_energy_nj": verify["baseline_energy_nj"],
+        "savings_vs_single_mode": verify["savings_vs_single_mode"],
+    })
+    return record
+
+
+def write_results(
+    path: str | Path,
+    graph: TaskGraph,
+    results: dict[str, TaskResult],
+) -> Path:
+    """Write the deterministic per-experiment records, sorted by id."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    specs = sorted(graph.experiments, key=lambda s: s.experiment_id)
+    lines = [_dump(experiment_record(spec, graph, results)) for spec in specs]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Parse a JSONL file lazily."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def scrub_timings(record: dict[str, Any]) -> dict[str, Any]:
+    """Copy of a manifest record with run-varying fields removed."""
+    return {k: v for k, v in record.items() if k not in TIMING_FIELDS}

@@ -1,0 +1,158 @@
+"""Grid sweeps: suite × deadline fraction × mode-table level count.
+
+:func:`build_grid` expands a :class:`SweepConfig` into the cross-product
+of experiment specs; :func:`run_sweep` builds the merged task DAG, runs
+it through the parallel executor against the artifact store, and writes
+the manifest/results pair.  This is the engine behind ``repro sweep``
+and the scaling path for evaluations far larger than the paper's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import OrchestrationError, ReproError
+from repro.runtime import manifest as manifest_mod
+from repro.runtime.cache import ArtifactStore
+from repro.runtime.dag import (
+    ExperimentSpec,
+    MachineSpec,
+    TaskGraph,
+    build_task_graph,
+)
+from repro.runtime.executor import ExecutorConfig, FaultSpec, TaskResult, run_graph
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One sweep = a grid plus execution and persistence settings."""
+
+    workloads: tuple[str, ...]
+    deadline_fracs: tuple[float, ...] = (0.35, 0.7)
+    levels: tuple[int | None, ...] = (None,)  # None -> XScale-3
+    categories: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    seed: int = 0
+    capacitance_uf: float = 10.0
+    jobs: int = 1
+    task_timeout_s: float | None = 600.0
+    retries: int = 1
+    backoff_s: float = 0.05
+    fault: FaultSpec | None = None
+    cache_dir: str | None = None  # None -> caching disabled
+    output_dir: str = "sweep-results"
+
+
+@dataclass
+class SweepReport:
+    """Everything :func:`run_sweep` produced."""
+
+    graph: TaskGraph
+    results: dict[str, TaskResult]
+    manifest_path: Path
+    results_path: Path
+    wall_time_s: float
+    cache_stats: dict[str, int]
+
+    @property
+    def experiment_records(self) -> list[dict[str, Any]]:
+        return [
+            manifest_mod.experiment_record(spec, self.graph, self.results)
+            for spec in sorted(self.graph.experiments,
+                               key=lambda s: s.experiment_id)
+        ]
+
+    @property
+    def failures(self) -> list[dict[str, Any]]:
+        return [r for r in self.experiment_records if r["status"] != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def build_grid(config: SweepConfig) -> list[ExperimentSpec]:
+    """Expand the sweep cross-product, validating every axis up front."""
+    if not config.workloads:
+        raise OrchestrationError("sweep needs at least one workload")
+    if not config.deadline_fracs:
+        raise OrchestrationError("sweep needs at least one deadline fraction")
+    for frac in config.deadline_fracs:
+        if not 0.0 <= frac <= 1.0:
+            raise OrchestrationError(
+                f"deadline fraction {frac} outside [0, 1]"
+            )
+    experiments: list[ExperimentSpec] = []
+    for name in config.workloads:
+        get_workload(name)  # raises ReproError for unknown names, early
+        categories = config.categories.get(name, (None,))
+        for category in categories:
+            for levels in config.levels:
+                machine = MachineSpec(levels=levels,
+                                      capacitance_uf=config.capacitance_uf)
+                for frac in config.deadline_fracs:
+                    experiments.append(ExperimentSpec(
+                        workload=name,
+                        deadline_frac=frac,
+                        category=category,
+                        seed=config.seed,
+                        machine=machine,
+                    ))
+    return experiments
+
+
+def run_sweep(
+    config: SweepConfig,
+    on_task: Callable[[TaskResult], None] | None = None,
+) -> SweepReport:
+    """Run a full sweep and persist its manifest and results."""
+    experiments = build_grid(config)
+    graph = build_task_graph(experiments)
+    store = ArtifactStore(config.cache_dir) if config.cache_dir else None
+
+    start = time.perf_counter()
+    results = run_graph(
+        graph,
+        store=store,
+        config=ExecutorConfig(
+            jobs=config.jobs,
+            task_timeout_s=config.task_timeout_s,
+            retries=config.retries,
+            backoff_s=config.backoff_s,
+            fault=config.fault,
+        ),
+        on_task=on_task,
+    )
+    wall_time = time.perf_counter() - start
+
+    output_dir = Path(config.output_dir)
+    run_info = {
+        "workloads": sorted(config.workloads),
+        "deadline_fracs": list(config.deadline_fracs),
+        "levels": ["xscale-3" if l is None else l for l in config.levels],
+        "seed": config.seed,
+        "capacitance_uf": config.capacitance_uf,
+        "jobs": config.jobs,
+        "retries": config.retries,
+        "cache_dir": config.cache_dir,
+        "experiments": len(experiments),
+        "tasks": len(graph.tasks),
+    }
+    manifest_path = manifest_mod.write_manifest(
+        output_dir / "manifest.jsonl", run_info, results, wall_time
+    )
+    results_path = manifest_mod.write_results(
+        output_dir / "results.jsonl", graph, results
+    )
+    cache_stats = store.stats.as_dict() if store is not None else {}
+    return SweepReport(
+        graph=graph,
+        results=results,
+        manifest_path=manifest_path,
+        results_path=results_path,
+        wall_time_s=wall_time,
+        cache_stats=cache_stats,
+    )

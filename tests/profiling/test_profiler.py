@@ -85,3 +85,18 @@ class TestValidation:
     def test_empty_profile_rejected(self):
         with pytest.raises(ProfileError):
             ProfileData(name="x", num_modes=1).validate()
+
+
+class TestDeadlineAt:
+    def test_interpolates_between_fastest_and_slowest(self, small_profile):
+        times = small_profile.wall_time_s
+        fast, slow = min(times.values()), max(times.values())
+        assert small_profile.deadline_at(0.0) == pytest.approx(fast)
+        assert small_profile.deadline_at(1.0) == pytest.approx(slow)
+        assert fast < small_profile.deadline_at(0.5) < slow
+
+    def test_single_mode_profile_rejected_with_guidance(self):
+        profile = ProfileData(name="x", num_modes=1)
+        profile.wall_time_s = {0: 1.0}
+        with pytest.raises(ProfileError, match="at least two"):
+            profile.deadline_at(0.5)

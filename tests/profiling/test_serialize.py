@@ -7,10 +7,13 @@ import pytest
 from repro.errors import ProfileError, ScheduleError
 from repro.core.milp.schedule import DVSSchedule
 from repro.profiling.serialize import (
+    FORMAT_VERSION,
     load_profile,
     load_schedule,
     profile_from_dict,
     profile_to_dict,
+    run_summary_from_dict,
+    run_summary_to_dict,
     save_profile,
     save_schedule,
     schedule_from_dict,
@@ -75,6 +78,20 @@ class TestProfileRoundTrip:
         with pytest.raises(ProfileError):
             profile_from_dict(data)
 
+    @pytest.mark.parametrize("bad_key", ["loner", "a->b->c", ""])
+    def test_malformed_edge_key_rejected(self, small_profile, bad_key):
+        data = profile_to_dict(small_profile)
+        data["edge_counts"][bad_key] = 1
+        with pytest.raises(ProfileError, match="malformed edge key"):
+            profile_from_dict(data)
+
+    @pytest.mark.parametrize("bad_key", ["a->b", "h->i->j->k", "solo"])
+    def test_malformed_path_key_rejected(self, small_profile, bad_key):
+        data = profile_to_dict(small_profile)
+        data["path_counts"] = {bad_key: 1}
+        with pytest.raises(ProfileError, match="malformed path key"):
+            profile_from_dict(data)
+
 
 class TestScheduleRoundTrip:
     def test_roundtrip(self):
@@ -104,3 +121,58 @@ class TestScheduleRoundTrip:
         }
         with pytest.raises(ScheduleError):
             schedule_from_dict(data)
+
+    def test_wrong_version_rejected(self):
+        schedule = DVSSchedule(assignment={("x", "y"): 1}, num_modes=2)
+        data = schedule_to_dict(schedule)
+        data["format"] = FORMAT_VERSION + 1
+        with pytest.raises(ScheduleError, match="unsupported schedule format"):
+            schedule_from_dict(data)
+
+    def test_malformed_edge_key_rejected(self):
+        data = {
+            "kind": "schedule", "format": FORMAT_VERSION, "num_modes": 2,
+            "assignment": {"a->b->c": 1},
+        }
+        with pytest.raises(ProfileError, match="malformed edge key"):
+            schedule_from_dict(data)
+
+
+class TestRunSummaryRoundTrip:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+        from repro.workloads import compile_workload, get_workload
+
+        spec = get_workload("adpcm")
+        cfg = compile_workload("adpcm")
+        machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+        return machine.run(cfg, inputs=spec.inputs(seed=0),
+                           registers=spec.registers(), mode=0)
+
+    def test_roundtrip_preserves_all_fields(self, run_result):
+        data = run_summary_to_dict(run_result)
+        rebuilt = run_summary_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt["wall_time_s"] == run_result.wall_time_s
+        assert rebuilt["cpu_energy_nj"] == run_result.cpu_energy_nj
+        assert rebuilt["return_value"] == run_result.return_value
+        assert rebuilt["mode_transitions"] == run_result.mode_transitions
+        assert rebuilt["instructions"] == run_result.instructions
+
+    def test_wrong_kind_rejected(self, run_result):
+        data = run_summary_to_dict(run_result)
+        data["kind"] = "profile"
+        with pytest.raises(ProfileError, match="not a run-summary"):
+            run_summary_from_dict(data)
+
+    def test_wrong_version_rejected(self, run_result):
+        data = run_summary_to_dict(run_result)
+        data["format"] = FORMAT_VERSION + 1
+        with pytest.raises(ProfileError, match="unsupported run-summary format"):
+            run_summary_from_dict(data)
+
+    def test_missing_field_rejected(self, run_result):
+        data = run_summary_to_dict(run_result)
+        del data["cpu_energy_nj"]
+        with pytest.raises(ProfileError, match="missing fields"):
+            run_summary_from_dict(data)

@@ -1,0 +1,94 @@
+"""Artifact store: round-trips, corruption handling, atomicity, stats."""
+
+import json
+
+import pytest
+
+from repro.errors import CacheError
+from repro.runtime.cache import ArtifactStore, STORE_FORMAT, default_store
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        payload = {"profile": {"name": "x"}, "n": 3}
+        store.put(KEY_A, payload)
+        assert store.get(KEY_A) == payload
+
+    def test_miss_returns_none(self, store):
+        assert store.get(KEY_A) is None
+        assert store.stats.misses == 1
+
+    def test_stats_track_traffic(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.get(KEY_A)
+        store.get(KEY_B)
+        assert store.stats.as_dict() == {
+            "hits": 1, "misses": 1, "writes": 1, "invalid": 0,
+        }
+
+    def test_sharded_layout(self, store):
+        path = store.put(KEY_A, {"v": 1})
+        assert path.parent.name == "aa"
+        assert path.name == f"{KEY_A}.json"
+
+    def test_overwrite_is_atomic_replace(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_A, {"v": 2})
+        assert store.get(KEY_A) == {"v": 2}
+        assert len(store) == 1
+
+
+class TestCorruption:
+    def test_truncated_document_is_a_miss(self, store):
+        path = store.put(KEY_A, {"v": 1})
+        path.write_text(path.read_text()[:10])
+        assert store.get(KEY_A) is None
+        assert store.stats.invalid == 1
+
+    def test_key_mismatch_is_a_miss(self, store):
+        path = store.put(KEY_A, {"v": 1})
+        moved = store.path_for(KEY_B)
+        moved.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(moved)
+        assert store.get(KEY_B) is None
+
+    def test_wrong_envelope_format_is_a_miss(self, store):
+        path = store.put(KEY_A, {"v": 1})
+        document = json.loads(path.read_text())
+        document["format"] = STORE_FORMAT + 1
+        path.write_text(json.dumps(document))
+        assert store.get(KEY_A) is None
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(CacheError):
+            store.path_for("not-hex!")
+
+
+class TestMaintenance:
+    def test_clear_removes_everything(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_B, {"v": 2})
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get(KEY_A) is None
+
+    def test_len_on_missing_root(self, tmp_path):
+        assert len(ArtifactStore(tmp_path / "never-created")) == 0
+
+
+class TestDefaultStore:
+    def test_env_var_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envstore"))
+        assert default_store().root == tmp_path / "envstore"
+
+    def test_explicit_root_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envstore"))
+        assert default_store(tmp_path / "mine").root == tmp_path / "mine"

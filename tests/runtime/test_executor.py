@@ -1,0 +1,117 @@
+"""Executor semantics: caching, retries, faults, timeouts, degradation.
+
+These drive the *real* pipeline over the cheapest workload (adpcm) so
+the executor is exercised against genuine task payloads, not mocks.
+"""
+
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.runtime.cache import ArtifactStore
+from repro.runtime.dag import ExperimentSpec, build_task_graph
+from repro.runtime.executor import ExecutorConfig, FaultSpec, run_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_task_graph(
+        [ExperimentSpec(workload="adpcm", deadline_frac=0.5)]
+    )
+
+
+def by_kind(results):
+    return {r.kind: r for r in results.values()}
+
+
+class TestHappyPath:
+    def test_all_tasks_ok_without_store(self, graph):
+        results = run_graph(graph, config=ExecutorConfig(jobs=1))
+        assert all(r.ok for r in results.values())
+        assert all(r.cache == "off" for r in results.values())
+        verify = by_kind(results)["verify"]
+        assert verify.output["ok"] is True
+
+    def test_store_warm_run_is_all_hits(self, graph, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        cold = run_graph(graph, store=store, config=ExecutorConfig(jobs=1))
+        warm_store = ArtifactStore(tmp_path / "store")
+        warm = run_graph(graph, store=warm_store, config=ExecutorConfig(jobs=1))
+        cacheable = [r for r in warm.values()
+                     if graph.tasks[r.task_id].cache_key]
+        assert cacheable and all(r.cache == "hit" for r in cacheable)
+        # Cached outputs must be exactly what the cold run computed.
+        for task_id, result in warm.items():
+            if graph.tasks[task_id].cache_key:
+                assert result.output == cold[task_id].output
+
+    def test_pool_execution_matches_inline(self, graph, tmp_path):
+        inline = run_graph(graph, config=ExecutorConfig(jobs=1))
+        pooled = run_graph(graph, config=ExecutorConfig(jobs=2))
+        assert by_kind(pooled)["verify"].output == by_kind(inline)["verify"].output
+        assert by_kind(pooled)["simulate"].output == by_kind(inline)["simulate"].output
+
+
+class TestFaultsAndRetries:
+    def test_persistent_fault_degrades_gracefully(self, graph):
+        config = ExecutorConfig(
+            jobs=1, retries=1, backoff_s=0.0,
+            fault=FaultSpec("optimize:*"),
+        )
+        results = run_graph(graph, config=config)
+        kinds = by_kind(results)
+        assert kinds["optimize"].status == "failed"
+        assert kinds["optimize"].error_type == "InjectedFault"
+        assert kinds["optimize"].attempts == 2  # original + one retry
+        assert kinds["simulate"].status == "skipped"
+        assert kinds["verify"].status == "skipped"
+        # Upstream and sibling tasks are untouched by the failure.
+        assert kinds["profile"].ok and kinds["bound"].ok and kinds["params"].ok
+
+    def test_transient_fault_is_retried_to_success(self, graph):
+        config = ExecutorConfig(
+            jobs=1, retries=1, backoff_s=0.0,
+            fault=FaultSpec("optimize:*", fail_attempts=1),
+        )
+        results = run_graph(graph, config=config)
+        kinds = by_kind(results)
+        assert kinds["optimize"].ok
+        assert kinds["optimize"].attempts == 2
+        assert kinds["verify"].ok
+
+    def test_skip_reason_names_the_failed_dependency(self, graph):
+        results = run_graph(graph, config=ExecutorConfig(
+            jobs=1, retries=0, fault=FaultSpec("profile:*")))
+        verify = by_kind(results)["verify"]
+        assert verify.status == "skipped"
+        assert "profile:" in verify.error
+
+    def test_fault_spec_parsing(self):
+        spec = FaultSpec.parse("optimize:gsm*@2")
+        assert spec.pattern == "optimize:gsm*" and spec.fail_attempts == 2
+        assert FaultSpec.parse("simulate:*").fail_attempts is None
+        with pytest.raises(OrchestrationError):
+            FaultSpec.parse("x@notanumber")
+
+    def test_fault_applies_matching(self):
+        spec = FaultSpec("optimize:*", fail_attempts=1)
+        assert spec.applies("optimize:gsm", attempt=1)
+        assert not spec.applies("optimize:gsm", attempt=2)
+        assert not spec.applies("profile:gsm", attempt=1)
+
+
+class TestTimeouts:
+    def test_timeout_fails_task_and_skips_dependents(self, graph):
+        # 1 ms is far below any real profile run; the SIGALRM path must
+        # convert it into a structured failure, not a hang or a crash.
+        config = ExecutorConfig(jobs=1, task_timeout_s=0.001, retries=0)
+        results = run_graph(graph, config=config)
+        kinds = by_kind(results)
+        assert kinds["profile"].status == "failed"
+        assert kinds["profile"].error_type == "TaskTimeout"
+        assert kinds["verify"].status == "skipped"
+
+
+class TestConfigValidation:
+    def test_zero_jobs_rejected(self, graph):
+        with pytest.raises(OrchestrationError):
+            run_graph(graph, config=ExecutorConfig(jobs=0))

@@ -133,6 +133,77 @@ class TestVerifyCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCacheFlags:
+    def test_profile_cache_round_trip(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["profile", "ghostscript", "--cache-dir", str(cache)]) == 0
+        assert "cached" in capsys.readouterr().out
+        assert main(["profile", "ghostscript", "--cache-dir", str(cache)]) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_optimize_reuses_cached_schedule(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = ["optimize", "ghostscript", "--deadline-frac", "0.5",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        assert "artifact cache" not in capsys.readouterr().out
+        assert main(args) == 0
+        assert "schedule from artifact cache" in capsys.readouterr().out
+
+    def test_no_cache_disables_env_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["profile", "ghostscript", "--no-cache"]) == 0
+        assert "cache" not in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+    def test_single_mode_deadline_frac_is_a_clear_error(self, capsys):
+        assert main(["optimize", "adpcm", "--levels", "1",
+                     "--deadline-frac", "0.5"]) == 1
+        err = capsys.readouterr().err
+        assert "at least two" in err
+
+
+class TestSweepCommand:
+    def test_sweep_smoke_and_warm_rerun(self, capsys, tmp_path):
+        args = [
+            "sweep", "--workloads", "adpcm", "--deadline-fracs", "0.5",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output-dir", str(tmp_path / "out"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "1/1 experiments ok" in cold
+        assert (tmp_path / "out" / "results.jsonl").exists()
+        record = json.loads(
+            (tmp_path / "out" / "results.jsonl").read_text().strip())
+        assert record["status"] == "ok" and record["verified"] is True
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 4 hits" in warm
+
+    def test_sweep_fault_injection_fails_but_completes(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--workloads", "adpcm", "--deadline-fracs", "0.5",
+            "--no-cache", "--retries", "0",
+            "--inject-fault", "optimize:*",
+            "--output-dir", str(tmp_path / "out"),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        record = json.loads(
+            (tmp_path / "out" / "results.jsonl").read_text().strip())
+        assert record["status"] == "failed"
+        assert record["failures"]["optimize"]["error_type"] == "InjectedFault"
+
+    def test_sweep_rejects_bad_fraction(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--workloads", "adpcm", "--deadline-fracs", "1.5",
+            "--no-cache", "--output-dir", str(tmp_path / "out"),
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFuzzCommand:
     def test_fuzz_smoke(self, capsys):
         assert main([
