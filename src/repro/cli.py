@@ -12,6 +12,14 @@
     python -m repro verify gsm --deadline-frac 0.5
     python -m repro fuzz --runs 50 --seed 0
     python -m repro sweep --workloads adpcm,epic,gsm,mpeg --jobs 4
+    python -m repro sweep --workloads adpcm --resume --solver-budget 5
+    python -m repro cache verify
+    python -m repro chaos --workloads adpcm --corrupt 2
+
+Exit codes follow :mod:`repro.resilience`: 0 ok, 1 failure (including a
+schedule that fails verification), 2 usage/unreadable input, 3 degraded
+(the run completed but absorbed faults: failed tasks, fallback solver
+tiers, quarantined cache entries), 130 interrupted after a clean drain.
 
 ``--deadline-frac f`` places the deadline a fraction ``f`` of the way
 from the all-fast to the all-slow runtime (0 = flat out, 1 = everything
@@ -49,6 +57,13 @@ from repro.profiling.serialize import (
     profile_to_dict,
     save_profile,
     save_schedule,
+)
+from repro.resilience import (
+    EXIT_DEGRADED,
+    EXIT_FAILURE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_USAGE,
 )
 from repro.runtime import hashing
 from repro.runtime.cache import ArtifactStore, CACHE_DIR_ENV, DEFAULT_CACHE_DIR
@@ -187,6 +202,7 @@ def cmd_optimize(args) -> int:
         else None
     )
     cached = store.get(sched_key) if sched_key is not None else None
+    degraded = False
     if cached is not None:
         from repro.profiling.serialize import schedule_from_dict
 
@@ -195,11 +211,21 @@ def cmd_optimize(args) -> int:
         certificate = None
         print("  (schedule from artifact cache)")
     else:
-        outcome = optimizer.optimize(cfg, deadline, profile=profile)
+        outcome = optimizer.optimize(cfg, deadline, profile=profile,
+                                     budget_s=args.solver_budget)
         schedule = outcome.schedule
         predicted_energy_nj = outcome.predicted_energy_nj
         certificate = outcome.certificate
-        if sched_key is not None:
+        degraded = not outcome.solution.ok
+        if degraded or args.solver_budget is not None:
+            gap = outcome.optimality_gap
+            gap_text = f"{gap:.1%}" if gap is not None else "unknown"
+            print(f"  solver tier {outcome.fallback_tier}, "
+                  f"optimality gap {gap_text}"
+                  + (" [degraded]" if degraded else ""))
+        # Only proven-optimal solves are memoized: a budget-starved
+        # fallback must not poison the cache for future exact runs.
+        if sched_key is not None and not degraded:
             from repro.profiling.serialize import schedule_to_dict
 
             store.put(sched_key, {
@@ -261,6 +287,8 @@ def cmd_optimize(args) -> int:
     if args.output:
         save_schedule(schedule, args.output)
         print(f"schedule written to {args.output}")
+    if status == 0 and degraded:
+        return EXIT_DEGRADED  # verified, but not a proven optimum
     return status
 
 
@@ -364,6 +392,8 @@ def cmd_sweep(args) -> int:
         fault=FaultSpec.parse(args.inject_fault) if args.inject_fault else None,
         cache_dir=cache_dir,
         output_dir=args.output_dir,
+        solver_budget_s=args.solver_budget,
+        resume=args.resume,
     )
 
     total_tasks = 0
@@ -385,10 +415,14 @@ def cmd_sweep(args) -> int:
     print(f"\nsweep: {len(ok)}/{len(records)} experiments ok, "
           f"{len(report.results)} tasks in {report.wall_time_s:.2f}s "
           f"(jobs={config.jobs})")
+    if report.resumed_tasks:
+        print(f"resume: {report.resumed_tasks} tasks replayed from the journal")
     if report.cache_stats:
         stats = report.cache_stats
-        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
-              f"({cache_dir})")
+        quarantined = (f", {stats['quarantined']} quarantined"
+                       if stats.get("quarantined") else "")
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses"
+              f"{quarantined} ({cache_dir})")
     for record in ok:
         savings = record["savings_vs_single_mode"]
         bound = record["savings_bound"]
@@ -399,8 +433,74 @@ def cmd_sweep(args) -> int:
         failed = ", ".join(sorted(record.get("failures", {"verify": None})))
         print(f"  {record['experiment']:<44s} {record['status'].upper()}: {failed}",
               file=sys.stderr)
-    print(f"manifest: {report.manifest_path}\nresults : {report.results_path}")
-    return 0 if report.ok else 1
+    for task_id in report.degraded_tasks:
+        print(f"  {task_id:<44s} DEGRADED: fallback tier schedule "
+              f"(verified, not proven optimal)", file=sys.stderr)
+    print(f"manifest: {report.manifest_path}")
+    if report.results_path is not None:
+        print(f"results : {report.results_path}")
+
+    if report.interrupted:
+        print(f"interrupted: {len(report.results)}/{len(report.graph.tasks)} "
+              f"tasks journaled; rerun with --resume to finish",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    if report.verify_failures:
+        # The one unforgivable outcome: an emitted schedule that failed
+        # its independent verification.
+        return EXIT_FAILURE
+    degraded = (
+        [r for r in records if r["status"] == "failed"]
+        or report.degraded_tasks
+        or report.cache_stats.get("quarantined", 0)
+    )
+    return EXIT_DEGRADED if degraded else EXIT_OK
+
+
+def cmd_cache(args) -> int:
+    from repro.runtime.cache import verify_store
+
+    root = args.cache_dir or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+    store = ArtifactStore(root)
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return EXIT_OK
+    audit = verify_store(store, quarantine=not args.no_quarantine)
+    print(audit.summary)
+    for key, problem in audit.problems:
+        print(f"  {key[:16]}...: {problem}", file=sys.stderr)
+    return EXIT_OK if audit.ok else EXIT_DEGRADED
+
+
+def cmd_chaos(args) -> int:
+    from repro.resilience.chaos import run_chaos
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+    fracs = tuple(float(f) for f in args.deadline_fracs.split(","))
+
+    def progress(result) -> None:
+        if args.quiet:
+            return
+        mark = {"ok": " ", "failed": "!", "skipped": "-"}[result.status]
+        print(f"  {mark} {result.task_id} [{result.cache}]", flush=True)
+
+    report = run_chaos(
+        workloads=workloads,
+        deadline_fracs=fracs,
+        seed=args.seed,
+        output_dir=args.output_dir,
+        jobs=args.jobs,
+        solver_budget_s=args.solver_budget,
+        corrupt=args.corrupt,
+        fault_pattern=args.inject_fault or None,
+        chaos_seed=args.chaos_seed,
+        on_task=progress,
+    )
+    print(report.summary)
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}", file=sys.stderr)
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -452,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("-o", "--output", default=None, help="write schedule JSON")
     p_opt.add_argument("--compare", action="store_true",
                        help="also run the greedy and block-grain baselines")
+    p_opt.add_argument("--solver-budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="anytime solve: fall back through solver tiers "
+                            "to always return a verified schedule within "
+                            "this wall-clock budget (exit 3 when degraded)")
     p_opt.set_defaults(fn=cmd_optimize)
 
     p_bound = sub.add_parser("bound", help="analytical savings bound (Section 3)")
@@ -523,7 +628,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="manifest/results directory (default sweep-results)")
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-task progress lines")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="replay completed tasks from the output "
+                              "directory's crash-safe journal")
+    p_sweep.add_argument("--solver-budget", type=float, default=None,
+                         metavar="SECONDS",
+                         help="anytime wall-clock budget per optimize task "
+                              "(falls back through solver tiers; exit 3 "
+                              "when any solve degrades)")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="audit or clear the content-addressed artifact store"
+    )
+    p_cache.add_argument("cache_command", choices=("verify", "clear"),
+                         help="verify: audit every document, quarantining "
+                              "corruption; clear: delete all artifacts")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="store directory (default: $REPRO_CACHE_DIR "
+                              "or .repro-cache)")
+    p_cache.add_argument("--no-quarantine", action="store_true",
+                         help="report corruption without moving files")
+    p_cache.set_defaults(fn=cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject faults (corrupt cache, killed workers, starved "
+             "solver) and assert the resilience invariants",
+    )
+    p_chaos.add_argument("--workloads", default="adpcm",
+                         help="comma-joined workload names (default adpcm)")
+    p_chaos.add_argument("--deadline-fracs", default="0.5",
+                         help="comma-joined deadline fractions (default 0.5)")
+    p_chaos.add_argument("--seed", type=int, default=0, help="input seed")
+    p_chaos.add_argument("--jobs", type=int, default=2,
+                         help="worker processes (default 2)")
+    p_chaos.add_argument("--solver-budget", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="starvation-level anytime budget for the "
+                              "chaos sweep (default 0.05)")
+    p_chaos.add_argument("--corrupt", type=int, default=2,
+                         help="cache entries to corrupt between the "
+                              "baseline and chaos sweeps (default 2)")
+    p_chaos.add_argument("--inject-fault", default="simulate:*@1",
+                         metavar="PATTERN[@N]",
+                         help="executor fault spec for the chaos sweep "
+                              "(default simulate:*@1; empty disables)")
+    p_chaos.add_argument("--chaos-seed", type=int, default=0,
+                         help="seed for the corruption RNG (default 0)")
+    p_chaos.add_argument("--output-dir", default="chaos-results",
+                         help="holds baseline/, chaos/ and cache/ "
+                              "(default chaos-results)")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress per-task progress lines")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     return parser
 
@@ -535,7 +693,15 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
+    except OSError as error:
+        # Missing/unreadable input or unwritable output: a usage problem
+        # reported in one line, never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,9 +63,19 @@ class MilpFormulation:
         """Solve and return the raw solver solution."""
         return self.model.solve(backend=backend, **options)
 
-    def extract_schedule(self, solution: Solution) -> DVSSchedule:
-        """Decode the chosen mode per edge from a solved model."""
-        if not solution.ok:
+    def extract_schedule(
+        self, solution: Solution, allow_incumbent: bool = False
+    ) -> DVSSchedule:
+        """Decode the chosen mode per edge from a solved model.
+
+        Args:
+            solution: the backend's solution.
+            allow_incumbent: also accept a feasible-but-unproven point
+                (a ``LIMIT`` incumbent from an anytime solve) instead of
+                requiring proven optimality.
+        """
+        usable = solution.ok or (allow_incumbent and solution.has_incumbent)
+        if not usable:
             raise ScheduleError(f"cannot extract a schedule from status {solution.status}")
         assignment: dict[Edge, int] = {}
         for edge, variables in self.edge_vars.items():

@@ -55,12 +55,33 @@ class OptimizationOutcome:
     filter_result: FilterResult | None = None
     # Independent re-check of the solve (constraint residuals, bounds,
     # integrality, objective recomputation); always attached by the
-    # optimizer, which refuses to ship an uncertified solution.
+    # optimizer, which refuses to ship an uncertified solution.  The
+    # greedy fallback tier has no MILP point to certify; its outcome
+    # carries a ``schedule_check`` replay report instead.
     certificate: CertificateReport | None = None
+    # Which rung of the anytime fallback chain produced the schedule
+    # ("milp-scipy", "milp-native" or "greedy"); exact solves record the
+    # backend that ran.
+    fallback_tier: str = "milp"
+    # Relative gap between the emitted schedule's energy and the best
+    # proven lower bound (0.0 for a proven optimum, None when no bound
+    # could be established within budget).
+    optimality_gap: float | None = 0.0
+    # Every fallback rung tried, in order, with its verdict.
+    tier_attempts: tuple = ()
+    # Independent first-principles replay of the final schedule
+    # (:func:`repro.verify.schedule_check.check_schedule`); attached by
+    # the anytime path for every tier.
+    schedule_check: object | None = None
 
     @property
     def num_independent_edges(self) -> int:
         return len(self.formulation.independent_edges)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the schedule is feasible but not proven optimal."""
+        return not self.solution.ok
 
 
 class DVSOptimizer:
@@ -130,6 +151,7 @@ class DVSOptimizer:
         profile: ProfileData | None = None,
         use_filtering: bool | None = None,
         hoist: bool = True,
+        budget_s: float | None = None,
     ) -> OptimizationOutcome:
         """Run the full pipeline for one program and deadline.
 
@@ -141,13 +163,29 @@ class DVSOptimizer:
             profile: reuse an existing profile instead of re-simulating.
             use_filtering: override the constructor's filtering choice.
             hoist: apply the silent-mode-set hoisting post-pass.
+            budget_s: wall-clock budget for the solve.  When set, the
+                anytime fallback chain (HiGHS → native B&B incumbent →
+                greedy heuristic) guarantees a feasible, independently
+                checked schedule within roughly this budget instead of
+                raising on solver limits; the outcome's
+                ``fallback_tier``/``optimality_gap`` report how it was
+                obtained.  When None (the default), the solve is exact
+                and solver limits raise.
 
         Raises:
             ScheduleError: when the MILP is infeasible (deadline too tight
-                even at the fastest mode) or hits solver limits.
+                even at the fastest mode); without ``budget_s``, also when
+                the solver hits its limits.
         """
         if profile is None:
             profile = self.profile(cfg, inputs=inputs, registers=registers)
+        if budget_s is not None:
+            from repro.resilience.anytime import optimize_anytime
+
+            return optimize_anytime(
+                self, cfg, deadline_s, profile, budget_s,
+                use_filtering=use_filtering, hoist=hoist,
+            )
         formulation, filter_result = self.build(profile, deadline_s, use_filtering)
 
         start = time.perf_counter()
@@ -174,6 +212,8 @@ class DVSOptimizer:
             solve_time_s=solve_time,
             filter_result=filter_result,
             certificate=certificate,
+            fallback_tier=f"milp-{solution.backend}",
+            optimality_gap=solution.optimality_gap(),
         )
 
     def optimize_multi(
@@ -223,6 +263,8 @@ class DVSOptimizer:
             solve_time_s=solve_time,
             filter_result=filter_result,
             certificate=certificate,
+            fallback_tier=f"milp-{solution.backend}",
+            optimality_gap=solution.optimality_gap(),
         )
 
     # -- verification ---------------------------------------------------------------

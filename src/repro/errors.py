@@ -100,5 +100,10 @@ class InjectedFault(OrchestrationError):
     """A deliberately injected task failure (fault-injection testing)."""
 
 
+class JournalError(OrchestrationError):
+    """The crash-safe sweep journal is unusable for the requested resume
+    (format drift or a fingerprint from a different sweep grid)."""
+
+
 class CacheError(ReproError):
     """The content-addressed artifact store is unusable or inconsistent."""

@@ -151,8 +151,28 @@ def save_profile(profile: ProfileData, path: str) -> None:
 
 
 def load_profile(path: str) -> ProfileData:
+    """Load a profile JSON file.
+
+    Raises:
+        ProfileError: the file is not valid JSON or not a well-formed
+            profile document (truncated downloads, hand-edits, wrong
+            file passed to ``--profile``).  OS-level errors (missing
+            file, permissions) propagate as :class:`OSError` so callers
+            can distinguish "bad content" from "bad path".
+    """
     with open(path) as handle:
-        return profile_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ProfileError(f"cannot parse profile {path}: {error}") from error
+    if not isinstance(data, dict):
+        raise ProfileError(f"profile {path} is not a JSON object")
+    try:
+        return profile_from_dict(data)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProfileError(
+            f"malformed profile document {path}: {type(error).__name__}: {error}"
+        ) from error
 
 
 def save_schedule(schedule: DVSSchedule, path: str) -> None:
@@ -161,5 +181,17 @@ def save_schedule(schedule: DVSSchedule, path: str) -> None:
 
 
 def load_schedule(path: str) -> DVSSchedule:
+    """Load a schedule JSON file (error contract as :func:`load_profile`)."""
     with open(path) as handle:
-        return schedule_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ScheduleError(f"cannot parse schedule {path}: {error}") from error
+    if not isinstance(data, dict):
+        raise ScheduleError(f"schedule {path} is not a JSON object")
+    try:
+        return schedule_from_dict(data)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ScheduleError(
+            f"malformed schedule document {path}: {type(error).__name__}: {error}"
+        ) from error

@@ -1,0 +1,222 @@
+"""Chaos harness: inject faults, then assert the resilience invariants.
+
+``repro chaos`` runs the same experiment pipeline twice over a shared
+artifact store:
+
+1. a **baseline** sweep on a clean cache (also the reference output);
+2. a **chaos** sweep after deliberately corrupting cache entries
+   (seeded byte flips and truncations), with worker-kill fault
+   injection and a starvation-level solver budget.
+
+It then checks the contract the rest of :mod:`repro.resilience` claims
+to provide:
+
+* the chaos sweep *completes* — faults degrade it, never crash it;
+* no emitted experiment fails verification (a fallback schedule is
+  acceptable; an unverified one is not);
+* every corrupted cache entry was detected and quarantined, and the
+  store audits clean afterwards;
+* experiments untouched by faults (no degraded solver tier, no
+  unrecovered failure) produce records byte-identical to the baseline;
+* the run reports the documented degraded exit code.
+
+Any violated invariant is a *harness failure* (exit 1); a run that
+merely absorbed its faults exits with :data:`~repro.resilience.EXIT_DEGRADED`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.resilience import EXIT_DEGRADED, EXIT_FAILURE, EXIT_OK
+from repro.runtime.cache import ArtifactStore, verify_store
+from repro.runtime.executor import FaultSpec, TaskResult
+from repro.runtime.sweep import SweepConfig, run_sweep
+
+
+def _canon(record: dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ChaosReport:
+    """What the harness injected, what survived, what broke."""
+
+    baseline_dir: Path
+    chaos_dir: Path
+    experiments: int = 0
+    corrupted_keys: list[str] = field(default_factory=list)
+    quarantined: int = 0
+    degraded_tasks: list[str] = field(default_factory=list)
+    recovered_tasks: list[str] = field(default_factory=list)  # retried past a fault
+    identical_rows: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held (faults absorbed, not leaked)."""
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        if self.violations:
+            return EXIT_FAILURE
+        if self.quarantined or self.degraded_tasks or self.recovered_tasks:
+            return EXIT_DEGRADED
+        return EXIT_OK
+
+    @property
+    def summary(self) -> str:
+        head = "chaos: invariants held" if self.ok else (
+            f"chaos: {len(self.violations)} INVARIANT VIOLATION(S)")
+        return (f"{head} — {self.experiments} experiments, "
+                f"{len(self.corrupted_keys)} entries corrupted / "
+                f"{self.quarantined} quarantined, "
+                f"{len(self.recovered_tasks)} tasks recovered by retry, "
+                f"{len(self.degraded_tasks)} solves degraded to a fallback "
+                f"tier, {self.identical_rows} unaffected rows byte-identical "
+                f"(exit {self.exit_code})")
+
+
+def corrupt_entries(store: ArtifactStore, count: int,
+                    rng: random.Random) -> list[str]:
+    """Corrupt up to ``count`` stored documents in place; returns keys.
+
+    Faults mimic real disk/interrupted-write damage: a truncation (torn
+    write) or a single flipped byte (bit rot).  Either breaks the JSON
+    parse, the envelope, or the embedded payload digest — the store must
+    catch all three.
+    """
+    entries = list(store.iter_entries())
+    chosen = rng.sample(entries, min(count, len(entries)))
+    for key, path in chosen:
+        data = bytearray(path.read_bytes())
+        if len(data) < 2 or rng.random() < 0.5:
+            path.write_bytes(bytes(data[: len(data) // 2]))  # torn write
+        else:
+            position = rng.randrange(len(data))
+            data[position] ^= 0xFF  # bit rot; XOR never maps a byte to itself
+            path.write_bytes(bytes(data))
+    return sorted(key for key, _ in chosen)
+
+
+def run_chaos(
+    workloads: tuple[str, ...] = ("adpcm",),
+    deadline_fracs: tuple[float, ...] = (0.5,),
+    seed: int = 0,
+    output_dir: str | Path = "chaos-results",
+    jobs: int = 2,
+    solver_budget_s: float = 0.05,
+    corrupt: int = 2,
+    fault_pattern: str | None = "simulate:*@1",
+    chaos_seed: int = 0,
+    on_task: Callable[[TaskResult], None] | None = None,
+) -> ChaosReport:
+    """Run the baseline + chaos sweeps and audit every invariant.
+
+    Args:
+        workloads / deadline_fracs / seed: the grid under test.
+        output_dir: holds ``baseline/``, ``chaos/`` and the shared
+            ``cache/`` store.
+        jobs: worker processes for both sweeps.
+        solver_budget_s: starvation-level anytime budget for the chaos
+            sweep's ``optimize`` tasks (the baseline runs unbudgeted).
+        corrupt: how many cache entries to damage between the runs.
+        fault_pattern: executor fault spec (``PATTERN[@N]``) for the
+            chaos sweep; ``@N`` faults are expected to be out-retried.
+        chaos_seed: seeds the corruption RNG — same seed, same damage.
+    """
+    output_dir = Path(output_dir)
+    cache_dir = output_dir / "cache"
+    fault = FaultSpec.parse(fault_pattern) if fault_pattern else None
+    # Retries must out-last bounded fault specs, or injected faults turn
+    # into expected hard failures instead of recoveries.
+    retries = (fault.fail_attempts + 1) if fault and fault.fail_attempts else 1
+
+    baseline = run_sweep(SweepConfig(
+        workloads=tuple(workloads), deadline_fracs=tuple(deadline_fracs),
+        seed=seed, jobs=jobs, cache_dir=str(cache_dir),
+        output_dir=str(output_dir / "baseline"),
+    ), on_task=on_task)
+
+    report = ChaosReport(
+        baseline_dir=output_dir / "baseline",
+        chaos_dir=output_dir / "chaos",
+        experiments=len(baseline.graph.experiments),
+    )
+    if not baseline.ok:
+        report.violations.append(
+            f"baseline sweep failed before any fault was injected: "
+            f"{[r['experiment'] for r in baseline.failures]}"
+        )
+        return report
+    baseline_rows = {r["experiment"]: _canon(r)
+                     for r in baseline.experiment_records}
+
+    store = ArtifactStore(cache_dir)
+    rng = random.Random(chaos_seed)
+    report.corrupted_keys = corrupt_entries(store, corrupt, rng)
+
+    chaos = run_sweep(SweepConfig(
+        workloads=tuple(workloads), deadline_fracs=tuple(deadline_fracs),
+        seed=seed, jobs=jobs, cache_dir=str(cache_dir),
+        output_dir=str(output_dir / "chaos"),
+        solver_budget_s=solver_budget_s, fault=fault, retries=retries,
+    ), on_task=on_task)
+
+    # Invariant: the chaos run completes (faults degrade, never abort).
+    if chaos.interrupted or len(chaos.results) < len(chaos.graph.tasks):
+        report.violations.append(
+            f"chaos sweep did not complete: {len(chaos.results)}/"
+            f"{len(chaos.graph.tasks)} tasks resolved"
+        )
+    report.degraded_tasks = chaos.degraded_tasks
+    report.recovered_tasks = sorted(
+        r.task_id for r in chaos.results.values()
+        if r.ok and r.attempts > 1
+    )
+    report.quarantined = chaos.cache_stats.get("quarantined", 0)
+
+    # Invariant: nothing unverified escapes.  A fallback schedule that
+    # fails its own verification battery is the one unforgivable output.
+    degraded_experiments = {
+        eid for tid in report.degraded_tasks
+        for eid in chaos.graph.tasks[tid].experiments
+    }
+    for record in chaos.experiment_records:
+        eid = record["experiment"]
+        if record["status"] == "verify_failed":
+            report.violations.append(
+                f"{eid}: emitted schedule failed verification under chaos"
+            )
+        elif record["status"] == "failed":
+            report.violations.append(
+                f"{eid}: hard failure leaked through retries: "
+                f"{sorted(record.get('failures', {}))}"
+            )
+        elif record["status"] == "ok" and eid not in degraded_experiments:
+            # Invariant: rows the faults never touched are byte-identical.
+            if _canon(record) == baseline_rows.get(eid):
+                report.identical_rows += 1
+            else:
+                report.violations.append(
+                    f"{eid}: unaffected row drifted from the baseline"
+                )
+
+    # Invariant: every corrupted entry was caught, and the store is
+    # clean again afterwards (quarantined and/or rewritten intact).
+    if report.quarantined < len(report.corrupted_keys):
+        report.violations.append(
+            f"only {report.quarantined} of {len(report.corrupted_keys)} "
+            f"corrupted cache entries were quarantined"
+        )
+    audit = verify_store(store, quarantine=False)
+    if not audit.ok:
+        report.violations.append(
+            f"store still corrupt after the chaos run: {audit.summary}"
+        )
+    return report

@@ -1,0 +1,175 @@
+"""Crash-safe sweep journal: resumable progress on append-only JSONL.
+
+A sweep writes one journal line per *completed* task — the task id plus
+its full output payload and a digest of that payload — so that a run
+killed at any instant (SIGINT, SIGKILL, power loss) can be restarted
+with ``repro sweep --resume`` and skip everything that already finished.
+
+Durability contract:
+
+* the file starts with a **header** carrying a fingerprint of the sweep
+  grid; resuming against a journal written for a different grid is an
+  error, not a silent mix of incompatible results;
+* every append is flushed and ``fsync``\\ ed before the executor moves
+  on, so a journal line either exists completely or not at all — except
+  for the final line of a crashed run, which may be **torn**;
+* :meth:`SweepJournal.load_completed` therefore stops at the first
+  unparsable line (appends are ordered, so everything before it is
+  intact) and drops any entry whose payload digest does not verify;
+* entries record the *output* of the task, so a resumed sweep replays
+  them without recomputation and produces a byte-identical
+  ``results.jsonl`` — the determinism contract survives the crash.
+
+Degraded outputs (``_cacheable: false``, e.g. a fallback schedule from a
+budget-starved solver) are deliberately **not** journaled by the sweep:
+a resumed run gets a fresh chance at the exact answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import JournalError
+from repro.runtime.cache import payload_digest
+
+#: On-disk journal format version.
+JOURNAL_FORMAT = 1
+
+
+def run_fingerprint(grid: dict[str, Any]) -> str:
+    """Stable identity of a sweep grid (what a journal may resume)."""
+    text = json.dumps(grid, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+class SweepJournal:
+    """Append-only completion log for one sweep output directory.
+
+    Args:
+        path: journal file location (conventionally
+            ``<output-dir>/journal.jsonl``).
+        fingerprint: grid identity from :func:`run_fingerprint`; guards
+            against resuming an unrelated sweep's journal.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._handle: TextIO | None = None
+
+    # -- reading ---------------------------------------------------------------
+
+    def _header(self) -> dict[str, Any] | None:
+        """Parsed header line of an existing journal, else None."""
+        try:
+            with open(self.path) as handle:
+                first = handle.readline()
+        except OSError:
+            return None
+        try:
+            record = json.loads(first)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or record.get("type") != "header":
+            return None
+        return record
+
+    def load_completed(self) -> dict[str, dict[str, Any]]:
+        """Outputs of every task the previous run durably finished.
+
+        Raises:
+            JournalError: the journal belongs to a different grid or a
+                different journal format — resuming would silently mix
+                incompatible results.
+        """
+        if not self.path.is_file():
+            return {}
+        header = self._header()
+        if header is None:
+            # Torn before the header ever landed: nothing to resume.
+            return {}
+        if header.get("format") != JOURNAL_FORMAT:
+            raise JournalError(
+                f"journal {self.path} has format {header.get('format')!r}, "
+                f"this build writes {JOURNAL_FORMAT}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise JournalError(
+                f"journal {self.path} was written for a different sweep grid "
+                f"(fingerprint {str(header.get('fingerprint'))[:12]}… != "
+                f"{self.fingerprint[:12]}…); use a fresh --output-dir or drop "
+                f"--resume"
+            )
+        completed: dict[str, dict[str, Any]] = {}
+        with open(self.path) as handle:
+            handle.readline()  # header, validated above
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail of a crashed append; later bytes untrusted
+                if not isinstance(record, dict) or record.get("type") != "task":
+                    continue
+                task_id = record.get("task")
+                output = record.get("output")
+                if not isinstance(task_id, str) or not isinstance(output, dict):
+                    continue
+                if record.get("digest") != payload_digest(output):
+                    continue  # bit rot: cheaper to recompute than to trust
+                completed[task_id] = output
+        return completed
+
+    # -- writing ---------------------------------------------------------------
+
+    def start(self, resume: bool = False) -> None:
+        """Open the journal for appending.
+
+        A fresh run (or a resume against a missing/header-less file)
+        truncates and writes a new header; a resume against a validated
+        journal appends after the existing entries.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        append = resume and self._header() is not None
+        self._handle = open(self.path, "a" if append else "w")
+        if not append:
+            self._append({
+                "type": "header",
+                "format": JOURNAL_FORMAT,
+                "fingerprint": self.fingerprint,
+            })
+
+    def record(self, task_id: str, output: dict[str, Any]) -> None:
+        """Durably note one finished task (flush + fsync before return)."""
+        if self._handle is None:
+            raise JournalError("journal not started")
+        self._append({
+            "type": "task",
+            "task": task_id,
+            "digest": payload_digest(output),
+            "output": output,
+        })
+
+    def _append(self, record: dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

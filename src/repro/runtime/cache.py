@@ -5,19 +5,26 @@ Layout::
     <root>/
       ab/
         ab3f...e1.json        # one JSON document per artifact
+      quarantine/
+        ab3f...e1.json        # corrupt documents, moved aside on read
 
-Each document wraps its payload with the key it was stored under and the
-store format version, so a document moved or corrupted on disk is
-detected on read (and treated as a miss) instead of silently feeding a
-wrong artifact into an experiment.
+Each document wraps its payload with the key it was stored under, the
+store format version and a SHA-256 digest of the payload's canonical
+JSON form, so a document moved, truncated or bit-flipped on disk is
+detected on read — and **quarantined** (moved to ``quarantine/``) rather
+than raised or silently served.  The next producer then recomputes and
+rewrites the entry: corruption self-heals at the cost of one recompute.
 
 Writes are atomic (temp file + ``os.replace`` in the same directory), so
 concurrent workers — the sweep executor runs many — can race on the same
 key and the store still ends up with exactly one intact document.
+
+:func:`verify_store` audits every document (``repro cache verify``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -28,7 +35,17 @@ from typing import Any
 from repro.errors import CacheError
 
 #: Version of the on-disk envelope (not of the payloads inside it).
-STORE_FORMAT = 1
+#: v2 added the embedded payload digest.
+STORE_FORMAT = 2
+
+#: Directory (under the store root) holding quarantined documents.
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 over the payload's canonical JSON form."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 #: Environment variable naming the default store root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -45,10 +62,12 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     invalid: int = 0  # corrupt/mismatched documents treated as misses
+    quarantined: int = 0  # invalid documents moved to quarantine/
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "invalid": self.invalid}
+                "writes": self.writes, "invalid": self.invalid,
+                "quarantined": self.quarantined}
 
 
 @dataclass
@@ -76,40 +95,82 @@ class ArtifactStore:
 
     # -- read/write -------------------------------------------------------------
 
-    def get(self, key: str) -> dict[str, Any] | None:
-        """Payload stored under ``key``, or None (counted as a miss).
+    def _quarantine(self, path: Path) -> bool:
+        """Move a corrupt document aside; fall back to deleting it.
 
-        A document that fails to parse or whose envelope does not match
-        the key is a miss, never an exception: a half-written or stale
-        file must not take down a sweep.
+        Either way the poisoned entry never crosses a ``get()`` again.
         """
-        path = self.path_for(key)
+        target = self.root / QUARANTINE_DIR / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return False
+        self.stats.quarantined += 1
+        return True
+
+    def _inspect(self, path: Path, key: str) -> tuple[dict[str, Any] | None, str | None]:
+        """(payload, problem) for one on-disk document.
+
+        Exactly one side is None: a readable, digest-intact document
+        yields its payload; anything else yields a problem description.
+        """
         try:
             with open(path) as handle:
                 document = json.load(handle)
         except FileNotFoundError:
+            raise
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            return None, f"unreadable document: {type(error).__name__}: {error}"
+        if not isinstance(document, dict):
+            return None, "document is not a JSON object"
+        if document.get("format") != STORE_FORMAT:
+            return None, f"envelope format {document.get('format')!r} != {STORE_FORMAT}"
+        if document.get("key") != key:
+            return None, f"embedded key {str(document.get('key'))[:12]}… != file key"
+        if "payload" not in document:
+            return None, "document has no payload"
+        expected = document.get("digest")
+        try:
+            actual = payload_digest(document["payload"])
+        except (TypeError, ValueError) as error:
+            return None, f"payload not hashable: {error}"
+        if expected != actual:
+            return None, f"payload digest mismatch (stored {str(expected)[:12]}…)"
+        return document["payload"], None
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Payload stored under ``key``, or None (counted as a miss).
+
+        A document that fails to parse, whose envelope does not match the
+        key, or whose embedded payload digest does not verify is a miss,
+        never an exception — a half-written, truncated or bit-flipped
+        file must not take down a sweep.  Such documents are moved to
+        ``quarantine/`` so the next ``put`` self-heals the entry and a
+        postmortem can still inspect the bytes.
+        """
+        path = self.path_for(key)
+        try:
+            payload, problem = self._inspect(path, key)
+        except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
+        if problem is not None:
             self.stats.misses += 1
             self.stats.invalid += 1
-            return None
-        if (
-            not isinstance(document, dict)
-            or document.get("format") != STORE_FORMAT
-            or document.get("key") != key
-            or "payload" not in document
-        ):
-            self.stats.misses += 1
-            self.stats.invalid += 1
+            self._quarantine(path)
             return None
         self.stats.hits += 1
-        return document["payload"]
+        return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> Path:
         """Atomically store ``payload`` under ``key``; returns its path."""
         path = self.path_for(key)
-        document = {"format": STORE_FORMAT, "key": key, "payload": payload}
+        document = {"format": STORE_FORMAT, "key": key,
+                    "digest": payload_digest(payload), "payload": payload}
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -138,7 +199,7 @@ class ArtifactStore:
     # -- maintenance ------------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every artifact; returns the number removed."""
+        """Delete every artifact (incl. quarantine); returns the count."""
         removed = 0
         if not self.root.is_dir():
             return 0
@@ -150,10 +211,71 @@ class ArtifactStore:
                 removed += 1
         return removed
 
-    def __len__(self) -> int:
+    def iter_entries(self):
+        """Yield (key, path) for every stored document (not quarantine)."""
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == QUARANTINE_DIR:
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem, entry
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_entries())
+
+
+@dataclass
+class StoreAudit:
+    """Outcome of :func:`verify_store` (``repro cache verify``)."""
+
+    root: Path
+    scanned: int = 0
+    intact: int = 0
+    quarantined: int = 0
+    problems: list[tuple[str, str]] = field(default_factory=list)  # (key, why)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def summary(self) -> str:
+        if self.ok:
+            return f"cache ok: {self.intact}/{self.scanned} documents intact ({self.root})"
+        return (f"cache DEGRADED: {len(self.problems)} of {self.scanned} documents "
+                f"corrupt, {self.quarantined} quarantined ({self.root})")
+
+
+def verify_store(store: ArtifactStore, quarantine: bool = True) -> StoreAudit:
+    """Audit every document in a store; optionally quarantine corruption.
+
+    Unlike :meth:`ArtifactStore.get` this walks the whole store, so it
+    also catches corruption in entries the current workload would never
+    read.  Misplaced files (name that is not a plausible key) count as
+    problems too.
+    """
+    audit = StoreAudit(root=store.root)
+    for key, path in store.iter_entries():
+        audit.scanned += 1
+        try:
+            store.path_for(key)
+        except CacheError:
+            audit.problems.append((key, "file name is not a valid artifact key"))
+            if quarantine and store._quarantine(path):
+                audit.quarantined += 1
+            continue
+        try:
+            _, problem = store._inspect(path, key)
+        except FileNotFoundError:  # pragma: no cover - raced with a writer
+            continue
+        if problem is None:
+            audit.intact += 1
+            continue
+        audit.problems.append((key, problem))
+        if quarantine and store._quarantine(path):
+            audit.quarantined += 1
+    return audit
 
 
 def default_store(root: str | Path | None = None) -> ArtifactStore:

@@ -165,8 +165,20 @@ class TaskGraph:
         return [t for t in self.tasks.values() if experiment_id in t.experiments]
 
 
-def build_task_graph(experiments: list[ExperimentSpec]) -> TaskGraph:
-    """Merge per-experiment pipelines into one deduplicated DAG."""
+def build_task_graph(
+    experiments: list[ExperimentSpec],
+    solver_budget_s: float | None = None,
+) -> TaskGraph:
+    """Merge per-experiment pipelines into one deduplicated DAG.
+
+    Args:
+        experiments: the grid points to run.
+        solver_budget_s: optional wall-clock budget for each ``optimize``
+            task (anytime solving with fallback tiers).  Cache keys are
+            unchanged: a budgeted solve that still proves optimality is
+            the same artifact as an unbudgeted one, and degraded solves
+            are never cached (``_cacheable``).
+    """
     if not experiments:
         raise OrchestrationError("sweep grid is empty")
     seen_ids = set()
@@ -208,8 +220,11 @@ def build_task_graph(experiments: list[ExperimentSpec]) -> TaskGraph:
             hashing.params_key(source, category, seed, machine), eid)
         ensure(
             f"bound:{eid}", "bound", spec, (profile_id, params_id), None, eid)
+        opt_spec = spec if solver_budget_s is None else {
+            **spec, "solver_budget_s": solver_budget_s,
+        }
         optimize_id = ensure(
-            f"optimize:{eid}", "optimize", spec, (profile_id,),
+            f"optimize:{eid}", "optimize", opt_spec, (profile_id,),
             hashing.schedule_key(source, category, seed, machine, frac), eid)
         simulate_id = ensure(
             f"simulate:{eid}", "simulate", spec, (optimize_id,),
@@ -282,17 +297,26 @@ def _task_optimize(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]
     _, cfg, machine, _, _ = _context(spec)
     profile = profile_from_dict(deps["profile"]["profile"])
     deadline = profile.deadline_at(spec["deadline_frac"])
-    outcome = DVSOptimizer(machine).optimize(cfg, deadline, profile=profile)
+    outcome = DVSOptimizer(machine).optimize(
+        cfg, deadline, profile=profile, budget_s=spec.get("solver_budget_s")
+    )
+    degraded = not outcome.solution.ok
     return {
         "schedule": schedule_to_dict(outcome.schedule),
         "deadline_s": deadline,
         "predicted_energy_nj": outcome.predicted_energy_nj,
         "predicted_time_s": outcome.predicted_time_s,
+        # A fallback schedule from a starved solver is feasible and
+        # certified, but must not be memoized as if it were the optimum.
+        "_cacheable": not degraded,
         "solver": {
             "status": outcome.solution.status.value,
             "solve_time_s": outcome.solve_time_s,
             "num_independent_edges": outcome.num_independent_edges,
             "num_assignments": len(outcome.schedule.assignment),
+            "fallback_tier": outcome.fallback_tier,
+            "optimality_gap": outcome.optimality_gap,
+            "degraded": degraded,
         },
     }
 

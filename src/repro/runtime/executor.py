@@ -93,12 +93,15 @@ class TaskResult:
     kind: str
     status: str  # "ok" | "failed" | "skipped"
     experiments: tuple[str, ...]
-    cache: str  # "hit" | "miss" | "off"
+    cache: str  # "hit" | "miss" | "off" | "journal"
     attempts: int = 0
     wall_time_s: float = 0.0
     output: dict[str, Any] | None = None
     error: str | None = None
     error_type: str | None = None
+    # Non-fatal degradations inside the worker (e.g. a timeout that could
+    # not be armed off the main thread); surfaced in the manifest.
+    warnings: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -115,18 +118,35 @@ def _init_worker(parent_sys_path: list[str]) -> None:
             sys.path.insert(0, entry)
 
 
-def _with_timeout(timeout_s: float | None, fn: Callable[[], dict]) -> dict:
-    """Run ``fn`` under a SIGALRM deadline when the platform allows it."""
+def _with_timeout(
+    timeout_s: float | None, fn: Callable[[], dict]
+) -> tuple[dict, list[str]]:
+    """Run ``fn`` under a SIGALRM deadline when the platform allows it.
+
+    ``signal.setitimer``/``SIGALRM`` only work on the main thread of a
+    process.  When a timeout was *requested* but cannot be armed (no
+    SIGALRM on this platform, or we are running on a non-main thread,
+    e.g. under a thread-pool harness), the task runs without a deadline
+    and the degradation is reported as a warning instead of raising
+    ``ValueError`` from the signal machinery.
+
+    Returns:
+        (result of ``fn``, warnings).
+    """
     import threading
 
-    can_alarm = (
-        timeout_s is not None
-        and timeout_s > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
+    warnings: list[str] = []
+    wanted = timeout_s is not None and timeout_s > 0
+    on_main = threading.current_thread() is threading.main_thread()
+    can_alarm = wanted and hasattr(signal, "SIGALRM") and on_main
     if not can_alarm:
-        return fn()
+        if wanted:
+            reason = ("platform lacks SIGALRM" if not hasattr(signal, "SIGALRM")
+                      else "worker is not on its process's main thread")
+            warnings.append(
+                f"task timeout {timeout_s:g}s requested but not enforced: {reason}"
+            )
+        return fn(), warnings
 
     def _on_alarm(signum, frame):
         raise TaskTimeout(f"task exceeded its {timeout_s:g}s budget")
@@ -134,7 +154,7 @@ def _with_timeout(timeout_s: float | None, fn: Callable[[], dict]) -> dict:
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return fn()
+        return fn(), warnings
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -154,16 +174,21 @@ def _run_task_entry(payload: dict[str, Any]) -> dict[str, Any]:
                 f"injected fault in {payload['task_id']} "
                 f"(attempt {payload['attempt']})"
             )
-        output = _with_timeout(
+        output, warnings = _with_timeout(
             payload.get("timeout_s"),
             lambda: execute_task(payload["kind"], payload["spec"], payload["deps"]),
         )
         store_root = payload.get("store_root")
-        if store_root is not None and payload.get("cache_key"):
+        # Tasks may veto memoization of a degraded output (e.g. a fallback
+        # schedule from a starved solver must not masquerade as the
+        # optimum for future runs).
+        if (store_root is not None and payload.get("cache_key")
+                and output.get("_cacheable", True)):
             ArtifactStore(store_root).put(payload["cache_key"], output)
         return {
             "ok": True,
             "output": output,
+            "warnings": warnings,
             "wall_time_s": time.perf_counter() - start,
         }
     except BaseException as error:  # noqa: BLE001 — transported, not swallowed
@@ -201,6 +226,8 @@ def run_graph(
     store: ArtifactStore | None = None,
     config: ExecutorConfig = ExecutorConfig(),
     on_task: Callable[[TaskResult], None] | None = None,
+    completed: dict[str, dict[str, Any]] | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> dict[str, TaskResult]:
     """Execute a task graph; returns results for every task.
 
@@ -210,6 +237,18 @@ def run_graph(
             cacheable task and written through by workers.
         config: parallelism/timeout/retry/fault settings.
         on_task: progress callback, invoked once per finished task.
+        completed: task outputs recovered from a previous run's journal
+            (task id → output dict); these tasks are finished immediately
+            with ``cache="journal"`` and never re-executed.
+        should_stop: polled between scheduling steps; once it returns
+            True the executor stops submitting work, drains every
+            in-flight task (journaling their results via ``on_task``)
+            and returns the partial result map.  Used by the SIGINT
+            handler for a clean interrupted shutdown.
+
+    Returns:
+        results for every task — or, after a ``should_stop`` drain, for
+        the subset that finished before the stop.
     """
     if config.jobs < 1:
         raise OrchestrationError(f"jobs must be >= 1, got {config.jobs}")
@@ -220,6 +259,7 @@ def run_graph(
     probed: set[str] = set()  # tasks already looked up in the store
     attempts: dict[str, int] = {tid: 0 for tid in order}
     inflight: dict[Future, str] = {}
+    stopping = False
     pool: ProcessPoolExecutor | None = None
     if config.jobs > 1:
         pool = ProcessPoolExecutor(
@@ -233,6 +273,15 @@ def run_graph(
         results[result.task_id] = result
         if on_task is not None:
             on_task(result)
+
+    for task_id, output in (completed or {}).items():
+        task = graph.tasks.get(task_id)
+        if task is None:
+            continue  # journal from a superset grid; ignore strays
+        finish(TaskResult(
+            task_id=task_id, kind=task.kind, status="ok",
+            experiments=task.experiments, cache="journal", output=output,
+        ))
 
     def ready_tasks() -> list[Task]:
         out = []
@@ -301,9 +350,10 @@ def run_graph(
                 attempts=attempts[task_id],
                 wall_time_s=transport["wall_time_s"],
                 output=transport["output"],
+                warnings=tuple(transport.get("warnings", ())),
             ))
             return
-        if attempts[task_id] <= config.retries:
+        if attempts[task_id] <= config.retries and not stopping:
             time.sleep(config.backoff_s * (2 ** (attempts[task_id] - 1)))
             submit(task)
             return
@@ -319,15 +369,18 @@ def run_graph(
 
     try:
         while len(results) < len(graph.tasks):
+            if not stopping and should_stop is not None and should_stop():
+                stopping = True
             progressed = False
-            for task in ready_tasks():
-                resolved = resolve_without_running(task)
-                if resolved is not None:
-                    finish(resolved)
-                    progressed = True
-                elif len(inflight) < config.jobs:
-                    submit(task)
-                    progressed = True
+            if not stopping:
+                for task in ready_tasks():
+                    resolved = resolve_without_running(task)
+                    if resolved is not None:
+                        finish(resolved)
+                        progressed = True
+                    elif len(inflight) < config.jobs:
+                        submit(task)
+                        progressed = True
             if inflight:
                 if pool is not None:
                     done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
@@ -337,6 +390,8 @@ def run_graph(
                     task_id = inflight.pop(future)
                     absorb(task_id, future.result())
                 progressed = True
+            if stopping and not inflight:
+                break  # drained: return the partial result map
             if not progressed:
                 stuck = sorted(set(graph.tasks) - set(results))
                 raise OrchestrationError(

@@ -27,8 +27,11 @@ from repro.runtime.dag import ExperimentSpec, TaskGraph
 from repro.runtime.executor import TaskResult
 
 #: Fields of a task record that vary run to run; scrub these before
-#: comparing manifests across runs.
-TIMING_FIELDS = ("wall_time_s", "solver_time_s")
+#: comparing manifests across runs.  Under a solver budget the fallback
+#: tier and optimality gap depend on wall-clock luck, so they live here
+#: (and in the manifest) — never in ``results.jsonl``.
+TIMING_FIELDS = ("wall_time_s", "solver_time_s", "fallback_tier",
+                 "optimality_gap", "degraded")
 
 
 def _dump(record: dict[str, Any]) -> str:
@@ -51,11 +54,17 @@ def task_record(result: TaskResult) -> dict[str, Any]:
     if result.error is not None:
         record["error"] = result.error
         record["error_type"] = result.error_type
+    if result.warnings:
+        record["warnings"] = list(result.warnings)
     if result.kind == "optimize" and result.output is not None:
         solver = result.output.get("solver", {})
         record["solver_status"] = solver.get("status")
         record["solver_time_s"] = solver.get("solve_time_s")
         record["num_independent_edges"] = solver.get("num_independent_edges")
+        if "fallback_tier" in solver:
+            record["fallback_tier"] = solver.get("fallback_tier")
+            record["optimality_gap"] = solver.get("optimality_gap")
+            record["degraded"] = solver.get("degraded")
     return record
 
 
@@ -63,7 +72,7 @@ def summary_record(results: dict[str, TaskResult],
                    wall_time_s: float | None = None) -> dict[str, Any]:
     """Aggregate footer: task statuses and cache traffic."""
     statuses = {"ok": 0, "failed": 0, "skipped": 0}
-    cache = {"hit": 0, "miss": 0, "off": 0}
+    cache = {"hit": 0, "miss": 0, "off": 0, "journal": 0}
     retries = 0
     for result in results.values():
         statuses[result.status] = statuses.get(result.status, 0) + 1
@@ -110,8 +119,13 @@ def experiment_record(
     """
     eid = spec.experiment_id
     by_kind: dict[str, TaskResult] = {}
+    missing: list[str] = []
     for task in graph.tasks_for_experiment(eid):
-        by_kind[task.kind] = results[task.task_id]
+        result = results.get(task.task_id)
+        if result is None:
+            missing.append(task.kind)  # interrupted run: task never ran
+        else:
+            by_kind[task.kind] = result
 
     record: dict[str, Any] = {
         "type": "experiment",
@@ -132,6 +146,11 @@ def experiment_record(
             if task.cache_key is not None
         },
     }
+
+    if missing:
+        record["status"] = "incomplete"
+        record["missing"] = sorted(missing)
+        return record
 
     failures = {
         kind: {"error_type": r.error_type, "error": r.error}

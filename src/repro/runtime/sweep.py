@@ -9,12 +9,15 @@ and the scaling path for evaluations far larger than the paper's.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import OrchestrationError, ReproError
+from repro.resilience.journal import SweepJournal, run_fingerprint
 from repro.runtime import manifest as manifest_mod
 from repro.runtime.cache import ArtifactStore
 from repro.runtime.dag import (
@@ -44,6 +47,8 @@ class SweepConfig:
     fault: FaultSpec | None = None
     cache_dir: str | None = None  # None -> caching disabled
     output_dir: str = "sweep-results"
+    solver_budget_s: float | None = None  # anytime optimize budget
+    resume: bool = False  # replay the journal in output_dir
 
 
 @dataclass
@@ -53,9 +58,11 @@ class SweepReport:
     graph: TaskGraph
     results: dict[str, TaskResult]
     manifest_path: Path
-    results_path: Path
+    results_path: Path | None  # None when the run was interrupted
     wall_time_s: float
     cache_stats: dict[str, int]
+    interrupted: bool = False
+    resumed_tasks: int = 0
 
     @property
     def experiment_records(self) -> list[dict[str, Any]]:
@@ -67,11 +74,26 @@ class SweepReport:
 
     @property
     def failures(self) -> list[dict[str, Any]]:
-        return [r for r in self.experiment_records if r["status"] != "ok"]
+        return [r for r in self.experiment_records
+                if r["status"] not in ("ok", "incomplete")]
+
+    @property
+    def degraded_tasks(self) -> list[str]:
+        """Optimize tasks that fell back below a proven optimum."""
+        return sorted(
+            r.task_id for r in self.results.values()
+            if r.kind == "optimize" and r.ok and r.output is not None
+            and r.output.get("solver", {}).get("degraded")
+        )
+
+    @property
+    def verify_failures(self) -> list[dict[str, Any]]:
+        return [r for r in self.experiment_records
+                if r["status"] == "verify_failed"]
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.interrupted
 
 
 def build_grid(config: SweepConfig) -> list[ExperimentSpec]:
@@ -108,27 +130,80 @@ def run_sweep(
     config: SweepConfig,
     on_task: Callable[[TaskResult], None] | None = None,
 ) -> SweepReport:
-    """Run a full sweep and persist its manifest and results."""
+    """Run a full sweep and persist its manifest and results.
+
+    Crash safety: every completed task is appended (fsync'd) to
+    ``<output-dir>/journal.jsonl``; with ``config.resume`` a later
+    invocation replays those entries instead of recomputing, producing a
+    byte-identical ``results.jsonl``.  A SIGINT on the main thread asks
+    the executor to stop submitting work, drains in-flight tasks into
+    the journal, writes the (partial) manifest and returns with
+    ``interrupted=True`` — ``results.jsonl`` is only written for
+    complete runs.
+    """
     experiments = build_grid(config)
-    graph = build_task_graph(experiments)
+    graph = build_task_graph(experiments,
+                             solver_budget_s=config.solver_budget_s)
     store = ArtifactStore(config.cache_dir) if config.cache_dir else None
+    output_dir = Path(config.output_dir)
+
+    journal = SweepJournal(
+        output_dir / "journal.jsonl",
+        run_fingerprint({
+            "experiments": sorted(e.experiment_id for e in experiments),
+            "seed": config.seed,
+        }),
+    )
+    completed = journal.load_completed() if config.resume else {}
+    # Replay only tasks that still exist in this grid.
+    completed = {tid: out for tid, out in completed.items()
+                 if tid in graph.tasks}
+    journal.start(resume=config.resume)
+
+    def journal_task(result: TaskResult) -> None:
+        if (result.ok and result.cache != "journal"
+                and result.output is not None
+                and result.output.get("_cacheable", True)):
+            journal.record(result.task_id, result.output)
+        if on_task is not None:
+            on_task(result)
+
+    # First Ctrl-C flips a flag the executor polls; the drain then runs
+    # to a valid partial journal instead of dying mid-write.  Only the
+    # main thread may own signal handlers.
+    stop = threading.Event()
+    previous_handler = None
+    on_main = threading.current_thread() is threading.main_thread()
+    if on_main:
+        previous_handler = signal.signal(
+            signal.SIGINT, lambda signum, frame: stop.set()
+        )
 
     start = time.perf_counter()
-    results = run_graph(
-        graph,
-        store=store,
-        config=ExecutorConfig(
-            jobs=config.jobs,
-            task_timeout_s=config.task_timeout_s,
-            retries=config.retries,
-            backoff_s=config.backoff_s,
-            fault=config.fault,
-        ),
-        on_task=on_task,
-    )
+    try:
+        results = run_graph(
+            graph,
+            store=store,
+            config=ExecutorConfig(
+                jobs=config.jobs,
+                task_timeout_s=config.task_timeout_s,
+                retries=config.retries,
+                backoff_s=config.backoff_s,
+                fault=config.fault,
+            ),
+            on_task=journal_task,
+            completed=completed,
+            should_stop=stop.is_set,
+        )
+    finally:
+        journal.close()
+        if on_main:
+            signal.signal(signal.SIGINT,
+                          previous_handler if previous_handler is not None
+                          else signal.SIG_DFL)
     wall_time = time.perf_counter() - start
+    interrupted = len(results) < len(graph.tasks)
 
-    output_dir = Path(config.output_dir)
     run_info = {
         "workloads": sorted(config.workloads),
         "deadline_fracs": list(config.deadline_fracs),
@@ -138,15 +213,23 @@ def run_sweep(
         "jobs": config.jobs,
         "retries": config.retries,
         "cache_dir": config.cache_dir,
+        "solver_budget_s": config.solver_budget_s,
+        "resume": config.resume,
+        "resumed_tasks": len(completed),
+        "interrupted": interrupted,
         "experiments": len(experiments),
         "tasks": len(graph.tasks),
     }
     manifest_path = manifest_mod.write_manifest(
         output_dir / "manifest.jsonl", run_info, results, wall_time
     )
-    results_path = manifest_mod.write_results(
-        output_dir / "results.jsonl", graph, results
-    )
+    # The scientific record is all-or-nothing: a partial results.jsonl
+    # would be mistaken for a complete (byte-comparable) one.
+    results_path = None
+    if not interrupted:
+        results_path = manifest_mod.write_results(
+            output_dir / "results.jsonl", graph, results
+        )
     cache_stats = store.stats.as_dict() if store is not None else {}
     return SweepReport(
         graph=graph,
@@ -155,4 +238,6 @@ def run_sweep(
         results_path=results_path,
         wall_time_s=wall_time,
         cache_stats=cache_stats,
+        interrupted=interrupted,
+        resumed_tasks=len(completed),
     )

@@ -106,7 +106,13 @@ def solve_milp(
     total_lp_iters = 0
     nodes_explored = 0
 
-    root = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, max_iter=options.max_lp_iter)
+    def lp_budget() -> float:
+        """Wall-clock left for the next LP solve (floored so a nearly
+        exhausted budget still lets the LP fail fast rather than hang)."""
+        return max(1e-3, options.time_limit - (time.perf_counter() - start))
+
+    root = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds,
+                    max_iter=options.max_lp_iter, time_limit_s=lp_budget())
     total_lp_iters += root.iterations
     nodes_explored += 1
     if root.status is SolveStatus.INFEASIBLE:
@@ -131,6 +137,9 @@ def solve_milp(
             continue  # cannot improve on incumbent
         if nodes_explored >= options.node_limit or time.perf_counter() - start > options.time_limit:
             limit_hit = True
+            # Reinstate the popped node so the final best-bound report
+            # still covers its (unexplored) subtree.
+            heapq.heappush(heap, (bound, next(counter), node_bounds, node_x, node_obj))
             break
 
         branch_var = _most_fractional(node_x, integer_idx, options.int_tol)
@@ -151,7 +160,8 @@ def solve_milp(
                 child_bounds[branch_var, 0] = max(child_bounds[branch_var, 0], floor_val + 1.0)
             if child_bounds[branch_var, 0] > child_bounds[branch_var, 1]:
                 continue
-            child = solve_lp(c, a_ub, b_ub, a_eq, b_eq, child_bounds, max_iter=options.max_lp_iter)
+            child = solve_lp(c, a_ub, b_ub, a_eq, b_eq, child_bounds,
+                             max_iter=options.max_lp_iter, time_limit_s=lp_budget())
             total_lp_iters += child.iterations
             nodes_explored += 1
             if child.status is SolveStatus.LIMIT:
@@ -176,7 +186,11 @@ def solve_milp(
 
     if incumbent_x is None:
         status = SolveStatus.LIMIT if limit_hit else SolveStatus.INFEASIBLE
-        return MilpResult(status, nodes=nodes_explored, iterations=total_lp_iters)
+        bound = min([b for b, *_ in heap], default=root.objective)
+        return MilpResult(
+            status, nodes=nodes_explored, iterations=total_lp_iters,
+            best_bound=bound,
+        )
 
     # Snap near-integer values exactly to integers for downstream consumers.
     snapped = incumbent_x.copy()

@@ -359,6 +359,7 @@ class Model:
         from repro.solver.simplex import solve_lp
 
         c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, c0 = self.to_arrays()
+        lp_time_limit = options.pop("lp_time_limit", None) or options.get("time_limit")
         if relax:
             integrality = np.zeros_like(integrality)
         if integrality.any():
@@ -371,8 +372,10 @@ class Model:
                 backend="native",
                 iterations=result.iterations,
                 nodes=result.nodes,
+                best_bound=(result.best_bound + c0
+                            if np.isfinite(result.best_bound) else None),
             )
-        lp = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        lp = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit_s=lp_time_limit)
         objective = lp.objective + c0 if np.isfinite(lp.objective) else lp.objective
         return Solution(
             status=lp.status,
@@ -380,6 +383,7 @@ class Model:
             x=lp.x,
             backend="native",
             iterations=lp.iterations,
+            best_bound=objective if lp.status is SolveStatus.OPTIMAL else None,
         )
 
     def value_of(self, item, solution: Solution) -> float:

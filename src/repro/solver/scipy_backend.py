@@ -77,6 +77,13 @@ def solve_model(
         idx = np.where(integrality)[0]
         x[idx] = np.round(x[idx])
     objective = float(result.fun) + c0 if result.fun is not None else float("nan")
+    dual_bound = getattr(result, "mip_dual_bound", None)
+    if dual_bound is not None and np.isfinite(dual_bound):
+        best_bound = float(dual_bound) + c0
+    elif status is SolveStatus.OPTIMAL:
+        best_bound = objective
+    else:
+        best_bound = None
     return Solution(
         status=status,
         objective=objective,
@@ -84,4 +91,5 @@ def solve_model(
         backend="scipy",
         iterations=int(getattr(result, "mip_node_count", 0) or 0),
         nodes=int(getattr(result, "mip_node_count", 0) or 0),
+        best_bound=best_bound,
     )

@@ -23,11 +23,15 @@ HiGHS across randomized instances in the test suite.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.solver.solution import SolveStatus
+
+#: Pivots between deadline checks (keeps the clock off the hot path).
+_DEADLINE_CHECK_EVERY = 32
 
 _TOL = 1e-9
 _INF = float("inf")
@@ -169,6 +173,7 @@ def _run_simplex(
     allowed: np.ndarray,
     max_iter: int,
     bland_after: int = 2000,
+    deadline: float | None = None,
 ) -> tuple[SolveStatus, int]:
     """Iterate the simplex on a tableau whose last row is reduced costs.
 
@@ -180,13 +185,21 @@ def _run_simplex(
         max_iter: hard iteration cap.
         bland_after: switch from Dantzig to Bland pricing after this many
             iterations (anti-cycling guarantee).
+        deadline: absolute :func:`time.perf_counter` instant after which
+            the run stops with ``LIMIT`` (checked every few dozen pivots,
+            so anytime budgets are honoured within milliseconds instead
+            of only between whole LP solves).
 
     Returns:
-        (status, iterations); status LIMIT when max_iter was hit.
+        (status, iterations); status LIMIT when max_iter or the deadline
+        was hit.
     """
     m = tableau.shape[0] - 1
     reduced = tableau[-1, :-1]
     for iteration in range(max_iter):
+        if (deadline is not None and iteration % _DEADLINE_CHECK_EVERY == 0
+                and time.perf_counter() > deadline):
+            return SolveStatus.LIMIT, iteration
         candidates = np.where(allowed & (reduced < -_TOL))[0]
         if candidates.size == 0:
             return SolveStatus.OPTIMAL, iteration
@@ -213,7 +226,8 @@ def _run_simplex(
     return SolveStatus.LIMIT, max_iter
 
 
-def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, max_iter: int = 20000) -> SimplexResult:
+def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None,
+             max_iter: int = 20000, time_limit_s: float | None = None) -> SimplexResult:
     """Solve a bounded-variable LP with the native two-phase simplex.
 
     Args:
@@ -222,10 +236,15 @@ def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, max_ite
         a_eq, b_eq: equality system (may be None).
         bounds: (n, 2) array of [lb, ub]; defaults to x >= 0.
         max_iter: per-phase pivot limit.
+        time_limit_s: optional wall-clock budget; an exhausted budget
+            returns ``LIMIT`` mid-phase, so anytime callers never block
+            on a single long LP.
 
     Returns:
         :class:`SimplexResult` with values in the original variable space.
     """
+    deadline = (time.perf_counter() + time_limit_s
+                if time_limit_s is not None else None)
     c = np.asarray(c, dtype=float).ravel()
     n = len(c)
     if bounds is None:
@@ -264,7 +283,7 @@ def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, max_ite
     tableau[-1, -1] = -b.sum()
 
     allowed = np.ones(total + num_art, dtype=bool)
-    status, iters1 = _run_simplex(tableau, basis, allowed, max_iter)
+    status, iters1 = _run_simplex(tableau, basis, allowed, max_iter, deadline=deadline)
     if status is SolveStatus.LIMIT:
         return SimplexResult(SolveStatus.LIMIT, iterations=iters1)
     phase1_obj = -tableau[-1, -1]
@@ -297,7 +316,7 @@ def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, max_ite
             tableau[-1] -= coef * tableau[row]
 
     allowed = np.ones(total, dtype=bool)
-    status, iters2 = _run_simplex(tableau, basis, allowed, max_iter)
+    status, iters2 = _run_simplex(tableau, basis, allowed, max_iter, deadline=deadline)
     iterations = iters1 + iters2
     if status is SolveStatus.UNBOUNDED:
         return SimplexResult(SolveStatus.UNBOUNDED, -_INF, iterations=iterations)

@@ -15,11 +15,20 @@ class SolveStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     LIMIT = "limit"
+    #: A feasible point produced without any optimality proof — the
+    #: status of heuristic (fallback-tier) solutions.  Like ``LIMIT`` it
+    #: is not ``ok``: certificates and anytime callers must opt in.
+    FEASIBLE = "feasible"
 
     @property
     def ok(self) -> bool:
         """True when a proven-optimal solution is available."""
         return self is SolveStatus.OPTIMAL
+
+    @property
+    def has_point(self) -> bool:
+        """True when the solution *may* carry a usable incumbent."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.LIMIT, SolveStatus.FEASIBLE)
 
 
 @dataclass
@@ -34,6 +43,10 @@ class Solution:
         iterations: simplex iterations (native) or backend-reported count.
         nodes: branch-and-bound nodes explored (0 for pure LPs).
         wall_time: solve time in seconds.
+        best_bound: tightest proven lower bound on the optimum (for a
+            minimization), when the backend reports one.  Equals the
+            objective for a proven-optimal solve; for a ``LIMIT``
+            incumbent it prices the remaining optimality gap.
     """
 
     status: SolveStatus
@@ -43,7 +56,29 @@ class Solution:
     iterations: int = 0
     nodes: int = 0
     wall_time: float = 0.0
+    best_bound: float | None = None
 
     @property
     def ok(self) -> bool:
         return self.status.ok
+
+    @property
+    def has_incumbent(self) -> bool:
+        """True when a feasible point is attached (optimal or not)."""
+        return self.status.has_point and self.x.size > 0
+
+    def optimality_gap(self) -> float | None:
+        """Relative gap between the incumbent and the proven bound.
+
+        ``0.0`` for a proven optimum, ``None`` when no bound is known.
+        """
+        if self.status is SolveStatus.OPTIMAL:
+            return 0.0
+        if self.best_bound is None or not self.has_incumbent:
+            return None
+        import math
+
+        if not math.isfinite(self.best_bound):
+            return None
+        gap = self.objective - self.best_bound
+        return max(0.0, gap / max(1.0, abs(self.objective)))

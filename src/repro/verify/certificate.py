@@ -96,6 +96,7 @@ def verify_certificate(
     feas_rel_tol: float = tolerances.FEAS_REL_TOL,
     int_tol: float = tolerances.INTEGRALITY_TOL,
     objective_rel_tol: float = tolerances.OBJECTIVE_REL_TOL,
+    allow_incumbent: bool = False,
 ) -> CertificateReport:
     """Independently certify a solution against its model.
 
@@ -110,6 +111,10 @@ def verify_certificate(
             relative part scales with the row's right-hand side.
         int_tol: integrality slack for integer variables.
         objective_rel_tol: allowed relative objective mismatch.
+        allow_incumbent: certify a feasible-but-unproven point (an
+            anytime ``LIMIT``/``FEASIBLE`` incumbent).  All feasibility,
+            integrality and objective-recomputation checks still run —
+            only the proven-optimal status requirement is relaxed.
 
     Returns:
         a :class:`CertificateReport`; never raises on a bad solution —
@@ -122,7 +127,8 @@ def verify_certificate(
     def fail(name: str, kind: str, magnitude: float, detail: str) -> None:
         violations.append(ConstraintViolation(name, kind, magnitude, detail))
 
-    if not solution.ok or solution.x.size != len(model.variables):
+    acceptable = solution.ok or (allow_incumbent and solution.has_incumbent)
+    if not acceptable or solution.x.size != len(model.variables):
         detail = (
             f"status {solution.status.value} with {solution.x.size} values "
             f"for {len(model.variables)} variables"

@@ -1,0 +1,108 @@
+"""Cache integrity: digest verification, quarantine, self-healing, and
+the ``repro cache verify`` audit."""
+
+import json
+
+from repro.runtime.cache import (
+    ArtifactStore,
+    QUARANTINE_DIR,
+    payload_digest,
+    verify_store,
+)
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+def _store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestQuarantine:
+    def test_torn_write_is_miss_and_quarantined(self, tmp_path):
+        """Regression: a half-written document used to crash ``get()``
+        with a JSONDecodeError; it must be a miss that heals."""
+        store = _store(tmp_path)
+        path = store.put(KEY_A, {"profile": {"blocks": list(range(50))}})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn mid-write
+
+        assert store.get(KEY_A) is None
+        assert not path.exists()
+        quarantined = store.root / QUARANTINE_DIR / path.name
+        assert quarantined.exists()
+        assert store.stats.invalid == 1
+        assert store.stats.quarantined == 1
+        # A second read is a plain miss — the poison is gone.
+        assert store.get(KEY_A) is None
+        assert store.stats.quarantined == 1
+
+    def test_bit_flip_in_payload_caught_by_digest(self, tmp_path):
+        store = _store(tmp_path)
+        path = store.put(KEY_A, {"value": 12345})
+        document = json.loads(path.read_text())
+        document["payload"]["value"] = 54321  # silent data corruption
+        path.write_text(json.dumps(document))
+        assert store.get(KEY_A) is None
+        assert (store.root / QUARANTINE_DIR / path.name).exists()
+
+    def test_empty_file_is_miss(self, tmp_path):
+        store = _store(tmp_path)
+        path = store.put(KEY_A, {"v": 1})
+        path.write_text("")
+        assert store.get(KEY_A) is None
+
+    def test_self_heals_on_next_put(self, tmp_path):
+        store = _store(tmp_path)
+        path = store.put(KEY_A, {"v": 1})
+        path.write_text("garbage")
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, {"v": 1})
+        assert store.get(KEY_A) == {"v": 1}
+
+    def test_digest_is_canonical(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+class TestVerifyStore:
+    def test_clean_store_audits_ok(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_B, {"v": 2})
+        audit = verify_store(store)
+        assert audit.ok
+        assert audit.scanned == 2
+        assert audit.intact == 2
+        assert "cache ok" in audit.summary
+
+    def test_audit_finds_corruption_the_workload_never_reads(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        path_b = store.put(KEY_B, {"v": 2})
+        path_b.write_text(path_b.read_text()[:15])
+        audit = verify_store(store)
+        assert not audit.ok
+        assert audit.quarantined == 1
+        assert audit.problems[0][0] == KEY_B
+        assert "DEGRADED" in audit.summary
+        # The store is clean again after the audit quarantined the entry.
+        assert verify_store(store).ok
+
+    def test_no_quarantine_leaves_files_in_place(self, tmp_path):
+        store = _store(tmp_path)
+        path = store.put(KEY_A, {"v": 1})
+        path.write_text("junk")
+        audit = verify_store(store, quarantine=False)
+        assert not audit.ok
+        assert audit.quarantined == 0
+        assert path.exists()
+
+    def test_quarantine_dir_not_rescanned(self, tmp_path):
+        store = _store(tmp_path)
+        path = store.put(KEY_A, {"v": 1})
+        path.write_text("junk")
+        assert store.get(KEY_A) is None  # quarantines
+        audit = verify_store(store)
+        assert audit.scanned == 0
+        assert audit.ok

@@ -32,6 +32,7 @@ class TestRoundTrip:
         store.get(KEY_B)
         assert store.stats.as_dict() == {
             "hits": 1, "misses": 1, "writes": 1, "invalid": 0,
+            "quarantined": 0,
         }
 
     def test_sharded_layout(self, store):

@@ -115,3 +115,85 @@ class TestConfigValidation:
     def test_zero_jobs_rejected(self, graph):
         with pytest.raises(OrchestrationError):
             run_graph(graph, config=ExecutorConfig(jobs=0))
+
+
+class TestTimeoutDegradation:
+    """Satellite: a timeout that cannot be armed (non-main thread, no
+    SIGALRM) degrades to a manifest warning instead of raising."""
+
+    def test_off_main_thread_runs_without_deadline_and_warns(self):
+        import threading
+
+        from repro.runtime.executor import _with_timeout
+
+        outcome = {}
+
+        def run():
+            outcome["value"] = _with_timeout(0.5, lambda: {"v": 1})
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join()
+        result, warnings = outcome["value"]
+        assert result == {"v": 1}
+        assert len(warnings) == 1
+        assert "not enforced" in warnings[0]
+        assert "main thread" in warnings[0]
+
+    def test_main_thread_with_timeout_has_no_warning(self):
+        from repro.runtime.executor import _with_timeout
+
+        result, warnings = _with_timeout(30.0, lambda: {"v": 2})
+        assert result == {"v": 2}
+        assert warnings == []
+
+    def test_no_timeout_requested_no_warning_anywhere(self):
+        import threading
+
+        from repro.runtime.executor import _with_timeout
+
+        outcome = {}
+        thread = threading.Thread(
+            target=lambda: outcome.update(value=_with_timeout(None, dict)))
+        thread.start()
+        thread.join()
+        assert outcome["value"] == ({}, [])
+
+
+class TestStopAndPreload:
+    def test_completed_outputs_short_circuit_execution(self, graph):
+        # Pre-finish every task from a fake journal: nothing executes.
+        outputs = {tid: {"stub": tid} for tid in graph.tasks}
+        results = run_graph(graph, config=ExecutorConfig(jobs=1),
+                            completed=outputs)
+        assert len(results) == len(graph.tasks)
+        assert all(r.cache == "journal" and r.ok for r in results.values())
+
+    def test_unknown_completed_ids_ignored(self, graph):
+        results = run_graph(
+            graph, config=ExecutorConfig(jobs=1),
+            completed={"optimize:not-in-this-grid": {"stub": 1},
+                       **{tid: {"stub": tid} for tid in graph.tasks}},
+        )
+        assert set(results) == set(graph.tasks)
+
+    def test_should_stop_before_start_returns_empty(self, graph):
+        results = run_graph(graph, config=ExecutorConfig(jobs=1),
+                            should_stop=lambda: True)
+        assert results == {}
+
+    def test_should_stop_mid_run_returns_partial(self, graph):
+        seen = []
+
+        def stop_after_two() -> bool:
+            return len(seen) >= 2
+
+        results = run_graph(graph, config=ExecutorConfig(jobs=1),
+                            on_task=lambda r: seen.append(r.task_id),
+                            should_stop=stop_after_two)
+        assert 2 <= len(results) < len(graph.tasks)
+        # Partial results are internally consistent: every finished
+        # task's dependencies are finished too.
+        for task_id in results:
+            for dep in graph.tasks[task_id].deps:
+                assert dep in results

@@ -146,3 +146,53 @@ def test_assignment_style_milp_agrees_with_highs(seed):
     assert ours.status is SolveStatus.OPTIMAL
     assert ref.status == 0
     assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+
+class TestLimitIncumbent:
+    """Satellite: a tripped limit surrenders its incumbent and bound
+    instead of discarding them (the anytime fallback chain depends on
+    this)."""
+
+    @staticmethod
+    def _hard_knapsack(seed=5, n=14):
+        gen = np.random.default_rng(seed)
+        c = -gen.uniform(1, 10, n)
+        a_ub = gen.uniform(0.5, 3, (1, n))
+        b_ub = np.array([a_ub.sum() * 0.45])
+        bounds = np.array([[0, 1]] * n, dtype=float)
+        return c, a_ub, b_ub, bounds, np.ones(n, dtype=bool)
+
+    def test_node_limit_returns_incumbent_and_bound(self):
+        c, a_ub, b_ub, bounds, integrality = self._hard_knapsack()
+        res = solve_milp(c, a_ub, b_ub, bounds=bounds,
+                         integrality=integrality,
+                         options=BranchBoundOptions(node_limit=40))
+        assert res.status is SolveStatus.LIMIT
+        assert res.x.size, "incumbent must be returned on LIMIT, not discarded"
+        # The incumbent is feasible and integral ...
+        assert np.all(a_ub @ res.x <= b_ub + 1e-9)
+        assert np.allclose(res.x, np.round(res.x))
+        # ... and bracketed by a finite dual bound (heap minimum).
+        assert np.isfinite(res.best_bound)
+        assert res.best_bound <= res.objective + 1e-9
+
+    def test_limit_incumbent_matches_eventual_optimum_direction(self):
+        c, a_ub, b_ub, bounds, integrality = self._hard_knapsack()
+        limited = solve_milp(c, a_ub, b_ub, bounds=bounds,
+                             integrality=integrality,
+                             options=BranchBoundOptions(node_limit=40))
+        exact = solve_milp(c, a_ub, b_ub, bounds=bounds,
+                           integrality=integrality)
+        assert exact.status is SolveStatus.OPTIMAL
+        # Incumbent can only be worse than the optimum, and the reported
+        # bound must still underestimate it.
+        assert limited.objective >= exact.objective - 1e-9
+        assert limited.best_bound <= exact.objective + 1e-9
+
+    def test_time_limit_trip_keeps_finite_bound(self):
+        c, a_ub, b_ub, bounds, integrality = self._hard_knapsack(seed=11)
+        res = solve_milp(c, a_ub, b_ub, bounds=bounds,
+                         integrality=integrality,
+                         options=BranchBoundOptions(time_limit=1e-9))
+        assert res.status is SolveStatus.LIMIT
+        assert np.isfinite(res.best_bound)

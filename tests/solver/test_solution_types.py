@@ -73,3 +73,35 @@ class TestBackendDispatch:
             # (HiGHS may report either for trivially unbounded LPs; the
             # native simplex reports UNBOUNDED)
         assert m.solve(backend="native").status is SolveStatus.UNBOUNDED
+
+
+class TestIncumbentApi:
+    """FEASIBLE status, has_incumbent and the optimality gap — the
+    surface the anytime fallback chain consumes."""
+
+    def test_feasible_status_has_point_but_not_ok(self):
+        assert SolveStatus.FEASIBLE.has_point
+        assert not SolveStatus.FEASIBLE.ok
+        assert SolveStatus.OPTIMAL.has_point
+        assert SolveStatus.LIMIT.has_point
+        assert not SolveStatus.INFEASIBLE.has_point
+
+    def test_gap_zero_when_proven_optimal(self):
+        solution = Solution(status=SolveStatus.OPTIMAL, objective=10.0,
+                            x=np.ones(1), backend="native")
+        assert solution.optimality_gap() == 0.0
+
+    def test_gap_from_best_bound(self):
+        solution = Solution(status=SolveStatus.LIMIT, objective=12.0,
+                            x=np.ones(1), backend="native", best_bound=10.0)
+        assert solution.has_incumbent
+        assert solution.optimality_gap() == pytest.approx(2.0 / 12.0)
+
+    def test_gap_none_without_bound_or_incumbent(self):
+        no_bound = Solution(status=SolveStatus.LIMIT, objective=12.0,
+                            x=np.ones(1), backend="native")
+        assert no_bound.optimality_gap() is None
+        no_point = Solution(status=SolveStatus.LIMIT, objective=float("nan"),
+                            x=np.empty(0), backend="native", best_bound=1.0)
+        assert not no_point.has_incumbent
+        assert no_point.optimality_gap() is None
