@@ -178,3 +178,39 @@ def single_run(benchmark, fn):
     session); statistical repetition would be waste.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def observe_overhead_budget():
+    """Gate on the disabled observability fast path before any benchmark.
+
+    Every instrumented hot loop (simplex pivots, the simulator) pays one
+    flag test per :mod:`repro.observe` call when tracing is off; if that
+    path grows a lock, an allocation, or an import, every number this
+    suite produces quietly inflates.  Budget: well under the cost of the
+    work the calls annotate.
+    """
+    from repro import observe
+
+    assert not observe.enabled(), "benchmarks must start with tracing off"
+    rounds = 20_000
+
+    def loop():
+        for _ in range(rounds):
+            observe.add("overhead.probe")
+
+    best = min(_timed(loop) for _ in range(5))
+    per_call = best / rounds
+    assert per_call < 2e-6, (
+        f"disabled observe.add() costs {per_call * 1e9:.0f} ns/call; "
+        "the no-op fast path has regressed"
+    )
+    yield
+
+
+def _timed(fn) -> float:
+    from repro import observe
+
+    t0 = observe.clock()
+    fn()
+    return observe.clock() - t0

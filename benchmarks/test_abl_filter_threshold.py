@@ -7,11 +7,10 @@ showing the 2 % choice sits on the flat part of the quality curve while
 already capturing most of the model-size reduction.
 """
 
-import time
-
 import numpy as np
 import pytest
 
+from repro import observe
 from repro.analysis import Table
 from repro.core.milp import FormulationOptions, build_formulation, filter_edges
 from repro.core.milp.filtering import no_filtering
@@ -38,9 +37,9 @@ def sweep(context):
         form = build_formulation(
             context.profile, context.machine.mode_table, deadline, options
         )
-        start = time.perf_counter()
+        start = observe.clock()
         solution = form.solve()
-        elapsed = time.perf_counter() - start
+        elapsed = observe.clock() - start
         assert solution.ok
         results.append({
             "threshold": threshold,

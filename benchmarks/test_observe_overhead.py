@@ -1,0 +1,73 @@
+"""Observability overhead budgets.
+
+Two prices, budgeted separately:
+
+* **disabled** — what every run pays for the instrumentation being in
+  the code at all.  One flag test per call; budgeted in nanoseconds.
+* **enabled** — what ``--trace`` costs on a real simulator run (one
+  span plus a batch of counter updates per run).  Only paid when asked
+  for, so the budget is generous — but it must stay a small fraction of
+  the work it annotates.
+"""
+
+from __future__ import annotations
+
+from repro import observe
+from repro.lang import compile_program
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+
+SOURCE = """
+func main() -> int {
+    var acc: int = 0;
+    for (var r: int = 0; r < 60; r = r + 1) {
+        for (var j: int = 0; j < 64; j = j + 1) {
+            acc = (acc + r * j + 1) % 9973;
+        }
+    }
+    return acc;
+}
+"""
+
+
+def best_of(fn, repeats=7):
+    times = []
+    for _ in range(repeats):
+        t0 = observe.clock()
+        fn()
+        times.append(observe.clock() - t0)
+    return min(times)
+
+
+def test_disabled_span_and_counter(benchmark):
+    assert not observe.enabled()
+
+    def probe():
+        with observe.span("bench.noop"):
+            observe.add("bench.counter")
+
+    benchmark(probe)
+    per_call = best_of(lambda: [probe() for _ in range(10_000)]) / 10_000
+    assert per_call < 2e-5, (
+        f"disabled span+counter cost {per_call * 1e9:.0f} ns")
+
+
+def test_traced_simulator_run_overhead(benchmark):
+    cfg = compile_program(SOURCE, "observe-overhead")
+    machine = Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel())
+    machine.run(cfg, mode=1)  # warm everything once
+
+    untraced = best_of(lambda: machine.run(cfg, mode=1))
+    observe.enable(reset=True)
+    try:
+        traced = best_of(lambda: machine.run(cfg, mode=1))
+        benchmark(lambda: machine.run(cfg, mode=1))
+    finally:
+        observe.snapshot(reset=True)
+        observe.disable()
+
+    # Per-run tracing cost is one span + ~a dozen counters — far below
+    # the interpreter loop itself.  50% headroom absorbs timer noise.
+    budget = untraced * 1.5 + 1e-3
+    assert traced <= budget, (
+        f"traced run {traced * 1e3:.2f} ms vs untraced "
+        f"{untraced * 1e3:.2f} ms exceeds the overhead budget")

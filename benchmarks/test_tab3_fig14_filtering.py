@@ -11,10 +11,9 @@ Setup follows the paper's Section 5.3: transition time 12 us / energy
 1.2 uJ (c = 10 uF), Deadline 3 per benchmark.
 """
 
-import time
-
 import pytest
 
+from repro import observe
 from repro.analysis import Table
 from repro.core.milp import FormulationOptions, build_formulation, filter_edges
 from repro.core.milp.filtering import no_filtering
@@ -36,9 +35,9 @@ def run_both(context):
         form = build_formulation(
             context.profile, context.machine.mode_table, deadline, options
         )
-        start = time.perf_counter()
+        start = observe.clock()
         solution = form.solve()
-        solve_time = time.perf_counter() - start
+        solve_time = observe.clock() - start
         results[label] = {
             "energy": solution.objective,
             "time": solve_time,

@@ -13,8 +13,18 @@
     python -m repro fuzz --runs 50 --seed 0
     python -m repro sweep --workloads adpcm,epic,gsm,mpeg --jobs 4
     python -m repro sweep --workloads adpcm --resume --solver-budget 5
+    python -m repro sweep --workloads adpcm --trace
+    python -m repro stats sweep-results
+    python -m repro trace summarize sweep-results
     python -m repro cache verify
     python -m repro chaos --workloads adpcm --corrupt 2
+
+``--trace`` (or ``$REPRO_TRACE=1``) makes a sweep collect spans and
+metrics through :mod:`repro.observe` and write ``trace.jsonl`` +
+``metrics.json`` next to the manifest; ``repro trace show|summarize``
+and ``repro stats`` render them.  ``--log-level`` (or ``$REPRO_LOG``)
+controls diagnostic logging; ``repro --version`` prints the package
+version.
 
 Exit codes follow :mod:`repro.resilience`: 0 ok, 1 failure (including a
 schedule that fails verification), 2 usage/unreadable input, 3 degraded
@@ -43,9 +53,12 @@ sweep is reused by a later interactive ``optimize`` and vice versa.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 
+from repro import observe
 from repro.core import DVSOptimizer
 from repro.core.analytical import savings_ratio_discrete
 from repro.core.baselines import build_block_formulation, greedy_schedule
@@ -394,6 +407,7 @@ def cmd_sweep(args) -> int:
         output_dir=args.output_dir,
         solver_budget_s=args.solver_budget,
         resume=args.resume,
+        trace=args.trace,
     )
 
     total_tasks = 0
@@ -439,6 +453,9 @@ def cmd_sweep(args) -> int:
     print(f"manifest: {report.manifest_path}")
     if report.results_path is not None:
         print(f"results : {report.results_path}")
+    if report.trace_path is not None:
+        print(f"trace   : {report.trace_path}")
+        print(f"metrics : {report.metrics_path}")
 
     if report.interrupted:
         print(f"interrupted: {len(report.results)}/{len(report.graph.tasks)} "
@@ -455,6 +472,36 @@ def cmd_sweep(args) -> int:
         or report.cache_stats.get("quarantined", 0)
     )
     return EXIT_DEGRADED if degraded else EXIT_OK
+
+
+def cmd_trace(args) -> int:
+    from repro.observe import render
+
+    path = Path(args.dir) / observe.TRACE_NAME
+    try:
+        _header, spans = observe.read_trace(path)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    if args.trace_command == "summarize":
+        print(render.render_trace_summary(spans))
+    else:
+        print(render.render_trace_tree(spans, max_spans=args.limit))
+    return EXIT_OK
+
+
+def cmd_stats(args) -> int:
+    from repro.observe import render
+
+    path = Path(args.dir) / observe.METRICS_NAME
+    try:
+        metrics = observe.read_metrics(path)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        print(render.render_stats(metrics))
+    return EXIT_OK
 
 
 def cmd_cache(args) -> int:
@@ -508,6 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Compile-time DVS reproduction (Xie/Martonosi/Malik, PLDI'03)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {observe.repro_version()}")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error", "critical"),
+                        help="diagnostic log level (default: $REPRO_LOG or warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
@@ -636,7 +688,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="anytime wall-clock budget per optimize task "
                               "(falls back through solver tiers; exit 3 "
                               "when any solve degrades)")
+    p_sweep.add_argument("--trace", action="store_true",
+                         help="collect spans/metrics and write trace.jsonl "
+                              "+ metrics.json next to the manifest "
+                              "(also enabled by $REPRO_TRACE=1)")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a sweep's trace.jsonl"
+    )
+    p_trace.add_argument("trace_command", choices=("show", "summarize"),
+                         help="show: span tree; summarize: per-name table")
+    p_trace.add_argument("dir", nargs="?", default="sweep-results",
+                         help="sweep output directory (default sweep-results)")
+    p_trace.add_argument("--limit", type=int, default=200,
+                         help="max spans for `show` (default 200; 0 = all)")
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a sweep's metrics.json (solver pivots/nodes, "
+                      "cache hit rates, executor timings)"
+    )
+    p_stats.add_argument("dir", nargs="?", default="sweep-results",
+                         help="sweep output directory (default sweep-results)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the raw metrics document as JSON")
+    p_stats.set_defaults(fn=cmd_stats)
 
     p_cache = sub.add_parser(
         "cache", help="audit or clear the content-addressed artifact store"
@@ -689,6 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    observe.configure_logging(args.log_level)
     try:
         return args.fn(args)
     except ReproError as error:

@@ -21,7 +21,6 @@ carries block j's mode) so it executes on the same machinery.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.errors import ModelError, ScheduleError

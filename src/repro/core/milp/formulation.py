@@ -22,9 +22,9 @@ optimality can be affected (the paper's Table 3 result).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.errors import ModelError, ScheduleError
 from repro.ir.cfg import Edge
 from repro.core.milp.filtering import FilterResult, no_filtering
@@ -109,7 +109,7 @@ def build_formulation(
         ModelError: when the profile does not cover all modes.
     """
     options = options or FormulationOptions()
-    start = time.perf_counter()
+    build_span = observe.start_span("milp.build", program=profile.name)
     num_modes = len(mode_table)
     for m in range(num_modes):
         if m not in profile.per_mode:
@@ -192,5 +192,5 @@ def build_formulation(
         deadline_expr=time_terms,
         deadline_s=deadline_s,
         num_paths=num_paths,
-        build_time_s=time.perf_counter() - start,
+        build_time_s=observe.end_span(build_span).elapsed_s,
     )

@@ -12,9 +12,9 @@ per-category.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro import observe
 from repro.errors import ModelError
 from repro.ir.cfg import Edge
 from repro.core.milp.filtering import FilterResult
@@ -56,7 +56,8 @@ def build_multidata_formulation(
     """
     if not categories:
         raise ModelError("need at least one input category")
-    start = time.perf_counter()
+    build_span = observe.start_span("milp.build_multidata",
+                                    categories=len(categories))
     total_weight = sum(c.weight for c in categories)
     if total_weight <= 0:
         raise ModelError("category weights must sum to a positive value")
@@ -169,5 +170,5 @@ def build_multidata_formulation(
         deadline_expr=first_time_expr,
         deadline_s=categories[0].deadline_s,
         num_paths=num_paths,
-        build_time_s=time.perf_counter() - start,
+        build_time_s=observe.end_span(build_span).elapsed_s,
     )

@@ -21,9 +21,9 @@ Typical use::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro import observe
 from repro.errors import ScheduleError
 from repro.ir.cfg import CFG
 from repro.verify.certificate import CertificateReport, verify_certificate
@@ -188,9 +188,10 @@ class DVSOptimizer:
             )
         formulation, filter_result = self.build(profile, deadline_s, use_filtering)
 
-        start = time.perf_counter()
-        solution = formulation.solve(backend=self.backend)
-        solve_time = time.perf_counter() - start
+        with observe.span("optimizer.optimize", program=profile.name,
+                          deadline_s=deadline_s) as sp:
+            solution = formulation.solve(backend=self.backend)
+        solve_time = sp.elapsed_s
         if not solution.ok:
             raise ScheduleError(
                 f"MILP for {profile.name!r} at deadline {deadline_s:.6g}s "
@@ -238,9 +239,10 @@ class DVSOptimizer:
             transition_model=self.machine.transition_model,
             filter_result=filter_result,
         )
-        start = time.perf_counter()
-        solution = formulation.solve(backend=self.backend)
-        solve_time = time.perf_counter() - start
+        with observe.span("optimizer.optimize_multi",
+                          categories=len(categories)) as sp:
+            solution = formulation.solve(backend=self.backend)
+        solve_time = sp.elapsed_s
         if not solution.ok:
             raise ScheduleError(
                 f"multi-category MILP finished with status {solution.status.value}"

@@ -1,0 +1,140 @@
+"""Writing and reading the on-disk trace/metrics artifacts.
+
+Two files, written next to ``manifest.jsonl`` in a sweep's output dir:
+
+``trace.jsonl``
+    One header line (``{"format": ..., "repro_version": ..., "host": ...}``)
+    followed by one JSON object per finished span, sorted by start time.
+    Spans from every process in the pool appear in the same file; the
+    ``pid`` field says where each ran, and ``parent`` links cross
+    process boundaries.
+
+``metrics.json``
+    A single JSON document: the same header plus merged ``counters``,
+    ``gauges``, and ``histograms`` maps.
+
+Both are operational artifacts, like ``manifest.jsonl`` — they are
+allowed to differ between runs.  The scientific record stays in
+``results.jsonl``, which tracing never touches.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any
+
+from . import core
+
+#: Trace/metrics file format version.
+FILE_FORMAT = 1
+
+TRACE_NAME = "trace.jsonl"
+METRICS_NAME = "metrics.json"
+
+
+def repro_version() -> str:
+    """Installed package version (falls back to the source tree's)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+def host_fingerprint() -> dict[str, str]:
+    """Where this run executed (the *host*, not the simulated machine)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "node": platform.node(),
+    }
+
+
+def _header() -> dict[str, Any]:
+    return {
+        "format": FILE_FORMAT,
+        "repro_version": repro_version(),
+        "host": host_fingerprint(),
+    }
+
+
+def write_trace(path: Path, snap: dict[str, Any] | None = None) -> Path:
+    """Write ``trace.jsonl`` from a snapshot (default: the live collector)."""
+    if snap is None:
+        snap = core.snapshot()
+    spans = sorted(snap.get("spans", ()), key=lambda s: s.get("t0", 0.0))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({**_header(), "kind": "trace"}, sort_keys=True) + "\n")
+        for span in spans:
+            fh.write(json.dumps(span, sort_keys=True) + "\n")
+    return path
+
+
+def write_metrics(path: Path, snap: dict[str, Any] | None = None) -> Path:
+    """Write ``metrics.json`` from a snapshot (default: the live collector)."""
+    if snap is None:
+        snap = core.snapshot()
+    document = {
+        "header": _header(),
+        "counters": dict(sorted(snap.get("counters", {}).items())),
+        "gauges": dict(sorted(snap.get("gauges", {}).items())),
+        "histograms": dict(sorted(snap.get("histograms", {}).items())),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def export(output_dir: Path) -> tuple[Path, Path]:
+    """Write both artifacts into *output_dir*; returns their paths."""
+    output_dir = Path(output_dir)
+    snap = core.snapshot()
+    trace_path = write_trace(output_dir / TRACE_NAME, snap)
+    metrics_path = write_metrics(output_dir / METRICS_NAME, snap)
+    return trace_path, metrics_path
+
+
+def read_trace(path: Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Load ``trace.jsonl`` → (header, spans).
+
+    Raises:
+        OSError: missing file.
+        ValueError: malformed contents.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+        spans = [json.loads(line) for line in lines[1:] if line.strip()]
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: malformed trace file: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != "trace":
+        raise ValueError(f"{path}: missing trace header line")
+    return header, spans
+
+
+def read_metrics(path: Path) -> dict[str, Any]:
+    """Load ``metrics.json``.
+
+    Raises:
+        OSError: missing file.
+        ValueError: malformed contents.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: malformed metrics file: {exc}") from exc
+    if not isinstance(document, dict) or "counters" not in document:
+        raise ValueError(f"{path}: not a metrics.json document")
+    return document

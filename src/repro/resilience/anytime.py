@@ -37,11 +37,12 @@ this module exists to prevent.
 
 from __future__ import annotations
 
-import time
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe
 from repro.core.baselines.greedy import greedy_schedule
 from repro.errors import ScheduleError
 from repro.solver.solution import Solution, SolveStatus
@@ -59,6 +60,8 @@ RELAX_BOUND_BUDGET_S = 0.25
 TIER_SCIPY = "milp-scipy"
 TIER_NATIVE = "milp-native"
 TIER_GREEDY = "greedy"
+
+logger = logging.getLogger("repro.anytime")
 
 
 @dataclass(frozen=True)
@@ -125,11 +128,16 @@ def optimize_anytime(
 
     formulation, filter_result = optimizer.build(profile, deadline_s, use_filtering)
     machine = optimizer.machine
-    start = time.perf_counter()
+    start = observe.clock()
     attempts: list[TierAttempt] = []
 
     def remaining() -> float:
-        return budget_s - (time.perf_counter() - start)
+        return budget_s - (observe.clock() - start)
+
+    def reject(attempt: TierAttempt) -> None:
+        attempts.append(attempt)
+        observe.add("anytime.tier_rejections")
+        logger.info("anytime tier %s rejected: %s", attempt.tier, attempt.detail)
 
     def gate_schedule(schedule):
         """Independent replay check; returns (report, hoisted schedule)."""
@@ -149,55 +157,57 @@ def optimize_anytime(
     for tier, backend in tiers:
         left = remaining()
         if left < MIN_TIER_BUDGET_S:
-            attempts.append(TierAttempt(tier, False, "budget exhausted"))
+            reject(TierAttempt(tier, False, "budget exhausted"))
             continue
-        tier_start = time.perf_counter()
-        try:
-            solution = formulation.solve(backend=backend, time_limit=left)
-        except Exception as error:  # noqa: BLE001 — a dead backend is a tier miss
-            attempts.append(TierAttempt(
-                tier, False, f"{type(error).__name__}: {error}",
-                time.perf_counter() - tier_start,
-            ))
-            continue
-        tier_time = time.perf_counter() - tier_start
-        if not solution.has_incumbent:
-            attempts.append(TierAttempt(
-                tier, False, f"status {solution.status.value}, no incumbent",
-                tier_time,
-            ))
-            continue
-        certificate = verify_certificate(formulation, solution, allow_incumbent=True)
-        if not certificate.ok:
-            attempts.append(TierAttempt(tier, False, certificate.summary, tier_time))
-            continue
-        try:
-            schedule = formulation.extract_schedule(solution, allow_incumbent=True)
-            schedule.validate_against(cfg)
-        except ScheduleError as error:
-            attempts.append(TierAttempt(tier, False, str(error), tier_time))
-            continue
-        feasibility, final = gate_schedule(schedule)
-        if not feasibility.ok:
-            attempts.append(TierAttempt(tier, False, feasibility.summary, tier_time))
-            continue
+        with observe.span("anytime.tier", tier=tier, budget_s=left) as tsp:
+            try:
+                solution = formulation.solve(backend=backend, time_limit=left)
+            except Exception as error:  # noqa: BLE001 — a dead backend is a tier miss
+                reject(TierAttempt(
+                    tier, False, f"{type(error).__name__}: {error}",
+                    tsp.elapsed_s,
+                ))
+                continue
+            tier_time = tsp.elapsed_s
+            if not solution.has_incumbent:
+                reject(TierAttempt(
+                    tier, False, f"status {solution.status.value}, no incumbent",
+                    tier_time,
+                ))
+                continue
+            certificate = verify_certificate(formulation, solution, allow_incumbent=True)
+            if not certificate.ok:
+                reject(TierAttempt(tier, False, certificate.summary, tier_time))
+                continue
+            try:
+                schedule = formulation.extract_schedule(solution, allow_incumbent=True)
+                schedule.validate_against(cfg)
+            except ScheduleError as error:
+                reject(TierAttempt(tier, False, str(error), tier_time))
+                continue
+            feasibility, final = gate_schedule(schedule)
+            if not feasibility.ok:
+                reject(TierAttempt(tier, False, feasibility.summary, tier_time))
+                continue
 
-        gap = solution.optimality_gap()
-        if gap is None:
-            bound = _lp_relaxation_bound(
-                formulation, backend, max(remaining(), RELAX_BOUND_BUDGET_S)
-            )
-            if bound is not None:
-                gap = max(0.0, (solution.objective - bound)
-                          / max(1.0, abs(solution.objective)))
-        proven = solution.ok
-        attempts.append(TierAttempt(
-            tier, True,
-            "proven optimal" if proven else
-            f"incumbent, gap {gap:.3%}" if gap is not None else
-            "incumbent, gap unknown",
-            tier_time,
-        ))
+            gap = solution.optimality_gap()
+            if gap is None:
+                bound = _lp_relaxation_bound(
+                    formulation, backend, max(remaining(), RELAX_BOUND_BUDGET_S)
+                )
+                if bound is not None:
+                    gap = max(0.0, (solution.objective - bound)
+                              / max(1.0, abs(solution.objective)))
+            proven = solution.ok
+            attempts.append(TierAttempt(
+                tier, True,
+                "proven optimal" if proven else
+                f"incumbent, gap {gap:.3%}" if gap is not None else
+                "incumbent, gap unknown",
+                tsp.elapsed_s,
+            ))
+            observe.add(f"anytime.tier.{tier}")
+            tsp.set(accepted=True)
         return OptimizationOutcome(
             schedule=final,
             solution=solution,
@@ -205,7 +215,7 @@ def optimize_anytime(
             profile=profile,
             predicted_energy_nj=solution.objective,
             predicted_time_s=formulation.predicted_time(solution),
-            solve_time_s=time.perf_counter() - start,
+            solve_time_s=observe.clock() - start,
             filter_result=filter_result,
             certificate=certificate,
             fallback_tier=tier,
@@ -215,35 +225,37 @@ def optimize_anytime(
         )
 
     # -- greedy tier ------------------------------------------------------------
-    tier_start = time.perf_counter()
-    # Raises ScheduleError when no single mode meets the deadline; such a
-    # deadline is below the all-fastest runtime, so the MILP is infeasible
-    # too and there is nothing feasible to return.
-    greedy = greedy_schedule(
-        profile, machine.mode_table, deadline_s,
-        transition_model=machine.transition_model,
-    )
-    feasibility, final = gate_schedule(greedy.schedule)
-    if not feasibility.ok:
-        # By construction this cannot happen (the greedy acceptance check
-        # prices exactly what the replay recomputes); treat it as the
-        # infeasibility it would be rather than emit an unchecked result.
-        raise ScheduleError(
-            f"greedy fallback failed its feasibility replay: {feasibility.summary}"
+    with observe.span("anytime.tier", tier=TIER_GREEDY) as tsp:
+        # Raises ScheduleError when no single mode meets the deadline; such a
+        # deadline is below the all-fastest runtime, so the MILP is infeasible
+        # too and there is nothing feasible to return.
+        greedy = greedy_schedule(
+            profile, machine.mode_table, deadline_s,
+            transition_model=machine.transition_model,
         )
-    bound = _lp_relaxation_bound(formulation, optimizer.backend
-                                 if optimizer.backend != "auto" else "auto",
-                                 RELAX_BOUND_BUDGET_S)
-    gap = None
-    if bound is not None:
-        gap = max(0.0, (greedy.predicted_energy_nj - bound)
-                  / max(1.0, abs(greedy.predicted_energy_nj)))
-    attempts.append(TierAttempt(
-        TIER_GREEDY, True,
-        f"{greedy.moves_taken}/{greedy.moves_considered} moves"
-        + (f", gap {gap:.3%}" if gap is not None else ", gap unknown"),
-        time.perf_counter() - tier_start,
-    ))
+        feasibility, final = gate_schedule(greedy.schedule)
+        if not feasibility.ok:
+            # By construction this cannot happen (the greedy acceptance check
+            # prices exactly what the replay recomputes); treat it as the
+            # infeasibility it would be rather than emit an unchecked result.
+            raise ScheduleError(
+                f"greedy fallback failed its feasibility replay: {feasibility.summary}"
+            )
+        bound = _lp_relaxation_bound(formulation, optimizer.backend
+                                     if optimizer.backend != "auto" else "auto",
+                                     RELAX_BOUND_BUDGET_S)
+        gap = None
+        if bound is not None:
+            gap = max(0.0, (greedy.predicted_energy_nj - bound)
+                      / max(1.0, abs(greedy.predicted_energy_nj)))
+        attempts.append(TierAttempt(
+            TIER_GREEDY, True,
+            f"{greedy.moves_taken}/{greedy.moves_considered} moves"
+            + (f", gap {gap:.3%}" if gap is not None else ", gap unknown"),
+            tsp.elapsed_s,
+        ))
+        observe.add(f"anytime.tier.{TIER_GREEDY}")
+        tsp.set(accepted=True)
     solution = Solution(
         status=SolveStatus.FEASIBLE,
         objective=greedy.predicted_energy_nj,
@@ -258,7 +270,7 @@ def optimize_anytime(
         profile=profile,
         predicted_energy_nj=greedy.predicted_energy_nj,
         predicted_time_s=greedy.predicted_time_s,
-        solve_time_s=time.perf_counter() - start,
+        solve_time_s=observe.clock() - start,
         filter_result=filter_result,
         certificate=None,
         fallback_tier=TIER_GREEDY,

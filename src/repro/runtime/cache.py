@@ -26,13 +26,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import observe
 from repro.errors import CacheError
+
+logger = logging.getLogger("repro.cache")
 
 #: Version of the on-disk envelope (not of the payloads inside it).
 #: v2 added the embedded payload digest.
@@ -110,6 +114,8 @@ class ArtifactStore:
             except OSError:
                 return False
         self.stats.quarantined += 1
+        observe.add("cache.artifact.quarantined")
+        logger.warning("quarantined corrupt artifact %s", path.name)
         return True
 
     def _inspect(self, path: Path, key: str) -> tuple[dict[str, Any] | None, str | None]:
@@ -157,13 +163,18 @@ class ArtifactStore:
             payload, problem = self._inspect(path, key)
         except FileNotFoundError:
             self.stats.misses += 1
+            observe.add("cache.artifact.misses")
             return None
         if problem is not None:
             self.stats.misses += 1
             self.stats.invalid += 1
+            observe.add("cache.artifact.misses")
+            observe.add("cache.artifact.invalid")
+            logger.warning("invalid artifact %s…: %s", key[:12], problem)
             self._quarantine(path)
             return None
         self.stats.hits += 1
+        observe.add("cache.artifact.hits")
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> Path:
@@ -189,6 +200,7 @@ class ArtifactStore:
         except OSError as error:
             raise CacheError(f"cannot write artifact {key[:12]}…: {error}") from error
         self.stats.writes += 1
+        observe.add("cache.artifact.writes")
         return path
 
     def contains(self, key: str) -> bool:

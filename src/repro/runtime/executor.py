@@ -29,6 +29,7 @@ assumed.
 from __future__ import annotations
 
 import fnmatch
+import logging
 import multiprocessing
 import signal
 import sys
@@ -37,9 +38,12 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import observe
 from repro.errors import InjectedFault, OrchestrationError, TaskTimeout
 from repro.runtime.cache import ArtifactStore
 from repro.runtime.dag import Task, TaskGraph, execute_task
+
+logger = logging.getLogger("repro.executor")
 
 
 @dataclass(frozen=True)
@@ -163,11 +167,27 @@ def _with_timeout(
 def _run_task_entry(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: compute one task, never raise.
 
-    Returns a transport dict ``{ok, output|error, wall_time_s}``; errors
-    travel as (type name, message) pairs so the parent need not unpickle
-    arbitrary exception state.
+    Returns a transport dict ``{ok, output|error, wall_time_s,
+    started_at}`` plus, for pool workers with tracing on, a ``trace``
+    snapshot the parent merges; errors travel as (type name, message)
+    pairs so the parent need not unpickle arbitrary exception state.
     """
-    start = time.perf_counter()
+    fresh = payload.get("trace_fresh", False)
+    if fresh:
+        # Fork-started pool workers inherit the parent collector (its
+        # spans, metrics, and thread-local span stack); start clean so
+        # the shipped snapshot covers exactly this task.  jobs=1 runs
+        # in the parent process and must NOT reset the live collector.
+        observe.reset()
+        if payload.get("trace"):
+            observe.enable()
+        else:
+            observe.disable()
+    sp = observe.start_span(
+        "worker.task", parent_id=payload.get("trace_parent"), on_stack=True,
+        task=payload["task_id"], kind=payload["kind"],
+        attempt=payload["attempt"],
+    )
     try:
         if payload.get("inject_fault"):
             raise InjectedFault(
@@ -185,19 +205,27 @@ def _run_task_entry(payload: dict[str, Any]) -> dict[str, Any]:
         if (store_root is not None and payload.get("cache_key")
                 and output.get("_cacheable", True)):
             ArtifactStore(store_root).put(payload["cache_key"], output)
-        return {
+        observe.end_span(sp, status="ok")
+        transport = {
             "ok": True,
             "output": output,
             "warnings": warnings,
-            "wall_time_s": time.perf_counter() - start,
+            "wall_time_s": sp.elapsed_s,
+            "started_at": sp.t0,
         }
     except BaseException as error:  # noqa: BLE001 — transported, not swallowed
-        return {
+        observe.end_span(sp, status="error", error=type(error).__name__)
+        transport = {
             "ok": False,
             "error": str(error),
             "error_type": type(error).__name__,
-            "wall_time_s": time.perf_counter() - start,
+            "wall_time_s": sp.elapsed_s,
+            "started_at": sp.t0,
         }
+    if fresh and observe.enabled():
+        transport["trace"] = observe.snapshot(reset=True)
+        observe.disable()
+    return transport
 
 
 # -- parent side -----------------------------------------------------------------
@@ -259,6 +287,7 @@ def run_graph(
     probed: set[str] = set()  # tasks already looked up in the store
     attempts: dict[str, int] = {tid: 0 for tid in order}
     inflight: dict[Future, str] = {}
+    task_spans: dict[str, observe.Span] = {}  # open executor.task spans
     stopping = False
     pool: ProcessPoolExecutor | None = None
     if config.jobs > 1:
@@ -268,9 +297,12 @@ def run_graph(
             initializer=_init_worker,
             initargs=(list(sys.path),),
         )
+    graph_span = observe.start_span("executor.run_graph", on_stack=True,
+                                    jobs=config.jobs, tasks=len(graph.tasks))
 
     def finish(result: TaskResult) -> None:
         results[result.task_id] = result
+        observe.add(f"executor.tasks.{result.status}")
         if on_task is not None:
             on_task(result)
 
@@ -307,19 +339,27 @@ def run_graph(
         if (store is not None and task.cache_key is not None
                 and task.task_id not in probed):
             probed.add(task.task_id)
-            start = time.perf_counter()
+            probe = observe.start_span("executor.cache_probe",
+                                       task=task.task_id)
             payload = store.get(task.cache_key)
+            observe.end_span(probe, hit=payload is not None)
             if payload is not None:
                 return TaskResult(
                     task_id=task.task_id, kind=task.kind, status="ok",
                     experiments=task.experiments, cache="hit",
-                    wall_time_s=time.perf_counter() - start, output=payload,
+                    wall_time_s=probe.elapsed_s, output=payload,
                 )
         return None
 
     def submit(task: Task) -> None:
         attempts[task.task_id] += 1
         attempt = attempts[task.task_id]
+        # One executor.task span per attempt, ended in absorb().  It is
+        # deliberately off the thread-local stack: many are open at once
+        # and they do not nest.
+        tspan = observe.start_span("executor.task", task=task.task_id,
+                                   kind=task.kind, attempt=attempt)
+        task_spans[task.task_id] = tspan
         payload = {
             "task_id": task.task_id,
             "kind": task.kind,
@@ -334,6 +374,9 @@ def run_graph(
             "inject_fault": bool(
                 config.fault and config.fault.applies(task.task_id, attempt)
             ),
+            "trace": observe.enabled(),
+            "trace_parent": tspan.span_id or None,
+            "trace_fresh": pool is not None,
         }
         if pool is not None:
             inflight[pool.submit(_run_task_entry, payload)] = task.task_id
@@ -342,6 +385,17 @@ def run_graph(
 
     def absorb(task_id: str, transport: dict[str, Any]) -> None:
         task = graph.tasks[task_id]
+        observe.absorb(transport.get("trace"))
+        tspan = task_spans.pop(task_id, None)
+        if tspan is not None:
+            started = transport.get("started_at")
+            if started is not None:
+                # perf_counter is CLOCK_MONOTONIC (system-wide on Linux),
+                # so parent submit time and worker start time compare;
+                # clamp for platforms where the epochs may differ.
+                observe.record("executor.queue_wait_s",
+                               max(0.0, started - tspan.t0))
+            observe.end_span(tspan, ok=transport["ok"])
         if transport["ok"]:
             finish(TaskResult(
                 task_id=task_id, kind=task.kind, status="ok",
@@ -353,10 +407,17 @@ def run_graph(
                 warnings=tuple(transport.get("warnings", ())),
             ))
             return
+        if transport.get("error_type") == "TaskTimeout":
+            observe.add("executor.timeouts")
         if attempts[task_id] <= config.retries and not stopping:
+            observe.add("executor.retries")
+            logger.info("retrying %s (attempt %d failed: %s)", task_id,
+                        attempts[task_id], transport.get("error_type"))
             time.sleep(config.backoff_s * (2 ** (attempts[task_id] - 1)))
             submit(task)
             return
+        logger.warning("task %s failed after %d attempts: %s", task_id,
+                       attempts[task_id], transport.get("error"))
         finish(TaskResult(
             task_id=task_id, kind=task.kind, status="failed",
             experiments=task.experiments,
@@ -400,5 +461,8 @@ def run_graph(
     finally:
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        for tspan in task_spans.values():
+            observe.end_span(tspan, ok=False, abandoned=True)
+        observe.end_span(graph_span, completed=len(results))
 
     return results

@@ -9,13 +9,14 @@ and the scaling path for evaluations far larger than the paper's.
 
 from __future__ import annotations
 
+import logging
 import signal
 import threading
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import observe
 from repro.errors import OrchestrationError, ReproError
 from repro.resilience.journal import SweepJournal, run_fingerprint
 from repro.runtime import manifest as manifest_mod
@@ -28,6 +29,8 @@ from repro.runtime.dag import (
 )
 from repro.runtime.executor import ExecutorConfig, FaultSpec, TaskResult, run_graph
 from repro.workloads import get_workload
+
+logger = logging.getLogger("repro.sweep")
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,7 @@ class SweepConfig:
     output_dir: str = "sweep-results"
     solver_budget_s: float | None = None  # anytime optimize budget
     resume: bool = False  # replay the journal in output_dir
+    trace: bool = False  # collect + export trace.jsonl / metrics.json
 
 
 @dataclass
@@ -63,6 +67,8 @@ class SweepReport:
     cache_stats: dict[str, int]
     interrupted: bool = False
     resumed_tasks: int = 0
+    trace_path: Path | None = None  # trace.jsonl when tracing was on
+    metrics_path: Path | None = None  # metrics.json when tracing was on
 
     @property
     def experiment_records(self) -> list[dict[str, Any]]:
@@ -158,6 +164,9 @@ def run_sweep(
     # Replay only tasks that still exist in this grid.
     completed = {tid: out for tid, out in completed.items()
                  if tid in graph.tasks}
+    if completed:
+        logger.info("resuming %d completed tasks from %s",
+                    len(completed), journal.path)
     journal.start(resume=config.resume)
 
     def journal_task(result: TaskResult) -> None:
@@ -179,7 +188,19 @@ def run_sweep(
             signal.SIGINT, lambda signum, frame: stop.set()
         )
 
-    start = time.perf_counter()
+    # Tracing covers exactly this sweep: enabled here (flag or env),
+    # restored afterwards.  A collector an embedding caller already
+    # enabled is left alone — and left enabled.
+    trace_requested = config.trace or observe.env_enabled()
+    was_enabled = observe.enabled()
+    if trace_requested and not was_enabled:
+        observe.enable(reset=True)
+    sweep_span = observe.start_span(
+        "sweep", on_stack=True,
+        workloads=",".join(sorted(config.workloads)),
+        experiments=len(experiments), jobs=config.jobs,
+        resume=config.resume,
+    )
     try:
         results = run_graph(
             graph,
@@ -196,12 +217,13 @@ def run_sweep(
             should_stop=stop.is_set,
         )
     finally:
+        observe.end_span(sweep_span)
         journal.close()
         if on_main:
             signal.signal(signal.SIGINT,
                           previous_handler if previous_handler is not None
                           else signal.SIG_DFL)
-    wall_time = time.perf_counter() - start
+    wall_time = sweep_span.elapsed_s
     interrupted = len(results) < len(graph.tasks)
 
     run_info = {
@@ -231,6 +253,13 @@ def run_sweep(
             output_dir / "results.jsonl", graph, results
         )
     cache_stats = store.stats.as_dict() if store is not None else {}
+    # Trace/metrics are operational artifacts (like the manifest): they
+    # sit next to results.jsonl but never influence its bytes.
+    trace_path = metrics_path = None
+    if trace_requested:
+        trace_path, metrics_path = observe.export(output_dir)
+        if not was_enabled:
+            observe.disable()
     return SweepReport(
         graph=graph,
         results=results,
@@ -240,4 +269,6 @@ def run_sweep(
         cache_stats=cache_stats,
         interrupted=interrupted,
         resumed_tasks=len(completed),
+        trace_path=trace_path,
+        metrics_path=metrics_path,
     )

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.errors import ScheduleError, SimulationError
 from repro.ir.cfg import CFG, ENTRY_EDGE_SOURCE, Edge
 from repro.ir.instructions import (
@@ -203,6 +204,42 @@ class Machine:
         Returns:
             a :class:`RunResult`.
         """
+        if not observe.enabled():
+            return self._run(cfg, inputs, registers, mode, schedule,
+                             initial_mode, max_steps, trace)
+        with observe.span("simulator.run", program=cfg.name,
+                          scheduled=schedule is not None) as sp:
+            result = self._run(cfg, inputs, registers, mode, schedule,
+                               initial_mode, max_steps, trace)
+            total_cycles = (result.overlap_cycles + result.dependent_cycles
+                            + result.cache_cycles + result.dmiss_sync_cycles
+                            + result.ifetch_cycles)
+            sp.set(instructions=result.instructions, cycles=total_cycles)
+        observe.add("simulator.runs")
+        observe.add("simulator.instructions", result.instructions)
+        observe.add("simulator.cycles", total_cycles)
+        observe.add("simulator.mem_misses", result.mem_misses)
+        observe.add("simulator.mode_transitions", result.mode_transitions)
+        for key, value in result.cache_stats.items():
+            observe.add(f"simulator.cache.{key}", value)
+        observe.record("simulator.run_wall_s", sp.elapsed_s)
+        if sp.elapsed_s > 0:
+            observe.gauge("simulator.cycles_per_sec", total_cycles / sp.elapsed_s)
+        return result
+
+    def _run(
+        self,
+        cfg: CFG,
+        inputs: dict[str, list] | None,
+        registers: dict[str, float] | None,
+        mode: int | None,
+        schedule: dict[Edge, int] | None,
+        initial_mode: int | None,
+        max_steps: int,
+        trace: list | None,
+    ) -> RunResult:
+        # The uninstrumented interpreter loop; run() wraps it with the
+        # span/counter layer so the hot loop itself stays untouched.
         if mode is not None and schedule is not None:
             raise ScheduleError("pass either a fixed mode or a schedule, not both")
         if schedule is not None:

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe
 from repro.solver.simplex import solve_lp
 from repro.solver.solution import SolveStatus
 
@@ -102,24 +102,33 @@ def solve_milp(
     )
     integer_idx = np.where(integrality)[0]
 
-    start = time.perf_counter()
+    start = observe.clock()
     total_lp_iters = 0
     nodes_explored = 0
+    nodes_pruned = 0
 
     def lp_budget() -> float:
         """Wall-clock left for the next LP solve (floored so a nearly
         exhausted budget still lets the LP fail fast rather than hang)."""
-        return max(1e-3, options.time_limit - (time.perf_counter() - start))
+        return max(1e-3, options.time_limit - (observe.clock() - start))
+
+    def flush_counters() -> None:
+        observe.add("solver.bnb.nodes_explored", nodes_explored)
+        if nodes_pruned:
+            observe.add("solver.bnb.nodes_pruned", nodes_pruned)
 
     root = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds,
                     max_iter=options.max_lp_iter, time_limit_s=lp_budget())
     total_lp_iters += root.iterations
     nodes_explored += 1
     if root.status is SolveStatus.INFEASIBLE:
+        flush_counters()
         return MilpResult(SolveStatus.INFEASIBLE, nodes=1, iterations=total_lp_iters)
     if root.status is SolveStatus.UNBOUNDED:
+        flush_counters()
         return MilpResult(SolveStatus.UNBOUNDED, nodes=1, iterations=total_lp_iters)
     if root.status is SolveStatus.LIMIT:
+        flush_counters()
         return MilpResult(SolveStatus.LIMIT, nodes=1, iterations=total_lp_iters)
 
     incumbent_x: np.ndarray | None = None
@@ -134,8 +143,9 @@ def solve_milp(
     while heap:
         bound, _, node_bounds, node_x, node_obj = heapq.heappop(heap)
         if bound >= incumbent_obj - options.gap_tol:
+            nodes_pruned += 1
             continue  # cannot improve on incumbent
-        if nodes_explored >= options.node_limit or time.perf_counter() - start > options.time_limit:
+        if nodes_explored >= options.node_limit or observe.clock() - start > options.time_limit:
             limit_hit = True
             # Reinstate the popped node so the final best-bound report
             # still covers its (unexplored) subtree.
@@ -148,6 +158,11 @@ def solve_milp(
             if node_obj < incumbent_obj - options.gap_tol:
                 incumbent_obj = node_obj
                 incumbent_x = node_x.copy()
+                observe.add("solver.bnb.incumbents")
+                # Best-first pop order makes this node's bound the global
+                # lower bound, so the event carries the gap over time.
+                observe.event("bnb.incumbent", objective=incumbent_obj,
+                              lower_bound=bound, nodes=nodes_explored)
             continue
 
         value = node_x[branch_var]
@@ -170,20 +185,26 @@ def solve_milp(
                 limit_hit = True
                 continue
             if child.status is not SolveStatus.OPTIMAL:
+                nodes_pruned += 1
                 continue  # infeasible child is pruned
             if child.objective >= incumbent_obj - options.gap_tol:
+                nodes_pruned += 1
                 continue
             frac = _most_fractional(child.x, integer_idx, options.int_tol)
             if frac is None:
                 if child.objective < incumbent_obj - options.gap_tol:
                     incumbent_obj = child.objective
                     incumbent_x = child.x.copy()
+                    observe.add("solver.bnb.incumbents")
+                    observe.event("bnb.incumbent", objective=incumbent_obj,
+                                  lower_bound=bound, nodes=nodes_explored)
             else:
                 heapq.heappush(
                     heap,
                     (child.objective, next(counter), child_bounds, child.x, child.objective),
                 )
 
+    flush_counters()
     if incumbent_x is None:
         status = SolveStatus.LIMIT if limit_hit else SolveStatus.INFEASIBLE
         bound = min([b for b, *_ in heap], default=root.objective)

@@ -13,12 +13,12 @@ contain variables raises :class:`~repro.errors.ModelError`.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import observe
 from repro.errors import ModelError
 from repro.solver.solution import Solution, SolveStatus
 
@@ -339,19 +339,25 @@ class Model:
         """
         if backend not in ("auto", "scipy", "native"):
             raise ModelError(f"unknown backend {backend!r}")
-        start = time.perf_counter()
-        if backend in ("auto", "scipy"):
-            try:
-                from repro.solver import scipy_backend
+        with observe.span("solver.solve", backend=backend, relax=relax,
+                          variables=len(self.variables),
+                          constraints=len(self.constraints)) as sp:
+            if backend in ("auto", "scipy"):
+                try:
+                    from repro.solver import scipy_backend
 
-                solution = scipy_backend.solve_model(self, relax=relax, **options)
-                solution.wall_time = time.perf_counter() - start
-                return solution
-            except ImportError:
-                if backend == "scipy":
-                    raise
-        solution = self._solve_native(relax=relax, **options)
-        solution.wall_time = time.perf_counter() - start
+                    solution = scipy_backend.solve_model(self, relax=relax, **options)
+                    solution.wall_time = sp.elapsed_s
+                    sp.set(status=solution.status.name, used="scipy")
+                    _record_solve_metrics(solution)
+                    return solution
+                except ImportError:
+                    if backend == "scipy":
+                        raise
+            solution = self._solve_native(relax=relax, **options)
+            solution.wall_time = sp.elapsed_s
+            sp.set(status=solution.status.name, used="native")
+            _record_solve_metrics(solution)
         return solution
 
     def _solve_native(self, relax: bool = False, **options) -> Solution:
@@ -399,3 +405,13 @@ class Model:
             f"Model({self.name!r}, vars={len(self.variables)}, "
             f"int={self.num_integer}, cons={len(self.constraints)})"
         )
+
+
+def _record_solve_metrics(solution: Solution) -> None:
+    # Backend-agnostic effort counters; the native simplex / B&B add
+    # finer-grained ones (solver.simplex.*, solver.bnb.*) themselves.
+    observe.add("solver.solves")
+    if solution.iterations:
+        observe.add("solver.iterations", solution.iterations)
+    if solution.nodes:
+        observe.add("solver.nodes", solution.nodes)

@@ -23,11 +23,11 @@ HiGHS across randomized instances in the test suite.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe
 from repro.solver.solution import SolveStatus
 
 #: Pivots between deadline checks (keeps the clock off the hot path).
@@ -185,7 +185,7 @@ def _run_simplex(
         max_iter: hard iteration cap.
         bland_after: switch from Dantzig to Bland pricing after this many
             iterations (anti-cycling guarantee).
-        deadline: absolute :func:`time.perf_counter` instant after which
+        deadline: absolute :data:`repro.observe.clock` instant after which
             the run stops with ``LIMIT`` (checked every few dozen pivots,
             so anytime budgets are honoured within milliseconds instead
             of only between whole LP solves).
@@ -196,13 +196,23 @@ def _run_simplex(
     """
     m = tableau.shape[0] - 1
     reduced = tableau[-1, :-1]
+    degenerate = 0
+
+    def finish(status: SolveStatus, iterations: int) -> tuple[SolveStatus, int]:
+        # Counters are batched per phase, never per pivot, to keep the
+        # pivot loop free of instrumentation cost.
+        observe.add("solver.simplex.pivots", iterations)
+        if degenerate:
+            observe.add("solver.simplex.degenerate_pivots", degenerate)
+        return status, iterations
+
     for iteration in range(max_iter):
         if (deadline is not None and iteration % _DEADLINE_CHECK_EVERY == 0
-                and time.perf_counter() > deadline):
-            return SolveStatus.LIMIT, iteration
+                and observe.clock() > deadline):
+            return finish(SolveStatus.LIMIT, iteration)
         candidates = np.where(allowed & (reduced < -_TOL))[0]
         if candidates.size == 0:
-            return SolveStatus.OPTIMAL, iteration
+            return finish(SolveStatus.OPTIMAL, iteration)
         if iteration < bland_after:
             col = candidates[np.argmin(reduced[candidates])]
         else:
@@ -210,9 +220,11 @@ def _run_simplex(
         column = tableau[:m, col]
         positive = np.where(column > _TOL)[0]
         if positive.size == 0:
-            return SolveStatus.UNBOUNDED, iteration
+            return finish(SolveStatus.UNBOUNDED, iteration)
         ratios = tableau[positive, -1] / column[positive]
         best = np.min(ratios)
+        if best <= _TOL:
+            degenerate += 1
         ties = positive[ratios <= best + _TOL]
         if iteration < bland_after:
             # Stability tie-break: pivot on the largest eligible element.
@@ -223,7 +235,7 @@ def _run_simplex(
             # Bland tie-break: leave the basic variable with smallest index.
             row = ties[np.argmin(basis[ties])]
         _pivot(tableau, basis, row, col)
-    return SolveStatus.LIMIT, max_iter
+    return finish(SolveStatus.LIMIT, max_iter)
 
 
 def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None,
@@ -243,7 +255,8 @@ def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None,
     Returns:
         :class:`SimplexResult` with values in the original variable space.
     """
-    deadline = (time.perf_counter() + time_limit_s
+    observe.add("solver.lp_solves")
+    deadline = (observe.clock() + time_limit_s
                 if time_limit_s is not None else None)
     c = np.asarray(c, dtype=float).ravel()
     n = len(c)

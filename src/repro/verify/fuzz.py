@@ -14,10 +14,10 @@ The CLI front ends are ``repro fuzz`` (random programs) and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.scheduler import DVSOptimizer
+from repro import observe
 from repro.errors import ReproError, VerificationError
 from repro.ir import interpret, validate_cfg
 from repro.ir.passes import optimize as run_passes
@@ -350,7 +350,7 @@ def fuzz(
         on_progress: optional callback ``(index, runs, failures)`` after
             each program.
     """
-    start = time.perf_counter()
+    start = observe.clock()
     report = FuzzReport(runs=0, checks=0)
     for index in range(runs):
         program_seed = seed + index
@@ -384,5 +384,5 @@ def fuzz(
                 break
         if on_progress is not None:
             on_progress(index + 1, runs, len(report.failures))
-    report.elapsed_s = time.perf_counter() - start
+    report.elapsed_s = observe.clock() - start
     return report

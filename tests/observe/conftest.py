@@ -1,0 +1,30 @@
+"""Fixtures for observability tests: clean collector state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+
+
+@pytest.fixture
+def tracing():
+    """Enable tracing on a wiped collector; restore prior state after."""
+    was_enabled = observe.enabled()
+    observe.enable(reset=True)
+    yield
+    observe.snapshot(reset=True)
+    if not was_enabled:
+        observe.disable()
+
+
+@pytest.fixture
+def clean_collector():
+    """Leave tracing off but guarantee the collector is empty."""
+    was_enabled = observe.enabled()
+    observe.disable()
+    observe.reset()
+    yield
+    observe.reset()
+    if was_enabled:
+        observe.enable()

@@ -1,0 +1,181 @@
+"""Collector unit tests: spans, metrics, snapshot/absorb, no-op mode."""
+
+from __future__ import annotations
+
+from repro import observe
+
+
+class TestSpans:
+    def test_nesting_follows_the_thread_stack(self, tracing):
+        with observe.span("outer") as outer:
+            with observe.span("inner") as inner:
+                assert observe.current_span_id() == inner.span_id
+            assert observe.current_span_id() == outer.span_id
+        snap = observe.snapshot()
+        by_name = {s["name"]: s for s in snap["spans"]}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+
+    def test_spans_record_wall_and_cpu_time(self, tracing):
+        with observe.span("timed") as sp:
+            sum(range(10_000))
+        assert sp.elapsed_s > 0
+        assert sp.cpu_s >= 0
+        record = observe.snapshot()["spans"][0]
+        assert record["wall_s"] == sp.elapsed_s
+        assert record["t1"] >= record["t0"]
+
+    def test_attrs_and_late_set(self, tracing):
+        with observe.span("attrs", a=1) as sp:
+            sp.set(b="two")
+        record = observe.snapshot()["spans"][0]
+        assert record["attrs"] == {"a": 1, "b": "two"}
+
+    def test_explicit_parent_crosses_the_stack(self, tracing):
+        # The executor passes its task span id into the worker payload;
+        # the worker's root span must attach to it, not to whatever is
+        # open on the worker's own (empty) stack.
+        off_stack = observe.start_span("executor.task")
+        child = observe.start_span("worker.task", parent_id=off_stack.span_id,
+                                   on_stack=True)
+        observe.end_span(child)
+        observe.end_span(off_stack)
+        spans = {s["name"]: s for s in observe.snapshot()["spans"]}
+        assert spans["worker.task"]["parent"] == spans["executor.task"]["id"]
+
+    def test_off_stack_spans_do_not_become_parents(self, tracing):
+        off_stack = observe.start_span("executor.task")
+        with observe.span("unrelated"):
+            pass
+        observe.end_span(off_stack)
+        spans = {s["name"]: s for s in observe.snapshot()["spans"]}
+        assert spans["unrelated"]["parent"] is None
+
+    def test_end_span_is_idempotent(self, tracing):
+        sp = observe.start_span("once", on_stack=True)
+        observe.end_span(sp)
+        t1 = sp.t1
+        observe.end_span(sp)
+        assert sp.t1 == t1
+        assert len(observe.snapshot()["spans"]) == 1
+
+    def test_exception_marks_the_span(self, tracing):
+        try:
+            with observe.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        record = observe.snapshot()["spans"][0]
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_events_attach_to_innermost_span(self, tracing):
+        with observe.span("host"):
+            observe.event("bnb.incumbent", objective=1.5)
+        record = observe.snapshot()["spans"][0]
+        assert record["events"][0]["name"] == "bnb.incumbent"
+        assert record["events"][0]["attrs"] == {"objective": 1.5}
+
+    def test_traced_decorator(self, tracing):
+        @observe.traced()
+        def work(x):
+            """doc."""
+            return x + 1
+
+        assert work(1) == 2
+        assert work.__doc__ == "doc."
+        spans = observe.snapshot()["spans"]
+        assert len(spans) == 1
+        assert spans[0]["name"].endswith("work")
+
+
+class TestDisabled:
+    def test_spans_still_measure_but_record_nothing(self, clean_collector):
+        with observe.span("dark") as sp:
+            sum(range(1000))
+        assert sp.elapsed_s > 0  # manifest timing fields rely on this
+        assert observe.snapshot()["spans"] == []
+
+    def test_metrics_are_noops(self, clean_collector):
+        observe.add("c", 5)
+        observe.gauge("g", 1.0)
+        observe.record("h", 2.0)
+        observe.event("e")
+        snap = observe.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_traced_decorator_passes_through(self, clean_collector):
+        @observe.traced()
+        def work():
+            return 42
+
+        assert work() == 42
+        assert observe.snapshot()["spans"] == []
+
+
+class TestMetrics:
+    def test_counters_accumulate(self, tracing):
+        observe.add("pivots")
+        observe.add("pivots", 9)
+        assert observe.counter_value("pivots") == 10
+        assert observe.counter_value("missing") == 0
+
+    def test_gauges_keep_the_last_value(self, tracing):
+        observe.gauge("speed", 1.0)
+        observe.gauge("speed", 3.0)
+        assert observe.snapshot()["gauges"]["speed"] == 3.0
+
+    def test_histograms_summarize(self, tracing):
+        for v in (1.0, 2.0, 6.0):
+            observe.record("wait", v)
+        hist = observe.snapshot()["histograms"]["wait"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 9.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 6.0
+        assert hist["mean"] == 3.0
+
+
+class TestSnapshotAbsorb:
+    def test_snapshot_reset_wipes_state(self, tracing):
+        observe.add("c")
+        with observe.span("s"):
+            pass
+        snap = observe.snapshot(reset=True)
+        assert snap["counters"] == {"c": 1}
+        empty = observe.snapshot()
+        assert empty["spans"] == [] and empty["counters"] == {}
+
+    def test_absorb_merges_like_a_worker_pool(self, tracing):
+        # Simulate two workers shipping snapshots back to the parent.
+        observe.add("tasks", 1)
+        observe.record("wait", 1.0)
+        worker = {
+            "format": observe.SNAPSHOT_FORMAT,
+            "pid": 99999,
+            "spans": [{"name": "worker.task", "id": "w-1", "parent": None,
+                       "pid": 99999, "t0": 0.0, "t1": 1.0,
+                       "wall_s": 1.0, "cpu_s": 0.5}],
+            "counters": {"tasks": 2, "pivots": 7},
+            "gauges": {"speed": 4.0},
+            "histograms": {"wait": {"count": 2, "sum": 6.0,
+                                    "min": 2.0, "max": 4.0, "mean": 3.0}},
+        }
+        observe.absorb(worker)
+        snap = observe.snapshot()
+        assert snap["counters"] == {"tasks": 3, "pivots": 7}
+        assert snap["gauges"] == {"speed": 4.0}
+        hist = snap["histograms"]["wait"]
+        assert hist["count"] == 3 and hist["sum"] == 7.0
+        assert hist["min"] == 1.0 and hist["max"] == 4.0
+        assert any(s["pid"] == 99999 for s in snap["spans"])
+
+    def test_absorb_none_is_a_noop(self, tracing):
+        observe.absorb(None)
+        assert observe.snapshot()["counters"] == {}
+
+    def test_reset_clears_the_span_stack(self, tracing):
+        observe.start_span("leaked", on_stack=True)
+        observe.reset()
+        assert observe.current_span_id() is None

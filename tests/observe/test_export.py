@@ -1,0 +1,87 @@
+"""Trace/metrics file round-trips, headers, and malformed-input errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observe
+
+
+def collect_something():
+    with observe.span("outer", program="adpcm"):
+        with observe.span("inner"):
+            observe.add("solver.simplex.pivots", 12)
+            observe.record("executor.queue_wait_s", 0.25)
+            observe.gauge("simulator.cycles_per_sec", 1e6)
+
+
+class TestRoundTrip:
+    def test_export_writes_both_files(self, tracing, tmp_path):
+        collect_something()
+        trace_path, metrics_path = observe.export(tmp_path)
+        assert trace_path.name == "trace.jsonl"
+        assert metrics_path.name == "metrics.json"
+        header, spans = observe.read_trace(trace_path)
+        assert header["kind"] == "trace"
+        assert [s["name"] for s in spans] == ["outer", "inner"]
+        metrics = observe.read_metrics(metrics_path)
+        assert metrics["counters"]["solver.simplex.pivots"] == 12
+        assert metrics["gauges"]["simulator.cycles_per_sec"] == 1e6
+        assert metrics["histograms"]["executor.queue_wait_s"]["count"] == 1
+
+    def test_spans_are_sorted_by_start_time(self, tracing, tmp_path):
+        a = observe.start_span("later")
+        b = observe.start_span("even-later")
+        observe.end_span(b)
+        observe.end_span(a)
+        path = observe.write_trace(tmp_path / "trace.jsonl")
+        _, spans = observe.read_trace(path)
+        t0s = [s["t0"] for s in spans]
+        assert t0s == sorted(t0s)
+
+    def test_headers_carry_version_and_host(self, tracing, tmp_path):
+        collect_something()
+        trace_path, metrics_path = observe.export(tmp_path)
+        trace_header, _ = observe.read_trace(trace_path)
+        metrics_header = observe.read_metrics(metrics_path)["header"]
+        for header in (trace_header, metrics_header):
+            assert header["format"] == observe.FILE_FORMAT
+            assert header["repro_version"] == observe.repro_version()
+            assert set(header["host"]) == {"platform", "python",
+                                           "machine", "node"}
+
+    def test_version_is_a_nonempty_string(self):
+        version = observe.repro_version()
+        assert isinstance(version, str) and version
+
+
+class TestBadInputs:
+    def test_missing_trace_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            observe.read_trace(tmp_path / "trace.jsonl")
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            observe.read_trace(path)
+
+    def test_torn_trace_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "trace", "fo')
+        with pytest.raises(ValueError, match="malformed"):
+            observe.read_trace(path)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"kind": "manifest"}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            observe.read_trace(path)
+
+    def test_non_metrics_document_rejected(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text('{"spans": []}')
+        with pytest.raises(ValueError, match="metrics"):
+            observe.read_metrics(path)

@@ -1,0 +1,63 @@
+"""Disabled-mode overhead: the no-op paths must stay trivially cheap.
+
+The real budget is enforced in ``benchmarks/`` with pytest-benchmark;
+this is the always-on smoke version with very generous bounds, so a
+gross regression (say, an accidental import or lock acquisition on the
+disabled path) fails fast everywhere.
+"""
+
+from __future__ import annotations
+
+from repro import observe
+
+ROUNDS = 20_000
+
+
+def best_of(fn, repeats=5):
+    times = []
+    for _ in range(repeats):
+        t0 = observe.clock()
+        fn()
+        times.append(observe.clock() - t0)
+    return min(times)
+
+
+def test_disabled_counter_is_nanoseconds_scale(clean_collector):
+    def loop():
+        for _ in range(ROUNDS):
+            observe.add("c")
+
+    per_call = best_of(loop) / ROUNDS
+    assert per_call < 2e-6, f"no-op add costs {per_call * 1e9:.0f} ns"
+
+
+def test_disabled_span_is_cheap(clean_collector):
+    def loop():
+        for _ in range(ROUNDS):
+            with observe.span("s"):
+                pass
+
+    per_call = best_of(loop) / ROUNDS
+    # A disabled span still reads both clocks (callers use it for
+    # timing), so the bound is looser than for counters.
+    assert per_call < 2e-5, f"no-op span costs {per_call * 1e9:.0f} ns"
+
+
+def test_disabled_traced_function_adds_little(clean_collector):
+    def plain():
+        return 1
+
+    @observe.traced()
+    def wrapped():
+        return 1
+
+    def loop_plain():
+        for _ in range(ROUNDS):
+            plain()
+
+    def loop_wrapped():
+        for _ in range(ROUNDS):
+            wrapped()
+
+    overhead = (best_of(loop_wrapped) - best_of(loop_plain)) / ROUNDS
+    assert overhead < 2e-6, f"traced() adds {overhead * 1e9:.0f} ns when off"
