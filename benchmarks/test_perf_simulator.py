@@ -1,0 +1,53 @@
+"""Fast-path speedup floor and bit-identity (the `repro bench` harness).
+
+The acceptance bar for the accelerated simulator: at least 3x wall-clock
+over the reference interpreter on the loop-heavy benchmark, with
+bit-identical results.  The measured document is persisted as
+``benchmarks/results/BENCH_simulator.json`` so CI can archive a
+per-commit baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import RESULTS_DIR, write_artifact
+
+from repro.perf.bench import run_bench, write_bench_json
+
+#: The tentpole acceptance floor: loop-heavy steady state, >= 3x.
+SPEEDUP_FLOOR = 3.0
+
+
+def test_fastpath_speedup_floor_and_identity():
+    document = run_bench(repeats=2)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_bench_json(document, RESULTS_DIR / "BENCH_simulator.json")
+
+    case = document["cases"][0]
+    lines = [
+        "Fast-path benchmark (loop-heavy FIR kernel)",
+        f"  reference {case['reference_s']:.3f}s  fast {case['fast_s']:.3f}s  "
+        f"speedup {case['speedup']:.2f}x  identical {case['identical']}",
+        f"  fastpath counters: {case['fastpath']}",
+        f"  [json baseline: {path}]",
+    ]
+    write_artifact("perf_simulator", "\n".join(lines))
+
+    assert document["all_identical"], "fast path diverged from reference"
+    assert case["speedup"] >= SPEEDUP_FLOOR, (
+        f"loop-heavy speedup {case['speedup']:.2f}x fell below the "
+        f"{SPEEDUP_FLOOR}x floor"
+    )
+    # the JSON must round-trip for CI consumers
+    parsed = json.loads(path.read_text())
+    assert parsed["headline_speedup"] == document["headline_speedup"]
+    assert parsed["format"] == 1
+
+
+def test_fastpath_engages_on_loop_heavy():
+    document = run_bench(repeats=1)
+    stats = document["cases"][0]["fastpath"]
+    assert stats["enabled"] == 1
+    assert stats["loop_iterations"] > 0
+    assert stats["fast_blocks"] > stats["slow_blocks"]

@@ -86,9 +86,12 @@ from repro.verify import tolerances
 from repro.workloads import all_workloads, compile_workload, get_workload
 
 
-def _machine(levels: int | None, capacitance_uf: float) -> Machine:
+def _machine(levels: int | None, capacitance_uf: float,
+             fastpath: bool = True) -> Machine:
     table = XSCALE_3 if levels is None else make_mode_table(levels)
-    return Machine(SCALE_CONFIG, table, TransitionCostModel(capacitance_f=capacitance_uf * 1e-6))
+    return Machine(SCALE_CONFIG, table,
+                   TransitionCostModel(capacitance_f=capacitance_uf * 1e-6),
+                   fastpath=fastpath)
 
 
 def _workload_context(name: str, category: str | None, seed: int):
@@ -136,7 +139,8 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
-    machine = _machine(args.levels, args.capacitance_uf)
+    machine = _machine(args.levels, args.capacitance_uf,
+                       not getattr(args, "no_fastpath", False))
     mode = args.mode if args.mode is not None else len(machine.mode_table) - 1
     result = machine.run(cfg, inputs=inputs, registers=registers, mode=mode)
     point = machine.mode_table[mode]
@@ -152,7 +156,8 @@ def cmd_run(args) -> int:
 
 def cmd_params(args) -> int:
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
-    machine = _machine(args.levels, args.capacitance_uf)
+    machine = _machine(args.levels, args.capacitance_uf,
+                       not getattr(args, "no_fastpath", False))
     params = extract_params(machine, cfg, inputs=inputs, registers=registers)
     print(f"{args.workload} analytical parameters (Section 3.2):")
     print(f"  N_overlap    {params.n_overlap / 1e3:12.1f} Kcycles")
@@ -165,7 +170,8 @@ def cmd_params(args) -> int:
 
 def cmd_profile(args) -> int:
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
-    machine = _machine(args.levels, args.capacitance_uf)
+    machine = _machine(args.levels, args.capacitance_uf,
+                       not getattr(args, "no_fastpath", False))
     optimizer = DVSOptimizer(machine)
     category = args.category or spec.categories[0]
     store = _store_from_args(args)
@@ -192,7 +198,8 @@ def _resolve_deadline(profile, frac: float) -> float:
 
 def cmd_optimize(args) -> int:
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
-    machine = _machine(args.levels, args.capacitance_uf)
+    machine = _machine(args.levels, args.capacitance_uf,
+                       not getattr(args, "no_fastpath", False))
     optimizer = DVSOptimizer(machine)
     category = args.category or spec.categories[0]
     store = _store_from_args(args)
@@ -307,7 +314,8 @@ def cmd_optimize(args) -> int:
 
 def cmd_bound(args) -> int:
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
-    machine = _machine(args.levels, args.capacitance_uf)
+    machine = _machine(args.levels, args.capacitance_uf,
+                       not getattr(args, "no_fastpath", False))
     optimizer = DVSOptimizer(machine)
     profile = optimizer.profile(cfg, inputs=inputs, registers=registers)
     params = extract_params(machine, cfg, inputs=inputs, registers=registers)
@@ -322,7 +330,8 @@ def cmd_verify(args) -> int:
     from repro.verify.fuzz import verify_program
 
     spec, cfg, inputs, registers = _workload_context(args.workload, args.category, args.seed)
-    machine = _machine(args.levels, args.capacitance_uf)
+    machine = _machine(args.levels, args.capacitance_uf,
+                       not getattr(args, "no_fastpath", False))
     results = verify_program(
         spec.source,
         inputs,
@@ -342,7 +351,8 @@ def cmd_verify(args) -> int:
 def cmd_fuzz(args) -> int:
     from repro.verify.fuzz import fuzz
 
-    machine = _machine(args.levels, args.capacitance_uf)
+    machine = _machine(args.levels, args.capacitance_uf,
+                       not getattr(args, "no_fastpath", False))
 
     def progress(done: int, total: int, failures: int) -> None:
         if done % 10 == 0 or done == total or failures:
@@ -408,6 +418,7 @@ def cmd_sweep(args) -> int:
         solver_budget_s=args.solver_budget,
         resume=args.resume,
         trace=args.trace,
+        fastpath=not args.no_fastpath,
     )
 
     total_tasks = 0
@@ -550,6 +561,27 @@ def cmd_chaos(args) -> int:
     return report.exit_code
 
 
+def cmd_bench(args) -> int:
+    from repro.perf.bench import run_bench, write_bench_json
+
+    document = run_bench(suite=args.suite, repeats=args.repeats,
+                         mode=args.mode)
+    print(f"{'case':<14s} {'reference':>10s} {'fast':>10s} "
+          f"{'speedup':>8s}  identical")
+    for case in document["cases"]:
+        print(f"{case['name']:<14s} {case['reference_s']:>9.3f}s "
+              f"{case['fast_s']:>9.3f}s {case['speedup']:>7.2f}x  "
+              f"{'yes' if case['identical'] else 'NO'}")
+    path = write_bench_json(document, args.output)
+    print(f"\nheadline {document['headline_speedup']:.2f}x "
+          f"[written to {path}]")
+    if not document["all_identical"]:
+        print("bench: fast path diverged from the reference interpreter",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -568,6 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0, help="input seed")
         p.add_argument("--levels", type=int, default=None,
                        help="use an n-level alpha-power table instead of XScale-3")
+        p.add_argument("--no-fastpath", action="store_true",
+                       help="force the reference interpreter (the accelerated "
+                            "path is bit-exact; this exists for A/B checks)")
         p.add_argument("--capacitance-uf", type=float, default=10.0,
                        help="regulator capacitance in uF (default 10)")
 
@@ -668,6 +703,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 600; 0 disables)")
     p_sweep.add_argument("--retries", type=int, default=1,
                          help="retry budget per task (default 1)")
+    p_sweep.add_argument("--no-fastpath", action="store_true",
+                         help="simulate on the reference interpreter only "
+                              "(results.jsonl is byte-identical either way)")
     p_sweep.add_argument("--inject-fault", default=None, metavar="PATTERN[@N]",
                          help="kill task ids matching a glob (testing); "
                               "@N fails only the first N attempts")
@@ -693,6 +731,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "+ metrics.json next to the manifest "
                               "(also enabled by $REPRO_TRACE=1)")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the accelerated simulator against the reference "
+             "interpreter (writes BENCH_simulator.json)",
+    )
+    p_bench.add_argument("--suite", action="store_true",
+                         help="also benchmark every suite workload")
+    p_bench.add_argument("--repeats", type=int, default=1,
+                         help="timing repeats per case, best-of (default 1)")
+    p_bench.add_argument("--mode", type=int, default=2,
+                         help="mode index to simulate at (default 2)")
+    p_bench.add_argument("-o", "--output", default="BENCH_simulator.json",
+                         help="output JSON path (default BENCH_simulator.json)")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_trace = sub.add_parser(
         "trace", help="inspect a sweep's trace.jsonl"

@@ -35,9 +35,12 @@ class TransitionCosts:
 
     @classmethod
     def from_model(cls, model: TransitionCostModel) -> "TransitionCosts":
+        # Delegate to the model's canonical properties instead of
+        # re-deriving (1-u)·c here: both the MILP constants and the
+        # simulator's per-transition charges must come from one place.
         return cls(
-            ce_j_per_v2=(1.0 - model.efficiency) * model.capacitance_f,
-            ct_s_per_v=2.0 * model.capacitance_f / model.i_max_a,
+            ce_j_per_v2=model.ce_j_per_v2,
+            ct_s_per_v=model.ct_s_per_v,
         )
 
     @property

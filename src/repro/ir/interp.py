@@ -135,8 +135,14 @@ class DataMemory:
 
     def write_array(self, base: int, values) -> None:
         """Bulk-initialize an array region starting at ``base``."""
-        for i, value in enumerate(values):
-            self.write(base + i * self.element_size, value)
+        values = list(values)
+        if not values:
+            return
+        # Validate both ends once; interior addresses of a stride-1 element
+        # run are then aligned and in bounds by construction.
+        start = self._index(base)
+        self._index(base + (len(values) - 1) * self.element_size)
+        self.cells[start:start + len(values)] = values
 
     def read_array(self, base: int, length: int) -> list:
         """Bulk-read ``length`` elements from ``base``."""

@@ -1,0 +1,64 @@
+"""Compensated (Neumaier) summation for energy/time accounting.
+
+The simulator accumulates millions of tiny per-instruction energy terms.
+With bare ``+=`` the total depends on summation *order*, so a fast path
+that replays a block's contribution as one pre-folded delta would
+silently diverge from the reference interpreter in the last bits.  The
+machine therefore (a) accumulates within one block execution locally and
+commits one delta per block — both paths perform the *same* sequence of
+run-level additions — and (b) makes those run-level additions compensated,
+so the totals are also robust to the magnitude spread between a block
+delta (~1e1 nJ) and a long run's total (~1e6 nJ).
+
+Neumaier's variant of Kahan summation is used: it also compensates when
+the incoming term is larger than the running sum, which happens at the
+start of a run and after mode transitions.
+"""
+
+from __future__ import annotations
+
+
+class NeumaierSum:
+    """A compensated accumulator: ``add`` terms, read ``value``.
+
+    The loop-bearing machine code inlines the same update for speed; this
+    class is the reference form used by accounting code, tests and any
+    future consumer.  The update for a term ``x`` on state ``(s, c)``::
+
+        t = s + x
+        c += (s - t) + x   if |s| >= |x|   (low-order bits of x lost)
+        c += (x - t) + s   otherwise       (low-order bits of s lost)
+        s = t
+
+    and the total is ``s + c``.
+    """
+
+    __slots__ = ("s", "c")
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.s = float(value)
+        self.c = 0.0
+
+    def add(self, x: float) -> None:
+        s = self.s
+        t = s + x
+        if abs(s) >= abs(x):
+            self.c += (s - t) + x
+        else:
+            self.c += (x - t) + s
+        self.s = t
+
+    @property
+    def value(self) -> float:
+        return self.s + self.c
+
+    def __repr__(self) -> str:
+        return f"NeumaierSum({self.value!r})"
+
+
+def neumaier_sum(terms) -> float:
+    """Compensated sum of an iterable of floats."""
+    acc = NeumaierSum()
+    for term in terms:
+        acc.add(term)
+    return acc.value

@@ -1,0 +1,159 @@
+"""Fast-path engine: compiled program cache and per-mode delta tables.
+
+One :class:`ProgramFast` holds everything the machine's dispatcher needs
+to accelerate a (machine, program) pair:
+
+* ``block_fns`` — label -> generated block function (mode-independent;
+  see :mod:`repro.perf.blockc`);
+* ``consts(mode)`` — label -> folded per-execution delta tuple, built
+  lazily per mode with the machine's own energy/cycle constants so the
+  folded floats are bitwise what the interpreter would accumulate;
+* ``loop_fn(header, mode)`` — generated steady-state loop function
+  (:mod:`repro.perf.loopc`), compiled lazily per (loop, mode);
+* ``loop_headers_disjoint(schedule)`` — the headers whose loops contain
+  no scheduled edge (mode-sets must execute in the dispatcher, so such
+  loops cannot be fast-forwarded).
+
+Compilation is best-effort throughout: any block or loop that fails to
+compile simply stays on the reference interpreter.  Instances are cached
+per machine, keyed by program identity, and rebuilt if the machine's
+configuration or mode table object changes.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+from repro.ir.instructions import OpClass
+from repro.ir.loops import find_natural_loops
+from repro.perf.blockc import compile_block, fold_block_consts
+from repro.perf.loopc import compile_loop
+from repro.simulator.energy import EnergyModel
+
+
+def fastpath_disabled_env() -> bool:
+    """True when ``$REPRO_NO_FASTPATH`` globally disables the fast path."""
+    return os.environ.get("REPRO_NO_FASTPATH", "") not in ("", "0")
+
+
+class ProgramFast:
+    """Compiled fast-path state for one (machine, CFG) pair."""
+
+    def __init__(self, machine, cfg) -> None:
+        self.config = machine.config
+        self.mode_table = machine.mode_table
+        self.element_size = cfg.element_size
+        _, block_lines = machine._decode(cfg)
+        self.block_lines = block_lines
+        self.blocks = {label: blk.instructions for label, blk in cfg.blocks.items()}
+
+        self.block_fns: dict = {}
+        for label, instrs in self.blocks.items():
+            try:
+                fn = compile_block(label, instrs, block_lines[label],
+                                   self.config, self.element_size)
+            except Exception:
+                fn = None
+            if fn is not None:
+                self.block_fns[label] = fn
+
+        self._energy = EnergyModel(self.config)
+        self._consts: dict[int, dict] = {}
+        self._loop_fns: dict = {}
+        self._loop_bodies: dict[str, list[str]] = {}
+        self.loop_edges: dict[str, frozenset] = {}
+        try:
+            loops = find_natural_loops(cfg)
+        except Exception:
+            loops = []
+        for loop in loops:
+            header = loop.header
+            if header not in self.block_fns:
+                continue
+            if any(label not in self.block_fns for label in loop.blocks):
+                continue
+            body = [header] + [l for l in cfg.blocks
+                               if l in loop.blocks and l != header]
+            edges = set()
+            for label in body:
+                instrs = self.blocks[label]
+                if not instrs:
+                    continue
+                for tgt in getattr(instrs[-1], "targets", tuple)():
+                    if tgt in loop.blocks:
+                        edges.add((label, tgt))
+            self._loop_bodies[header] = body
+            self.loop_edges[header] = frozenset(edges)
+
+    def consts(self, mode: int) -> dict:
+        """Label -> per-execution delta tuple for one mode (cached)."""
+        table = self._consts.get(mode)
+        if table is None:
+            point = self.mode_table.points[mode]
+            ct = point.cycle_time_s
+            v = point.voltage
+            op_energy = {cls: self._energy.op_energy_nj(cls, v) for cls in OpClass}
+            table = {
+                label: fold_block_consts(self.blocks[label],
+                                         self.block_lines[label],
+                                         self.config, ct, v, op_energy)
+                for label in self.block_fns
+            }
+            self._consts[mode] = table
+        return table
+
+    def loop_fn(self, header: str, mode: int):
+        """The loop function for (header, mode), or None (cached)."""
+        key = (header, mode)
+        if key in self._loop_fns:
+            return self._loop_fns[key]
+        fn = None
+        body = self._loop_bodies.get(header)
+        if body is not None:
+            try:
+                fn = compile_loop(header, body, self.blocks, self.block_lines,
+                                  self.config, self.element_size,
+                                  self.consts(mode))
+            except Exception:
+                fn = None
+        self._loop_fns[key] = fn
+        return fn
+
+    def loop_headers_disjoint(self, schedule) -> frozenset:
+        """Headers of loops none of whose internal edges are scheduled."""
+        if not schedule:
+            return frozenset(self.loop_edges)
+        scheduled = set(schedule)
+        return frozenset(
+            header for header, edges in self.loop_edges.items()
+            if not (edges & scheduled)
+        )
+
+
+def program_fast(machine, cfg) -> ProgramFast:
+    """The cached :class:`ProgramFast` for (machine, cfg).
+
+    The cache lives on the machine instance and keys programs by identity
+    (CFGs are mutable and unhashable); a stale entry whose CFG was
+    collected, or whose machine config/mode-table object changed, is
+    rebuilt.
+    """
+    cache = machine.__dict__.setdefault("_perf_cache", {})
+    entry = cache.get(id(cfg))
+    if entry is not None:
+        ref, pf = entry
+        if (ref() is cfg and pf.config is machine.config
+                and pf.mode_table is machine.mode_table):
+            return pf
+    pf = ProgramFast(machine, cfg)
+    try:
+        ref = weakref.ref(cfg)
+    except TypeError:  # un-weakref-able CFG subclass: never cache-hit
+        def ref():
+            return None
+    cache[id(cfg)] = (ref, pf)
+    if len(cache) > 64:  # drop dead entries; bound per-machine growth
+        for key in [k for k, (r, _) in cache.items() if r() is None]:
+            del cache[key]
+    return pf

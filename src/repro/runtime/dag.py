@@ -54,6 +54,10 @@ class MachineSpec:
 
     levels: int | None = None  # None -> the paper's XScale-3 table
     capacitance_uf: float = 10.0
+    # The fast path is bit-exact, so this is an execution knob, not part
+    # of the machine's observable identity: it must never enter cache
+    # keys, experiment ids or results.jsonl records.
+    fastpath: bool = True
 
     def build(self) -> Machine:
         table = XSCALE_3 if self.levels is None else make_mode_table(self.levels)
@@ -61,6 +65,7 @@ class MachineSpec:
             SCALE_CONFIG,
             table,
             TransitionCostModel(capacitance_f=self.capacitance_uf * 1e-6),
+            fastpath=self.fastpath,
         )
 
     @property
@@ -104,6 +109,7 @@ class ExperimentSpec:
             "levels": self.machine.levels,
             "capacitance_uf": self.machine.capacitance_uf,
             "deadline_frac": self.deadline_frac,
+            "fastpath": self.machine.fastpath,
         }
 
 
@@ -244,7 +250,8 @@ def build_task_graph(
 def _context(spec: dict[str, Any]):
     workload = get_workload(spec["workload"])
     cfg = compile_workload(spec["workload"])
-    machine = MachineSpec(spec["levels"], spec["capacitance_uf"]).build()
+    machine = MachineSpec(spec["levels"], spec["capacitance_uf"],
+                          spec.get("fastpath", True)).build()
     inputs = workload.inputs(category=spec["category"], seed=spec["seed"])
     return workload, cfg, machine, inputs, workload.registers()
 
@@ -282,7 +289,8 @@ def _task_bound(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
     from repro.core.analytical import ProgramParams
 
     profile = profile_from_dict(deps["profile"]["profile"])
-    machine = MachineSpec(spec["levels"], spec["capacitance_uf"]).build()
+    machine = MachineSpec(spec["levels"], spec["capacitance_uf"],
+                          spec.get("fastpath", True)).build()
     params = ProgramParams(**deps["params"]["params"])
     deadline = profile.deadline_at(spec["deadline_frac"])
     bound = savings_ratio_discrete(params, deadline, machine.mode_table)
@@ -330,7 +338,8 @@ def _task_simulate(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]
 
 def _task_verify(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
     profile = profile_from_dict(deps["profile"]["profile"])
-    machine = MachineSpec(spec["levels"], spec["capacitance_uf"]).build()
+    machine = MachineSpec(spec["levels"], spec["capacitance_uf"],
+                          spec.get("fastpath", True)).build()
     optimize = deps["optimize"]
     run = run_summary_from_dict(deps["simulate"]["run"])
     deadline = optimize["deadline_s"]

@@ -36,8 +36,13 @@ from repro.errors import CacheError
 from repro.profiling.serialize import FORMAT_VERSION
 from repro.simulator.machine import Machine
 
-#: Bumped whenever key semantics change; part of every key document.
-KEY_VERSION = 1
+#: Bumped whenever key semantics change *or* the simulator's numeric
+#: outputs change for identical inputs.  v2: compensated (Neumaier)
+#: energy accounting and the canonical nJ-space transition-cost path
+#: perturb run summaries in the last few ulps, so v1 artifacts must not
+#: be served.  The fast path is deliberately *not* part of any key:
+#: it is bit-exact, so fast and reference runs share artifacts.
+KEY_VERSION = 2
 
 
 def canonical_json(obj: Any) -> str:

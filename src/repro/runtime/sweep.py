@@ -53,6 +53,7 @@ class SweepConfig:
     solver_budget_s: float | None = None  # anytime optimize budget
     resume: bool = False  # replay the journal in output_dir
     trace: bool = False  # collect + export trace.jsonl / metrics.json
+    fastpath: bool = True  # bit-exact accelerated simulation (see repro.perf)
 
 
 @dataclass
@@ -120,7 +121,8 @@ def build_grid(config: SweepConfig) -> list[ExperimentSpec]:
         for category in categories:
             for levels in config.levels:
                 machine = MachineSpec(levels=levels,
-                                      capacitance_uf=config.capacitance_uf)
+                                      capacitance_uf=config.capacitance_uf,
+                                      fastpath=config.fastpath)
                 for frac in config.deadline_fracs:
                     experiments.append(ExperimentSpec(
                         workload=name,

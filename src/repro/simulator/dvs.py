@@ -158,16 +158,43 @@ class TransitionCostModel:
     efficiency: float = 0.9
     i_max_a: float = 1.0
 
+    # The linear-form constants CE and CT live *here* and nowhere else:
+    # the simulator's charged costs and the MILP's linearized constants
+    # (core.milp.transition.TransitionCosts) both read these properties,
+    # so the two sides cannot drift apart.
+
+    @property
+    def ce_j_per_v2(self) -> float:
+        """CE = (1-u)·c in Joules per squared volt."""
+        return (1.0 - self.efficiency) * self.capacitance_f
+
+    @property
+    def ce_nj_per_v2(self) -> float:
+        """CE in nanojoules per squared volt (the simulator's energy unit)."""
+        return self.ce_j_per_v2 * 1e9
+
+    @property
+    def ct_s_per_v(self) -> float:
+        """CT = 2c/Imax in seconds per volt."""
+        return 2.0 * self.capacitance_f / self.i_max_a
+
     def energy_j(self, v_from: float, v_to: float) -> float:
-        """SE = (1-u) * c * |v1² - v2²| in Joules (0 for same voltage)."""
-        return (1.0 - self.efficiency) * self.capacitance_f * abs(v_from**2 - v_to**2)
+        """SE = CE * |v1² - v2²| in Joules (0 for same voltage)."""
+        return self.ce_j_per_v2 * abs(v_from**2 - v_to**2)
 
     def time_s(self, v_from: float, v_to: float) -> float:
-        """ST = 2c/Imax * |v1 - v2| in seconds (0 for same voltage)."""
-        return 2.0 * self.capacitance_f / self.i_max_a * abs(v_from - v_to)
+        """ST = CT * |v1 - v2| in seconds (0 for same voltage)."""
+        return self.ct_s_per_v * abs(v_from - v_to)
 
     def energy_nj(self, v_from: float, v_to: float) -> float:
-        return self.energy_j(v_from, v_to) * 1e9
+        """Canonical nJ-space SE.
+
+        Computed as ``ce_nj_per_v2 * |v1² - v2²|`` — the exact product the
+        MILP objective forms — rather than converting a Joule-space result,
+        so the simulator's per-transition charge is bitwise the constant
+        the formulation prices transitions with.
+        """
+        return self.ce_nj_per_v2 * abs(v_from**2 - v_to**2)
 
     def with_capacitance(self, capacitance_f: float) -> "TransitionCostModel":
         """Copy with a different regulator capacitance (Figure 15 sweeps)."""

@@ -31,6 +31,22 @@ issued while a miss is outstanding accumulate ``overlap_cycles``
 (N_dependent); memory-operation cycles that hit in cache accumulate
 ``cache_cycles`` (N_cache); and ``t_invariant_s`` is the total wall-clock
 main-memory service time (misses × latency, port-serialized).
+
+Accounting structure (the fast-path contract)
+=============================================
+
+Wall time and energy are accumulated *per block execution* into local
+deltas and committed once per block: ``now += Δt`` plus compensated
+(Neumaier) additions of ``Δt``/``Δe`` into the per-block and run-level
+accumulators.  Both the reference interpreter and the :mod:`repro.perf`
+fast path therefore perform the *identical* sequence of run-level float
+operations — which is what makes block-delta memoization bit-exact: a
+memoized delta is the same float the interpreter would have produced, and
+it is applied through the same commit.  The fast path engages only when
+the pending set is empty, no miss is outstanding, and every I-line and
+touched D-line of the block is L1-resident; anything else falls back to
+the reference interpretation below (``fastpath=False`` or
+``$REPRO_NO_FASTPATH=1`` disables the fast path entirely).
 """
 
 from __future__ import annotations
@@ -116,6 +132,12 @@ class Machine:
         config: machine description (caches, memory latency, energies).
         mode_table: the available (V, f) operating points.
         transition_model: regulator model for mode-switch costs.
+        fastpath: enable the :mod:`repro.perf` hot-path acceleration
+            (block-delta memoization and steady-state loop
+            fast-forwarding).  The fast path is bit-exact — it produces
+            the same :class:`RunResult` as the reference interpreter —
+            so this switch exists only for differential testing and as
+            an escape hatch (also ``$REPRO_NO_FASTPATH=1``).
     """
 
     def __init__(
@@ -123,10 +145,15 @@ class Machine:
         config: MachineConfig = SCALE_CONFIG,
         mode_table: ModeTable = XSCALE_3,
         transition_model: TransitionCostModel = ZERO_TRANSITION,
+        fastpath: bool = True,
     ) -> None:
         self.config = config
         self.mode_table = mode_table
         self.transition_model = transition_model
+        self.fastpath = fastpath
+        #: Diagnostic snapshot of the last run's fast-path activity
+        #: (block/loop hit counts).  Not part of any RunResult.
+        self.last_fastpath_stats: dict[str, int] = {}
 
     # -- decoding ---------------------------------------------------------------
 
@@ -183,6 +210,7 @@ class Machine:
         initial_mode: int | None = None,
         max_steps: int = 200_000_000,
         trace: list | None = None,
+        fastpath: bool | None = None,
     ) -> RunResult:
         """Execute a program.
 
@@ -200,17 +228,20 @@ class Machine:
                 mode)`` tuple at every block entry — the timeline data
                 :mod:`repro.simulator.trace` analyzes.  Tracing costs one
                 append per block execution; leave None for full speed.
+            fastpath: per-run override of the machine's ``fastpath``
+                setting (None keeps it).  On or off, the RunResult is
+                bit-identical.
 
         Returns:
             a :class:`RunResult`.
         """
         if not observe.enabled():
             return self._run(cfg, inputs, registers, mode, schedule,
-                             initial_mode, max_steps, trace)
+                             initial_mode, max_steps, trace, fastpath)
         with observe.span("simulator.run", program=cfg.name,
                           scheduled=schedule is not None) as sp:
             result = self._run(cfg, inputs, registers, mode, schedule,
-                               initial_mode, max_steps, trace)
+                               initial_mode, max_steps, trace, fastpath)
             total_cycles = (result.overlap_cycles + result.dependent_cycles
                             + result.cache_cycles + result.dmiss_sync_cycles
                             + result.ifetch_cycles)
@@ -222,6 +253,13 @@ class Machine:
         observe.add("simulator.mode_transitions", result.mode_transitions)
         for key, value in result.cache_stats.items():
             observe.add(f"simulator.cache.{key}", value)
+        perf_stats = self.last_fastpath_stats
+        if perf_stats.get("enabled"):
+            observe.add("perf.blocks.fast", perf_stats["fast_blocks"])
+            observe.add("perf.blocks.slow", perf_stats["slow_blocks"])
+            observe.add("perf.blocks.bailed", perf_stats["bails"])
+            observe.add("perf.loop.entries", perf_stats["loop_entries"])
+            observe.add("perf.loop.fast_iterations", perf_stats["loop_iterations"])
         observe.record("simulator.run_wall_s", sp.elapsed_s)
         if sp.elapsed_s > 0:
             observe.gauge("simulator.cycles_per_sec", total_cycles / sp.elapsed_s)
@@ -237,6 +275,7 @@ class Machine:
         initial_mode: int | None,
         max_steps: int,
         trace: list | None,
+        fastpath: bool | None = None,
     ) -> RunResult:
         # The uninstrumented interpreter loop; run() wraps it with the
         # span/counter layer so the hot loop itself stays untouched.
@@ -289,7 +328,6 @@ class Machine:
         now = 0.0
         miss_done = 0.0
         mem_latency = self.config.memory_latency_s
-        cpu_energy = 0.0
         gated_wait = 0.0
         overlap_cycles = 0
         dependent_cycles = 0
@@ -302,8 +340,14 @@ class Machine:
         modeset_executions = 0
         transition_energy_nj = 0.0
         transition_time_s = 0.0
+        # Run-level DRAM energy: compensated (Neumaier) accumulator state.
+        mem_s = 0.0
+        mem_c = 0.0
 
-        block_stats: dict[str, BlockStats] = {label: BlockStats() for label in cfg.blocks}
+        # Per-label accounting: [count, time_s, time_comp, e_nj, e_comp].
+        # Time/energy use compensated summation (see module docstring);
+        # BlockStats are materialized from these at the end of the run.
+        acct: dict[str, list] = {label: [0, 0.0, 0.0, 0.0, 0.0] for label in cfg.blocks}
         edge_counts: dict[Edge, int] = {}
         path_counts: dict[tuple[str, str, str], int] = {}
 
@@ -315,7 +359,6 @@ class Machine:
         l1i_c = self.config.l1i.access_energy_nf
         l2_c = self.config.l2.access_energy_nf
         mem_energy_nj = self.config.memory_access_energy_nj
-        memory_energy = 0.0
 
         label = cfg.entry
         prev_block = ENTRY_EDGE_SOURCE
@@ -328,213 +371,370 @@ class Machine:
         daccess = dcache.access
         iaccess = icache.access
 
+        # ---- fast-path setup (repro.perf) -----------------------------------
+        use_fast = self.fastpath if fastpath is None else bool(fastpath)
+        pf = None
+        fast_fns = None
+        fast_consts = None
+        loop_ok: frozenset = frozenset()
+        fast_blocks = 0
+        slow_blocks = 0
+        bails = 0
+        loop_entries = 0
+        loop_iterations = 0
+        if use_fast:
+            from repro.perf.engine import fastpath_disabled_env, program_fast
+
+            if fastpath_disabled_env():
+                use_fast = False
+            else:
+                pf = program_fast(self, cfg)
+                fast_fns = pf.block_fns
+                fast_consts = pf.consts(current_mode)
+                if trace is None:
+                    loop_ok = pf.loop_headers_disjoint(schedule)
+                _st = [0.0] * 10
+        dl1 = dcache.l1
+        il1 = icache.l1
+        dsets = dl1.sets
+        isets = il1.sets
+        cells = memory.cells
+
         while not finished:
             if trace is not None:
                 trace.append((now, label, current_mode))
-            stats = block_stats[label]
-            stats.count += 1
-            t_block = now
-            e_block = cpu_energy
-
-            # Instruction fetch: one I-cache access per line the block spans.
-            for line_addr in block_lines[label]:
-                res = iaccess(line_addr)
-                ifetch_cycles += res.sync_cycles
-                now += res.sync_cycles * cycle_time
-                cpu_energy += (l1i_c + base_c * res.sync_cycles) * voltage * voltage
-                if res.level == "l2":
-                    cpu_energy += l2_c * voltage * voltage
-                if res.memory_miss:
-                    # Instruction miss: synchronous wall-clock fill.
-                    if now < miss_done:
-                        gated_wait += miss_done - now
-                        now = miss_done
-                    mem_misses += 1
-                    memory_energy += mem_energy_nj
-                    miss_done = now + mem_latency
-                    gated_wait += mem_latency
-                    now = miss_done
-
             next_label: str | None = None
-            for op in decoded[label]:
-                instructions += 1
-                kind = op[0]
-                cls = op[-1]
+            fast_committed = False
 
-                if kind == _BINOP:
-                    _, fn, dst, lhs, rhs, _ = op
-                    if pending:
-                        ready = pending.pop(lhs, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                        ready = pending.pop(rhs, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                    lat = cls.latency
-                    if now < miss_done:
-                        overlap_cycles += lat
-                    else:
-                        dependent_cycles += lat
-                    now += lat * cycle_time
-                    cpu_energy += op_energy[cls]
-                    regs[dst] = fn(regs[lhs], regs[rhs])
-                    pending.pop(dst, None)
-                elif kind == _CONST:
-                    _, dst, value, _ = op
-                    if now < miss_done:
-                        overlap_cycles += 1
-                    else:
-                        dependent_cycles += 1
-                    now += cycle_time
-                    cpu_energy += op_energy[cls]
-                    regs[dst] = value
-                    if pending:
-                        pending.pop(dst, None)
-                elif kind == _LOAD:
-                    _, dst, basereg, offset, _ = op
-                    if pending:
-                        ready = pending.pop(basereg, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                    now += cycle_time  # address generation (MEM latency 1)
-                    cpu_energy += op_energy[cls]
-                    address = int(regs[basereg]) + offset
-                    res = daccess(address)
-                    now += res.sync_cycles * cycle_time
-                    cpu_energy += (l1d_c + base_c * res.sync_cycles) * voltage * voltage
-                    if res.level != "l1":
-                        cpu_energy += l2_c * voltage * voltage
+            if fast_fns is not None and not pending and now >= miss_done:
+                # -- steady-state loop fast-forward: stay in compiled code
+                # across back-edges, committing identical per-block deltas.
+                if label in loop_ok:
+                    lf = pf.loop_fn(label, current_mode)
+                    if lf is not None:
+                        _st[0] = now
+                        _st[1] = instructions
+                        _st[2] = dependent_cycles
+                        _st[3] = cache_cycles
+                        _st[4] = ifetch_cycles
+                        _st[5] = dl1.hits
+                        _st[6] = il1.hits
+                        _st[7] = max_steps
+                        _st[8] = 0
+                        _st[9] = 0
+                        loop_entries += 1
+                        try:
+                            res = lf(regs, cells, dsets, isets, acct,
+                                     edge_counts, path_counts, _st, prev_block)
+                        except Exception:
+                            res = None
+                        if res is not None:
+                            now = _st[0]
+                            instructions = _st[1]
+                            dependent_cycles = _st[2]
+                            cache_cycles = _st[3]
+                            ifetch_cycles = _st[4]
+                            dl1.hits = _st[5]
+                            il1.hits = _st[6]
+                            loop_iterations += _st[8]
+                            fast_blocks += _st[9]
+                            if instructions > max_steps:
+                                raise SimulationError(f"exceeded max_steps={max_steps}")
+                            cur, prev2, nxt = res
+                            if nxt is None:
+                                # Bailed mid-loop after >= 1 committed block:
+                                # resume the interpreter exactly there.
+                                label = cur
+                                prev_block = prev2
+                                continue
+                            # Clean exit: run the shared edge tail below for
+                            # the (cur -> nxt) transition the loop left on.
+                            label = cur
+                            prev_block = prev2
+                            next_label = nxt
+                            fast_committed = True
+
+                if not fast_committed:
+                    # -- block-delta memoization: re-execute only the data
+                    # arithmetic; replay timing/energy/stat deltas.
+                    fn = fast_fns.get(label)
+                    if fn is not None:
+                        try:
+                            nxt = fn(regs, cells, dsets, isets)
+                        except Exception:
+                            nxt = None
+                        if nxt is None:
+                            bails += 1
+                        else:
+                            dt, de, n_i, n_dep, n_cc, n_ic, n_d, n_l = fast_consts[label]
+                            a = acct[label]
+                            a[0] += 1
+                            s = a[1]
+                            t = s + dt
+                            a[2] += (s - t) + dt if s >= dt else (dt - t) + s
+                            a[1] = t
+                            s = a[3]
+                            t = s + de
+                            a[4] += (s - t) + de if s >= de else (de - t) + s
+                            a[3] = t
+                            now = now + dt
+                            instructions += n_i
+                            if instructions > max_steps:
+                                raise SimulationError(f"exceeded max_steps={max_steps}")
+                            dependent_cycles += n_dep
+                            cache_cycles += n_cc
+                            ifetch_cycles += n_ic
+                            dl1.hits += n_d
+                            il1.hits += n_l
+                            fast_blocks += 1
+                            next_label = nxt
+                            fast_committed = True
+
+            if not fast_committed:
+                # -- reference interpretation of one block execution -------
+                slow_blocks += 1
+                bt = 0.0       # block-local wall-time offset from `now`
+                e_local = 0.0  # block-local CPU energy
+                m_local = 0.0  # block-local DRAM energy
+                rel_md = miss_done - now
+
+                # Instruction fetch: one I-cache access per line the block
+                # spans.
+                for line_addr in block_lines[label]:
+                    res = iaccess(line_addr)
+                    sync = res.sync_cycles
+                    ifetch_cycles += sync
+                    bt += sync * cycle_time
+                    e_local += (l1i_c + base_c * sync) * voltage * voltage
+                    if res.level == "l2":
+                        e_local += l2_c * voltage * voltage
                     if res.memory_miss:
-                        if now < miss_done:  # single memory port
-                            gated_wait += miss_done - now
-                            now = miss_done
+                        # Instruction miss: synchronous wall-clock fill.
+                        if bt < rel_md:
+                            gated_wait += rel_md - bt
+                            bt = rel_md
                         mem_misses += 1
-                        memory_energy += mem_energy_nj
-                        miss_done = now + mem_latency
-                        pending[dst] = miss_done
-                        dmiss_sync_cycles += 1 + res.sync_cycles
-                    else:
-                        cache_cycles += 1 + res.sync_cycles
+                        m_local += mem_energy_nj
+                        miss_done = (now + bt) + mem_latency
+                        gated_wait += mem_latency
+                        bt = miss_done - now
+                        rel_md = bt
+
+                for op in decoded[label]:
+                    instructions += 1
+                    kind = op[0]
+                    cls = op[-1]
+
+                    if kind == _BINOP:
+                        _, fn, dst, lhs, rhs, _ = op
+                        if pending:
+                            ready = pending.pop(lhs, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                            ready = pending.pop(rhs, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                        lat = cls.latency
+                        if bt < rel_md:
+                            overlap_cycles += lat
+                        else:
+                            dependent_cycles += lat
+                        bt += lat * cycle_time
+                        e_local += op_energy[cls]
+                        regs[dst] = fn(regs[lhs], regs[rhs])
                         pending.pop(dst, None)
-                    regs[dst] = mem_read(address)
-                elif kind == _STORE:
-                    _, src, basereg, offset, _ = op
-                    if pending:
-                        ready = pending.pop(src, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                        ready = pending.pop(basereg, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                    now += cycle_time
-                    cpu_energy += op_energy[cls]
-                    address = int(regs[basereg]) + offset
-                    res = daccess(address)
-                    now += res.sync_cycles * cycle_time
-                    cpu_energy += (l1d_c + base_c * res.sync_cycles) * voltage * voltage
-                    if res.level != "l1":
-                        cpu_energy += l2_c * voltage * voltage
-                    if res.memory_miss:
-                        if now < miss_done:
-                            gated_wait += miss_done - now
-                            now = miss_done
-                        mem_misses += 1
-                        memory_energy += mem_energy_nj
-                        miss_done = now + mem_latency
-                        # store completes via the store buffer: nothing pending
-                        dmiss_sync_cycles += 1 + res.sync_cycles
-                    else:
-                        cache_cycles += 1 + res.sync_cycles
-                    mem_write(address, regs[src])
-                elif kind == _MOVE:
-                    _, dst, src, _ = op
-                    if pending:
-                        ready = pending.pop(src, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                    if now < miss_done:
-                        overlap_cycles += 1
-                    else:
-                        dependent_cycles += 1
-                    now += cycle_time
-                    cpu_energy += op_energy[cls]
-                    regs[dst] = regs[src]
-                    if pending:
-                        pending.pop(dst, None)
-                elif kind == _UNOP:
-                    _, fn, dst, src, _ = op
-                    if pending:
-                        ready = pending.pop(src, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                    lat = cls.latency
-                    if now < miss_done:
-                        overlap_cycles += lat
-                    else:
-                        dependent_cycles += lat
-                    now += lat * cycle_time
-                    cpu_energy += op_energy[cls]
-                    regs[dst] = fn(regs[src])
-                    if pending:
-                        pending.pop(dst, None)
-                elif kind == _BRANCH:
-                    _, cond, if_true, if_false, _ = op
-                    if pending:
-                        ready = pending.pop(cond, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                    if now < miss_done:
-                        overlap_cycles += 1
-                    else:
-                        dependent_cycles += 1
-                    now += cycle_time
-                    cpu_energy += op_energy[cls]
-                    next_label = if_true if regs[cond] else if_false
-                elif kind == _JUMP:
-                    if now < miss_done:
-                        overlap_cycles += 1
-                    else:
-                        dependent_cycles += 1
-                    now += cycle_time
-                    cpu_energy += op_energy[cls]
-                    next_label = op[1]
-                else:  # _RET
-                    _, value, _, _ = op
-                    if value is not None and pending:
-                        ready = pending.pop(value, None)
-                        if ready is not None and ready > now:
-                            gated_wait += ready - now
-                            now = ready
-                    now += cycle_time
-                    cpu_energy += op_energy[cls]
-                    return_value = regs[value] if value is not None else None
-                    finished = True
+                    elif kind == _CONST:
+                        _, dst, value, _ = op
+                        if bt < rel_md:
+                            overlap_cycles += 1
+                        else:
+                            dependent_cycles += 1
+                        bt += cycle_time
+                        e_local += op_energy[cls]
+                        regs[dst] = value
+                        if pending:
+                            pending.pop(dst, None)
+                    elif kind == _LOAD:
+                        _, dst, basereg, offset, _ = op
+                        if pending:
+                            ready = pending.pop(basereg, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                        bt += cycle_time  # address generation (MEM latency 1)
+                        e_local += op_energy[cls]
+                        address = int(regs[basereg]) + offset
+                        res = daccess(address)
+                        bt += res.sync_cycles * cycle_time
+                        e_local += (l1d_c + base_c * res.sync_cycles) * voltage * voltage
+                        if res.level != "l1":
+                            e_local += l2_c * voltage * voltage
+                        if res.memory_miss:
+                            if bt < rel_md:  # single memory port
+                                gated_wait += rel_md - bt
+                                bt = rel_md
+                            mem_misses += 1
+                            m_local += mem_energy_nj
+                            miss_done = (now + bt) + mem_latency
+                            rel_md = miss_done - now
+                            pending[dst] = miss_done
+                            dmiss_sync_cycles += 1 + res.sync_cycles
+                        else:
+                            cache_cycles += 1 + res.sync_cycles
+                            pending.pop(dst, None)
+                        regs[dst] = mem_read(address)
+                    elif kind == _STORE:
+                        _, src, basereg, offset, _ = op
+                        if pending:
+                            ready = pending.pop(src, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                            ready = pending.pop(basereg, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                        bt += cycle_time
+                        e_local += op_energy[cls]
+                        address = int(regs[basereg]) + offset
+                        res = daccess(address)
+                        bt += res.sync_cycles * cycle_time
+                        e_local += (l1d_c + base_c * res.sync_cycles) * voltage * voltage
+                        if res.level != "l1":
+                            e_local += l2_c * voltage * voltage
+                        if res.memory_miss:
+                            if bt < rel_md:
+                                gated_wait += rel_md - bt
+                                bt = rel_md
+                            mem_misses += 1
+                            m_local += mem_energy_nj
+                            miss_done = (now + bt) + mem_latency
+                            rel_md = miss_done - now
+                            # store completes via the store buffer: nothing pending
+                            dmiss_sync_cycles += 1 + res.sync_cycles
+                        else:
+                            cache_cycles += 1 + res.sync_cycles
+                        mem_write(address, regs[src])
+                    elif kind == _MOVE:
+                        _, dst, src, _ = op
+                        if pending:
+                            ready = pending.pop(src, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                        if bt < rel_md:
+                            overlap_cycles += 1
+                        else:
+                            dependent_cycles += 1
+                        bt += cycle_time
+                        e_local += op_energy[cls]
+                        regs[dst] = regs[src]
+                        if pending:
+                            pending.pop(dst, None)
+                    elif kind == _UNOP:
+                        _, fn, dst, src, _ = op
+                        if pending:
+                            ready = pending.pop(src, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                        lat = cls.latency
+                        if bt < rel_md:
+                            overlap_cycles += lat
+                        else:
+                            dependent_cycles += lat
+                        bt += lat * cycle_time
+                        e_local += op_energy[cls]
+                        regs[dst] = fn(regs[src])
+                        if pending:
+                            pending.pop(dst, None)
+                    elif kind == _BRANCH:
+                        _, cond, if_true, if_false, _ = op
+                        if pending:
+                            ready = pending.pop(cond, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                        if bt < rel_md:
+                            overlap_cycles += 1
+                        else:
+                            dependent_cycles += 1
+                        bt += cycle_time
+                        e_local += op_energy[cls]
+                        next_label = if_true if regs[cond] else if_false
+                    elif kind == _JUMP:
+                        if bt < rel_md:
+                            overlap_cycles += 1
+                        else:
+                            dependent_cycles += 1
+                        bt += cycle_time
+                        e_local += op_energy[cls]
+                        next_label = op[1]
+                    else:  # _RET
+                        _, value, _, _ = op
+                        if value is not None and pending:
+                            ready = pending.pop(value, None)
+                            if ready is not None:
+                                rr = ready - now
+                                if rr > bt:
+                                    gated_wait += rr - bt
+                                    bt = rr
+                        bt += cycle_time
+                        e_local += op_energy[cls]
+                        return_value = regs[value] if value is not None else None
+                        finished = True
 
-                if instructions > max_steps:
-                    raise SimulationError(f"exceeded max_steps={max_steps}")
+                    if instructions > max_steps:
+                        raise SimulationError(f"exceeded max_steps={max_steps}")
 
-            if finished:
-                # Drain the outstanding miss before the program "completes".
-                if now < miss_done:
-                    gated_wait += miss_done - now
-                    now = miss_done
-                stats.time_s += now - t_block
-                stats.cpu_energy_nj += cpu_energy - e_block
-                break
+                if finished and bt < rel_md:
+                    # Drain the outstanding miss before the program "completes".
+                    gated_wait += rel_md - bt
+                    bt = rel_md
 
-            if next_label is None:
-                raise SimulationError(f"block {label!r} fell through")
+                # -- per-block commit: one wall-time addition plus
+                # compensated time/energy additions (the same operations a
+                # fast-path replay performs with its memoized deltas).
+                now = now + bt
+                a = acct[label]
+                a[0] += 1
+                s = a[1]
+                t = s + bt
+                a[2] += (s - t) + bt if s >= bt else (bt - t) + s
+                a[1] = t
+                s = a[3]
+                t = s + e_local
+                a[4] += (s - t) + e_local if s >= e_local else (e_local - t) + s
+                a[3] = t
+                if m_local:
+                    s = mem_s
+                    t = s + m_local
+                    mem_c += (s - t) + m_local if s >= m_local else (m_local - t) + s
+                    mem_s = t
 
-            stats.time_s += now - t_block
-            stats.cpu_energy_nj += cpu_energy - e_block
+                if finished:
+                    break
+
+                if next_label is None:
+                    raise SimulationError(f"block {label!r} fell through")
 
             edge = (label, next_label)
             edge_counts[edge] = edge_counts.get(edge, 0) + 1
@@ -548,22 +748,54 @@ class Machine:
                     v_from = voltages[current_mode]
                     v_to = voltages[target_mode]
                     st = self.transition_model.time_s(v_from, v_to)
-                    se_nj = self.transition_model.energy_j(v_from, v_to) * 1e9
+                    # Canonical nJ-space cost: the same method the MILP's
+                    # linearized CE constant derives from, so the charged
+                    # SE can never drift from the formulation's.
+                    se_nj = self.transition_model.energy_nj(v_from, v_to)
                     now += st
-                    cpu_energy += se_nj
                     transition_time_s += st
                     transition_energy_nj += se_nj
                     mode_transitions += 1
                     current_mode = target_mode
+                    # Rebind every mode-derived hot-loop local; stale
+                    # bindings here would silently misprice the new mode.
                     cycle_time = cycle_times[current_mode]
                     voltage = voltages[current_mode]
                     op_energy = op_energy_tables[current_mode]
+                    if fast_fns is not None:
+                        # Memoized block deltas are per-mode: swap the
+                        # delta table with the mode (never reuse stale
+                        # deltas priced at the previous operating point).
+                        fast_consts = pf.consts(current_mode)
 
             prev_block = label
             label = next_label
 
+        # -- run assembly: totals from per-block compensated accumulators ----
+        from repro.perf.accum import NeumaierSum
+
+        cpu_total = NeumaierSum()
+        block_stats: dict[str, BlockStats] = {}
+        for blabel, a in acct.items():
+            e_nj = a[3] + a[4]
+            block_stats[blabel] = BlockStats(count=a[0], time_s=a[1] + a[2],
+                                             cpu_energy_nj=e_nj)
+            cpu_total.add(e_nj)
+        cpu_total.add(transition_energy_nj)
+        cpu_energy = cpu_total.value
+        memory_energy = mem_s + mem_c
+
         energy.cpu_energy_nj = cpu_energy
         energy.memory_energy_nj = memory_energy
+
+        self.last_fastpath_stats = {
+            "enabled": int(fast_fns is not None),
+            "fast_blocks": fast_blocks,
+            "slow_blocks": slow_blocks,
+            "bails": bails,
+            "loop_entries": loop_entries,
+            "loop_iterations": loop_iterations,
+        }
 
         cache_stats = dcache.stats()
         cache_stats.update({f"i_{k}": v for k, v in icache.stats().items()})

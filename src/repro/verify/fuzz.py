@@ -154,6 +154,13 @@ def verify_program(
                 return results
         record("simulator-matches-interpreter", True, f"return value {expected}")
 
+        oracle = oracles.fastpath_matches_reference(
+            machine, cfg, inputs=inputs, registers=registers,
+            mode=len(machine.mode_table) - 1,
+        )
+        if not record(oracle.name, oracle.ok, oracle.detail):
+            return results
+
         tuned = compile_program(source, "verify-tuned")
         run_passes(tuned)
         tuned_value = interpret(tuned, inputs=inputs, registers=registers).return_value
@@ -219,6 +226,16 @@ def verify_program(
                 report.summary,
             ):
                 return results
+
+            if index == 0:
+                # The scheduled run exercises the mode-set path (rebinding
+                # folded constants); one deadline suffices for coverage.
+                oracle = oracles.fastpath_matches_reference(
+                    machine, cfg, inputs=inputs, registers=registers,
+                    schedule=outcome.schedule.assignment,
+                )
+                if not record(oracle.name, oracle.ok, oracle.detail):
+                    return results
 
             for oracle in (
                 oracles.simulation_matches_prediction(

@@ -18,7 +18,11 @@ fuzz driver can collect and report the first failure with full context.
   (beyond the paper's own rounding allowance);
 * :func:`never_worse_than_single_mode` — the MILP must never lose to the
   best single mode meeting the deadline (that mode is a feasible MILP
-  point).
+  point);
+* :func:`fastpath_matches_reference` — the accelerated simulator
+  (:mod:`repro.perf`) must be *bit-identical* to the reference
+  interpreter on the same run, down to profile dict ordering and the
+  final memory image.
 """
 
 from __future__ import annotations
@@ -253,4 +257,56 @@ def never_worse_than_single_mode(
         name,
         f"MILP {outcome.predicted_energy_nj:.6g} nJ <= single mode {mode} "
         f"at {baseline:.6g} nJ",
+    )
+
+
+def fastpath_matches_reference(
+    machine,
+    cfg: CFG,
+    inputs: dict[str, list] | None = None,
+    registers: dict[str, float] | None = None,
+    mode: int | None = None,
+    schedule: dict | None = None,
+    initial_mode: int | None = None,
+) -> OracleResult:
+    """The accelerated simulator is bit-identical to the reference.
+
+    Runs the same (program, inputs, mode/schedule) point with the fast
+    path forced on and forced off and compares a *total* fingerprint of
+    both results: every RunResult field, every per-block statistic, the
+    edge/path profile including dict iteration order (serialization
+    preserves it), and the final memory image.  Any divergence — even
+    one ulp of energy or a reordered profile entry — fails the oracle.
+    """
+    from repro.perf.bench import result_fingerprint
+
+    name = "fastpath-matches-reference"
+    kwargs = dict(inputs=inputs, registers=registers, mode=mode,
+                  schedule=schedule, initial_mode=initial_mode)
+    fast = machine.run(cfg, fastpath=True, **kwargs)
+    stats = dict(machine.last_fastpath_stats)
+    reference = machine.run(cfg, fastpath=False, **kwargs)
+    fast_fp = result_fingerprint(fast)
+    ref_fp = result_fingerprint(reference)
+    if fast_fp != ref_fp:
+        # Point at the first diverging field to make reports actionable.
+        import dataclasses as _dc
+
+        for field in _dc.fields(fast):
+            a, b = getattr(fast, field.name), getattr(reference, field.name)
+            if field.name == "memory":
+                a = None if a is None else a.cells
+                b = None if b is None else b.cells
+            if repr(a) != repr(b):
+                return _failed(
+                    name,
+                    f"field {field.name!r} diverged: fast={a!r:.120s} "
+                    f"reference={b!r:.120s}",
+                )
+        return _failed(name, "results diverged (fingerprint mismatch)")
+    return _passed(
+        name,
+        f"bit-identical ({fast.instructions} instructions, "
+        f"{stats.get('fast_blocks', 0)} fast blocks, "
+        f"{stats.get('loop_iterations', 0)} fast-forwarded iterations)",
     )

@@ -1,0 +1,32 @@
+"""``repro sweep`` must emit byte-identical results.jsonl fast on/off.
+
+The sweep pipeline (profile -> MILP -> scheduled simulation -> verify)
+is the consumer the fast path must never perturb: its results.jsonl is
+the scientific record that resumed, cached and re-run sweeps are
+byte-compared against.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.sweep import SweepConfig, run_sweep
+
+
+def _sweep(tmp_path, tag: str, fastpath: bool):
+    config = SweepConfig(
+        workloads=("adpcm",),
+        deadline_fracs=(0.5,),
+        jobs=1,
+        cache_dir=None,  # no artifact store: every task really runs
+        output_dir=str(tmp_path / f"out-{tag}"),
+        fastpath=fastpath,
+    )
+    report = run_sweep(config)
+    assert report.ok, report.failures
+    assert report.results_path is not None
+    return report.results_path.read_bytes()
+
+
+def test_results_jsonl_byte_identical_fast_on_off(tmp_path):
+    fast_bytes = _sweep(tmp_path, "fast", fastpath=True)
+    slow_bytes = _sweep(tmp_path, "slow", fastpath=False)
+    assert fast_bytes == slow_bytes

@@ -1,0 +1,151 @@
+"""Mode-set rebind audit: switching modes must fully rebind the machine.
+
+A mode set rebinds cycle time, voltage and the per-class op energies —
+and, on the fast path, invalidates the folded per-block delta tables.
+The oracle is a *fresh machine per mode*: blocks executed at mode m
+inside a mode-switching run must book exactly the statistics they book
+in a run that never left mode m.  Any stale constant (the classic
+"voltage changed but op_energy table didn't" bug) breaks the equality.
+"""
+
+from __future__ import annotations
+
+from repro.lang import compile_program
+from repro.perf.bench import result_fingerprint
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+
+# Two pure-compute phases: no data memory, so each block's per-execution
+# time/energy depends only on the active mode and i-cache state — both
+# identical between a scheduled run and the fresh-machine oracles.
+TWO_PHASE_SOURCE = """
+func main() -> int {
+    var acc: int = 0;
+    for (var i: int = 0; i < 200; i = i + 1) {
+        acc = (acc + i * 3 + 7) % 9973;
+    }
+    var mix: int = acc;
+    for (var j: int = 0; j < 150; j = j + 1) {
+        mix = (mix * 5 + j) % 7919;
+    }
+    return acc + mix;
+}
+"""
+
+
+def _phase_edge(cfg):
+    """The forward edge from the first loop's exit into phase two."""
+    labels = list(cfg.blocks)
+    back_targets = {
+        target
+        for label, block in cfg.blocks.items()
+        for target in block.instructions[-1].targets()
+        if labels.index(target) <= labels.index(label)
+    }
+    headers = sorted(back_targets, key=labels.index)
+    assert len(headers) == 2, "kernel must have exactly two loops"
+    second_header_idx = labels.index(headers[1])
+    for label, block in cfg.blocks.items():
+        for target in block.instructions[-1].targets():
+            if (labels.index(target) > labels.index(label)
+                    and labels.index(target) >= second_header_idx - 1
+                    and labels.index(label) < second_header_idx - 1):
+                return (label, target)
+    raise AssertionError("no forward edge into phase two found")
+
+
+def _machine(fastpath=True):
+    return Machine(SCALE_CONFIG, XSCALE_3, TransitionCostModel(),
+                   fastpath=fastpath)
+
+
+def test_blocks_match_fresh_machine_per_mode_oracle():
+    cfg = compile_program(TWO_PHASE_SOURCE, "two-phase")
+    switch_edge = _phase_edge(cfg)
+    schedule = {switch_edge: 0}  # phase one at mode 2, phase two at mode 0
+    scheduled = _machine().run(cfg, schedule=schedule, initial_mode=2)
+    assert scheduled.mode_transitions == 1
+
+    oracle_fast = _machine().run(cfg, mode=2)  # never leaves mode 2
+    oracle_slow = _machine().run(cfg, mode=0)  # never leaves mode 0
+
+    labels = list(cfg.blocks)
+    boundary = labels.index(switch_edge[1])
+    checked_pre = checked_post = 0
+    for label, stats in scheduled.block_stats.items():
+        index = labels.index(label)
+        if index < boundary:
+            oracle = oracle_fast.block_stats[label]
+            checked_pre += 1
+        else:
+            oracle = oracle_slow.block_stats[label]
+            checked_post += 1
+        assert stats.count == oracle.count, label
+        # Energy terms are per-op constants — bitwise.  Block time also
+        # contains memory-gating waits computed from *absolute* wall
+        # clock (``ready - now``), whose rounding shifts with the run's
+        # time offset, so time equality is to rounding, not bitwise.
+        assert stats.cpu_energy_nj == oracle.cpu_energy_nj, label
+        assert abs(stats.time_s - oracle.time_s) <= 1e-9 * max(
+            stats.time_s, oracle.time_s), label
+    assert checked_pre > 0 and checked_post > 0
+
+
+def test_back_to_back_modesets_on_loop_edges():
+    """Fig. 15 shape: a transition on every iteration of a hot loop.
+
+    The schedule pins the loop body to one mode and the back edge to
+    another, so every iteration executes two mode sets.  The fast path
+    must (a) agree bitwise with the reference interpreter and (b) agree
+    with the analytically expected number of transitions.
+    """
+    source = """
+    func main() -> int {
+        var acc: int = 0;
+        for (var i: int = 0; i < 120; i = i + 1) {
+            acc = (acc + i * 11 + 5) % 65521;
+        }
+        return acc;
+    }
+    """
+    cfg = compile_program(source, "flip-flop")
+    labels = list(cfg.blocks)
+    back_edge = forward_edge = None
+    for label, block in cfg.blocks.items():
+        for target in block.instructions[-1].targets():
+            if labels.index(target) <= labels.index(label):
+                back_edge = (label, target)
+            elif labels.index(target) == labels.index(label) + 1:
+                forward_edge = forward_edge or (label, target)
+    assert back_edge is not None
+
+    # body runs at mode 0 (set on the back edge), but the header's
+    # successor re-raises to mode 2: two transitions per iteration.
+    into_body = next(
+        (label, target)
+        for label, block in cfg.blocks.items()
+        for target in block.instructions[-1].targets()
+        if label == back_edge[1]
+    )
+    schedule = {into_body: 2, back_edge: 0}
+
+    fast = _machine().run(cfg, schedule=schedule, initial_mode=0)
+    slow = _machine(fastpath=False).run(cfg, schedule=schedule,
+                                        initial_mode=0)
+    assert result_fingerprint(fast) == result_fingerprint(slow)
+    assert fast.mode_transitions == slow.mode_transitions
+    assert fast.mode_transitions >= 2 * 100  # ~two per iteration
+    assert fast.modeset_executions >= fast.mode_transitions
+    # transition energy: exactly N times the canonical per-switch charge
+    model = TransitionCostModel()
+    v0, v2 = XSCALE_3[0].voltage, XSCALE_3[2].voltage
+    per_switch = model.energy_nj(v0, v2)
+    assert fast.transition_energy_nj == fast.mode_transitions * per_switch
+
+
+def test_fastpath_identity_across_mode_switch_boundary():
+    cfg = compile_program(TWO_PHASE_SOURCE, "two-phase-ab")
+    schedule = {_phase_edge(cfg): 1}
+    fast = _machine().run(cfg, schedule=schedule, initial_mode=2)
+    slow = _machine(fastpath=False).run(cfg, schedule=schedule,
+                                        initial_mode=2)
+    assert result_fingerprint(fast) == result_fingerprint(slow)

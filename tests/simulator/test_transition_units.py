@@ -1,0 +1,82 @@
+"""Transition-cost unit canonicalization: one nJ-space formula, shared.
+
+Regression for a real unit-conversion bug: the simulator used to charge
+``energy_j(v1, v2) * 1e9`` per mode switch while the MILP priced the
+same switch as ``(ce_j_per_v2 * 1e9) * |v1^2 - v2^2|``.  Float
+multiplication is not associative, so the two disagreed in the last
+bits and scheduled runs could never be certified bit-exactly against
+the formulation's objective.  Both sides now read the same canonical
+``TransitionCostModel`` properties.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.milp.transition import TransitionCosts
+from repro.lang import compile_program
+from repro.simulator import Machine, SCALE_CONFIG, TransitionCostModel, XSCALE_3
+
+
+def _mode_pairs():
+    indices = range(len(XSCALE_3))
+    return [(a, b) for a, b in itertools.product(indices, indices) if a != b]
+
+
+def test_simulator_and_milp_constants_bitwise_equal():
+    """The MILP's CE/CT constants are the model's, bit for bit."""
+    for cap_uf in (1.0, 10.0, 47.0, 220.0):
+        model = TransitionCostModel(capacitance_f=cap_uf * 1e-6)
+        costs = TransitionCosts.from_model(model)
+        assert costs.ce_j_per_v2 == model.ce_j_per_v2
+        assert costs.ce_nj_per_v2 == model.ce_nj_per_v2
+        assert costs.ct_s_per_v == model.ct_s_per_v
+
+
+@pytest.mark.parametrize("src,dst", _mode_pairs())
+def test_charged_energy_is_the_milp_product_exactly(src, dst):
+    """SE over every XScale-3 pair: simulator charge == MILP pricing."""
+    model = TransitionCostModel()
+    costs = TransitionCosts.from_model(model)
+    v1, v2 = XSCALE_3[src].voltage, XSCALE_3[dst].voltage
+    expected = costs.ce_nj_per_v2 * abs(v1**2 - v2**2)
+    assert model.energy_nj(v1, v2) == expected  # bitwise, no tolerance
+    # the J-space and nJ-space formulas agree to rounding (not bitwise —
+    # that non-associativity is exactly why the canonical form exists)
+    assert model.energy_nj(v1, v2) == pytest.approx(
+        model.energy_j(v1, v2) * 1e9, rel=1e-12)
+
+
+def test_scheduled_run_charges_canonical_transition_energy():
+    """A run with real mode switches books exactly N * canonical SE."""
+    source = """
+    func main() -> int {
+        var acc: int = 0;
+        for (var i: int = 0; i < 40; i = i + 1) {
+            acc = (acc + i * 5 + 2) % 7919;
+        }
+        return acc;
+    }
+    """
+    cfg = compile_program(source, "transition-units")
+    model = TransitionCostModel()
+    costs = TransitionCosts.from_model(model)
+    machine = Machine(SCALE_CONFIG, XSCALE_3, model)
+
+    # schedule: start at mode 2, drop to mode 0 on the loop back edge
+    back_edges = [
+        (label, target)
+        for label, block in cfg.blocks.items()
+        for target in block.instructions[-1].targets()
+        if target <= label
+    ]
+    assert back_edges, "kernel must contain a loop"
+    schedule = {back_edges[0]: 0}
+    result = machine.run(cfg, schedule=schedule, initial_mode=2)
+    assert result.mode_transitions == 1
+    v_from, v_to = XSCALE_3[2].voltage, XSCALE_3[0].voltage
+    expected = costs.ce_nj_per_v2 * abs(v_from**2 - v_to**2)
+    assert result.transition_energy_nj == expected  # bitwise
+    assert result.transition_time_s == model.time_s(v_from, v_to)
