@@ -349,7 +349,24 @@ def cmd_verify(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    from repro.verify.fuzz import fuzz
+    from repro.verify.fuzz import fuzz, fuzz_lps
+
+    exit_code = 0
+    if args.lp_runs:
+        def lp_progress(done: int, total: int, failures: int) -> None:
+            if done % 50 == 0 or done == total or failures:
+                print(f"  {done}/{total} LP instances, {failures} "
+                      f"disagreements", flush=True)
+
+        lp_report = fuzz_lps(runs=args.lp_runs, seed=args.seed,
+                             on_progress=lp_progress)
+        print(lp_report.summary)
+        for failure in lp_report.failures:
+            print(f"\n{failure}", file=sys.stderr)
+        if not lp_report.ok:
+            exit_code = 1
+        if args.runs <= 0:
+            return exit_code
 
     machine = _machine(args.levels, args.capacitance_uf,
                        not getattr(args, "no_fastpath", False))
@@ -370,7 +387,7 @@ def cmd_fuzz(args) -> int:
     print(report.summary)
     for failure in report.failures:
         print(f"\n{failure}", file=sys.stderr)
-    return 0 if report.ok else 1
+    return exit_code or (0 if report.ok else 1)
 
 
 def _parse_levels(text: str) -> tuple[int | None, ...]:
@@ -403,6 +420,11 @@ def cmd_sweep(args) -> int:
     cache_dir = None if args.no_cache else (
         args.cache_dir or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
     )
+    if args.solver_engine is not None:
+        # Through the environment so --jobs N pool workers inherit it.
+        from repro.solver.engine import ENGINE_ENV
+
+        os.environ[ENGINE_ENV] = args.solver_engine
     config = SweepConfig(
         workloads=workloads,
         deadline_fracs=fracs,
@@ -416,6 +438,7 @@ def cmd_sweep(args) -> int:
         cache_dir=cache_dir,
         output_dir=args.output_dir,
         solver_budget_s=args.solver_budget,
+        solver_backend=args.solver_backend,
         resume=args.resume,
         trace=args.trace,
         fastpath=not args.no_fastpath,
@@ -562,6 +585,8 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.solver:
+        return _cmd_bench_solver(args)
     from repro.perf.bench import run_bench, write_bench_json
 
     document = run_bench(suite=args.suite, repeats=args.repeats,
@@ -572,11 +597,41 @@ def cmd_bench(args) -> int:
         print(f"{case['name']:<14s} {case['reference_s']:>9.3f}s "
               f"{case['fast_s']:>9.3f}s {case['speedup']:>7.2f}x  "
               f"{'yes' if case['identical'] else 'NO'}")
-    path = write_bench_json(document, args.output)
+    path = write_bench_json(document, args.output or "BENCH_simulator.json")
     print(f"\nheadline {document['headline_speedup']:.2f}x "
           f"[written to {path}]")
     if not document["all_identical"]:
         print("bench: fast path diverged from the reference interpreter",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _cmd_bench_solver(args) -> int:
+    from repro.perf.bench_solver import run_solver_bench, write_bench_json
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",")
+                      if w.strip())
+    document = run_solver_bench(workloads=workloads, repeats=args.repeats,
+                                dense_budget_s=args.dense_budget)
+    print(f"{'case':<22s} {'dense cold':>11s} {'warm revised':>13s} "
+          f"{'speedup':>8s}  identical")
+    for case in document["cases"]:
+        print(f"{case['name']:<22s} {case['dense_cold_s']:>10.3f}s "
+              f"{case['revised_warm_s']:>12.3f}s {case['speedup']:>7.2f}x  "
+              f"{'yes' if case['identical'] else 'NO'}")
+        if case["dense_dnf_deadlines"]:
+            dnf = ",".join(f"D{i}" for i in case["dense_dnf_deadlines"])
+            print(f"{'':<22s} (dense DNF at {dnf} within "
+                  f"{case['dense_budget_s']:g}s/deadline; revised solved "
+                  f"the full chain in "
+                  f"{case['revised_full_chain_s']:.3f}s)")
+    path = write_bench_json(document, args.output or "BENCH_solver.json")
+    print(f"\nheadline {document['headline_speedup']:.2f}x, "
+          f"{document['warm_pivots']} warm pivots vs "
+          f"{document['cold_pivots']} cold [written to {path}]")
+    if not document["all_identical"]:
+        print("bench: revised engine diverged from the dense tableau",
               file=sys.stderr)
         return EXIT_FAILURE
     return EXIT_OK
@@ -667,7 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz = sub.add_parser(
         "fuzz", help="fuzz the full pipeline with seeded random programs"
     )
-    p_fuzz.add_argument("--runs", type=int, default=50, help="programs to generate")
+    p_fuzz.add_argument("--runs", type=int, default=50,
+                        help="programs to generate (0 with --lp-runs to "
+                             "fuzz only the LP cores)")
+    p_fuzz.add_argument("--lp-runs", type=int, default=0, metavar="N",
+                        help="also differential-fuzz the LP solver cores "
+                             "with N pathological instances (revised vs "
+                             "dense vs HiGHS)")
     p_fuzz.add_argument("--seed", type=int, default=0,
                         help="base seed (program i uses seed+i)")
     p_fuzz.add_argument("--levels", type=int, default=None,
@@ -726,6 +787,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="anytime wall-clock budget per optimize task "
                               "(falls back through solver tiers; exit 3 "
                               "when any solve degrades)")
+    p_sweep.add_argument("--solver-backend", default="auto",
+                         choices=("auto", "scipy", "native"),
+                         help="MILP backend for optimize tasks (default "
+                              "auto; native enables warm-started deadline "
+                              "chains)")
+    p_sweep.add_argument("--solver-engine", default=None,
+                         choices=("revised", "dense"),
+                         help="native LP core (default revised; dense is "
+                              "the kill switch — results.jsonl is "
+                              "byte-identical either way)")
     p_sweep.add_argument("--trace", action="store_true",
                          help="collect spans/metrics and write trace.jsonl "
                               "+ metrics.json next to the manifest "
@@ -735,7 +806,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="benchmark the accelerated simulator against the reference "
-             "interpreter (writes BENCH_simulator.json)",
+             "interpreter (writes BENCH_simulator.json), or with "
+             "--solver the warm-started revised simplex against cold "
+             "dense solves (writes BENCH_solver.json)",
     )
     p_bench.add_argument("--suite", action="store_true",
                          help="also benchmark every suite workload")
@@ -743,8 +816,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="timing repeats per case, best-of (default 1)")
     p_bench.add_argument("--mode", type=int, default=2,
                          help="mode index to simulate at (default 2)")
-    p_bench.add_argument("-o", "--output", default="BENCH_simulator.json",
-                         help="output JSON path (default BENCH_simulator.json)")
+    p_bench.add_argument("--solver", action="store_true",
+                         help="benchmark the LP solver engines over the "
+                              "Fig. 17/18 deadline sweep instead of the "
+                              "simulator")
+    p_bench.add_argument("--workloads", default="adpcm,gsm",
+                         help="comma-joined workloads for --solver "
+                              "(default adpcm,gsm)")
+    p_bench.add_argument("--dense-budget", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="per-deadline wall-clock budget for the cold "
+                              "dense chain before a deadline counts as DNF "
+                              "(default 60)")
+    p_bench.add_argument("-o", "--output", default=None,
+                         help="output JSON path (default "
+                              "BENCH_simulator.json / BENCH_solver.json)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_trace = sub.add_parser(

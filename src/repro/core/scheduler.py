@@ -93,6 +93,11 @@ class DVSOptimizer:
         filter_threshold: Section 5.2 energy-tail threshold (paper: 0.02);
             pass 0 to disable filtering.
         backend: solver backend ("auto", "scipy", "native").
+        solver_options: extra keyword options forwarded to every solve
+            (e.g. ``solver_engine`` to pick the native LP core, or
+            ``warm_key`` so a sweep's consecutive deadlines hand their
+            basis and pseudocosts to each other).  Execution hints only
+            — they never change the optimum.
     """
 
     def __init__(
@@ -100,10 +105,12 @@ class DVSOptimizer:
         machine: Machine,
         filter_threshold: float = 0.02,
         backend: str = "auto",
+        solver_options: dict | None = None,
     ) -> None:
         self.machine = machine
         self.filter_threshold = filter_threshold
         self.backend = backend
+        self.solver_options = dict(solver_options or {})
 
     # -- pipeline stages ---------------------------------------------------------
 
@@ -190,7 +197,8 @@ class DVSOptimizer:
 
         with observe.span("optimizer.optimize", program=profile.name,
                           deadline_s=deadline_s) as sp:
-            solution = formulation.solve(backend=self.backend)
+            solution = formulation.solve(backend=self.backend,
+                                         **self.solver_options)
         solve_time = sp.elapsed_s
         if not solution.ok:
             raise ScheduleError(
@@ -241,7 +249,8 @@ class DVSOptimizer:
         )
         with observe.span("optimizer.optimize_multi",
                           categories=len(categories)) as sp:
-            solution = formulation.solve(backend=self.backend)
+            solution = formulation.solve(backend=self.backend,
+                                         **self.solver_options)
         solve_time = sp.elapsed_s
         if not solution.ok:
             raise ScheduleError(

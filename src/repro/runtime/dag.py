@@ -174,6 +174,7 @@ class TaskGraph:
 def build_task_graph(
     experiments: list[ExperimentSpec],
     solver_budget_s: float | None = None,
+    solver_backend: str = "auto",
 ) -> TaskGraph:
     """Merge per-experiment pipelines into one deduplicated DAG.
 
@@ -184,6 +185,11 @@ def build_task_graph(
             unchanged: a budgeted solve that still proves optimality is
             the same artifact as an unbudgeted one, and degraded solves
             are never cached (``_cacheable``).
+        solver_backend: MILP backend for ``optimize`` tasks ("auto",
+            "scipy", "native").  Like ``solver_budget_s`` (and the
+            fastpath knob), an execution hint excluded from cache keys:
+            every backend must produce the identical optimum, and the
+            certificate/replay checks enforce that.
     """
     if not experiments:
         raise OrchestrationError("sweep grid is empty")
@@ -226,9 +232,13 @@ def build_task_graph(
             hashing.params_key(source, category, seed, machine), eid)
         ensure(
             f"bound:{eid}", "bound", spec, (profile_id, params_id), None, eid)
-        opt_spec = spec if solver_budget_s is None else {
-            **spec, "solver_budget_s": solver_budget_s,
-        }
+        opt_spec = dict(spec)
+        if solver_budget_s is not None:
+            opt_spec["solver_budget_s"] = solver_budget_s
+        if solver_backend != "auto":
+            opt_spec["solver_backend"] = solver_backend
+        if opt_spec == spec:
+            opt_spec = spec
         optimize_id = ensure(
             f"optimize:{eid}", "optimize", opt_spec, (profile_id,),
             hashing.schedule_key(source, category, seed, machine, frac), eid)
@@ -305,15 +315,31 @@ def _task_optimize(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]
     _, cfg, machine, _, _ = _context(spec)
     profile = profile_from_dict(deps["profile"]["profile"])
     deadline = profile.deadline_at(spec["deadline_frac"])
-    outcome = DVSOptimizer(machine).optimize(
+    # Consecutive deadlines of the same (program, input, machine) triple
+    # share a warm-start key: the native solver hands the optimal basis
+    # and branching pseudocosts from one deadline to the next through
+    # the per-process registry.  Ephemeral execution state — never
+    # cached, never serialized.
+    table_tag = ("xscale-3" if spec["levels"] is None
+                 else f"alpha-{spec['levels']}")
+    warm_key = (f"{spec['workload']}.{spec['category']}.s{spec['seed']}"
+                f".{table_tag}.c{spec['capacitance_uf']:g}")
+    optimizer = DVSOptimizer(
+        machine,
+        backend=spec.get("solver_backend", "auto"),
+        solver_options={"warm_key": warm_key},
+    )
+    outcome = optimizer.optimize(
         cfg, deadline, profile=profile, budget_s=spec.get("solver_budget_s")
     )
     degraded = not outcome.solution.ok
     return {
         "schedule": schedule_to_dict(outcome.schedule),
         "deadline_s": deadline,
-        "predicted_energy_nj": outcome.predicted_energy_nj,
-        "predicted_time_s": outcome.predicted_time_s,
+        # float() strips numpy scalars: the native solver path hands back
+        # np.float64 and journal/cache digests require pure-JSON payloads.
+        "predicted_energy_nj": float(outcome.predicted_energy_nj),
+        "predicted_time_s": float(outcome.predicted_time_s),
         # A fallback schedule from a starved solver is feasible and
         # certified, but must not be memoized as if it were the optimum.
         "_cacheable": not degraded,
@@ -348,11 +374,13 @@ def _task_verify(spec: dict[str, Any], deps: dict[str, Any]) -> dict[str, Any]:
     checks["deadline_met"] = (
         run["wall_time_s"] <= deadline * (1 + tolerances.DEADLINE_REL_SLACK)
     )
-    energy_err = (
+    energy_err = float(
         abs(run["cpu_energy_nj"] - optimize["predicted_energy_nj"])
         / max(1.0, optimize["predicted_energy_nj"])
     )
-    checks["energy_predicted"] = energy_err <= tolerances.ENERGY_PREDICTION_REL_TOL
+    checks["energy_predicted"] = (
+        energy_err <= tolerances.ENERGY_PREDICTION_REL_TOL
+    )
     checks["result_preserved"] = run["return_value"] == profile.return_value
 
     baseline_mode = baseline_energy = savings = None

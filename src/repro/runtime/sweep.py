@@ -51,6 +51,7 @@ class SweepConfig:
     cache_dir: str | None = None  # None -> caching disabled
     output_dir: str = "sweep-results"
     solver_budget_s: float | None = None  # anytime optimize budget
+    solver_backend: str = "auto"  # MILP backend for optimize tasks
     resume: bool = False  # replay the journal in output_dir
     trace: bool = False  # collect + export trace.jsonl / metrics.json
     fastpath: bool = True  # bit-exact accelerated simulation (see repro.perf)
@@ -151,7 +152,14 @@ def run_sweep(
     """
     experiments = build_grid(config)
     graph = build_task_graph(experiments,
-                             solver_budget_s=config.solver_budget_s)
+                             solver_budget_s=config.solver_budget_s,
+                             solver_backend=config.solver_backend)
+    # Warm-start bases/pseudocosts are per-sweep ephemeral state: reset
+    # so a resumed run and a cold run see identical (empty) registries.
+    # Pool workers (jobs > 1) start with fresh per-process registries.
+    from repro.solver import warmstart
+
+    warmstart.reset()
     store = ArtifactStore(config.cache_dir) if config.cache_dir else None
     output_dir = Path(config.output_dir)
 
@@ -238,6 +246,7 @@ def run_sweep(
         "retries": config.retries,
         "cache_dir": config.cache_dir,
         "solver_budget_s": config.solver_budget_s,
+        "solver_backend": config.solver_backend,
         "resume": config.resume,
         "resumed_tasks": len(completed),
         "interrupted": interrupted,

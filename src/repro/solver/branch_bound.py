@@ -1,16 +1,33 @@
 """Best-first branch-and-bound MILP solver over the native simplex.
 
-Together with :mod:`repro.solver.simplex` this forms the from-scratch
-replacement for CPLEX used by the paper's DVS formulation.  The search is
-classic LP-based branch and bound:
+Together with :mod:`repro.solver.simplex` and
+:mod:`repro.solver.revised` this forms the from-scratch replacement for
+CPLEX used by the paper's DVS formulation.  The search is classic
+LP-based branch and bound:
 
 * each node is an LP relaxation with tightened variable bounds;
 * nodes are explored best-bound-first (a heap keyed on the parent
   relaxation value), which keeps the global lower bound tight;
 * branching picks the integer variable whose relaxation value is most
-  fractional ("maximum infeasibility" rule);
+  fractional ("maximum infeasibility" rule), or — when the caller hands
+  in a shared :class:`~repro.solver.warmstart.PseudocostStore` — the
+  variable with the best pseudocost score, so branching history learned
+  on one §5.3 multidata category transfers to its siblings;
 * a node is pruned when its relaxation is infeasible or its bound cannot
   beat the incumbent.
+
+Under the revised engine each node's LP is warm-started from its
+parent's optimal basis (a bound change on one branched variable is a
+couple of dual pivots), and the root can be warm-started from a related
+earlier solve (the previous deadline in a sweep).
+
+Engine independence of the output: whatever engine explored the tree,
+the final incumbent is *polished* — the integer variables are fixed to
+their rounded values and the continuous remainder is re-solved with the
+dense tableau.  The reported floats therefore depend only on the integer
+assignment, not on the pivot path, which is what keeps ``results.jsonl``
+byte-identical between ``--solver-engine=revised`` and ``=dense`` and
+between warm and cold sweeps.
 
 The solver is exact: when it returns ``OPTIMAL`` the incumbent is a proven
 optimum (within ``int_tol``/``gap_tol``).  A ``node_limit``/``time_limit``
@@ -23,12 +40,18 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import observe
-from repro.solver.simplex import solve_lp
+from repro.solver import engine as engine_mod
+from repro.solver.simplex import solve_lp_dense
 from repro.solver.solution import SolveStatus
+
+if TYPE_CHECKING:
+    from repro.solver.revised import Basis
+    from repro.solver.warmstart import PseudocostStore
 
 _INF = float("inf")
 
@@ -54,6 +77,9 @@ class MilpResult:
     iterations: int = 0
     nodes: int = 0
     best_bound: float = float("-inf")
+    #: Optimal basis of the root relaxation (revised engine only) — the
+    #: warm-start hand-off for the next related solve in a sweep.
+    root_basis: "Basis | None" = None
 
     @property
     def ok(self) -> bool:
@@ -72,6 +98,22 @@ def _most_fractional(x: np.ndarray, integer_idx: np.ndarray, tol: float) -> int 
     return int(integer_idx[worst])
 
 
+def _pseudocost_branch(x: np.ndarray, integer_idx: np.ndarray, tol: float,
+                       store: "PseudocostStore") -> int | None:
+    """Fractional variable with the best pseudocost score, or None."""
+    if integer_idx.size == 0:
+        return None
+    values = x[integer_idx]
+    frac = values - np.floor(values)
+    dist = np.minimum(frac, 1.0 - frac)
+    candidates = np.nonzero(dist > tol)[0]
+    if candidates.size == 0:
+        return None
+    scores = [store.score(int(integer_idx[k]), float(frac[k]))
+              for k in candidates]
+    return int(integer_idx[candidates[int(np.argmax(scores))]])
+
+
 def solve_milp(
     c,
     a_ub=None,
@@ -81,11 +123,24 @@ def solve_milp(
     bounds=None,
     integrality=None,
     options: BranchBoundOptions | None = None,
+    engine: str | None = None,
+    warm_start: "Basis | None" = None,
+    pseudocosts: "PseudocostStore | None" = None,
 ) -> MilpResult:
     """Solve a mixed-integer LP by branch and bound on the native simplex.
 
     Arguments mirror :func:`repro.solver.simplex.solve_lp`, plus
     ``integrality``: a boolean mask marking the integer variables.
+
+    Args:
+        engine: LP core for node relaxations ("revised"/"dense"); None
+            follows the ambient :mod:`repro.solver.engine` selection.
+        warm_start: basis to warm-start the *root* relaxation from
+            (revised engine only; ignored otherwise).  The returned
+            ``root_basis`` closes the loop for the next solve.
+        pseudocosts: shared branching-history store; when given, branch
+            variables are chosen by pseudocost score instead of maximum
+            fractionality, and the store is updated in place.
 
     Returns:
         :class:`MilpResult`.  ``status == LIMIT`` means a limit was hit;
@@ -117,8 +172,47 @@ def solve_milp(
         if nodes_pruned:
             observe.add("solver.bnb.nodes_pruned", nodes_pruned)
 
-    root = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds,
-                    max_iter=options.max_lp_iter, time_limit_s=lp_budget())
+    engine_name = engine_mod.resolve(engine)
+    if engine_name == "revised":
+        from repro.solver.revised import RevisedProblem
+
+        # One compiled problem for the whole tree: nodes only override
+        # bounds, so the sparse columns and cost vector are shared.
+        problem = RevisedProblem(c, a_ub, b_ub, a_eq, b_eq, bounds)
+
+        def node_solve(node_bounds, warm_basis):
+            outcome = problem.solve(
+                warm=warm_basis, bounds=node_bounds,
+                max_iter=options.max_lp_iter, time_limit_s=lp_budget())
+            return outcome.result, outcome.basis
+    else:
+        def node_solve(node_bounds, warm_basis):
+            result = solve_lp_dense(
+                c, a_ub, b_ub, a_eq, b_eq, node_bounds,
+                max_iter=options.max_lp_iter, time_limit_s=lp_budget())
+            return result, None
+
+    def pick_branch(x: np.ndarray) -> int | None:
+        if pseudocosts is not None:
+            return _pseudocost_branch(x, integer_idx, options.int_tol,
+                                      pseudocosts)
+        return _most_fractional(x, integer_idx, options.int_tol)
+
+    def polish(snapped: np.ndarray, obj: float) -> tuple[np.ndarray, float]:
+        """Canonicalize the incumbent: fix integers, re-solve the
+        continuous remainder with the dense engine (no deadline, so the
+        output is deterministic even when the budget is exhausted)."""
+        fixed = bounds.copy()
+        fixed[integer_idx, 0] = snapped[integer_idx]
+        fixed[integer_idx, 1] = snapped[integer_idx]
+        res = solve_lp_dense(c, a_ub, b_ub, a_eq, b_eq, fixed,
+                             max_iter=options.max_lp_iter)
+        if (res.status is SolveStatus.OPTIMAL
+                and abs(res.objective - obj) <= 1e-6 * (1.0 + abs(obj))):
+            return res.x, res.objective
+        return snapped, obj  # polish disagreed: keep the proven incumbent
+
+    root, root_basis = node_solve(bounds, warm_start)
     total_lp_iters += root.iterations
     nodes_explored += 1
     if root.status is SolveStatus.INFEASIBLE:
@@ -135,13 +229,16 @@ def solve_milp(
     incumbent_obj = _INF
 
     counter = itertools.count()  # heap tie-breaker
-    # Heap entries: (relaxation bound, seq, bounds array, relaxation solution)
-    heap: list[tuple[float, int, np.ndarray, np.ndarray, float]] = []
-    heapq.heappush(heap, (root.objective, next(counter), bounds.copy(), root.x, root.objective))
+    # Heap entries: (relaxation bound, seq, bounds array, relaxation
+    # solution, relaxation objective, optimal basis for warm-starting
+    # the children).
+    heap: list[tuple] = []
+    heapq.heappush(heap, (root.objective, next(counter), bounds.copy(),
+                          root.x, root.objective, root_basis))
 
     limit_hit = False
     while heap:
-        bound, _, node_bounds, node_x, node_obj = heapq.heappop(heap)
+        bound, _, node_bounds, node_x, node_obj, node_basis = heapq.heappop(heap)
         if bound >= incumbent_obj - options.gap_tol:
             nodes_pruned += 1
             continue  # cannot improve on incumbent
@@ -149,10 +246,11 @@ def solve_milp(
             limit_hit = True
             # Reinstate the popped node so the final best-bound report
             # still covers its (unexplored) subtree.
-            heapq.heappush(heap, (bound, next(counter), node_bounds, node_x, node_obj))
+            heapq.heappush(heap, (bound, next(counter), node_bounds,
+                                  node_x, node_obj, node_basis))
             break
 
-        branch_var = _most_fractional(node_x, integer_idx, options.int_tol)
+        branch_var = pick_branch(node_x)
         if branch_var is None:
             # Integral relaxation: new incumbent.
             if node_obj < incumbent_obj - options.gap_tol:
@@ -167,6 +265,7 @@ def solve_milp(
 
         value = node_x[branch_var]
         floor_val = np.floor(value)
+        frac_down = float(value - floor_val)
         for is_down in (True, False):
             child_bounds = node_bounds.copy()
             if is_down:
@@ -175,8 +274,7 @@ def solve_milp(
                 child_bounds[branch_var, 0] = max(child_bounds[branch_var, 0], floor_val + 1.0)
             if child_bounds[branch_var, 0] > child_bounds[branch_var, 1]:
                 continue
-            child = solve_lp(c, a_ub, b_ub, a_eq, b_eq, child_bounds,
-                             max_iter=options.max_lp_iter, time_limit_s=lp_budget())
+            child, child_basis = node_solve(child_bounds, node_basis)
             total_lp_iters += child.iterations
             nodes_explored += 1
             if child.status is SolveStatus.LIMIT:
@@ -187,10 +285,15 @@ def solve_milp(
             if child.status is not SolveStatus.OPTIMAL:
                 nodes_pruned += 1
                 continue  # infeasible child is pruned
+            if pseudocosts is not None:
+                pseudocosts.update(
+                    branch_var, 0 if is_down else 1,
+                    child.objective - node_obj,
+                    frac_down if is_down else 1.0 - frac_down)
             if child.objective >= incumbent_obj - options.gap_tol:
                 nodes_pruned += 1
                 continue
-            frac = _most_fractional(child.x, integer_idx, options.int_tol)
+            frac = pick_branch(child.x)
             if frac is None:
                 if child.objective < incumbent_obj - options.gap_tol:
                     incumbent_obj = child.objective
@@ -201,7 +304,8 @@ def solve_milp(
             else:
                 heapq.heappush(
                     heap,
-                    (child.objective, next(counter), child_bounds, child.x, child.objective),
+                    (child.objective, next(counter), child_bounds, child.x,
+                     child.objective, child_basis),
                 )
 
     flush_counters()
@@ -210,12 +314,14 @@ def solve_milp(
         bound = min([b for b, *_ in heap], default=root.objective)
         return MilpResult(
             status, nodes=nodes_explored, iterations=total_lp_iters,
-            best_bound=bound,
+            best_bound=bound, root_basis=root_basis,
         )
 
-    # Snap near-integer values exactly to integers for downstream consumers.
+    # Snap near-integer values exactly to integers for downstream
+    # consumers, then canonicalize the continuous part.
     snapped = incumbent_x.copy()
     snapped[integer_idx] = np.round(snapped[integer_idx])
+    snapped, incumbent_obj = polish(snapped, incumbent_obj)
     status = SolveStatus.LIMIT if limit_hit else SolveStatus.OPTIMAL
     best_bound = min([bound for bound, *_ in heap], default=incumbent_obj)
     return MilpResult(
@@ -225,4 +331,5 @@ def solve_milp(
         iterations=total_lp_iters,
         nodes=nodes_explored,
         best_bound=best_bound,
+        root_basis=root_basis,
     )

@@ -1,0 +1,69 @@
+"""Native LP engine selection.
+
+The native solver ships two interchangeable LP cores:
+
+* ``"revised"`` — the sparse revised simplex (:mod:`repro.solver.revised`):
+  CSC columns, factorized basis with eta-file updates, dual-simplex warm
+  starts.  The default.
+* ``"dense"`` — the original two-phase dense tableau
+  (:mod:`repro.solver.simplex`).  Retained as a kill switch and as the
+  canonical engine for incumbent polishing, so both engines emit
+  bit-identical final solutions.
+
+Selection precedence: an explicit ``engine=`` argument, then
+:func:`set_engine` (process-local override), then the
+``$REPRO_SOLVER_ENGINE`` environment variable, then the default.  The
+environment variable is what ``repro sweep --solver-engine`` sets, so the
+choice propagates into pool worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.errors import SolverError
+
+ENGINE_ENV = "REPRO_SOLVER_ENGINE"
+ENGINES = ("revised", "dense")
+DEFAULT_ENGINE = "revised"
+
+_override: str | None = None
+
+
+def _validate(name: str) -> str:
+    if name not in ENGINES:
+        raise SolverError(
+            f"unknown solver engine {name!r} (choose from {', '.join(ENGINES)})"
+        )
+    return name
+
+
+def resolve(explicit: str | None = None) -> str:
+    """The engine to use, honouring the selection precedence."""
+    if explicit is not None:
+        return _validate(explicit)
+    if _override is not None:
+        return _override
+    env = os.environ.get(ENGINE_ENV)
+    if env:
+        return _validate(env)
+    return DEFAULT_ENGINE
+
+
+def set_engine(name: str | None) -> None:
+    """Set (or with None clear) the process-local engine override."""
+    global _override
+    _override = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_engine(name: str | None):
+    """Temporarily select an engine (tests and A/B comparisons)."""
+    global _override
+    previous = _override
+    set_engine(name)
+    try:
+        yield
+    finally:
+        _override = previous

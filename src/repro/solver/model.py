@@ -361,16 +361,34 @@ class Model:
         return solution
 
     def _solve_native(self, relax: bool = False, **options) -> Solution:
+        from repro.solver import engine as engine_mod
         from repro.solver.branch_bound import BranchBoundOptions, solve_milp
         from repro.solver.simplex import solve_lp
 
         c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, c0 = self.to_arrays()
         lp_time_limit = options.pop("lp_time_limit", None) or options.get("time_limit")
+        # Warm-start plumbing: both knobs are execution hints, popped
+        # before the remaining options become BranchBoundOptions.
+        solver_engine = options.pop("solver_engine", None)
+        warm_key = options.pop("warm_key", None)
         if relax:
             integrality = np.zeros_like(integrality)
         if integrality.any():
+            warm_basis = None
+            pseudocosts = None
+            if warm_key is not None:
+                from repro.solver import warmstart
+
+                reg = warmstart.registry()
+                pseudocosts = reg.pseudocosts(warm_key)
+                if engine_mod.resolve(solver_engine) == "revised":
+                    warm_basis = reg.get_basis(warm_key)
             bb_options = BranchBoundOptions(**options)
-            result = solve_milp(c, a_ub, b_ub, a_eq, b_eq, bounds, integrality, options=bb_options)
+            result = solve_milp(c, a_ub, b_ub, a_eq, b_eq, bounds, integrality,
+                                options=bb_options, engine=solver_engine,
+                                warm_start=warm_basis, pseudocosts=pseudocosts)
+            if warm_key is not None and result.root_basis is not None and result.ok:
+                warmstart.registry().put_basis(warm_key, result.root_basis)
             return Solution(
                 status=result.status,
                 objective=result.objective + c0 if np.isfinite(result.objective) else result.objective,
@@ -381,7 +399,8 @@ class Model:
                 best_bound=(result.best_bound + c0
                             if np.isfinite(result.best_bound) else None),
             )
-        lp = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, time_limit_s=lp_time_limit)
+        lp = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds,
+                      time_limit_s=lp_time_limit, engine=solver_engine)
         objective = lp.objective + c0 if np.isfinite(lp.objective) else lp.objective
         return Solution(
             status=lp.status,

@@ -225,7 +225,13 @@ def _run_simplex(
         best = np.min(ratios)
         if best <= _TOL:
             degenerate += 1
-        ties = positive[ratios <= best + _TOL]
+        # The tie window must scale with the ratio: an absolute 1e-9
+        # window misses genuinely tied rows once ratios are ~1e8 or
+        # larger (fp noise on the ratio itself exceeds the window), and
+        # the stability tie-break below then never sees them — the exact
+        # failure mode of the fixed-variable substitution rows under
+        # huge coefficient ranges.
+        ties = positive[ratios <= best + _TOL * (1.0 + abs(best))]
         if iteration < bland_after:
             # Stability tie-break: pivot on the largest eligible element.
             # Degenerate vertices tie many rows; repeatedly pivoting on
@@ -239,8 +245,14 @@ def _run_simplex(
 
 
 def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None,
-             max_iter: int = 20000, time_limit_s: float | None = None) -> SimplexResult:
-    """Solve a bounded-variable LP with the native two-phase simplex.
+             max_iter: int = 20000, time_limit_s: float | None = None,
+             engine: str | None = None) -> SimplexResult:
+    """Solve a bounded-variable LP with the native solver.
+
+    Dispatches to the selected LP core: the sparse revised simplex
+    (default) or this module's dense two-phase tableau
+    (``engine="dense"``, the kill switch).  See
+    :mod:`repro.solver.engine` for the selection precedence.
 
     Args:
         c: objective coefficients, length n.
@@ -251,9 +263,32 @@ def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None,
         time_limit_s: optional wall-clock budget; an exhausted budget
             returns ``LIMIT`` mid-phase, so anytime callers never block
             on a single long LP.
+        engine: explicit engine name, overriding the ambient selection.
 
     Returns:
         :class:`SimplexResult` with values in the original variable space.
+    """
+    from repro.solver import engine as engine_mod
+
+    if engine_mod.resolve(engine) == "revised":
+        from repro.solver.revised import solve_lp_revised
+
+        result, _basis = solve_lp_revised(
+            c, a_ub, b_ub, a_eq, b_eq, bounds,
+            max_iter=max_iter, time_limit_s=time_limit_s)
+        return result
+    return solve_lp_dense(c, a_ub, b_ub, a_eq, b_eq, bounds,
+                          max_iter=max_iter, time_limit_s=time_limit_s)
+
+
+def solve_lp_dense(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None,
+                   max_iter: int = 20000,
+                   time_limit_s: float | None = None) -> SimplexResult:
+    """The dense two-phase tableau core (``engine="dense"``).
+
+    Also the canonical *polishing* solver: branch-and-bound re-solves its
+    final incumbent with this engine regardless of which engine explored
+    the tree, so serialized solutions are bit-identical across engines.
     """
     observe.add("solver.lp_solves")
     deadline = (observe.clock() + time_limit_s

@@ -27,7 +27,13 @@ from repro.simulator import SCALE_CONFIG, TransitionCostModel, XSCALE_3
 from repro.simulator.machine import Machine
 from repro.verify import metamorphic, oracles, tolerances
 from repro.verify.certificate import verify_certificate
-from repro.verify.generators import GeneratedProgram, build_source, generate_program
+from repro.verify.generators import (
+    LP_PROFILES,
+    GeneratedProgram,
+    build_source,
+    generate_lp,
+    generate_program,
+)
 from repro.verify.schedule_check import check_schedule
 
 
@@ -341,6 +347,159 @@ def minimize_reproducer(
     if zeroed != inputs and still_fails(statements, zeroed):
         inputs = zeroed
     return build_source(statements)
+
+
+@dataclass
+class LpFuzzReport:
+    """Outcome of an LP-differential fuzzing campaign."""
+
+    runs: int
+    checks: int
+    failures: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def summary(self) -> str:
+        verdict = ("all solvers agreed" if self.ok
+                   else f"{len(self.failures)} DISAGREEMENTS")
+        return (f"lp-fuzz: {self.runs} instances, {self.checks} checks, "
+                f"{verdict} in {self.elapsed_s:.1f}s")
+
+
+def verify_lp_case(case) -> list[str]:
+    """Differential-test one generated LP/MILP across every solver.
+
+    Runs the revised simplex, the dense tableau and (when available)
+    scipy's HiGHS on the same instance and cross-checks status,
+    objective, primal feasibility, and — for MILP instances — that both
+    native engines report bit-identical polished solutions.
+
+    Returns a list of human-readable disagreement descriptions (empty
+    when all solvers agree).
+    """
+    import numpy as np
+
+    from repro.solver.branch_bound import solve_milp
+    from repro.solver.engine import use_engine
+    from repro.solver.revised import solve_lp_revised
+    from repro.solver.simplex import solve_lp_dense
+    from repro.solver.solution import SolveStatus
+
+    tag = f"{case.profile}/s{case.seed}"
+    problems: list[str] = []
+    kwargs = case.lp_kwargs()
+
+    if case.integrality.any():
+        with use_engine("revised"):
+            rev = solve_milp(integrality=case.integrality, **kwargs)
+        with use_engine("dense"):
+            den = solve_milp(integrality=case.integrality, **kwargs)
+        if rev.status != den.status:
+            return [f"{tag}: MILP status revised={rev.status.name} "
+                    f"dense={den.status.name}"]
+        if rev.ok:
+            if abs(rev.objective - den.objective) > 1e-7 * (1 + abs(den.objective)):
+                problems.append(f"{tag}: MILP objective revised="
+                                f"{rev.objective!r} dense={den.objective!r}")
+            if not np.array_equal(rev.x, den.x):
+                problems.append(f"{tag}: MILP solutions not bit-identical "
+                                f"across engines")
+        try:
+            from scipy.optimize import Bounds, LinearConstraint, milp as scipy_milp
+
+            constraints = []
+            if kwargs["a_ub"] is not None:
+                constraints.append(LinearConstraint(
+                    kwargs["a_ub"], -np.inf, kwargs["b_ub"]))
+            if kwargs["a_eq"] is not None:
+                constraints.append(LinearConstraint(
+                    kwargs["a_eq"], kwargs["b_eq"], kwargs["b_eq"]))
+            ref = scipy_milp(kwargs["c"], constraints=constraints,
+                             bounds=Bounds(case.bounds[:, 0], case.bounds[:, 1]),
+                             integrality=case.integrality.astype(int))
+            if rev.ok != (ref.status == 0):
+                problems.append(f"{tag}: MILP status native="
+                                f"{rev.status.name} highs={ref.status}")
+            elif rev.ok and abs(rev.objective - ref.fun) > 1e-6 * (1 + abs(ref.fun)):
+                problems.append(f"{tag}: MILP objective native="
+                                f"{rev.objective!r} highs={ref.fun!r}")
+        except ImportError:  # pragma: no cover - scipy is a hard dep here
+            pass
+        return problems
+
+    rev, _basis = solve_lp_revised(**kwargs)
+    den = solve_lp_dense(**kwargs)
+    if rev.status != den.status:
+        return [f"{tag}: status revised={rev.status.name} "
+                f"dense={den.status.name}"]
+    if rev.status is SolveStatus.OPTIMAL:
+        if abs(rev.objective - den.objective) > 1e-6 * (1 + abs(den.objective)):
+            problems.append(f"{tag}: objective revised={rev.objective!r} "
+                            f"dense={den.objective!r}")
+        # The revised point must be primal feasible in its own right.
+        scale = max(1.0, float(np.max(np.abs(kwargs["b_ub"])))
+                    if kwargs["b_ub"] is not None else 1.0)
+        if kwargs["a_ub"] is not None and np.any(
+                kwargs["a_ub"] @ rev.x > kwargs["b_ub"] + 1e-6 * scale):
+            problems.append(f"{tag}: revised point violates a_ub")
+        if kwargs["a_eq"] is not None and np.any(
+                np.abs(kwargs["a_eq"] @ rev.x - kwargs["b_eq"]) > 1e-6 * scale):
+            problems.append(f"{tag}: revised point violates a_eq")
+        span = case.bounds[:, 1] - case.bounds[:, 0]
+        btol = 1e-8 * (1.0 + np.where(np.isfinite(span), np.abs(span), 0.0))
+        if np.any(rev.x < case.bounds[:, 0] - btol) or np.any(
+                rev.x > case.bounds[:, 1] + btol):
+            problems.append(f"{tag}: revised point violates bounds")
+    try:
+        from scipy.optimize import linprog
+
+        ref = linprog(kwargs["c"], A_ub=kwargs["a_ub"], b_ub=kwargs["b_ub"],
+                      A_eq=kwargs["a_eq"], b_eq=kwargs["b_eq"],
+                      bounds=case.bounds, method="highs")
+        ref_status = {0: SolveStatus.OPTIMAL, 2: SolveStatus.INFEASIBLE,
+                      3: SolveStatus.UNBOUNDED}.get(ref.status)
+        if ref_status is not None and ref_status != rev.status:
+            problems.append(f"{tag}: status revised={rev.status.name} "
+                            f"highs={ref_status.name}")
+        elif ref.status == 0 and rev.ok and abs(rev.objective - ref.fun) > (
+                1e-6 * (1 + abs(ref.fun))):
+            problems.append(f"{tag}: objective revised={rev.objective!r} "
+                            f"highs={ref.fun!r}")
+    except ImportError:  # pragma: no cover - scipy is a hard dep here
+        pass
+    return problems
+
+
+def fuzz_lps(
+    runs: int,
+    seed: int = 0,
+    profiles: tuple[str, ...] = LP_PROFILES,
+    on_progress=None,
+) -> LpFuzzReport:
+    """Differential-fuzz the LP cores with pathological instances.
+
+    Cycles ``runs`` instances through the torture profiles (degenerate
+    vertices, near-singular bases, rank-deficient rows, wide coefficient
+    ranges, boxed MILPs); instance ``i`` uses profile ``i % len`` and
+    seed ``seed + i``, so any failure reproduces from its index alone.
+    """
+    start = observe.clock()
+    report = LpFuzzReport(runs=0, checks=0)
+    for index in range(runs):
+        profile = profiles[index % len(profiles)]
+        case = generate_lp(seed + index, profile)
+        problems = verify_lp_case(case)
+        report.runs += 1
+        report.checks += 1
+        report.failures.extend(problems)
+        if on_progress is not None:
+            on_progress(index + 1, runs, len(report.failures))
+    report.elapsed_s = observe.clock() - start
+    return report
 
 
 def fuzz(

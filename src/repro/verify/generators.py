@@ -23,6 +23,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 ARRAY_LEN = 64
 
 try:  # hypothesis is a dev dependency; the fuzz CLI must run without it.
@@ -132,6 +134,143 @@ def generate_program(seed: int | random.Random) -> GeneratedProgram:
         inputs={"data": seed_values},
         statements=tuple(statements),
     )
+
+
+# -- pathological LP instances ------------------------------------------------
+
+#: Torture profiles for the LP differential fuzz (``repro fuzz
+#: --lp-runs`` and ``tests/solver/test_revised_differential.py``).
+LP_PROFILES = (
+    "generic",        # well-conditioned random feasible LP
+    "degenerate",     # many constraints active at the optimum vertex
+    "near_singular",  # nearly linearly dependent rows
+    "rank_deficient", # exactly duplicated/linear-combination rows
+    "wide_range",     # coefficients spanning ~10 orders of magnitude
+    "boxed_milp",     # 0/1 boxes + one-of-N equalities (DVS shape)
+)
+
+
+@dataclass(frozen=True)
+class GeneratedLP:
+    """A feasible-by-construction LP torture instance.
+
+    ``integrality`` is all-False except for the ``boxed_milp`` profile,
+    so the same instances feed both the LP differential and the MILP
+    differential.
+    """
+
+    profile: str
+    seed: int
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: np.ndarray
+    integrality: np.ndarray
+
+    def lp_kwargs(self) -> dict:
+        return {
+            "c": self.c,
+            "a_ub": self.a_ub if self.a_ub.size else None,
+            "b_ub": self.b_ub if self.b_ub.size else None,
+            "a_eq": self.a_eq if self.a_eq.size else None,
+            "b_eq": self.b_eq if self.b_eq.size else None,
+            "bounds": self.bounds,
+        }
+
+
+def generate_lp(seed: int, profile: str = "generic") -> GeneratedLP:
+    """Generate one LP instance for ``profile`` (see :data:`LP_PROFILES`).
+
+    Every instance is primal feasible by construction: a reference point
+    inside the bounds is drawn first and the inequality right-hand sides
+    are set at (or, for degenerate profiles, exactly on) that point, so a
+    solver disagreement is always a solver bug, never an ambiguous
+    infeasibility verdict.
+    """
+    if profile not in LP_PROFILES:
+        raise ValueError(f"unknown LP profile {profile!r} "
+                         f"(choose from {', '.join(LP_PROFILES)})")
+    # Seeded per (seed, profile index) — str hash() is process-salted
+    # and would break seed-only reproduction.
+    gen = np.random.default_rng((seed, LP_PROFILES.index(profile)))
+    n = int(gen.integers(3, 10))
+    m = int(gen.integers(2, 9))
+    c = gen.uniform(-5, 5, n)
+    a_ub = gen.uniform(-3, 3, (m, n))
+    x0 = gen.uniform(0, 2, n)
+    slack = gen.uniform(0.5, 3, m)
+    bounds = np.column_stack([np.zeros(n), gen.uniform(2.5, 8, n)])
+    a_eq = np.empty((0, n))
+    b_eq = np.empty(0)
+    integrality = np.zeros(n, dtype=bool)
+
+    if profile == "degenerate":
+        # Half the rows are tight at x0 and several are rescaled copies
+        # of each other: the optimum sits on a massively degenerate
+        # vertex where naive pivoting stalls or cycles.
+        tight = gen.random(m) < 0.5
+        slack = np.where(tight, 0.0, slack)
+        for row in range(1, m, 2):
+            a_ub[row] = a_ub[row - 1] * gen.uniform(0.5, 2.0)
+            slack[row] = slack[row - 1] * (a_ub[row, 0] / a_ub[row - 1, 0]
+                                           if a_ub[row - 1, 0] else 1.0)
+    elif profile == "near_singular":
+        # Each even row is an epsilon-perturbed copy of its predecessor,
+        # so basis matrices are within ~1e-10 of singular.
+        for row in range(1, m):
+            if row % 2 == 0:
+                a_ub[row] = a_ub[row - 1] + gen.normal(0, 1e-10, n)
+    elif profile == "rank_deficient":
+        # Exact duplicates and exact linear combinations of earlier
+        # rows — the redundant-row path must absorb them, not fail.
+        for row in range(1, m):
+            if row % 3 == 0:
+                a_ub[row] = a_ub[row - 1]
+            elif row % 3 == 2 and row >= 2:
+                a_ub[row] = 0.5 * a_ub[row - 1] + 0.5 * a_ub[row - 2]
+        if m >= 2:  # a genuinely redundant equality pair
+            coeffs = gen.uniform(-1, 1, n)
+            rhs = float(coeffs @ x0)
+            a_eq = np.vstack([coeffs, coeffs])
+            b_eq = np.array([rhs, rhs])
+    elif profile == "wide_range":
+        # Column scaling over ~10 orders of magnitude: absolute
+        # tolerances that do not scale with the data fail here.
+        scale = 10.0 ** gen.uniform(-5, 5, n)
+        a_ub *= scale
+        c *= scale
+        bounds[:, 1] /= scale
+        x0 /= scale
+    elif profile == "boxed_milp":
+        # The DVS formulation's shape: binary one-of-N selectors plus a
+        # coupling budget row.
+        groups = max(1, n // 3)
+        n = groups * 3
+        c = gen.uniform(0.1, 10, n)
+        times = gen.uniform(1, 5, n)
+        a_eq = np.zeros((groups, n))
+        for g in range(groups):
+            a_eq[g, g * 3:(g + 1) * 3] = 1.0
+        b_eq = np.ones(groups)
+        budget = times.reshape(groups, 3).min(axis=1).sum() * 1.5
+        a_ub = times.reshape(1, n)
+        b_ub = np.array([budget])
+        bounds = np.array([[0.0, 1.0]] * n)
+        integrality = np.ones(n, dtype=bool)
+        return GeneratedLP(profile, seed, c, a_ub, b_ub, a_eq, b_eq,
+                           bounds, integrality)
+
+    b_ub = a_ub @ x0 + slack
+    if a_eq.size:
+        b_eq = a_eq @ x0
+    # A sprinkle of fixed variables exercises the substitution path.
+    if n >= 4 and gen.random() < 0.5:
+        j = int(gen.integers(0, n))
+        bounds[j] = (x0[j], x0[j])
+    return GeneratedLP(profile, seed, c, a_ub, b_ub, a_eq, b_eq,
+                       bounds, integrality)
 
 
 if _HAVE_HYPOTHESIS:

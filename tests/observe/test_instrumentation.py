@@ -85,8 +85,18 @@ class TestSolverCounters:
     def test_native_lp_relaxation_counts_pivots_only(self, tracing):
         solution = knapsack_model().solve(backend="native", relax=True)
         assert solution.ok
-        assert observe.counter_value("solver.simplex.pivots") > 0
+        # The default (revised) engine reports its own pivot counter.
+        assert observe.counter_value("solver.revised.pivots") > 0
         assert observe.counter_value("solver.bnb.nodes_explored") == 0
+
+    def test_dense_engine_counts_tableau_pivots(self, tracing):
+        from repro.solver.engine import use_engine
+
+        with use_engine("dense"):
+            solution = knapsack_model().solve(backend="native", relax=True)
+        assert solution.ok
+        assert observe.counter_value("solver.simplex.pivots") > 0
+        assert observe.counter_value("solver.revised.pivots") == 0
 
     def test_any_backend_records_a_solve_span(self, tracing):
         knapsack_model().solve()

@@ -113,6 +113,48 @@ def test_agrees_with_highs_on_random_feasible_lps(seed, n, m):
     assert np.all(ours.x <= bounds[:, 1] + 1e-9)
 
 
+class TestRatioTieWindowRegression:
+    """The ratio-test tie window must scale with the ratio magnitude.
+
+    With an absolute 1e-9 window, fp noise on ~1e8-sized ratios hides
+    genuinely tied rows from the stability tie-break, and the tableau
+    pivots on a tiny element — exactly what the fixed-variable
+    substitution rows produce under huge coefficient ranges.
+    """
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_wide_range_instances_match_highs(self, seed):
+        from repro.solver.simplex import solve_lp_dense
+        from repro.verify.generators import generate_lp
+
+        case = generate_lp(seed, "wide_range")
+        ours = solve_lp_dense(**case.lp_kwargs())
+        ref = linprog(case.c, A_ub=case.a_ub, b_ub=case.b_ub,
+                      bounds=case.bounds, method="highs")
+        assert ours.status is SolveStatus.OPTIMAL
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(
+            ref.fun, abs=1e-6 * (1 + abs(ref.fun)))
+
+    def test_fixed_variable_with_huge_scale_spread(self):
+        # A fixed 1e5-scale variable substituted into 1e-5-scale rows:
+        # the substitution's rhs dwarfs the other coefficients, so every
+        # ratio the fixed row participates in is enormous.
+        from repro.solver.simplex import solve_lp_dense
+
+        c = [1e-5, -1.0, 2e-5]
+        a_ub = [[1e-5, 1.0, 0.0], [0.0, 1.0, 1e-5], [2e-5, -1.0, 1e-5]]
+        b_ub = [2.0, 3.0, 1.0]
+        bounds = np.array([[1e5, 1e5], [0.0, 10.0], [0.0, 1e5]])
+        ours = solve_lp_dense(c, a_ub, b_ub, bounds=bounds)
+        ref = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds,
+                      method="highs")
+        assert ours.status is SolveStatus.OPTIMAL and ref.status == 0
+        assert ours.objective == pytest.approx(
+            ref.fun, abs=1e-6 * (1 + abs(ref.fun)))
+        assert ours.x[0] == pytest.approx(1e5)
+
+
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 10_000), n=st.integers(2, 5))
 def test_agrees_with_highs_with_equalities(seed, n):

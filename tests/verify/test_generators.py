@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.ir import interpret, validate_cfg
 from repro.lang import compile_program
 from repro.verify.generators import (
     ARRAY_LEN,
+    LP_PROFILES,
     GeneratedProgram,
     build_source,
+    generate_lp,
     generate_program,
 )
 
@@ -59,6 +62,73 @@ class TestShrinkability:
         program = generate_program(5)
         source, inputs = program.as_tuple()
         assert source == program.source and inputs == program.inputs
+
+
+class TestLpGenerators:
+    """The pathological-LP profiles behind `repro fuzz --lp-runs`."""
+
+    @pytest.mark.parametrize("profile", LP_PROFILES)
+    def test_same_seed_same_instance(self, profile):
+        a = generate_lp(11, profile)
+        b = generate_lp(11, profile)
+        for field in ("c", "a_ub", "b_ub", "a_eq", "b_eq", "bounds",
+                      "integrality"):
+            assert np.array_equal(getattr(a, field), getattr(b, field)), field
+
+    @pytest.mark.parametrize("profile", LP_PROFILES)
+    def test_profiles_are_seed_independent_shapes(self, profile):
+        # The (seed, profile-index) keying must keep profiles distinct:
+        # the same seed under two profiles gives different instances.
+        other = LP_PROFILES[(LP_PROFILES.index(profile) + 1) % len(LP_PROFILES)]
+        a, b = generate_lp(4, profile), generate_lp(4, other)
+        assert (a.c.shape != b.c.shape) or not np.array_equal(a.c, b.c)
+
+    @pytest.mark.parametrize("profile", LP_PROFILES)
+    def test_every_profile_is_feasible(self, profile):
+        # Feasible-by-construction is the generator's core contract — a
+        # solver disagreement must never be an infeasibility ambiguity.
+        from scipy.optimize import linprog
+
+        for seed in range(4):
+            case = generate_lp(seed, profile)
+            ref = linprog(case.c, A_ub=case.a_ub if case.a_ub.size else None,
+                          b_ub=case.b_ub if case.b_ub.size else None,
+                          A_eq=case.a_eq if case.a_eq.size else None,
+                          b_eq=case.b_eq if case.b_eq.size else None,
+                          bounds=case.bounds, method="highs")
+            assert ref.status == 0, f"{profile}/s{seed}: {ref.message}"
+
+    def test_only_boxed_milp_is_integral(self):
+        for profile in LP_PROFILES:
+            case = generate_lp(0, profile)
+            assert case.integrality.any() == (profile == "boxed_milp")
+
+    def test_boxed_milp_shape(self):
+        case = generate_lp(9, "boxed_milp")
+        groups = case.a_eq.shape[0]
+        assert case.c.size == groups * 3
+        assert np.array_equal(case.b_eq, np.ones(groups))
+        assert np.array_equal(case.bounds,
+                              np.tile([0.0, 1.0], (case.c.size, 1)))
+
+    def test_wide_range_spans_magnitudes(self):
+        case = generate_lp(3, "wide_range")
+        mags = np.abs(case.a_ub[np.nonzero(case.a_ub)])
+        assert mags.max() / mags.min() > 1e6
+
+    def test_rank_deficient_has_dependent_rows(self):
+        case = generate_lp(6, "rank_deficient")
+        rank = np.linalg.matrix_rank(np.vstack([case.a_ub, case.a_eq]))
+        assert rank < case.a_ub.shape[0] + case.a_eq.shape[0]
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError, match="unknown LP profile"):
+            generate_lp(0, "nope")
+
+    def test_lp_kwargs_drops_empty_blocks(self):
+        case = generate_lp(0, "generic")
+        kwargs = case.lp_kwargs()
+        assert kwargs["a_eq"] is None and kwargs["b_eq"] is None
 
 
 class TestHypothesisStrategy:
