@@ -18,6 +18,9 @@
     python -m repro trace summarize sweep-results
     python -m repro cache verify
     python -m repro chaos --workloads adpcm --corrupt 2
+    python -m repro chaos --serve
+    python -m repro serve --port 8787 --jobs 4
+    python -m repro loadtest --requests 500 --concurrency 64
 
 ``--trace`` (or ``$REPRO_TRACE=1``) makes a sweep collect spans and
 metrics through :mod:`repro.observe` and write ``trace.jsonl`` +
@@ -30,6 +33,12 @@ Exit codes follow :mod:`repro.resilience`: 0 ok, 1 failure (including a
 schedule that fails verification), 2 usage/unreadable input, 3 degraded
 (the run completed but absorbed faults: failed tasks, fallback solver
 tiers, quarantined cache entries), 130 interrupted after a clean drain.
+The new verbs keep the same ladder: ``serve`` drains gracefully and
+exits 0 on SIGTERM / 130 on SIGINT; ``loadtest`` exits 1 when any
+request errored or a spawned server failed to drain cleanly;
+``chaos --serve`` exits 3 when the kill was absorbed and 1 on any
+violated invariant.  Every error is one line on stderr, never a
+traceback.
 
 ``--deadline-frac f`` places the deadline a fraction ``f`` of the way
 from the all-fast to the all-slow runtime (0 = flat out, 1 = everything
@@ -555,6 +564,8 @@ def cmd_cache(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    if args.serve:
+        return _cmd_chaos_serve(args)
     from repro.resilience.chaos import run_chaos
 
     workloads = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
@@ -582,6 +593,101 @@ def cmd_chaos(args) -> int:
     for violation in report.violations:
         print(f"  VIOLATION: {violation}", file=sys.stderr)
     return report.exit_code
+
+
+def _cmd_chaos_serve(args) -> int:
+    from repro.serve.chaos import run_serve_chaos
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    fracs = [float(f) for f in args.deadline_fracs.split(",")]
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(f"  {message}", flush=True)
+
+    report = run_serve_chaos(
+        workload=workloads[0],
+        deadline_frac=fracs[0],
+        seed=args.seed,
+        jobs=args.jobs,
+        on_progress=progress,
+    )
+    print(report.summary)
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}", file=sys.stderr)
+    return report.exit_code
+
+
+def cmd_serve(args) -> int:
+    from repro.runtime.executor import FaultSpec
+    from repro.serve.server import ServeConfig, run_server
+
+    weights = {}
+    for spec in args.tenant_weight or []:
+        name, _, value = spec.partition("=")
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise ReproError(
+                f"--tenant-weight wants NAME=WEIGHT, got {spec!r}") from None
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+                     or DEFAULT_CACHE_DIR)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        runs=args.runs,
+        max_queue=args.max_queue,
+        max_grid=args.max_grid,
+        cache_dir=cache_dir,
+        task_timeout_s=args.timeout or None,
+        retries=args.retries,
+        solver_backend=args.solver_backend,
+        tenant_weights=weights,
+        fault=(FaultSpec.parse(args.inject_fault)
+               if args.inject_fault else None),
+    )
+    return run_server(config)
+
+
+def cmd_loadtest(args) -> int:
+    from repro.perf.loadtest import (
+        LoadtestConfig,
+        render_loadtest,
+        run_loadtest,
+        write_loadtest,
+    )
+
+    config = LoadtestConfig(
+        base_url=args.url,
+        spawn_args=args.spawn_args,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        duplicate_ratio=args.duplicate_ratio,
+        seed=args.seed,
+        workloads=tuple(w.strip() for w in args.workloads.split(",")
+                        if w.strip()),
+        deadline_fracs=tuple(float(f)
+                             for f in args.deadline_fracs.split(",")),
+        tenants=args.tenants,
+        timeout_s=args.timeout,
+        cold_runs=args.cold_runs,
+        cache_dir=args.cache_dir,
+    )
+    document = run_loadtest(config)
+    print(render_loadtest(document))
+    path = write_loadtest(document, args.output or "BENCH_serve.json")
+    print(f"written to {path}")
+    if document["requests"]["errors"]:
+        return EXIT_FAILURE
+    if document.get("drain", {}).get("exit_code", 0) != 0:
+        print(f"loadtest: spawned server exited "
+              f"{document['drain']['exit_code']} on SIGTERM",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK
 
 
 def cmd_bench(args) -> int:
@@ -897,7 +1003,97 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default chaos-results)")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="suppress per-task progress lines")
+    p_chaos.add_argument("--serve", action="store_true",
+                         help="serve-mode chaos: boot an in-process "
+                              "server, SIGKILL its warm workers "
+                              "mid-request and audit the invariants "
+                              "(uses the first workload/deadline only)")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the optimization pipeline as a JSON-over-HTTP service "
+             "(warm worker pool, request coalescing, fair queueing)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="TCP port (default 8787; 0 = ephemeral, "
+                              "printed on the listening line)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="warm worker processes (default 2)")
+    p_serve.add_argument("--runs", type=int, default=2,
+                         help="DAG runs in flight at once (default 2)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admission bound; a full queue answers "
+                              "429 (default 64)")
+    p_serve.add_argument("--max-grid", type=int, default=64,
+                         help="max experiments per request (default 64)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="artifact-store directory (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without the artifact store")
+    p_serve.add_argument("--timeout", type=float, default=600.0,
+                         help="per-task wall-clock budget in seconds "
+                              "(default 600; 0 disables)")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="retry budget per task (default 1)")
+    p_serve.add_argument("--solver-backend", default="auto",
+                         choices=("auto", "scipy", "native"),
+                         help="default MILP backend for requests that "
+                              "do not choose one (default auto)")
+    p_serve.add_argument("--tenant-weight", action="append", default=[],
+                         metavar="NAME=WEIGHT",
+                         help="fair-queueing weight override "
+                              "(repeatable; default weight 1)")
+    p_serve.add_argument("--inject-fault", default=None,
+                         metavar="PATTERN[@N]",
+                         help="kill matching executor tasks (testing)")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="replay concurrent mixed traffic against repro serve and "
+             "write BENCH_serve.json (latency percentiles, throughput, "
+             "coalescing ratio, warm-pool speedup)",
+    )
+    p_load.add_argument("--url", default=None,
+                        help="target server base url (default: spawn a "
+                             "fresh `repro serve --port 0` and drain it "
+                             "with SIGTERM afterwards)")
+    p_load.add_argument("--spawn-args", default="",
+                        help="extra `repro serve` flags when spawning "
+                             "(quoted, e.g. '--jobs 4 --runs 2')")
+    p_load.add_argument("--requests", type=int, default=200,
+                        help="total submissions to fire (default 200)")
+    p_load.add_argument("--concurrency", type=int, default=32,
+                        help="in-flight request cap (default 32)")
+    p_load.add_argument("--duplicate-ratio", type=float, default=0.75,
+                        help="fraction of submissions repeating an "
+                             "earlier one (default 0.75)")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="request-mix seed (default 0)")
+    p_load.add_argument("--workloads", default="adpcm,gsm",
+                        help="comma-joined workloads in the mix "
+                             "(default adpcm,gsm)")
+    p_load.add_argument("--deadline-fracs", default="0.35,0.7",
+                        help="comma-joined deadline fractions in the "
+                             "mix (default 0.35,0.7)")
+    p_load.add_argument("--tenants", type=int, default=3,
+                        help="distinct tenants in the mix (default 3)")
+    p_load.add_argument("--timeout", type=float, default=120.0,
+                        help="per-request client timeout (default 120)")
+    p_load.add_argument("--cold-runs", type=int, default=2,
+                        help="cold process-per-request baseline repeats "
+                             "for the warm-speedup figure (default 2; "
+                             "0 disables)")
+    p_load.add_argument("--cache-dir", default=None,
+                        help="cache directory for a spawned server "
+                             "(default: the server's own default)")
+    p_load.add_argument("-o", "--output", default=None,
+                        help="output JSON path (default BENCH_serve.json)")
+    p_load.set_defaults(fn=cmd_loadtest)
 
     return parser
 

@@ -107,3 +107,21 @@ class JournalError(OrchestrationError):
 
 class CacheError(ReproError):
     """The content-addressed artifact store is unusable or inconsistent."""
+
+
+class ServeError(ReproError):
+    """The optimization service (:mod:`repro.serve`) hit an invalid
+    state: malformed configuration, an unusable listener, or a broken
+    client conversation."""
+
+
+class ProtocolError(ServeError):
+    """A service request failed validation.
+
+    Carries the HTTP status the server should answer with; defaults to
+    400 (bad request).
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status

@@ -53,6 +53,7 @@ from .export import (
     METRICS_NAME,
     TRACE_NAME,
     export,
+    histogram_summary,
     host_fingerprint,
     read_metrics,
     read_trace,
@@ -69,7 +70,8 @@ __all__ = [
     "env_enabled", "event", "gauge", "record", "reset", "snapshot",
     "span", "start_span", "traced",
     "FILE_FORMAT", "METRICS_NAME", "TRACE_NAME", "export",
-    "host_fingerprint", "read_metrics", "read_trace", "repro_version",
+    "histogram_summary", "host_fingerprint", "read_metrics", "read_trace",
+    "repro_version",
     "write_metrics", "write_trace",
     "LOG_ENV", "configure_logging", "resolve_level",
 ]

@@ -28,7 +28,9 @@ Design contract:
 from __future__ import annotations
 
 import itertools
+import math
 import os
+import random
 import threading
 import time
 from typing import Any, Callable
@@ -118,15 +120,27 @@ class Span:
 
 
 class Histogram:
-    """Count/sum/min/max summary of an observed value stream."""
+    """Count/sum/min/max/percentile summary of an observed value stream.
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    Percentiles (p50/p90/p99) come from a bounded reservoir sample of
+    :data:`RESERVOIR` values: exact below that many observations,
+    an unbiased estimate above it.  The reservoir RNG is seeded per
+    histogram, so a given observation sequence always yields the same
+    sample — metrics stay reproducible for deterministic runs.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "samples", "_rng")
+
+    #: Reservoir capacity; percentiles are exact up to this many values.
+    RESERVOIR = 2048
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.samples: list[float] = []
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -135,18 +149,40 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if len(self.samples) < self.RESERVOIR:
+            self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR:
+                self.samples[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def as_dict(self) -> dict[str, float]:
-        return {"count": self.count, "sum": self.total,
-                "min": self.minimum if self.count else 0.0,
-                "max": self.maximum if self.count else 0.0,
-                "mean": self.mean}
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir (q in [0, 100])."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
 
-    def merge_dict(self, other: dict[str, float]) -> None:
+    def as_dict(self) -> dict[str, Any]:
+        document = {"count": self.count, "sum": self.total,
+                    "min": self.minimum if self.count else 0.0,
+                    "max": self.maximum if self.count else 0.0,
+                    "mean": self.mean}
+        if self.samples:
+            document["p50"] = self.percentile(50.0)
+            document["p90"] = self.percentile(90.0)
+            document["p99"] = self.percentile(99.0)
+        # Transport-only: cross-process merges need the raw reservoir;
+        # the metrics.json writer strips this key.
+        document["samples"] = list(self.samples)
+        return document
+
+    def merge_dict(self, other: dict[str, Any]) -> None:
         """Fold a serialized histogram (another process's) into this one."""
         count = int(other.get("count", 0))
         if not count:
@@ -156,6 +192,13 @@ class Histogram:
         self.total += float(other.get("sum", 0.0))
         self.minimum = min(self.minimum, float(other["min"])) if had else float(other["min"])
         self.maximum = max(self.maximum, float(other["max"])) if had else float(other["max"])
+        for value in other.get("samples", ()):
+            if len(self.samples) < self.RESERVOIR:
+                self.samples.append(float(value))
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.RESERVOIR:
+                    self.samples[slot] = float(value)
 
 
 class _Collector:

@@ -78,6 +78,16 @@ def write_trace(path: Path, snap: dict[str, Any] | None = None) -> Path:
     return path
 
 
+def histogram_summary(hist: dict[str, Any]) -> dict[str, Any]:
+    """A histogram dict without its transport-only raw reservoir.
+
+    Snapshots carry ``samples`` so cross-process merges can keep
+    estimating percentiles; the on-disk document keeps only the derived
+    summary (count/sum/min/max/mean/p50/p90/p99).
+    """
+    return {k: v for k, v in hist.items() if k != "samples"}
+
+
 def write_metrics(path: Path, snap: dict[str, Any] | None = None) -> Path:
     """Write ``metrics.json`` from a snapshot (default: the live collector)."""
     if snap is None:
@@ -86,7 +96,8 @@ def write_metrics(path: Path, snap: dict[str, Any] | None = None) -> Path:
         "header": _header(),
         "counters": dict(sorted(snap.get("counters", {}).items())),
         "gauges": dict(sorted(snap.get("gauges", {}).items())),
-        "histograms": dict(sorted(snap.get("histograms", {}).items())),
+        "histograms": {name: histogram_summary(hist) for name, hist
+                       in sorted(snap.get("histograms", {}).items())},
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

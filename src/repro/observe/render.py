@@ -218,6 +218,10 @@ def render_stats(metrics: dict[str, Any]) -> str:
         wait = histograms.get("executor.queue_wait_s")
         if wait and wait.get("count"):
             row("queue wait mean", f"{wait['sum'] / wait['count']:.4f}s")
+            if "p99" in wait:
+                row("queue wait p50/p90/p99",
+                    f"{wait['p50']:.4f}s / {wait['p90']:.4f}s / "
+                    f"{wait['p99']:.4f}s")
             row("queue wait max", f"{wait['max']:.4f}s")
             consumed.add("hist:executor.queue_wait_s")
 
@@ -234,8 +238,10 @@ def render_stats(metrics: dict[str, Any]) -> str:
             row(name, value)
         for name, hist in sorted(other_hists.items()):
             if hist.get("count"):
-                row(name, f"n={hist['count']} mean={hist['sum'] / hist['count']:.4g} "
-                          f"max={hist['max']:.4g}")
+                quantiles = (f" p50={hist['p50']:.4g} p99={hist['p99']:.4g}"
+                             if "p99" in hist else "")
+                row(name, f"n={hist['count']} mean={hist['sum'] / hist['count']:.4g}"
+                          f"{quantiles} max={hist['max']:.4g}")
 
     if len(lines) <= 2:
         return "(no metrics recorded)"

@@ -31,10 +31,13 @@ from __future__ import annotations
 import fnmatch
 import logging
 import multiprocessing
+import os
 import signal
 import sys
 import time
+import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -239,6 +242,115 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _worker_roll_call(delay_s: float) -> int:
+    """Identify a worker (used by :meth:`WorkerPool.warm_up`).
+
+    The short sleep keeps the task pinned long enough that concurrent
+    roll calls land on distinct workers instead of one fast worker
+    draining them all.
+    """
+    time.sleep(delay_s)
+    return os.getpid()
+
+
+class WorkerPool:
+    """A persistent, crash-resilient process pool.
+
+    Historically each :func:`run_graph` call spun up its own
+    ``ProcessPoolExecutor`` and tore it down with the sweep.  A
+    ``WorkerPool`` decouples the pool's lifetime from any one graph run
+    so a long-lived service (:mod:`repro.serve`) can keep **warm**
+    workers across requests: fork-started workers retain the solver's
+    warm-basis/pseudocost registries (:mod:`repro.solver.warmstart`) and
+    the compiled-simulator caches (:mod:`repro.perf.engine`) between
+    tasks, which is where the per-request amortization comes from.
+
+    The pool is a context manager (``with WorkerPool(4) as pool:``) and
+    is safe to share between threads: many concurrent ``run_graph``
+    calls may submit into one pool.  When a worker dies (OOM kill,
+    SIGKILL chaos), the underlying executor breaks; :meth:`reset`
+    discards it and the next :meth:`submit` respawns a fresh one, so a
+    single crashed request never takes the service down.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise OrchestrationError(f"pool jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.respawns = 0
+        self._lock = threading.Lock()
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def _spawn_locked(self) -> ProcessPoolExecutor:
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        )
+        return self._executor
+
+    def submit(self, fn: Callable, *args: Any) -> Future:
+        """Submit work, respawning the executor if a worker died."""
+        with self._lock:
+            if self._closed:
+                raise OrchestrationError("worker pool is closed")
+            executor = self._executor or self._spawn_locked()
+            try:
+                return executor.submit(fn, *args)
+            except BrokenProcessPool:
+                self._reset_locked()
+                return self._spawn_locked().submit(fn, *args)
+
+    def _reset_locked(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.respawns += 1
+            observe.add("executor.pool.respawns")
+            logger.warning("worker pool broken; respawning (respawn #%d)",
+                           self.respawns)
+
+    def reset(self) -> None:
+        """Discard a broken executor; the next submit respawns it."""
+        with self._lock:
+            self._reset_locked()
+
+    def warm_up(self, delay_s: float = 0.05) -> list[int]:
+        """Force worker spawn-up; returns the pids that answered.
+
+        ``ProcessPoolExecutor`` forks workers lazily, so a fresh pool
+        has nobody to keep warm (and nothing for a chaos harness to
+        kill) until the first task arrives.
+        """
+        futures = [self.submit(_worker_roll_call, delay_s)
+                   for _ in range(self.jobs)]
+        return sorted({future.result() for future in futures})
+
+    def worker_pids(self) -> list[int]:
+        """Pids of the live worker processes (may be empty before use)."""
+        with self._lock:
+            if self._executor is None:
+                return []
+            processes = getattr(self._executor, "_processes", None) or {}
+            return sorted(processes)
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent."""
+        with self._lock:
+            self._closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 class _InlineFuture:
     """A completed-immediately future for jobs=1 inline execution."""
 
@@ -256,6 +368,7 @@ def run_graph(
     on_task: Callable[[TaskResult], None] | None = None,
     completed: dict[str, dict[str, Any]] | None = None,
     should_stop: Callable[[], bool] | None = None,
+    pool: WorkerPool | None = None,
 ) -> dict[str, TaskResult]:
     """Execute a task graph; returns results for every task.
 
@@ -273,6 +386,11 @@ def run_graph(
             in-flight task (journaling their results via ``on_task``)
             and returns the partial result map.  Used by the SIGINT
             handler for a clean interrupted shutdown.
+        pool: an externally owned :class:`WorkerPool` to execute tasks
+            in.  The caller keeps it alive across calls (warm workers);
+            this function never shuts it down.  Without one, ``jobs > 1``
+            creates a pool for just this graph and ``jobs == 1`` runs
+            tasks inline.
 
     Returns:
         results for every task — or, after a ``should_stop`` drain, for
@@ -289,14 +407,9 @@ def run_graph(
     inflight: dict[Future, str] = {}
     task_spans: dict[str, observe.Span] = {}  # open executor.task spans
     stopping = False
-    pool: ProcessPoolExecutor | None = None
-    if config.jobs > 1:
-        pool = ProcessPoolExecutor(
-            max_workers=config.jobs,
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-            initargs=(list(sys.path),),
-        )
+    owned_pool: WorkerPool | None = None
+    if pool is None and config.jobs > 1:
+        owned_pool = pool = WorkerPool(config.jobs)
     graph_span = observe.start_span("executor.run_graph", on_stack=True,
                                     jobs=config.jobs, tasks=len(graph.tasks))
 
@@ -449,7 +562,7 @@ def run_graph(
                     done = list(inflight)
                 for future in done:
                     task_id = inflight.pop(future)
-                    absorb(task_id, future.result())
+                    absorb(task_id, _transport_of(future, pool))
                 progressed = True
             if stopping and not inflight:
                 break  # drained: return the partial result map
@@ -459,10 +572,34 @@ def run_graph(
                     f"scheduler stalled with tasks unresolved: {stuck}"
                 )
     finally:
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+        if owned_pool is not None:
+            owned_pool.close()
         for tspan in task_spans.values():
             observe.end_span(tspan, ok=False, abandoned=True)
         observe.end_span(graph_span, completed=len(results))
 
     return results
+
+
+def _transport_of(future: "Future | _InlineFuture",
+                  pool: WorkerPool | None) -> dict[str, Any]:
+    """A finished future's transport dict, with worker death absorbed.
+
+    A worker killed mid-task (OOM, SIGKILL chaos) breaks the whole
+    executor: every in-flight future raises ``BrokenProcessPool``.  That
+    must degrade into per-task failures — retried on a respawned pool or
+    reported as structured failures — never crash the graph run.
+    """
+    try:
+        return future.result()
+    except BaseException as error:  # noqa: BLE001 - converted to a failure
+        if pool is not None and isinstance(error, BrokenProcessPool):
+            observe.add("executor.worker_crashes")
+            pool.reset()
+        return {
+            "ok": False,
+            "error": str(error) or type(error).__name__,
+            "error_type": type(error).__name__,
+            "wall_time_s": 0.0,
+            "started_at": None,
+        }

@@ -1,0 +1,280 @@
+"""Serve-mode chaos: kill a warm worker mid-request, audit the fallout.
+
+``repro chaos --serve`` extends the resilience battery from one-shot
+sweeps (:mod:`repro.resilience.chaos`) to the long-lived service.  The
+harness boots a real :class:`~repro.serve.server.ReproServer` in-process
+(cache off, so every request genuinely executes), then:
+
+1. serves a **control** request and checks it verified cleanly;
+2. submits a **victim** request, waits until the server reports it
+   running, and SIGKILLs every warm worker process under it;
+3. serves a **probe** request on the respawned pool.
+
+Invariants (any violation is a harness failure, exit 1):
+
+* the server survives — ``/healthz`` answers afterwards and the crash
+  was observed (``executor.pool.respawns`` / ``executor.worker_crashes``);
+* the victim request either completes with fully verified rows (the
+  executor out-retried the crash) or fails **closed** with a clean JSON
+  5xx — a 200 carrying unverified or partial rows is the one
+  unforgivable outcome;
+* the probe completes verified on the respawned pool, and its result
+  rows are byte-identical to a solo in-process ``run_graph`` of the
+  same experiments — the crash must not poison warm state.
+
+A run that merely absorbed its kill (victim recovered or failed closed)
+exits :data:`~repro.resilience.EXIT_DEGRADED`, mirroring sweep chaos.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import observe
+from repro.resilience import EXIT_DEGRADED, EXIT_FAILURE, EXIT_OK
+from repro.runtime.dag import build_task_graph
+from repro.runtime.executor import ExecutorConfig, run_graph
+from repro.runtime import manifest as manifest_mod
+from repro.serve.server import ReproServer, ServeConfig
+
+
+def _canon(document: Any) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ServeChaosReport:
+    """What the harness killed and what the service did about it."""
+
+    killed_pids: list[int] = field(default_factory=list)
+    victim_state: str = "unknown"
+    victim_status: int = 0
+    crash_observed: bool = False
+    respawns: int = 0
+    probe_identical: bool = False
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        if self.violations:
+            return EXIT_FAILURE
+        if self.crash_observed:
+            return EXIT_DEGRADED
+        return EXIT_OK
+
+    @property
+    def summary(self) -> str:
+        head = ("serve chaos: invariants held" if self.ok else
+                f"serve chaos: {len(self.violations)} INVARIANT VIOLATION(S)")
+        return (f"{head} — killed {len(self.killed_pids)} warm worker(s), "
+                f"victim {self.victim_state} (HTTP {self.victim_status}), "
+                f"{self.respawns} pool respawn(s), probe byte-identical "
+                f"to solo run: {self.probe_identical} "
+                f"(exit {self.exit_code})")
+
+
+class _Client:
+    """Tiny synchronous HTTP client against the in-process server."""
+
+    def __init__(self, port: int, timeout_s: float) -> None:
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def request(self, method: str, path: str,
+                body: dict[str, Any] | None = None) -> tuple[int, dict]:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = response.read()
+            try:
+                document = json.loads(data)
+            except json.JSONDecodeError:
+                document = {"raw": data.decode("utf-8", "replace")}
+            return response.status, document
+        finally:
+            conn.close()
+
+
+def _solo_rows(request_document: dict[str, Any],
+               jobs: int = 1) -> list[dict[str, Any]]:
+    """The reference result rows from a plain in-process run."""
+    from repro.serve.protocol import parse_request
+
+    parsed = parse_request(dict(request_document), endpoint="optimize")
+    graph = build_task_graph(list(parsed.experiments))
+    results = run_graph(graph, store=None, config=ExecutorConfig(jobs=jobs))
+    return [manifest_mod.experiment_record(spec, graph, results)
+            for spec in sorted(graph.experiments,
+                               key=lambda s: s.experiment_id)]
+
+
+def run_serve_chaos(
+    workload: str = "adpcm",
+    deadline_frac: float = 0.5,
+    seed: int = 0,
+    jobs: int = 2,
+    timeout_s: float = 120.0,
+    on_progress=None,
+) -> ServeChaosReport:
+    """Boot a server, kill its warm workers mid-request, audit the rules.
+
+    Args:
+        workload / deadline_frac / seed: the grid point under test (the
+            victim and probe use neighbouring deadline fractions so each
+            is a genuine, uncached run).
+        jobs: warm worker processes.
+        timeout_s: overall per-request client budget.
+        on_progress: optional callable taking one status string.
+    """
+    report = ServeChaosReport()
+
+    def progress(message: str) -> None:
+        if on_progress is not None:
+            on_progress(message)
+
+    if not observe.enabled():
+        observe.enable()
+    respawns_before = observe.counter_value("executor.pool.respawns")
+    crashes_before = observe.counter_value("executor.worker_crashes")
+
+    # Cache off: every request must actually execute on the warm pool.
+    server = ReproServer(ServeConfig(port=0, jobs=jobs, runs=1,
+                                     cache_dir=None))
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=lambda: (asyncio.set_event_loop(loop), loop.run_forever()),
+        name="serve-chaos-loop", daemon=True)
+    thread.start()
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(60)
+        assert server.port is not None
+        client = _Client(server.port, timeout_s)
+        progress(f"server up on port {server.port}, "
+                 f"workers {server.pool.worker_pids()}")
+
+        base = {"workload": workload, "seed": seed}
+        control_doc = dict(base, deadline_frac=deadline_frac, wait=True)
+        status, control = client.request("POST", "/v1/optimize", control_doc)
+        if status != 200 or any(r["status"] != "ok"
+                                for r in control.get("results", [])):
+            report.violations.append(
+                f"control request failed before any fault "
+                f"(HTTP {status}): {control.get('error', control)}")
+            return report
+        progress("control request verified ok")
+
+        # The victim: a different grid point, so it really runs.
+        victim_frac = round(min(1.0, deadline_frac + 0.1), 6)
+        victim_doc = dict(base, deadline_frac=victim_frac)
+        status, submitted = client.request("POST", "/v1/optimize", victim_doc)
+        if status not in (200, 202):
+            report.violations.append(
+                f"victim submission rejected (HTTP {status}): {submitted}")
+            return report
+        job_id = submitted["job"]["id"]
+
+        # Wait for it to start running, then murder the warm pool.
+        deadline = time.monotonic() + timeout_s
+        state = submitted["job"]["state"]
+        while state == "queued" and time.monotonic() < deadline:
+            time.sleep(0.01)
+            status, job_doc = client.request("GET", f"/v1/jobs/{job_id}")
+            state = job_doc["job"]["state"]
+        report.killed_pids = list(server.pool.worker_pids())
+        for pid in report.killed_pids:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        progress(f"killed workers {report.killed_pids} "
+                 f"while victim was {state}")
+
+        # The victim must reach a terminal state either way.
+        while time.monotonic() < deadline:
+            status, job_doc = client.request("GET", f"/v1/jobs/{job_id}")
+            state = job_doc["job"]["state"]
+            if state in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        report.victim_state = state
+        report.victim_status = status
+        if state == "done":
+            rows = job_doc.get("results", [])
+            bad = sorted(r["experiment"] for r in rows
+                         if r["status"] != "ok")
+            if bad:
+                report.violations.append(
+                    f"victim served unverified rows after the kill: {bad}")
+        elif state == "failed":
+            if not job_doc["job"].get("error"):
+                report.violations.append(
+                    "victim failed without a structured error message")
+        else:
+            report.violations.append(
+                f"victim never reached a terminal state (stuck {state!r})")
+
+        # The crash must have been seen and absorbed, not missed.
+        report.respawns = int(
+            observe.counter_value("executor.pool.respawns")
+            - respawns_before)
+        crashes = observe.counter_value("executor.worker_crashes")
+        report.crash_observed = bool(
+            report.respawns or crashes > crashes_before)
+        if not report.crash_observed:
+            report.violations.append(
+                "killed every warm worker but no crash/respawn was "
+                "recorded — the kill never landed")
+
+        status, health = client.request("GET", "/healthz")
+        if status != 200:
+            report.violations.append(
+                f"/healthz unreachable after the kill (HTTP {status})")
+
+        # The probe: yet another grid point, on the respawned pool; its
+        # rows must match a solo in-process run byte for byte.
+        probe_frac = round(max(0.0, deadline_frac - 0.1), 6)
+        probe_doc = dict(base, deadline_frac=probe_frac, wait=True)
+        status, probe = client.request("POST", "/v1/optimize", probe_doc)
+        if status != 200 or any(r["status"] != "ok"
+                                for r in probe.get("results", [])):
+            report.violations.append(
+                f"probe request failed on the respawned pool "
+                f"(HTTP {status}): {probe.get('error', probe)}")
+            return report
+        served = [_canon(r) for r in probe["results"]]
+        reference = [_canon(r) for r in _solo_rows(
+            dict(base, deadline_frac=probe_frac))]
+        report.probe_identical = served == reference
+        if not report.probe_identical:
+            report.violations.append(
+                "probe rows after the crash differ from a solo run — "
+                "the respawned pool is serving drifted results")
+        progress("probe verified on respawned pool")
+        return report
+    finally:
+        try:
+            future = asyncio.run_coroutine_threadsafe(server.drain(), loop)
+            loop.call_soon_threadsafe(server.request_stop, 0)
+            future.result(30)
+        except Exception:  # noqa: BLE001 - teardown is best effort
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        if not loop.is_running():
+            loop.close()

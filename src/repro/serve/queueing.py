@@ -1,0 +1,148 @@
+"""Admission control and per-tenant weighted fair queueing.
+
+The service must stay predictable under overload, which needs two
+mechanisms working together:
+
+* **Bounded admission** — the queue holds at most ``max_queue`` jobs.
+  A submission past that raises :class:`QueueFull`, which the server
+  maps to ``429 Too Many Requests`` with a ``Retry-After`` header.
+  Backpressure is explicit and early, never an unbounded memory ramp.
+
+* **Weighted fair queueing** — jobs dequeue by *virtual finish time*
+  (start-time fair queueing): each tenant accrues virtual work equal to
+  ``cost / weight``, and the next job popped is the one with the
+  smallest finish tag.  A tenant that dumps 50 sweeps therefore shares
+  the pool with — instead of starving — a tenant submitting single
+  optimizes; doubling a tenant's weight doubles its long-run share.
+
+The queue is a plain single-threaded data structure.  The asyncio
+server is its only caller (one event loop), so it needs no locking;
+anything that touches it from a worker thread goes through
+``loop.call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ServeError
+
+
+class QueueFull(ServeError):
+    """Admission control rejected a submission (map to HTTP 429)."""
+
+
+@dataclass
+class _TenantState:
+    weight: float
+    virtual_finish: float = 0.0  # finish tag of the tenant's last job
+    queued: int = 0
+    admitted: int = 0
+
+
+@dataclass(order=True)
+class _Entry:
+    finish_tag: float
+    seq: int
+    item: Any = field(compare=False)
+    tenant: str = field(compare=False)
+
+
+class FairQueue:
+    """A bounded, weighted-fair priority queue of jobs.
+
+    Args:
+        max_queue: admission bound; ``push`` raises :class:`QueueFull`
+            beyond it.
+        weights: per-tenant weight overrides (higher = larger share).
+        default_weight: weight for tenants not listed in ``weights``.
+    """
+
+    def __init__(self, max_queue: int = 64,
+                 weights: dict[str, float] | None = None,
+                 default_weight: float = 1.0) -> None:
+        if max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {max_queue}")
+        if default_weight <= 0:
+            raise ServeError(
+                f"default tenant weight must be positive, got {default_weight}")
+        for tenant, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ServeError(
+                    f"tenant {tenant!r} weight must be positive, got {weight}")
+        self.max_queue = max_queue
+        self.default_weight = default_weight
+        self._weights = dict(weights or {})
+        self._tenants: dict[str, _TenantState] = {}
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._virtual_time = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            weight = self._weights.get(tenant, self.default_weight)
+            state = self._tenants[tenant] = _TenantState(weight=weight)
+        return state
+
+    def push(self, tenant: str, cost: float, item: Any) -> float:
+        """Admit one job; returns its virtual finish tag.
+
+        Args:
+            tenant: fair-queueing bucket.
+            cost: job size in arbitrary-but-consistent units (the server
+                uses the experiment count).
+            item: the queued object.
+
+        Raises:
+            QueueFull: the queue already holds ``max_queue`` jobs.
+        """
+        if len(self._heap) >= self.max_queue:
+            raise QueueFull(
+                f"queue full ({self.max_queue} jobs); retry later")
+        state = self._tenant(tenant)
+        start = max(self._virtual_time, state.virtual_finish)
+        finish = start + max(cost, 1e-9) / state.weight
+        state.virtual_finish = finish
+        state.queued += 1
+        state.admitted += 1
+        heapq.heappush(self._heap,
+                       _Entry(finish, next(self._seq), item, tenant))
+        return finish
+
+    def pop(self) -> Any | None:
+        """The queued job with the smallest virtual finish tag, or None."""
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        # Advance virtual time to the served job's tag so newly arriving
+        # tenants start "now" rather than back-filling ancient credit.
+        self._virtual_time = max(self._virtual_time, entry.finish_tag)
+        state = self._tenant(entry.tenant)
+        state.queued = max(0, state.queued - 1)
+        return entry.item
+
+    def items(self) -> Iterator[Any]:
+        """Queued items in heap (not service) order — for draining."""
+        for entry in self._heap:
+            yield entry.item
+
+    def clear(self) -> list[Any]:
+        """Remove and return every queued item (drain path)."""
+        items = [entry.item for entry in self._heap]
+        self._heap.clear()
+        for state in self._tenants.values():
+            state.queued = 0
+        return items
+
+    def depths(self) -> dict[str, int]:
+        """Per-tenant queued-job counts (for /healthz)."""
+        return {tenant: state.queued
+                for tenant, state in sorted(self._tenants.items())
+                if state.queued}

@@ -1,0 +1,79 @@
+"""Histogram percentiles: reservoir estimates, merge, export hygiene."""
+
+from repro import observe
+from repro.observe.core import Histogram
+
+
+class TestPercentiles:
+    def test_exact_when_under_reservoir(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(90) == 90.0
+        assert hist.percentile(99) == 99.0
+
+    def test_as_dict_carries_summary_and_samples(self):
+        hist = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        document = hist.as_dict()
+        assert document["p50"] == 2.0
+        assert document["p90"] == 3.0
+        assert document["p99"] == 3.0
+        assert sorted(document["samples"]) == [1.0, 2.0, 3.0]
+
+    def test_empty_histogram_has_no_percentiles(self):
+        document = Histogram().as_dict()
+        assert "p50" not in document
+        assert document["count"] == 0
+
+    def test_reservoir_is_bounded_and_estimates_hold(self):
+        hist = Histogram()
+        n = Histogram.RESERVOIR * 4
+        for value in range(n):
+            hist.observe(float(value))
+        assert len(hist.samples) == Histogram.RESERVOIR
+        # A uniform ramp: the median estimate must sit near the middle.
+        estimate = hist.percentile(50)
+        assert n * 0.35 < estimate < n * 0.65
+
+    def test_merge_folds_other_samples(self):
+        a, b = Histogram(), Histogram()
+        for value in range(100):
+            a.observe(float(value))
+        for value in range(100, 200):
+            b.observe(float(value))
+        a.merge_dict(b.as_dict())
+        assert a.count == 200
+        assert a.percentile(50) == 99.0  # nearest rank over 0..199
+        assert a.maximum == 199.0
+
+    def test_deterministic_across_instances(self):
+        def build():
+            hist = Histogram()
+            for value in range(Histogram.RESERVOIR * 3):
+                hist.observe(float(value % 977))
+            return hist.as_dict()
+
+        assert build() == build()
+
+
+class TestExport:
+    def test_summary_strips_samples(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        summary = observe.histogram_summary(hist.as_dict())
+        assert "samples" not in summary
+        assert summary["p50"] == 1.0
+
+    def test_written_metrics_have_percentiles_not_samples(
+            self, tmp_path, tracing):
+        for value in range(10):
+            observe.record("test.latency_s", float(value))
+        path = observe.write_metrics(tmp_path / "metrics.json")
+        metrics = observe.read_metrics(path)
+        hist = metrics["histograms"]["test.latency_s"]
+        assert hist["p50"] == 4.0
+        assert hist["p99"] == 9.0
+        assert "samples" not in hist

@@ -1,0 +1,73 @@
+"""The persistent warm worker pool: reuse, crash recovery, hygiene."""
+
+import os
+import signal
+
+from repro import observe
+from repro.runtime.executor import ExecutorConfig, WorkerPool, run_graph
+from repro.runtime.dag import ExperimentSpec, build_task_graph
+
+
+def small_graph(frac: float):
+    return build_task_graph([ExperimentSpec(workload="adpcm",
+                                            deadline_frac=frac)])
+
+
+class TestWarmPool:
+    def test_warm_up_forks_distinct_workers(self):
+        with WorkerPool(2) as pool:
+            pids = pool.warm_up()
+            assert len(pids) == 2
+            assert os.getpid() not in pids
+            assert pool.worker_pids() == pids
+
+    def test_workers_persist_across_submits(self):
+        with WorkerPool(1) as pool:
+            first = pool.warm_up()
+            second = pool.warm_up()
+            assert first == second  # same process, kept warm
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(1)
+        pool.warm_up()
+        pool.close()
+        pool.close()
+
+    def test_run_graph_borrows_but_never_closes_the_pool(self):
+        with WorkerPool(2) as pool:
+            pids = pool.warm_up()
+            results = run_graph(small_graph(0.5), store=None,
+                                config=ExecutorConfig(jobs=2), pool=pool)
+            assert all(r.ok for r in results.values())
+            # The pool survived the run with the same warm workers.
+            assert pool.warm_up() == pids
+
+
+class TestCrashRecovery:
+    def test_killed_workers_respawn_and_the_run_completes(self):
+        was_enabled = observe.enabled()
+        if not was_enabled:
+            observe.enable()
+        before = observe.counter_value("executor.pool.respawns")
+        with WorkerPool(2) as pool:
+            pids = pool.warm_up()
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            # retries=1 gives the respawned pool one shot per task.
+            results = run_graph(small_graph(0.5), store=None,
+                                config=ExecutorConfig(jobs=2, retries=1),
+                                pool=pool)
+            assert all(r.ok for r in results.values()), {
+                t: r.error for t, r in results.items() if not r.ok}
+            fresh = pool.warm_up()
+            assert not set(fresh) & set(pids)
+        assert observe.counter_value("executor.pool.respawns") > before
+        if not was_enabled:
+            observe.disable()
+
+    def test_reset_discards_and_respawns(self):
+        with WorkerPool(1) as pool:
+            before = pool.warm_up()
+            pool.reset()
+            after = pool.warm_up()
+            assert before != after

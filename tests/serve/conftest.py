@@ -1,0 +1,88 @@
+"""Fixtures: a real in-process server on a background event loop."""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve.server import ReproServer, ServeConfig
+
+
+class LiveServer:
+    """A running :class:`ReproServer` plus a tiny synchronous client."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.server = ReproServer(config)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self.loop).result(60)
+        assert self.server.port is not None
+        self.port = self.server.port
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def request(self, method: str, path: str, body: dict | None = None,
+                timeout: float = 120.0) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=timeout)
+        try:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def get_json(self, path: str) -> tuple[int, dict]:
+        status, payload = self.request("GET", path)
+        return status, json.loads(payload)
+
+    def post_json(self, path: str, body: dict,
+                  timeout: float = 120.0) -> tuple[int, dict]:
+        status, payload = self.request("POST", path, body, timeout)
+        return status, json.loads(payload)
+
+    def close(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self.loop)
+        self.loop.call_soon_threadsafe(self.server.request_stop, 0)
+        future.result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        if not self.loop.is_running():
+            self.loop.close()
+
+
+@pytest.fixture(scope="session")
+def server_factory():
+    """The :class:`LiveServer` constructor, for non-function scopes."""
+    return LiveServer
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    """One warm server shared by a test module (cached artifact store)."""
+    cache = tmp_path_factory.mktemp("serve-cache")
+    instance = LiveServer(ServeConfig(port=0, jobs=2, runs=2,
+                                      cache_dir=str(cache), max_queue=8))
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def uncached_server():
+    """A fresh cache-less server (every request genuinely executes)."""
+    instance = LiveServer(ServeConfig(port=0, jobs=2, runs=1,
+                                      cache_dir=None))
+    yield instance
+    instance.close()

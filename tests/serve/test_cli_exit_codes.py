@@ -1,0 +1,59 @@
+"""The documented exit-code ladder holds for the serving verbs.
+
+0 ok / 1 failure / 2 usage+OSError / 3 degraded / 130 interrupted —
+every error is one stderr line, never a traceback.
+"""
+
+import socket
+
+import pytest
+
+from repro.cli import main
+
+
+class TestUsageErrors:
+    def test_unknown_flag_is_usage(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--warp-speed"])
+        assert excinfo.value.code == 2
+
+    def test_bad_tenant_weight_is_failure(self, capsys):
+        assert main(["serve", "--tenant-weight", "alice"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "NAME=WEIGHT" in err
+
+    def test_unparsable_loadtest_url_is_failure(self, capsys):
+        assert main(["loadtest", "--url", "http://nohost",
+                     "--cold-runs", "0"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestOSErrors:
+    def test_port_in_use_is_usage_exit(self, capsys):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", "--port", str(port), "--no-cache"])
+        finally:
+            blocker.close()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestConnectionFailures:
+    def test_unreachable_server_fails_the_loadtest(self, capsys):
+        # Grab a port that is guaranteed closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["loadtest", "--url", f"http://127.0.0.1:{port}",
+                     "--requests", "3", "--concurrency", "2",
+                     "--cold-runs", "0", "--timeout", "5",
+                     "-o", "/dev/null"])
+        assert code == 1

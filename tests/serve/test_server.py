@@ -1,0 +1,133 @@
+"""HTTP behavior of the live server: routes, errors, streams, drain."""
+
+import http.client
+import json
+
+from repro.serve.server import ServeConfig
+
+
+class TestRoutes:
+    def test_healthz(self, live_server):
+        status, health = live_server.get_json("/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert len(health["pool"]["pids"]) == 2
+        assert health["queue"]["max"] == 8
+
+    def test_unknown_route_is_404(self, live_server):
+        status, body = live_server.get_json("/v1/nope")
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_submit_is_post_only(self, live_server):
+        status, body = live_server.get_json("/v1/optimize")
+        assert status == 405
+
+    def test_empty_body_is_400(self, live_server):
+        status, _ = live_server.request("POST", "/v1/sweep", None)
+        assert status == 400
+
+    def test_bad_json_is_400(self, live_server):
+        conn = http.client.HTTPConnection("127.0.0.1", live_server.port)
+        try:
+            conn.request("POST", "/v1/sweep", body=b"{nope",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_unknown_workload_is_400(self, live_server):
+        status, body = live_server.post_json(
+            "/v1/optimize", {"workload": "doom", "deadline_frac": 0.5})
+        assert status == 400
+        assert "unknown workload" in body["error"]
+
+    def test_oversized_body_is_413(self, live_server):
+        conn = http.client.HTTPConnection("127.0.0.1", live_server.port)
+        try:
+            conn.request("POST", "/v1/sweep", body=b"x" * (1 << 21),
+                         headers={"Content-Type": "application/json"})
+            assert conn.getresponse().status == 413
+        finally:
+            conn.close()
+
+    def test_unknown_job_is_404(self, live_server):
+        status, _ = live_server.get_json("/v1/jobs/job-bogus")
+        assert status == 404
+
+
+class TestJobLifecycle:
+    def test_wait_submit_returns_verified_rows(self, live_server):
+        status, body = live_server.post_json(
+            "/v1/optimize",
+            {"workload": "adpcm", "deadline_frac": 0.5, "wait": True})
+        assert status == 200
+        assert body["request"]["workloads"] == ["adpcm"]
+        rows = body["results"]
+        assert len(rows) == 1
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["verified"] is True
+
+    def test_async_submit_then_poll(self, live_server):
+        status, body = live_server.post_json(
+            "/v1/optimize", {"workload": "adpcm", "deadline_frac": 0.5})
+        assert status in (200, 202)
+        job_id = body["job"]["id"]
+        status, document = live_server.get_json(f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert document["job"]["id"] == job_id
+
+    def test_event_stream_replays_to_terminal(self, live_server):
+        status, body = live_server.post_json(
+            "/v1/optimize",
+            {"workload": "adpcm", "deadline_frac": 0.5, "wait": True})
+        job_id = body["job"]["id"] if "job" in body else None
+        if job_id is None:  # wait-mode response carries no job envelope
+            _, submitted = live_server.post_json(
+                "/v1/optimize",
+                {"workload": "adpcm", "deadline_frac": 0.5})
+            job_id = submitted["job"]["id"]
+        status, payload = live_server.request(
+            "GET", f"/v1/jobs/{job_id}/events")
+        assert status == 200
+        events = [json.loads(line)
+                  for line in payload.decode().splitlines() if line]
+        names = [event["event"] for event in events]
+        assert names[0] == "queued"
+        assert names[-1] in ("done", "failed", "cancelled")
+
+    def test_metrics_exposes_serve_counters(self, live_server):
+        status, metrics = live_server.get_json("/v1/metrics")
+        assert status == 200
+        assert metrics["counters"].get("serve.requests", 0) >= 1
+        assert "coalescing_ratio" in metrics["derived"]
+        histograms = metrics["histograms"]
+        for hist in histograms.values():
+            assert "samples" not in hist  # transport detail, not API
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_and_exits_clean(self, server_factory):
+        instance = server_factory(ServeConfig(port=0, jobs=2, runs=1,
+                                              cache_dir=None))
+        try:
+            import asyncio
+
+            # Flip into draining state from the loop thread.
+            instance.loop.call_soon_threadsafe(
+                instance.server.request_stop, 0)
+            future = asyncio.run_coroutine_threadsafe(
+                instance.server.drain(), instance.loop)
+            assert future.result(30) == 0
+            status, body = instance.post_json(
+                "/v1/optimize",
+                {"workload": "adpcm", "deadline_frac": 0.5})
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # The listener may already be closed — an equally clean drain.
+            return
+        finally:
+            instance.loop.call_soon_threadsafe(instance.loop.stop)
+            instance.thread.join(10)
+        assert status == 503
