@@ -19,7 +19,9 @@
     python -m repro cache verify
     python -m repro chaos --workloads adpcm --corrupt 2
     python -m repro chaos --serve
+    python -m repro chaos --campaign --seeds 3
     python -m repro serve --port 8787 --jobs 4
+    python -m repro serve --port 8787 --store-dir jobs --resume
     python -m repro loadtest --requests 500 --concurrency 64
 
 ``--trace`` (or ``$REPRO_TRACE=1``) makes a sweep collect spans and
@@ -35,10 +37,13 @@ schedule that fails verification), 2 usage/unreadable input, 3 degraded
 tiers, quarantined cache entries), 130 interrupted after a clean drain.
 The new verbs keep the same ladder: ``serve`` drains gracefully and
 exits 0 on SIGTERM / 130 on SIGINT; ``loadtest`` exits 1 when any
-request errored or a spawned server failed to drain cleanly;
-``chaos --serve`` exits 3 when the kill was absorbed and 1 on any
-violated invariant.  Every error is one line on stderr, never a
-traceback.
+request errored after client retries or a spawned server failed to
+drain cleanly; ``chaos --serve`` exits 3 when the kill was absorbed and
+1 on any violated invariant; ``chaos --campaign`` exits 3 when its
+seeded fault matrix injected faults that were all absorbed (the
+expected outcome), 1 on any invariant violation, and 0 only if nothing
+fired (a suspiciously quiet campaign).  Every error is one line on
+stderr, never a traceback.
 
 ``--deadline-frac f`` places the deadline a fraction ``f`` of the way
 from the all-fast to the all-slow runtime (0 = flat out, 1 = everything
@@ -564,6 +569,8 @@ def cmd_cache(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    if args.campaign:
+        return _cmd_chaos_campaign(args)
     if args.serve:
         return _cmd_chaos_serve(args)
     from repro.resilience.chaos import run_chaos
@@ -618,6 +625,38 @@ def _cmd_chaos_serve(args) -> int:
     return report.exit_code
 
 
+def _cmd_chaos_campaign(args) -> int:
+    import os as _os
+
+    from repro.resilience.campaign import (
+        CampaignConfig,
+        run_campaign,
+        write_report,
+    )
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    fracs = tuple(float(f) for f in args.deadline_fracs.split(","))
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(f"  {message}", flush=True)
+
+    config = CampaignConfig(
+        seeds=args.seeds,
+        workload=workloads[0],
+        traffic_fracs=fracs if len(fracs) >= 2 else (fracs[0], 0.5),
+        output_dir=args.output_dir,
+    )
+    report = run_campaign(config, on_progress=progress)
+    path = write_report(report,
+                        _os.path.join(args.output_dir, "campaign.json"))
+    print(report.summary)
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}", file=sys.stderr)
+    print(f"report written to {path}")
+    return report.exit_code
+
+
 def cmd_serve(args) -> int:
     from repro.runtime.executor import FaultSpec
     from repro.serve.server import ServeConfig, run_server
@@ -648,6 +687,8 @@ def cmd_serve(args) -> int:
         tenant_weights=weights,
         fault=(FaultSpec.parse(args.inject_fault)
                if args.inject_fault else None),
+        store_dir=args.store_dir,
+        resume=args.resume,
     )
     return run_server(config)
 
@@ -675,6 +716,7 @@ def cmd_loadtest(args) -> int:
         timeout_s=args.timeout,
         cold_runs=args.cold_runs,
         cache_dir=args.cache_dir,
+        max_attempts=args.max_attempts,
     )
     document = run_loadtest(config)
     print(render_loadtest(document))
@@ -1008,6 +1050,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "server, SIGKILL its warm workers "
                               "mid-request and audit the invariants "
                               "(uses the first workload/deadline only)")
+    p_chaos.add_argument("--campaign", action="store_true",
+                         help="seeded fault-matrix campaign: spawn real "
+                              "servers under exported fault plans, drive "
+                              "traffic through the resilient client, "
+                              "SIGKILL and --resume them, and write a "
+                              "machine-readable campaign.json "
+                              "(uses the first workload only)")
+    p_chaos.add_argument("--seeds", type=int, default=3,
+                         help="fault-plan seeds for --campaign (default 3)")
     p_chaos.set_defaults(fn=cmd_chaos)
 
     p_serve = sub.add_parser(
@@ -1050,6 +1101,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--inject-fault", default=None,
                          metavar="PATTERN[@N]",
                          help="kill matching executor tasks (testing)")
+    p_serve.add_argument("--store-dir", default=None,
+                         help="job-store directory; admissions and "
+                              "completions are journaled there "
+                              "(fsync'd) so a crashed server can be "
+                              "restarted with --resume")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="recover the job store in --store-dir: "
+                              "replay finished jobs byte-identically "
+                              "and re-admit interrupted/queued ones")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_load = sub.add_parser(
@@ -1091,6 +1151,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--cache-dir", default=None,
                         help="cache directory for a spawned server "
                              "(default: the server's own default)")
+    p_load.add_argument("--max-attempts", type=int, default=6,
+                        help="client attempts per request before a 429/"
+                             "503/transport error counts as failed "
+                             "(default 6; 1 disables retries)")
     p_load.add_argument("-o", "--output", default=None,
                         help="output JSON path (default BENCH_serve.json)")
     p_load.set_defaults(fn=cmd_loadtest)

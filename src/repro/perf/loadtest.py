@@ -19,9 +19,14 @@ on: coalescing ratio > 0, warm speedup > 1, p99 under a budget, and —
 in ``--spawn`` mode, where the harness forks its own server — a clean
 SIGTERM drain with exit code 0.
 
-The client is a minimal hand-rolled HTTP/1.1 requester over asyncio
-streams (one connection per request, ``Connection: close``), matching
-the repo's zero-dependency rule.
+Traffic goes through :class:`repro.serve.client.AsyncReproClient`, the
+resilient stdlib client (timeouts, capped exponential backoff with
+jitter, ``Retry-After`` honoring, circuit breaker).  A 429 admission
+rejection is therefore *not* a hard error: the client backs off and
+resubmits — idempotent, because the server keys jobs by the canonical
+content hash — and the report counts it under
+``rejected_then_completed`` instead.  Only requests that stay failed
+after the retry budget count as ``errors``.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServeError
+from repro.serve.client import AsyncReproClient, RetryPolicy, http_request
 
 #: Schema tag for BENCH_serve.json consumers.
 LOADTEST_FORMAT = 1
@@ -65,6 +71,7 @@ class LoadtestConfig:
     timeout_s: float = 120.0  # per-request client timeout
     cold_runs: int = 2  # cold-spinup baseline repeats (0 disables)
     cache_dir: str | None = None  # cache for a spawned server
+    max_attempts: int = 6  # client retry budget per request (1 = none)
 
 
 @dataclass
@@ -73,6 +80,8 @@ class _Outcome:
     latency_s: float
     disposition: str | None = None  # new | coalesced | replayed (202 path)
     ok: bool = False
+    retries: int = 0  # backoff retries this request consumed
+    rejected: int = 0  # 429/503 answers absorbed before the final one
 
 
 def build_mix(config: LoadtestConfig) -> list[dict[str, Any]]:
@@ -121,42 +130,6 @@ def _percentile(ordered: list[float], q: float) -> float:
     return ordered[rank - 1]
 
 
-async def _http_request(host: str, port: int, method: str, path: str,
-                        body: bytes, timeout_s: float) -> tuple[int, bytes]:
-    """One HTTP/1.1 exchange on a fresh connection."""
-    reader, writer = await asyncio.wait_for(
-        asyncio.open_connection(host, port), timeout_s)
-    try:
-        head = (f"{method} {path} HTTP/1.1\r\n"
-                f"Host: {host}:{port}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n").encode("ascii")
-        writer.write(head + body)
-        await writer.drain()
-        raw = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout_s)
-        lines = raw.decode("latin-1").split("\r\n")
-        status = int(lines[0].split()[1])
-        headers = {}
-        for line in lines[1:]:
-            if line:
-                name, _, value = line.partition(":")
-                headers[name.strip().lower()] = value.strip()
-        length = headers.get("content-length")
-        if length is not None:
-            payload = await asyncio.wait_for(
-                reader.readexactly(int(length)), timeout_s)
-        else:
-            payload = await asyncio.wait_for(reader.read(), timeout_s)
-        return status, payload
-    finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
-
-
 def _parse_base_url(base_url: str) -> tuple[str, int]:
     trimmed = base_url.strip().rstrip("/")
     for prefix in ("http://", "https://"):
@@ -174,31 +147,28 @@ async def _fire(host: str, port: int, plan: list[dict[str, Any]],
                 progress=None) -> list[_Outcome]:
     semaphore = asyncio.Semaphore(config.concurrency)
     outcomes: list[_Outcome | None] = [None] * len(plan)
+    # One shared client: the circuit breaker sees the whole campaign, so
+    # a dead server opens it once instead of 32 tasks timing out forever.
+    client = AsyncReproClient(
+        host, port,
+        policy=RetryPolicy(max_attempts=max(1, config.max_attempts),
+                           timeout_s=config.timeout_s),
+        seed=config.seed)
 
     async def one(entry: dict[str, Any]) -> None:
-        body = json.dumps(entry["body"]).encode("utf-8")
+        endpoint = entry["endpoint"].rsplit("/", 1)[1]
         async with semaphore:
-            t0 = time.monotonic()
-            try:
-                status, payload = await _http_request(
-                    host, port, "POST", entry["endpoint"], body,
-                    config.timeout_s)
-            except (asyncio.TimeoutError, ConnectionError, OSError) as error:
-                outcomes[entry["index"]] = _Outcome(
-                    status=0, latency_s=time.monotonic() - t0,
-                    disposition=f"error:{type(error).__name__}")
-                return
-            latency = time.monotonic() - t0
+            result = await client.submit(entry["body"], endpoint=endpoint)
         ok = False
         disposition = None
-        if status == 200:
-            try:
-                document = json.loads(payload)
-            except json.JSONDecodeError:
-                document = {}
-            disposition = document.get("disposition")
-            ok = "results" in document or disposition == "replayed"
-        outcomes[entry["index"]] = _Outcome(status, latency, disposition, ok)
+        if result.status == 0:
+            disposition = f"error:{(result.error or 'transport').split(':')[0]}"
+        elif result.status == 200 and result.document is not None:
+            disposition = result.document.get("disposition")
+            ok = "results" in result.document or disposition == "replayed"
+        outcomes[entry["index"]] = _Outcome(
+            result.status, result.latency_s, disposition, ok,
+            retries=result.retries, rejected=result.rejected)
         if progress is not None:
             progress(entry["index"])
 
@@ -208,8 +178,8 @@ async def _fire(host: str, port: int, plan: list[dict[str, Any]],
 
 async def _get_json(host: str, port: int, path: str,
                     timeout_s: float) -> dict[str, Any]:
-    status, payload = await _http_request(host, port, "GET", path, b"",
-                                          timeout_s)
+    status, _, payload = await http_request(host, port, "GET", path, b"",
+                                            timeout_s)
     if status != 200:
         raise ServeError(f"GET {path} returned {status}")
     return json.loads(payload)
@@ -335,6 +305,7 @@ def run_loadtest(config: LoadtestConfig,
             "workloads": list(config.workloads),
             "deadline_fracs": list(config.deadline_fracs),
             "tenants": config.tenants,
+            "max_attempts": config.max_attempts,
             "unique_requests": unique,
             "base_url": base_url,
             "spawned": proc is not None,
@@ -344,6 +315,9 @@ def run_loadtest(config: LoadtestConfig,
             "ok": ok_count,
             "errors": len(outcomes) - ok_count,
             "statuses": dict(sorted(statuses.items())),
+            "retries": sum(o.retries for o in outcomes),
+            "rejected_then_completed": sum(
+                1 for o in outcomes if o.ok and o.rejected > 0),
         },
         "latency_s": {
             "p50": p50,
@@ -387,6 +361,9 @@ def render_loadtest(document: dict[str, Any]) -> str:
         f"({document['throughput_rps']:.1f} req/s)",
         f"  ok {requests['ok']}  errors {requests['errors']}  "
         f"statuses {requests['statuses']}",
+        f"  client retries {requests.get('retries', 0)}  "
+        f"rejected-then-completed "
+        f"{requests.get('rejected_then_completed', 0)}",
         f"  latency p50 {latency['p50'] * 1000:.1f}ms  "
         f"p90 {latency['p90'] * 1000:.1f}ms  "
         f"p99 {latency['p99'] * 1000:.1f}ms  "

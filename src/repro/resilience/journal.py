@@ -29,12 +29,24 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, TextIO
 
 from repro.errors import JournalError
-from repro.runtime.cache import payload_digest
+from repro.resilience import faultplane
+
+logger = logging.getLogger(__name__)
+
+
+def payload_digest(payload: dict[str, Any]) -> str:
+    """Canonical payload digest (lazy import: ``repro.runtime.sweep``
+    imports this module, so a top-level import of ``repro.runtime.cache``
+    would be circular whenever the journal is imported first)."""
+    from repro.runtime.cache import payload_digest as digest
+
+    return digest(payload)
 
 #: On-disk journal format version.
 JOURNAL_FORMAT = 1
@@ -60,6 +72,7 @@ class SweepJournal:
         self.path = Path(path)
         self.fingerprint = fingerprint
         self._handle: TextIO | None = None
+        self._broken = False
 
     # -- reading ---------------------------------------------------------------
 
@@ -157,11 +170,32 @@ class SweepJournal:
 
     def _append(self, record: dict[str, Any]) -> None:
         assert self._handle is not None
-        self._handle.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        )
+        if self._broken:
+            return
+        text = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        torn = faultplane.torn_text(text)
+        if torn is not None:
+            # Simulated power loss mid-append: appending after the torn
+            # line would glue valid JSON onto it and make load_completed
+            # drop everything that follows, so the journal fails safe —
+            # it stops recording (a resume recomputes the lost tail).
+            self._handle.write(torn)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._broken = True
+            logger.warning(
+                "sweep journal %s: torn write injected; journaling disabled "
+                "for this process (resume will recompute the lost tail)",
+                self.path)
+            return
+        self._handle.write(text)
         self._handle.flush()
         os.fsync(self._handle.fileno())
+
+    @property
+    def broken(self) -> bool:
+        """True once an (injected) torn write disabled further appends."""
+        return self._broken
 
     def close(self) -> None:
         if self._handle is not None:

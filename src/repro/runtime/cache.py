@@ -35,6 +35,7 @@ from typing import Any
 
 from repro import observe
 from repro.errors import CacheError
+from repro.resilience import faultplane
 
 logger = logging.getLogger("repro.cache")
 
@@ -159,6 +160,11 @@ class ArtifactStore:
         postmortem can still inspect the bytes.
         """
         path = self.path_for(key)
+        faultplane.stall("io.slow")
+        if path.is_file() and faultplane.fire("cache.read.corrupt"):
+            # Genuinely damage the on-disk bytes so the real quarantine
+            # and self-heal machinery below is what absorbs the fault.
+            faultplane.damage_file(path)
         try:
             payload, problem = self._inspect(path, key)
         except FileNotFoundError:
@@ -199,6 +205,11 @@ class ArtifactStore:
                 raise
         except OSError as error:
             raise CacheError(f"cannot write artifact {key[:12]}…: {error}") from error
+        faultplane.stall("io.slow")
+        if faultplane.fire("cache.write.torn"):
+            # Tear the freshly landed document; the next get() quarantines
+            # it and the producer recomputes — the self-heal contract.
+            faultplane.damage_file(path)
         self.stats.writes += 1
         observe.add("cache.artifact.writes")
         return path

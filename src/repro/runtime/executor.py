@@ -43,6 +43,7 @@ from typing import Any, Callable
 
 from repro import observe
 from repro.errors import InjectedFault, OrchestrationError, TaskTimeout
+from repro.resilience import faultplane
 from repro.runtime.cache import ArtifactStore
 from repro.runtime.dag import Task, TaskGraph, execute_task
 
@@ -192,15 +193,20 @@ def _run_task_entry(payload: dict[str, Any]) -> dict[str, Any]:
         attempt=payload["attempt"],
     )
     try:
-        if payload.get("inject_fault"):
+        if payload.get("inject_fault") or faultplane.fire("worker.crash"):
             raise InjectedFault(
                 f"injected fault in {payload['task_id']} "
                 f"(attempt {payload['attempt']})"
             )
-        output, warnings = _with_timeout(
-            payload.get("timeout_s"),
-            lambda: execute_task(payload["kind"], payload["spec"], payload["deps"]),
-        )
+
+        def _body() -> dict:
+            # worker.hang sleeps *inside* the timeout window, so a hang
+            # longer than the task budget is killed by TaskTimeout like
+            # any genuine stall would be.
+            faultplane.stall("worker.hang")
+            return execute_task(payload["kind"], payload["spec"], payload["deps"])
+
+        output, warnings = _with_timeout(payload.get("timeout_s"), _body)
         store_root = payload.get("store_root")
         # Tasks may veto memoization of a degraded output (e.g. a fallback
         # schedule from a starved solver must not masquerade as the

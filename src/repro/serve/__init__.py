@@ -17,6 +17,15 @@ one warm process pool and one artifact cache:
   ``POST /v1/optimize``, ``POST /v1/sweep``, ``GET /v1/jobs/<id>``, a
   chunked ``GET /v1/jobs/<id>/events`` stream, ``GET /healthz`` and
   ``GET /v1/metrics``; graceful drain on SIGINT/SIGTERM.
+* :mod:`repro.serve.jobstore` — the crash-safe job journal behind
+  ``repro serve --store-dir`` / ``--resume``: every admitted job is
+  recorded with fsync'd appends, so a SIGKILL'd server resumes with
+  finished jobs replaying byte-identically and interrupted ones
+  re-running through the artifact cache.
+* :mod:`repro.serve.client` — the resilient stdlib client (timeouts,
+  capped jittered backoff, ``Retry-After`` honoring, idempotent
+  resubmission by content hash, circuit breaker) shared by
+  ``repro loadtest`` and the chaos campaign.
 * :mod:`repro.serve.chaos` — the serve-mode chaos harness behind
   ``repro chaos --serve`` (kill a warm worker mid-request; the request
   must finish via retry or fail closed with a clean 5xx).

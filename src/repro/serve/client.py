@@ -1,0 +1,404 @@
+"""Resilient stdlib client for the optimization service.
+
+``repro loadtest`` (PR 7) talked to the server with a bare one-shot
+HTTP requester, so a 429 admission rejection or a dropped connection
+became a hard error even though both are *retryable by construction*:
+the server keys every job by the canonical content hash, so resubmitting
+the same document joins the in-flight run or replays the finished one —
+idempotent resubmission is free.  This module supplies the client both
+the loadtest and the chaos campaign use:
+
+* per-request **timeouts** on connect, send and read;
+* **capped exponential backoff with jitter** between attempts, honoring
+  the server's ``Retry-After`` header on 429/503 answers;
+* transport errors (refused/reset/timeout) retried the same way —
+  safe because of the content-hash idempotency above;
+* a **circuit breaker** that opens after consecutive transport failures
+  and, rather than failing fast, *waits out* the cooldown and sends a
+  half-open probe — the resilient-client behavior a batch harness wants;
+* counters ``client.retries``, ``client.rejected`` and
+  ``client.circuit.opened`` so reports can show how much resilience the
+  run actually consumed.
+
+Both a synchronous :class:`ReproClient` (``http.client``, used by the
+campaign and tests) and an :class:`AsyncReproClient` (asyncio streams,
+used by the loadtest's bounded-concurrency fire loop) are provided; they
+share the policy and breaker objects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro import observe
+from repro.errors import ServeError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how long to back off between attempts."""
+
+    max_attempts: int = 6
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    jitter: float = 0.5  # each delay is scaled by [1 - jitter, 1]
+    timeout_s: float = 120.0
+    retry_statuses: tuple[int, ...] = (429, 503)
+
+    def backoff_s(self, attempt: int, retry_after_s: float | None,
+                  rng: random.Random) -> float:
+        """Delay before attempt ``attempt + 1`` (attempts are 1-based)."""
+        base = min(self.max_backoff_s,
+                   self.base_backoff_s * (2 ** max(0, attempt - 1)))
+        delay = base * (1.0 - self.jitter * rng.random())
+        if retry_after_s is not None:
+            # The server knows its queue depth better than our schedule.
+            delay = max(delay, min(retry_after_s, self.max_backoff_s * 4))
+        return delay
+
+
+class CircuitBreaker:
+    """Consecutive-transport-failure breaker with half-open probing.
+
+    closed -> (``failure_threshold`` consecutive failures) -> open ->
+    (cooldown elapses) -> half-open: exactly one probe is let through;
+    success closes the circuit, failure re-opens it for another
+    cooldown.  Answered HTTP statuses (even 429/503) count as success —
+    the breaker protects against a *dead* server, not a busy one.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 1.0,
+                 clock=time.monotonic) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self._lock = threading.Lock()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def allow(self) -> bool:
+        """May a request be sent right now?"""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def cooldown_remaining(self) -> float:
+        with self._lock:
+            if self._opened_at is None:
+                return 0.0
+            return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            if self._opened_at is not None:
+                self._opened_at = self._clock()  # failed probe: restart cooldown
+            elif self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+                observe.add("client.circuit.opened")
+
+
+@dataclass
+class ClientOutcome:
+    """What one logical request (with retries) amounted to."""
+
+    status: int  # final HTTP status; 0 = transport failure
+    document: dict[str, Any] | None
+    attempts: int
+    retries: int
+    rejected: int  # 429/503 answers absorbed along the way
+    latency_s: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200 and self.error is None
+
+    @property
+    def rejected_then_completed(self) -> bool:
+        """Was this request initially rejected but eventually served?"""
+        return self.ok and self.rejected > 0
+
+
+def _retry_after_seconds(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
+
+
+def _parse_body(payload: bytes) -> dict[str, Any] | None:
+    if not payload:
+        return None
+    try:
+        document = json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+    return document if isinstance(document, dict) else None
+
+
+class _RetryLoop:
+    """Shared bookkeeping for the sync and async retry loops."""
+
+    def __init__(self, policy: RetryPolicy, breaker: CircuitBreaker,
+                 rng: random.Random) -> None:
+        self.policy = policy
+        self.breaker = breaker
+        self.rng = rng
+        self.attempts = 0
+        self.retries = 0
+        self.rejected = 0
+        self.status = 0
+        self.document: dict[str, Any] | None = None
+        self.error: str | None = None
+        self.started = time.monotonic()
+
+    def on_transport_error(self, error: BaseException) -> float | None:
+        """Returns the backoff delay, or None when attempts are spent."""
+        self.breaker.record_failure()
+        self.status, self.document = 0, None
+        self.error = f"{type(error).__name__}: {error}"
+        if self.attempts >= self.policy.max_attempts:
+            return None
+        self.retries += 1
+        observe.add("client.retries")
+        return self.policy.backoff_s(self.attempts, None, self.rng)
+
+    def on_response(self, status: int, document: dict[str, Any] | None,
+                    retry_after_s: float | None) -> float | None:
+        """Returns the backoff delay, or None when this answer is final."""
+        self.breaker.record_success()
+        self.status, self.document, self.error = status, document, None
+        if status not in self.policy.retry_statuses:
+            return None
+        self.rejected += 1
+        observe.add("client.rejected")
+        if self.attempts >= self.policy.max_attempts:
+            return None
+        self.retries += 1
+        observe.add("client.retries")
+        return self.policy.backoff_s(self.attempts, retry_after_s, self.rng)
+
+    def circuit_stuck(self) -> None:
+        self.error = "circuit breaker open"
+
+    def outcome(self) -> ClientOutcome:
+        return ClientOutcome(
+            status=self.status, document=self.document,
+            attempts=self.attempts, retries=self.retries,
+            rejected=self.rejected,
+            latency_s=time.monotonic() - self.started, error=self.error)
+
+
+class ReproClient:
+    """Synchronous resilient client (one connection per attempt).
+
+    Resubmitting a POST after an ambiguous failure is safe: the server
+    keys jobs by the canonical content hash, so a duplicate submission
+    coalesces onto the in-flight run or replays the finished result.
+    """
+
+    def __init__(self, host: str, port: int,
+                 policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 seed: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self._rng = random.Random(seed)
+
+    def submit(self, document: dict[str, Any],
+               endpoint: str = "optimize") -> ClientOutcome:
+        body = json.dumps(document).encode("utf-8")
+        return self._request("POST", f"/v1/{endpoint}", body)
+
+    def get_json(self, path: str) -> ClientOutcome:
+        return self._request("GET", path, None)
+
+    def _once(self, method: str, path: str,
+              body: bytes | None) -> tuple[int, dict[str, Any] | None,
+                                           float | None]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.policy.timeout_s)
+        try:
+            headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            retry_after = _retry_after_seconds(
+                response.getheader("Retry-After"))
+            return response.status, _parse_body(payload), retry_after
+        finally:
+            conn.close()
+
+    def _request(self, method: str, path: str,
+                 body: bytes | None) -> ClientOutcome:
+        loop = _RetryLoop(self.policy, self.breaker, self._rng)
+        while loop.attempts < self.policy.max_attempts:
+            if not self.breaker.allow():
+                # Resilient-client stance: wait out the cooldown and
+                # probe, instead of failing the caller fast.
+                remaining = self.breaker.cooldown_remaining()
+                if remaining > 0:
+                    time.sleep(remaining)
+                if not self.breaker.allow():
+                    loop.circuit_stuck()
+                    break
+            loop.attempts += 1
+            try:
+                status, document, retry_after = self._once(method, path, body)
+            except (OSError, http.client.HTTPException) as error:
+                delay = loop.on_transport_error(error)
+            else:
+                delay = loop.on_response(status, document, retry_after)
+            if delay is None:
+                break
+            time.sleep(delay)
+        return loop.outcome()
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: bytes, timeout_s: float,
+                       ) -> tuple[int, dict[str, str], bytes]:
+    """One HTTP/1.1 exchange on a fresh asyncio connection.
+
+    Returns ``(status, lower-cased headers, payload)``.  This is the
+    raw requester underneath :class:`AsyncReproClient`; the loadtest
+    also uses it directly for metrics scrapes.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout_s)
+    try:
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout_s)
+        lines = raw.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length")
+        if length is not None:
+            payload = await asyncio.wait_for(
+                reader.readexactly(int(length)), timeout_s)
+        else:
+            payload = await asyncio.wait_for(reader.read(), timeout_s)
+        return status, headers, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AsyncReproClient:
+    """Async twin of :class:`ReproClient` for concurrent fire loops."""
+
+    def __init__(self, host: str, port: int,
+                 policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 seed: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self._rng = random.Random(seed)
+
+    async def submit(self, document: dict[str, Any],
+                     endpoint: str = "optimize") -> ClientOutcome:
+        body = json.dumps(document).encode("utf-8")
+        return await self._request("POST", f"/v1/{endpoint}", body)
+
+    async def get_json(self, path: str) -> ClientOutcome:
+        return await self._request("GET", path, b"")
+
+    async def _request(self, method: str, path: str,
+                       body: bytes) -> ClientOutcome:
+        loop = _RetryLoop(self.policy, self.breaker, self._rng)
+        while loop.attempts < self.policy.max_attempts:
+            if not self.breaker.allow():
+                remaining = self.breaker.cooldown_remaining()
+                if remaining > 0:
+                    await asyncio.sleep(remaining)
+                if not self.breaker.allow():
+                    loop.circuit_stuck()
+                    break
+            loop.attempts += 1
+            try:
+                status, headers, payload = await http_request(
+                    self.host, self.port, method, path, body,
+                    self.policy.timeout_s)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError, OSError, ValueError) as error:
+                delay = loop.on_transport_error(error)
+            else:
+                delay = loop.on_response(
+                    status, _parse_body(payload),
+                    _retry_after_seconds(headers.get("retry-after")))
+            if delay is None:
+                break
+            await asyncio.sleep(delay)
+        return loop.outcome()
+
+
+def request_outcome_or_raise(outcome: ClientOutcome, what: str) -> dict[str, Any]:
+    """Unwrap an outcome that must have succeeded (campaign plumbing)."""
+    if not outcome.ok or outcome.document is None:
+        raise ServeError(
+            f"{what} failed after {outcome.attempts} attempt(s): "
+            f"status {outcome.status}, {outcome.error or 'no body'}")
+    return outcome.document
+
+
+__all__ = [
+    "AsyncReproClient",
+    "CircuitBreaker",
+    "ClientOutcome",
+    "ReproClient",
+    "RetryPolicy",
+    "http_request",
+    "request_outcome_or_raise",
+]

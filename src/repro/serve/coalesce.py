@@ -19,12 +19,27 @@ concurrent clients.  Counters: ``serve.requests`` (all submissions),
 from __future__ import annotations
 
 import asyncio
+import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro import observe
 from repro.serve.protocol import ParsedRequest
+
+#: Default byte budget for the finished-job LRU (canonical JSON bytes of
+#: the stored response bodies).  Large sweep responses evict early so the
+#: LRU cannot grow without bound even at a small entry count.
+DEFAULT_DONE_MAX_BYTES = 64 * 1024 * 1024
+
+
+def _result_bytes(result: dict[str, Any] | None) -> int:
+    if result is None:
+        return 0
+    try:
+        return len(json.dumps(result, sort_keys=True, separators=(",", ":")))
+    except (TypeError, ValueError):
+        return 0
 
 #: Job lifecycle states.
 STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -45,6 +60,7 @@ class Job:
     submissions: int = 1  # clients that asked for this job
     events: list[dict[str, Any]] = field(default_factory=list)
     result: dict[str, Any] | None = None  # response body when done
+    result_bytes: int = 0  # canonical JSON size of result, set on finish
     error: str | None = None
     http_status: int = 200
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
@@ -94,12 +110,22 @@ class Job:
 
 
 class JobTable:
-    """The single-flight map plus a bounded LRU of finished jobs."""
+    """The single-flight map plus a bounded LRU of finished jobs.
 
-    def __init__(self, done_capacity: int = 256) -> None:
+    The LRU is bounded twice over: by entry count (``done_capacity``)
+    and by the canonical JSON bytes of the stored response bodies
+    (``done_max_bytes``), whichever bites first.  Evictions bump
+    ``serve.coalesce.evictions``; the current payload total is the
+    ``serve.coalesce.bytes`` gauge.
+    """
+
+    def __init__(self, done_capacity: int = 256,
+                 done_max_bytes: int = DEFAULT_DONE_MAX_BYTES) -> None:
         self.inflight: dict[str, Job] = {}  # request key -> queued/running
         self.done: OrderedDict[str, Job] = OrderedDict()  # LRU, newest last
         self.done_capacity = done_capacity
+        self.done_max_bytes = done_max_bytes
+        self.done_bytes = 0
 
     def get(self, job_id: str) -> Job | None:
         """Look a job up by its public id (inflight first, then LRU)."""
@@ -140,10 +166,26 @@ class JobTable:
         # Cancelled jobs carry no reusable answer; do not replay them.
         if job.state == "cancelled":
             return
-        self.done[job.request.request_key] = job
-        self.done.move_to_end(job.request.request_key)
-        while len(self.done) > self.done_capacity:
-            self.done.popitem(last=False)
+        self._admit_done(job)
+
+    def rehydrate(self, job: Job) -> None:
+        """Insert a terminal job recovered from the job store."""
+        self._admit_done(job)
+
+    def _admit_done(self, job: Job) -> None:
+        key = job.request.request_key
+        previous = self.done.pop(key, None)
+        if previous is not None:
+            self.done_bytes -= previous.result_bytes
+        job.result_bytes = _result_bytes(job.result)
+        self.done[key] = job
+        self.done_bytes += job.result_bytes
+        while self.done and (len(self.done) > self.done_capacity
+                             or self.done_bytes > self.done_max_bytes):
+            _, evicted = self.done.popitem(last=False)
+            self.done_bytes -= evicted.result_bytes
+            observe.add("serve.coalesce.evictions")
+        observe.gauge("serve.coalesce.bytes", self.done_bytes)
 
     def counts(self) -> dict[str, int]:
         states = {"queued": 0, "running": 0}

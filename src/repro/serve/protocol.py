@@ -290,6 +290,38 @@ def parse_request(body: bytes | str | dict[str, Any],
     )
 
 
+def from_canonical(document: dict[str, Any], tenant: str = "anon",
+                   wait: bool = False) -> ParsedRequest:
+    """Re-parse a stored canonical document (job-store recovery).
+
+    The canonical document embeds ``version``, which is not a request
+    field, so recovery checks it and strips it before re-running
+    :func:`parse_request` — against :data:`ABSOLUTE_MAX_GRID`, not the
+    server's configured ceiling, so a job this server already admitted
+    is never rejected on resume by a smaller ``max_grid``.  Round-trip
+    invariant: the recovered request lands on exactly the key it was
+    admitted under.
+
+    Raises:
+        ProtocolError: the document is not a dict, speaks a different
+            protocol version, or no longer validates (e.g. a workload
+            that this build does not ship).
+    """
+    if not isinstance(document, dict):
+        raise ProtocolError(
+            f"stored request must be a JSON object, "
+            f"got {type(document).__name__}")
+    version = document.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"stored request has protocol version {version!r}; "
+            f"this build speaks {PROTOCOL_VERSION}")
+    body = {key: value for key, value in document.items() if key != "version"}
+    body["tenant"] = tenant
+    body["wait"] = wait
+    return parse_request(body, endpoint="sweep", max_grid=ABSOLUTE_MAX_GRID)
+
+
 def build_experiments(canonical: dict[str, Any]) -> list[ExperimentSpec]:
     """Expand a canonical request into its experiment grid.
 

@@ -46,13 +46,14 @@ from typing import Any
 
 from repro import observe
 from repro.errors import ProtocolError, ServeError
-from repro.resilience import EXIT_INTERRUPTED, EXIT_OK
+from repro.resilience import EXIT_INTERRUPTED, EXIT_OK, faultplane
 from repro.runtime import manifest as manifest_mod
 from repro.runtime.cache import ArtifactStore
 from repro.runtime.dag import build_task_graph
 from repro.runtime.executor import ExecutorConfig, FaultSpec, WorkerPool, run_graph
 from repro.serve import protocol
-from repro.serve.coalesce import Job, JobTable
+from repro.serve.coalesce import DEFAULT_DONE_MAX_BYTES, Job, JobTable
+from repro.serve.jobstore import JobStore, StoredJob
 from repro.serve.queueing import FairQueue, QueueFull
 
 logger = logging.getLogger("repro.serve")
@@ -73,6 +74,10 @@ class ServeConfig:
     max_grid: int = 64  # experiments per request
     max_body: int = 1 << 20  # request body ceiling (413 beyond)
     cache_dir: str | None = None  # artifact store; None disables caching
+    store_dir: str | None = None  # job store; None disables durability
+    resume: bool = False  # recover jobs from store_dir on start
+    done_capacity: int = 256  # finished-job LRU entry bound
+    done_max_bytes: int = DEFAULT_DONE_MAX_BYTES  # finished-job LRU byte bound
     task_timeout_s: float | None = 600.0
     retries: int = 1
     solver_backend: str = "auto"  # default when a request does not choose
@@ -127,11 +132,15 @@ class ReproServer:
     def __init__(self, config: ServeConfig) -> None:
         if config.runs < 1:
             raise ServeError(f"runs must be >= 1, got {config.runs}")
+        if config.resume and not config.store_dir:
+            raise ServeError("resume requires a job store (store_dir)")
         self.config = config
         self.store = (ArtifactStore(config.cache_dir)
                       if config.cache_dir else None)
+        self.jobstore = JobStore(config.store_dir) if config.store_dir else None
         self.pool = WorkerPool(config.jobs)
-        self.table = JobTable()
+        self.table = JobTable(done_capacity=config.done_capacity,
+                              done_max_bytes=config.done_max_bytes)
         self.queue = FairQueue(max_queue=config.max_queue,
                                weights=dict(config.tenant_weights))
         self._run_threads = ThreadPoolExecutor(
@@ -157,13 +166,63 @@ class ReproServer:
         self._loop = asyncio.get_running_loop()
         if not observe.enabled():
             observe.enable()
+        recovered: dict[str, StoredJob] = {}
+        if self.jobstore is not None:
+            if self.config.resume:
+                recovered = self.jobstore.load()
+            self.jobstore.start(resume=self.config.resume,
+                                recovered=recovered)
         self._server = await asyncio.start_server(
             self._client_connected, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._install_signal_handlers()
         self._scheduler_task = asyncio.create_task(self._scheduler())
+        for stored in recovered.values():
+            self._restore_job(stored)
         # Fork the workers now so the first request finds them warm.
         await self._loop.run_in_executor(None, self.pool.warm_up)
+
+    def _restore_job(self, stored: StoredJob) -> None:
+        """Re-materialize one job recovered from the job store.
+
+        Terminal jobs are rehydrated straight into the finished-job LRU
+        so duplicate submissions replay the byte-identical stored
+        response.  Queued and interrupted (``running``) jobs are
+        re-admitted and re-run — their DAG tasks land on the same
+        artifact-cache keys, so completed stages are not recomputed.
+        """
+        try:
+            parsed = protocol.from_canonical(stored.request,
+                                             tenant=stored.tenant)
+        except ProtocolError as error:
+            logger.warning("jobstore: dropping unrecoverable job %s…: %s",
+                           stored.key[:12], error)
+            return
+        job = Job(request=parsed)
+        if stored.terminal:
+            job.state = stored.state
+            job.result = stored.result
+            job.error = stored.error
+            job.http_status = stored.http_status
+            job.finished = observe.clock()
+            job.done_event.set()
+            self.table.rehydrate(job)
+            observe.add("serve.jobs.replayed")
+            self._emit(job, {"event": "replayed", "from": "jobstore"})
+            return
+        self.table.inflight[parsed.request_key] = job
+        try:
+            self.queue.push(parsed.tenant, parsed.cost, job)
+        except QueueFull:
+            # Stays admitted in the compacted journal; the next resume
+            # gets another chance once the queue has room.
+            self.table.inflight.pop(parsed.request_key, None)
+            logger.warning("jobstore: queue full, deferring recovered "
+                           "job %s…", stored.key[:12])
+            return
+        observe.add("serve.jobs.recovered")
+        self._emit(job, {"event": "recovered", "prior_state": stored.state})
+        self._work_available.set()
 
     def _install_signal_handlers(self) -> None:
         assert self._loop is not None
@@ -207,7 +266,28 @@ class ReproServer:
             await asyncio.wait(self._clients, timeout=5.0)
         self._run_threads.shutdown(wait=True)
         self.pool.close()
+        if self.jobstore is not None:
+            self.jobstore.close()
         return self._exit_code
+
+    def abort(self) -> None:
+        """Tear the server down *without* draining (crash simulation).
+
+        Queued and running jobs are simply dropped — the state a SIGKILL
+        leaves behind — so only the job store knows about them.  Every
+        journal append is already fsynced, so there is nothing to flush;
+        ``--resume`` on the same store directory recovers the jobs.
+        """
+        if self._server is not None:
+            self._server.close()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+        for task in list(self._clients):
+            task.cancel()
+        self._run_threads.shutdown(wait=False, cancel_futures=True)
+        self.pool.close()
+        if self.jobstore is not None:
+            self.jobstore.close()
 
     def _cancel_job(self, job: Job) -> None:
         job.state = "cancelled"
@@ -234,6 +314,8 @@ class ReproServer:
                 self._idle.clear()
                 job.state = "running"
                 job.started = observe.clock()
+                if self.jobstore is not None:
+                    self.jobstore.started(job.request.request_key)
                 observe.record("serve.queue_wait_s", job.queued_s or 0.0)
                 self._emit(job, {"event": "running"})
                 assert self._loop is not None
@@ -349,6 +431,10 @@ class ReproServer:
         if job.queued_s is not None:
             observe.record("serve.request_latency_s",
                            job.finished - job.created)
+        if self.jobstore is not None and job.state in ("done", "failed"):
+            self.jobstore.finished(job.request.request_key, job.state,
+                                   result=job.result, error=job.error,
+                                   http_status=job.http_status)
         self.table.finish(job)
         job.done_event.set()
 
@@ -361,6 +447,8 @@ class ReproServer:
             self._clients.add(task)
             task.add_done_callback(self._clients.discard)
         try:
+            if faultplane.fire("serve.accept.drop"):
+                return  # the finally clause closes the connection unread
             await self._serve_connection(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-conversation
@@ -377,6 +465,8 @@ class ReproServer:
             request = await self._read_request(reader, writer)
             if request is None:
                 return
+            if faultplane.fire("serve.read.drop"):
+                return  # request parsed, then dropped without an answer
             span = observe.start_span("serve.request",
                                       method=request.method,
                                       path=request.path.split("?")[0])
@@ -392,6 +482,14 @@ class ReproServer:
                 keep_alive = False
             finally:
                 observe.end_span(span)
+            if faultplane.fire("serve.write.drop"):
+                # The handler ran (the job may well be admitted and
+                # running); the *response* is lost on the wire.  Abort
+                # the transport so the client sees a reset, not a stall.
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                return
             await writer.drain()
             if (not keep_alive
                     or request.headers.get("connection", "").lower() == "close"):
@@ -550,6 +648,9 @@ class ReproServer:
                     writer, 429, str(error),
                     {"Retry-After": str(self.config.retry_after_s)})
                 return True
+            if self.jobstore is not None:
+                self.jobstore.admit(parsed.request_key, job.job_id,
+                                    parsed.tenant, parsed.canonical)
             self._emit(job, {"event": "queued", "tenant": parsed.tenant})
             self._work_available.set()
         observe.gauge("serve.queue.depth", len(self.queue))
@@ -638,3 +739,5 @@ def run_server(config: ServeConfig) -> int:
         return EXIT_INTERRUPTED
     finally:
         server.pool.close()
+        if server.jobstore is not None:
+            server.jobstore.close()

@@ -22,13 +22,31 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-from repro.errors import SolverError
+from repro.errors import SolverError, SolverLimitError
 
 ENGINE_ENV = "REPRO_SOLVER_ENGINE"
 ENGINES = ("revised", "dense")
 DEFAULT_ENGINE = "revised"
 
 _override: str | None = None
+
+
+def check_fault_budget() -> None:
+    """Fault-plane hook: deterministic solver budget exhaustion.
+
+    Called by :meth:`repro.solver.model.Model.solve` before backend
+    dispatch, so the ``solver.limit`` point fires for the scipy and
+    native backends alike.  Downstream this looks exactly like a real
+    exhausted iteration/node budget: the anytime chain falls through to
+    its next tier, and an unbudgeted solve fails the task and is
+    retried by the executor (the hit count has advanced, so the retry
+    proceeds).
+    """
+    from repro.resilience import faultplane
+
+    if faultplane.fire("solver.limit"):
+        raise SolverLimitError(
+            "injected solver budget exhaustion (fault point solver.limit)")
 
 
 def _validate(name: str) -> str:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import observe
 from repro.errors import ModelError
+from repro.solver import engine
 from repro.solver.solution import Solution, SolveStatus
 
 _INF = float("inf")
@@ -339,6 +340,7 @@ class Model:
         """
         if backend not in ("auto", "scipy", "native"):
             raise ModelError(f"unknown backend {backend!r}")
+        engine.check_fault_budget()
         with observe.span("solver.solve", backend=backend, relax=relax,
                           variables=len(self.variables),
                           constraints=len(self.constraints)) as sp:

@@ -47,6 +47,47 @@ class TestJournalUnit:
         loaded = SweepJournal(tmp_path / "j.jsonl", "fp").load_completed()
         assert loaded == {"task:a": {"v": 1}}
 
+    def test_truncation_at_every_byte_offset_of_the_final_record(
+            self, tmp_path):
+        """Property: a crash mid-append never loses *earlier* entries.
+
+        Truncate the journal at every byte offset inside its final
+        record; each prefix must load cleanly with the completed entry
+        before the tear fully intact.
+        """
+        journal = SweepJournal(tmp_path / "j.jsonl", "fp")
+        journal.start()
+        journal.record("task:a", {"v": 1})
+        journal.record("task:b", {"v": 2})
+        journal.close()
+        full = (tmp_path / "j.jsonl").read_bytes()
+        final_start = full.rstrip(b"\n").rfind(b"\n") + 1
+        for cut in range(final_start, len(full)):
+            (tmp_path / "j.jsonl").write_bytes(full[:cut])
+            loaded = SweepJournal(tmp_path / "j.jsonl",
+                                  "fp").load_completed()
+            assert loaded.get("task:a") == {"v": 1}
+            assert loaded.get("task:b") in (None, {"v": 2})
+
+    def test_injected_torn_write_fails_safe(self, tmp_path):
+        from repro.resilience import faultplane
+        from repro.resilience.faultplane import FaultPlan
+
+        faultplane.install(FaultPlan(seed=0,
+                                     schedule={"journal.torn": (3,)}))
+        try:
+            journal = SweepJournal(tmp_path / "j.jsonl", "fp")
+            journal.start()  # hit 1: header
+            journal.record("task:a", {"v": 1})  # hit 2
+            journal.record("task:b", {"v": 2})  # hit 3: torn mid-line
+            assert journal.broken
+            journal.record("task:c", {"v": 3})  # fail-safe: dropped
+            journal.close()
+        finally:
+            faultplane.uninstall()
+        loaded = SweepJournal(tmp_path / "j.jsonl", "fp").load_completed()
+        assert loaded == {"task:a": {"v": 1}}
+
     def test_digest_mismatch_dropped(self, tmp_path):
         path = tmp_path / "j.jsonl"
         lines = [

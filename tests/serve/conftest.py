@@ -1,4 +1,13 @@
-"""Fixtures: a real in-process server on a background event loop."""
+"""Fixtures: a real in-process server on a background event loop.
+
+Every server binds port 0 (the kernel picks a free ephemeral port), so
+parallel test runs never collide.  The constructor then waits for a
+``/healthz`` answer and :meth:`LiveServer.request` retries refused or
+reset connections for a bounded window — the two races that made the
+live-server tests flaky on slow CI runners (the listener is bound
+before ``start()`` returns, but the accept loop may not have scheduled
+its first iteration yet).
+"""
 
 from __future__ import annotations
 
@@ -6,10 +15,15 @@ import asyncio
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
 from repro.serve.server import ReproServer, ServeConfig
+
+#: Bounded connect-retry window: 20 * 50ms = 1s of grace, then fail.
+_CONNECT_RETRIES = 20
+_CONNECT_BACKOFF_S = 0.05
 
 
 class LiveServer:
@@ -24,24 +38,36 @@ class LiveServer:
             self.server.start(), self.loop).result(60)
         assert self.server.port is not None
         self.port = self.server.port
+        self._wait_ready()
 
     def _run(self) -> None:
         asyncio.set_event_loop(self.loop)
         self.loop.run_forever()
 
+    def _wait_ready(self) -> None:
+        """Block until the accept loop answers /healthz."""
+        status, _ = self.request("GET", "/healthz", timeout=10.0)
+        assert status == 200
+
     def request(self, method: str, path: str, body: dict | None = None,
                 timeout: float = 120.0) -> tuple[int, bytes]:
-        conn = http.client.HTTPConnection("127.0.0.1", self.port,
-                                          timeout=timeout)
-        try:
-            payload = (json.dumps(body).encode()
-                       if body is not None else None)
-            conn.request(method, path, body=payload,
-                         headers={"Content-Type": "application/json"})
-            response = conn.getresponse()
-            return response.status, response.read()
-        finally:
-            conn.close()
+        payload = (json.dumps(body).encode()
+                   if body is not None else None)
+        for attempt in range(_CONNECT_RETRIES + 1):
+            conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                              timeout=timeout)
+            try:
+                conn.request(method, path, body=payload,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                return response.status, response.read()
+            except (ConnectionRefusedError, ConnectionResetError):
+                if attempt >= _CONNECT_RETRIES:
+                    raise
+                time.sleep(_CONNECT_BACKOFF_S)
+            finally:
+                conn.close()
+        raise AssertionError("unreachable")
 
     def get_json(self, path: str) -> tuple[int, dict]:
         status, payload = self.request("GET", path)
@@ -58,6 +84,18 @@ class LiveServer:
         self.loop.call_soon_threadsafe(self.server.request_stop, 0)
         future.result(60)
         self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        if not self.loop.is_running():
+            self.loop.close()
+
+    def abort(self) -> None:
+        """Simulate a crash: tear the server down without draining."""
+        def _abort() -> None:
+            self.server.abort()
+            # Stop on the *next* loop pass so the cancelled client tasks
+            # unwind (and close their sockets) while the loop is alive.
+            self.loop.call_soon(lambda: self.loop.call_soon(self.loop.stop))
+        self.loop.call_soon_threadsafe(_abort)
         self.thread.join(10)
         if not self.loop.is_running():
             self.loop.close()

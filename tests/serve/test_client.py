@@ -1,0 +1,206 @@
+"""Tests for the resilient serve client (policy, breaker, retry loops)."""
+
+from __future__ import annotations
+
+import http.server
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.serve.client import (
+    AsyncReproClient,
+    CircuitBreaker,
+    ClientOutcome,
+    ReproClient,
+    RetryPolicy,
+)
+
+
+# -- retry policy ----------------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_backoff_s=0.1, max_backoff_s=1.0, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.backoff_s(a, None, rng) for a in range(1, 7)]
+    assert delays[:4] == [0.1, 0.2, 0.4, 0.8]
+    assert delays[4] == delays[5] == 1.0  # capped
+
+
+def test_backoff_jitter_only_shrinks():
+    policy = RetryPolicy(base_backoff_s=0.1, max_backoff_s=1.0, jitter=0.5)
+    rng = random.Random(1)
+    for attempt in range(1, 6):
+        base = min(1.0, 0.1 * 2 ** (attempt - 1))
+        delay = policy.backoff_s(attempt, None, rng)
+        assert base * 0.5 <= delay <= base
+
+
+def test_retry_after_overrides_small_backoffs_but_is_bounded():
+    policy = RetryPolicy(base_backoff_s=0.01, max_backoff_s=1.0, jitter=0.0)
+    rng = random.Random(0)
+    assert policy.backoff_s(1, 0.5, rng) == 0.5  # server knows best
+    assert policy.backoff_s(1, 3600.0, rng) == 4.0  # but is not trusted forever
+
+
+# -- circuit breaker -------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_breaker_opens_after_threshold_and_half_opens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=5.0, clock=clock)
+    assert breaker.state == "closed"
+    for _ in range(3):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    assert breaker.cooldown_remaining() == 5.0
+    clock.now = 5.0
+    assert breaker.state == "half-open"
+    assert breaker.allow()  # the single probe
+    assert not breaker.allow()  # second caller is still shut out
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_failed_probe_restarts_cooldown():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0, clock=clock)
+    breaker.record_failure()
+    clock.now = 5.0
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state == "open"
+    assert breaker.cooldown_remaining() == 5.0
+
+
+def test_answered_statuses_count_as_breaker_success():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()  # e.g. a 429: the server is alive
+    breaker.record_failure()
+    assert breaker.state == "closed"  # never two *consecutive* failures
+
+
+# -- outcomes --------------------------------------------------------------------
+
+
+def test_outcome_flags():
+    served = ClientOutcome(status=200, document={}, attempts=3, retries=2,
+                           rejected=2, latency_s=0.1)
+    assert served.ok and served.rejected_then_completed
+    failed = ClientOutcome(status=429, document={}, attempts=6, retries=5,
+                           rejected=6, latency_s=0.1)
+    assert not failed.ok and not failed.rejected_then_completed
+
+
+# -- live retry loops (stub server) ----------------------------------------------
+
+
+class _FlakyHandler(http.server.BaseHTTPRequestHandler):
+    """Answers 429 (with Retry-After) until `reject` runs out, then 200."""
+
+    reject = 2
+    lock = threading.Lock()
+
+    def _answer(self) -> None:
+        cls = type(self)
+        with cls.lock:
+            rejected = cls.reject > 0
+            if rejected:
+                cls.reject -= 1
+        if rejected:
+            body = json.dumps({"error": "busy"}).encode()
+            self.send_response(429)
+            self.send_header("Retry-After", "0.01")
+        else:
+            body = json.dumps({"results": [], "degraded": []}).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _answer
+    do_POST = _answer
+
+    def log_message(self, *args) -> None:  # keep pytest output clean
+        pass
+
+
+@pytest.fixture
+def flaky_server():
+    _FlakyHandler.reject = 2
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd.server_address
+    httpd.shutdown()
+    thread.join(5)
+
+
+def _fast_policy(attempts: int = 6) -> RetryPolicy:
+    return RetryPolicy(max_attempts=attempts, base_backoff_s=0.01,
+                       max_backoff_s=0.05, timeout_s=5.0)
+
+
+def test_sync_client_retries_through_429s(flaky_server):
+    host, port = flaky_server
+    client = ReproClient(host, port, policy=_fast_policy())
+    outcome = client.submit({"workload": "adpcm", "deadline_frac": 0.5})
+    assert outcome.ok
+    assert outcome.rejected == 2
+    assert outcome.retries == 2
+    assert outcome.attempts == 3
+    assert outcome.rejected_then_completed
+
+
+def test_sync_client_gives_up_when_attempts_run_out(flaky_server):
+    host, port = flaky_server
+    _FlakyHandler.reject = 10
+    client = ReproClient(host, port, policy=_fast_policy(attempts=2))
+    outcome = client.submit({"workload": "adpcm", "deadline_frac": 0.5})
+    assert not outcome.ok
+    assert outcome.status == 429
+    assert outcome.attempts == 2
+
+
+def test_async_client_retries_through_429s(flaky_server):
+    import asyncio
+
+    host, port = flaky_server
+    client = AsyncReproClient(host, port, policy=_fast_policy())
+    outcome = asyncio.run(
+        client.submit({"workload": "adpcm", "deadline_frac": 0.5}))
+    assert outcome.ok
+    assert outcome.rejected == 2
+    assert outcome.rejected_then_completed
+
+
+def test_transport_errors_are_retried_then_reported():
+    # A port with nothing listening: every attempt is refused.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+    client = ReproClient("127.0.0.1", dead_port,
+                         policy=_fast_policy(attempts=3),
+                         breaker=CircuitBreaker(failure_threshold=99))
+    outcome = client.submit({"workload": "adpcm", "deadline_frac": 0.5})
+    assert not outcome.ok
+    assert outcome.status == 0
+    assert outcome.attempts == 3
+    assert outcome.retries == 2
+    assert outcome.error is not None

@@ -1,0 +1,118 @@
+"""Kill -> ``--resume`` recovery tests against live in-process servers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import observe
+from repro.serve import protocol
+from repro.serve.jobstore import JobStore
+from repro.serve.server import ServeConfig
+
+BODY = {"workload": "adpcm", "deadline_frac": 0.5}
+
+
+def _config(tmp_path, resume=False):
+    return ServeConfig(port=0, jobs=1, runs=1,
+                       cache_dir=str(tmp_path / "cache"),
+                       store_dir=str(tmp_path / "jobs"),
+                       resume=resume)
+
+
+def _poll_done(server, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, document = server.get_json(f"/v1/jobs/{job_id}")
+        if status == 200 and document["job"]["state"] in ("done", "failed"):
+            return document
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+def test_resume_requires_store_dir():
+    from repro.errors import ServeError
+    with pytest.raises(ServeError):
+        __import__("repro.serve.server", fromlist=["ReproServer"]).ReproServer(
+            ServeConfig(port=0, resume=True))
+
+
+def test_finished_job_replays_byte_identically(server_factory, tmp_path):
+    first = server_factory(_config(tmp_path))
+    status, body = first.post_json("/v1/optimize", dict(BODY, wait=True))
+    assert status == 200
+    first.abort()  # crash, not drain
+
+    replayed_before = observe.counter_value("serve.jobs.replayed")
+    second = server_factory(_config(tmp_path, resume=True))
+    try:
+        job_id = protocol.parse_request(BODY).job_id
+        status, document = second.get_json(f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert document["job"]["state"] == "done"
+        # Byte-identity: the rows come back exactly as first served.
+        assert document["results"] == body["results"]
+        assert document["degraded"] == body["degraded"]
+        assert (observe.counter_value("serve.jobs.replayed")
+                == replayed_before + 1)
+        # Replay must not have cost a DAG run on the new server.
+        _, metrics = second.get_json("/v1/metrics")
+        assert metrics["counters"].get("serve.jobs.replayed", 0) >= 1
+    finally:
+        second.close()
+
+
+def test_interrupted_job_is_recovered_and_completes(server_factory, tmp_path):
+    first = server_factory(_config(tmp_path))
+    status, accepted = first.post_json("/v1/optimize", BODY)
+    assert status in (200, 202)
+    job_id = accepted["job"]["id"]
+    first.abort()  # the job is queued or running: admitted, never finished
+
+    recovered_before = observe.counter_value("serve.jobs.recovered")
+    second = server_factory(_config(tmp_path, resume=True))
+    try:
+        document = _poll_done(second, job_id)
+        assert document["job"]["state"] == "done"
+        assert document["results"]
+        assert all(row["status"] == "ok" for row in document["results"])
+        assert (observe.counter_value("serve.jobs.recovered")
+                > recovered_before)
+    finally:
+        second.close()
+
+
+def test_hand_written_admission_is_recovered(server_factory, tmp_path):
+    """A journal with only an admit record boots into a running job."""
+    parsed = protocol.parse_request(BODY)
+    store = JobStore(tmp_path / "jobs")
+    store.start()
+    store.admit(parsed.request_key, parsed.job_id, "anon", parsed.canonical)
+    store.close()
+
+    server = server_factory(_config(tmp_path, resume=True))
+    try:
+        document = _poll_done(server, parsed.job_id)
+        assert document["job"]["state"] == "done"
+        assert document["results"]
+    finally:
+        server.close()
+
+
+def test_fresh_start_truncates_stale_store(server_factory, tmp_path):
+    """Without --resume the store is reset, not replayed."""
+    parsed = protocol.parse_request(BODY)
+    store = JobStore(tmp_path / "jobs")
+    store.start()
+    store.admit(parsed.request_key, parsed.job_id, "anon", parsed.canonical)
+    store.close()
+
+    server = server_factory(_config(tmp_path, resume=False))
+    try:
+        status, _ = server.request("GET", f"/v1/jobs/{parsed.job_id}")
+        assert status == 404
+    finally:
+        server.close()
+    jobs = JobStore(tmp_path / "jobs").load()
+    assert jobs == {}
