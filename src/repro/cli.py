@@ -14,6 +14,11 @@
     python -m repro sweep --workloads adpcm,epic,gsm,mpeg --jobs 4
     python -m repro sweep --workloads adpcm --resume --solver-budget 5
     python -m repro sweep --workloads adpcm --trace
+    python -m repro taskgraph sweep --shapes fork-join --cores 1,2,4
+    python -m repro taskgraph verify
+    python -m repro fuzz --runs 0 --taskgraph-runs 10
+    python -m repro bench --taskgraph
+    python -m repro bench --summary
     python -m repro stats sweep-results
     python -m repro trace summarize sweep-results
     python -m repro cache verify
@@ -379,8 +384,16 @@ def cmd_fuzz(args) -> int:
             print(f"\n{failure}", file=sys.stderr)
         if not lp_report.ok:
             exit_code = 1
-        if args.runs <= 0:
-            return exit_code
+
+    if args.taskgraph_runs:
+        from repro.taskgraph.oracles import fuzz_taskgraph
+
+        tg_report = fuzz_taskgraph(args.taskgraph_runs, seed=args.seed)
+        print(f"taskgraph fuzz: {tg_report['runs']} seeded instances, "
+              f"0 oracle violations")
+
+    if args.runs <= 0:
+        return exit_code
 
     machine = _machine(args.levels, args.capacitance_uf,
                        not getattr(args, "no_fastpath", False))
@@ -513,6 +526,125 @@ def cmd_sweep(args) -> int:
     if report.verify_failures:
         # The one unforgivable outcome: an emitted schedule that failed
         # its independent verification.
+        return EXIT_FAILURE
+    degraded = (
+        [r for r in records if r["status"] == "failed"]
+        or report.degraded_tasks
+        or report.cache_stats.get("quarantined", 0)
+    )
+    return EXIT_DEGRADED if degraded else EXIT_OK
+
+
+def cmd_taskgraph(args) -> int:
+    if args.tg_command == "verify":
+        return _cmd_taskgraph_verify(args)
+    return _cmd_taskgraph_sweep(args)
+
+
+def _cmd_taskgraph_verify(args) -> int:
+    from repro.taskgraph.oracles import run_oracle_suite
+
+    suite = run_oracle_suite(budget_s=args.solver_budget,
+                             backend=args.solver_backend)
+    for check in suite["checks"]:
+        if check["check"] == "instance":
+            print(f"  ok {check['instance']:<28s} {check['method']:<6s} "
+                  f"{check['energy_nj']:>14.1f} nJ "
+                  f"(greedy {check['greedy_energy_nj']:.1f})")
+        else:
+            print(f"  ok {check['instance']:<28s} {check['check']}")
+    print(f"taskgraph verify: {len(suite['checks'])} checks passed")
+    return EXIT_OK
+
+
+def _cmd_taskgraph_sweep(args) -> int:
+    from repro.runtime.executor import FaultSpec
+    from repro.runtime.sweep import SweepConfig, run_sweep
+    from repro.taskgraph.pipeline import build_tg_grid
+
+    shapes = tuple(s.strip() for s in args.shapes.split(",") if s.strip())
+    cores = tuple(int(c) for c in args.cores.split(",") if c.strip())
+    fracs = tuple(float(f) for f in args.deadline_fracs.split(","))
+    levels = _parse_levels(args.levels)
+    grid = build_tg_grid(shapes=shapes, tasks=args.tasks, cores=cores,
+                         deadline_fracs=fracs, seed=args.seed,
+                         levels=levels,
+                         capacitance_uf=args.capacitance_uf)
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+    )
+    config = SweepConfig(
+        workloads=(),
+        deadline_fracs=fracs,
+        levels=levels,
+        seed=args.seed,
+        capacitance_uf=args.capacitance_uf,
+        jobs=args.jobs,
+        task_timeout_s=args.timeout if args.timeout > 0 else None,
+        retries=args.retries,
+        fault=FaultSpec.parse(args.inject_fault) if args.inject_fault else None,
+        cache_dir=cache_dir,
+        output_dir=args.output_dir,
+        solver_budget_s=args.solver_budget,
+        solver_backend=args.solver_backend,
+        resume=args.resume,
+        trace=args.trace,
+    )
+
+    def progress(result) -> None:
+        if args.quiet:
+            return
+        mark = {"ok": " ", "failed": "!", "skipped": "-"}[result.status]
+        cache = f" [{result.cache}]" if result.cache != "off" else ""
+        retries = f" (attempt {result.attempts})" if result.attempts > 1 else ""
+        print(f"  {mark} {result.task_id}{cache}{retries}"
+              + (f": {result.error}" if result.error else ""),
+              flush=True)
+
+    report = run_sweep(config, on_task=progress, experiments=grid,
+                       run_info_extra={
+                           "family": "taskgraph",
+                           "shapes": list(shapes),
+                           "graph_tasks": args.tasks,
+                           "cores": list(cores),
+                       })
+
+    records = report.experiment_records
+    ok = [r for r in records if r["status"] == "ok"]
+    print(f"\ntaskgraph sweep: {len(ok)}/{len(records)} experiments ok, "
+          f"{len(report.results)} tasks in {report.wall_time_s:.2f}s "
+          f"(jobs={config.jobs})")
+    if report.resumed_tasks:
+        print(f"resume: {report.resumed_tasks} tasks replayed from the journal")
+    if report.cache_stats:
+        stats = report.cache_stats
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({cache_dir})")
+    for record in ok:
+        savings = record["savings_vs_greedy"]
+        savings_text = f"{savings:+.1%}" if savings is not None else "n/a"
+        print(f"  {record['experiment']:<44s} vs greedy {savings_text} "
+              f"({record['mode_switches']} switches)")
+    for record in report.failures:
+        failed = ", ".join(sorted(record.get("failures", {"tg-verify": None})))
+        print(f"  {record['experiment']:<44s} {record['status'].upper()}: "
+              f"{failed}", file=sys.stderr)
+    for task_id in report.degraded_tasks:
+        print(f"  {task_id:<44s} DEGRADED: fallback tier schedule "
+              f"(verified, not proven optimal)", file=sys.stderr)
+    print(f"manifest: {report.manifest_path}")
+    if report.results_path is not None:
+        print(f"results : {report.results_path}")
+    if report.trace_path is not None:
+        print(f"trace   : {report.trace_path}")
+        print(f"metrics : {report.metrics_path}")
+
+    if report.interrupted:
+        print(f"interrupted: {len(report.results)}/{len(report.graph.tasks)} "
+              f"tasks journaled; rerun with --resume to finish",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    if report.verify_failures:
         return EXIT_FAILURE
     degraded = (
         [r for r in records if r["status"] == "failed"]
@@ -733,6 +865,10 @@ def cmd_loadtest(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.taskgraph:
+        return _cmd_bench_taskgraph(args)
+    if args.summary:
+        return _cmd_bench_summary(args)
     if args.solver:
         return _cmd_bench_solver(args)
     from repro.perf.bench import run_bench, write_bench_json
@@ -782,6 +918,51 @@ def _cmd_bench_solver(args) -> int:
         print("bench: revised engine diverged from the dense tableau",
               file=sys.stderr)
         return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _cmd_bench_taskgraph(args) -> int:
+    from repro.perf.bench_taskgraph import run_taskgraph_bench, write_bench_json
+
+    cores = tuple(int(c) for c in args.tg_cores.split(",") if c.strip())
+    document = run_taskgraph_bench(tasks=args.tg_tasks, cores=cores,
+                                   repeats=args.repeats)
+    print(f"{'case':<8s} {'solve':>9s} {'milp nJ':>14s} {'greedy nJ':>14s} "
+          f"{'gap':>7s}  optimal")
+    for case in document["cases"]:
+        print(f"{case['name']:<8s} {case['solve_s']:>8.3f}s "
+              f"{case['milp_energy_nj']:>14.1f} "
+              f"{case['greedy_energy_nj']:>14.1f} "
+              f"{case['energy_gap']:>6.1%}  "
+              f"{'yes' if case['optimal'] else 'NO'}")
+    path = write_bench_json(document, args.output or "BENCH_taskgraph.json")
+    print(f"\n{document['graph']}: worst solve "
+          f"{document['headline_solve_s']:.3f}s, best gap vs greedy "
+          f"{document['headline_gap']:.1%} [written to {path}]")
+    if not document["all_verified"]:
+        print("bench: a taskgraph case failed its differential check",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _cmd_bench_summary(args) -> int:
+    from repro.perf.bench_summary import run_summary, write_summary_json
+
+    document = run_summary(bench_dir=args.bench_dir,
+                           baseline_dir=args.baseline_dir)
+    for key, entry in document["benches"].items():
+        print(f"{key}:")
+        for metric, value in entry["headline"].items():
+            delta = (entry["deltas"] or {}).get(metric)
+            extra = ""
+            if delta and delta["delta_rel"] is not None:
+                extra = f"  ({delta['delta_rel']:+.1%} vs baseline)"
+            print(f"  {metric:<20s} {value}{extra}")
+    if document["missing"]:
+        print(f"missing: {', '.join(document['missing'])}")
+    path = write_summary_json(document, args.output or "BENCH_summary.json")
+    print(f"[written to {path}]")
     return EXIT_OK
 
 
@@ -877,6 +1058,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also differential-fuzz the LP solver cores "
                              "with N pathological instances (revised vs "
                              "dense vs HiGHS)")
+    p_fuzz.add_argument("--taskgraph-runs", type=int, default=0, metavar="N",
+                        help="also fuzz the taskgraph family with N seeded "
+                             "(graph, cores, deadline) instances against "
+                             "the differential oracles")
     p_fuzz.add_argument("--seed", type=int, default=0,
                         help="base seed (program i uses seed+i)")
     p_fuzz.add_argument("--levels", type=int, default=None,
@@ -951,6 +1136,81 @@ def build_parser() -> argparse.ArgumentParser:
                               "(also enabled by $REPRO_TRACE=1)")
     p_sweep.set_defaults(fn=cmd_sweep)
 
+    p_tg = sub.add_parser(
+        "taskgraph",
+        help="multi-core task-graph DVS: sweep (cores x deadlines x "
+             "shapes) or verify (oracle battery)",
+    )
+    tg_sub = p_tg.add_subparsers(dest="tg_command", required=True)
+    p_tg_sweep = tg_sub.add_parser(
+        "sweep",
+        help="run a taskgraph grid through the cached parallel runtime",
+    )
+    p_tg_sweep.add_argument("--shapes", default="fork-join",
+                            help="comma-joined graph shapes: fork-join, "
+                                 "layered, random, kernels (default "
+                                 "fork-join)")
+    p_tg_sweep.add_argument("--tasks", type=int, default=6,
+                            help="tasks per generated graph (default 6)")
+    p_tg_sweep.add_argument("--cores", default="1,2",
+                            help="comma-joined core counts (default 1,2)")
+    p_tg_sweep.add_argument("--deadline-fracs", default="0.35,0.7",
+                            help="comma-joined deadline fractions "
+                                 "(default 0.35,0.7)")
+    p_tg_sweep.add_argument("--levels", default="xscale",
+                            help="comma-joined mode tables (default xscale)")
+    p_tg_sweep.add_argument("--seed", type=int, default=0,
+                            help="graph/input seed (default 0)")
+    p_tg_sweep.add_argument("--capacitance-uf", type=float, default=10.0,
+                            help="regulator capacitance in uF (default 10)")
+    p_tg_sweep.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (default 1)")
+    p_tg_sweep.add_argument("--timeout", type=float, default=600.0,
+                            help="per-task wall-clock budget in seconds "
+                                 "(default 600; 0 disables)")
+    p_tg_sweep.add_argument("--retries", type=int, default=1,
+                            help="retry budget per task (default 1)")
+    p_tg_sweep.add_argument("--inject-fault", default=None,
+                            metavar="PATTERN[@N]",
+                            help="kill task ids matching a glob (testing)")
+    p_tg_sweep.add_argument("--cache-dir", default=None,
+                            help="artifact-store directory (default: "
+                                 "$REPRO_CACHE_DIR or .repro-cache)")
+    p_tg_sweep.add_argument("--no-cache", action="store_true",
+                            help="run without the artifact store")
+    p_tg_sweep.add_argument("--output-dir", default="taskgraph-results",
+                            help="manifest/results directory (default "
+                                 "taskgraph-results)")
+    p_tg_sweep.add_argument("--quiet", action="store_true",
+                            help="suppress per-task progress lines")
+    p_tg_sweep.add_argument("--resume", action="store_true",
+                            help="replay completed tasks from the output "
+                                 "directory's crash-safe journal")
+    p_tg_sweep.add_argument("--solver-budget", type=float, default=None,
+                            metavar="SECONDS",
+                            help="anytime wall-clock budget per tg-solve "
+                                 "task (falls back through MILP incumbent "
+                                 "then greedy; exit 3 when degraded)")
+    p_tg_sweep.add_argument("--solver-backend", default="auto",
+                            choices=("auto", "scipy", "native"),
+                            help="MILP backend for tg-solve tasks")
+    p_tg_sweep.add_argument("--trace", action="store_true",
+                            help="collect spans/metrics and write "
+                                 "trace.jsonl + metrics.json")
+    p_tg_sweep.set_defaults(fn=cmd_taskgraph)
+    p_tg_verify = tg_sub.add_parser(
+        "verify",
+        help="run the taskgraph oracle battery (replay-exact, "
+             "milp-vs-greedy, core/deadline monotonicity)",
+    )
+    p_tg_verify.add_argument("--solver-budget", type=float, default=None,
+                             metavar="SECONDS",
+                             help="optional per-solve time limit")
+    p_tg_verify.add_argument("--solver-backend", default="auto",
+                             choices=("auto", "scipy", "native"),
+                             help="MILP backend (default auto)")
+    p_tg_verify.set_defaults(fn=cmd_taskgraph)
+
     p_bench = sub.add_parser(
         "bench",
         help="benchmark the accelerated simulator against the reference "
@@ -968,6 +1228,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="benchmark the LP solver engines over the "
                               "Fig. 17/18 deadline sweep instead of the "
                               "simulator")
+    p_bench.add_argument("--taskgraph", action="store_true",
+                         help="benchmark the taskgraph MILP across core "
+                              "counts (writes BENCH_taskgraph.json)")
+    p_bench.add_argument("--tg-tasks", type=int, default=7,
+                         help="graph size for --taskgraph (default 7)")
+    p_bench.add_argument("--tg-cores", default="1,2,4",
+                         help="comma-joined core counts for --taskgraph "
+                              "(default 1,2,4)")
+    p_bench.add_argument("--summary", action="store_true",
+                         help="aggregate all BENCH_*.json headline metrics "
+                              "with deltas vs benchmarks/results/ (writes "
+                              "BENCH_summary.json)")
+    p_bench.add_argument("--bench-dir", default=".",
+                         help="directory holding BENCH_*.json for --summary "
+                              "(default .)")
+    p_bench.add_argument("--baseline-dir", default="benchmarks/results",
+                         help="tracked baseline directory for --summary "
+                              "(default benchmarks/results)")
     p_bench.add_argument("--workloads", default="adpcm,gsm",
                          help="comma-joined workloads for --solver "
                               "(default adpcm,gsm)")

@@ -193,6 +193,26 @@ def build_task_graph(
     """
     if not experiments:
         raise OrchestrationError("sweep grid is empty")
+    # The taskgraph family builds its own pipelines; mixed grids merge
+    # both DAGs (task ids are disjoint by construction: tg-* prefixes).
+    tg_specs = [e for e in experiments
+                if getattr(e, "family", None) == "taskgraph"]
+    if tg_specs:
+        from repro.taskgraph.pipeline import build_tg_task_graph
+
+        tg_graph = build_tg_task_graph(tg_specs,
+                                       solver_budget_s=solver_budget_s,
+                                       solver_backend=solver_backend)
+        rest = [e for e in experiments
+                if getattr(e, "family", None) != "taskgraph"]
+        if not rest:
+            return tg_graph
+        merged = build_task_graph(rest, solver_budget_s=solver_budget_s,
+                                  solver_backend=solver_backend)
+        merged.tasks.update(tg_graph.tasks)
+        merged.experiments.extend(tg_graph.experiments)
+        merged.validate()
+        return merged
     seen_ids = set()
     for exp in experiments:
         if exp.experiment_id in seen_ids:
@@ -417,6 +437,10 @@ _TASK_FNS: dict[str, Callable[[dict[str, Any], dict[str, Any]], dict[str, Any]]]
 def execute_task(kind: str, spec: dict[str, Any],
                  deps: dict[str, Any]) -> dict[str, Any]:
     """Run one task kind; ``deps`` maps dep *kind* to its output dict."""
+    if kind.startswith("tg-"):
+        from repro.taskgraph.pipeline import execute_tg_task
+
+        return execute_tg_task(kind, spec, deps)
     try:
         fn = _TASK_FNS[kind]
     except KeyError:

@@ -155,3 +155,48 @@ def run_summary_key(source: str, category: str | None, seed: int,
         machine=machine_fingerprint(machine),
         deadline_frac=deadline_frac,
     )
+
+
+def taskgraph_tables_key(graph_fingerprint: dict[str, Any],
+                         machine: Machine) -> str:
+    """Key for a task graph's per-task per-mode tables.
+
+    ``graph_fingerprint`` is :func:`repro.taskgraph.model.graph_fingerprint`
+    output — kernel-backed nodes carry source digests, so editing a
+    kernel invalidates the tables exactly like ``profile_key`` does.
+    Tables are core-count independent (they describe tasks, not lanes).
+    """
+    return artifact_key(
+        "tg-tables",
+        graph=graph_fingerprint,
+        machine=machine_fingerprint(machine),
+    )
+
+
+def taskgraph_solve_key(graph_fingerprint: dict[str, Any], machine: Machine,
+                        cores: int, deadline_frac: float) -> str:
+    """Key for a solved taskgraph schedule at one (cores, deadline).
+
+    The solver budget and backend are execution knobs (anytime solving
+    may degrade, and degraded outputs are never cached), so — like the
+    single-stream ``schedule_key`` — they are not part of the identity.
+    """
+    return artifact_key(
+        "tg-solve",
+        graph=graph_fingerprint,
+        machine=machine_fingerprint(machine),
+        cores=cores,
+        deadline_frac=deadline_frac,
+    )
+
+
+def taskgraph_run_key(graph_fingerprint: dict[str, Any], machine: Machine,
+                      cores: int, deadline_frac: float) -> str:
+    """Key for the replayed execution of a taskgraph schedule."""
+    return artifact_key(
+        "tg-run",
+        graph=graph_fingerprint,
+        machine=machine_fingerprint(machine),
+        cores=cores,
+        deadline_frac=deadline_frac,
+    )

@@ -31,7 +31,7 @@ from repro.runtime.executor import TaskResult
 #: tier and optimality gap depend on wall-clock luck, so they live here
 #: (and in the manifest) — never in ``results.jsonl``.
 TIMING_FIELDS = ("wall_time_s", "solver_time_s", "fallback_tier",
-                 "optimality_gap", "degraded")
+                 "optimality_gap", "degraded", "solver_method")
 
 
 def _dump(record: dict[str, Any]) -> str:
@@ -65,6 +65,12 @@ def task_record(result: TaskResult) -> dict[str, Any]:
             record["fallback_tier"] = solver.get("fallback_tier")
             record["optimality_gap"] = solver.get("optimality_gap")
             record["degraded"] = solver.get("degraded")
+    if result.kind == "tg-solve" and result.output is not None:
+        solver = result.output.get("solver", {})
+        record["solver_status"] = solver.get("status")
+        record["solver_time_s"] = solver.get("solve_time_s")
+        record["solver_method"] = solver.get("method")
+        record["degraded"] = solver.get("degraded")
     return record
 
 
@@ -117,6 +123,10 @@ def experiment_record(
     Every field here must be a pure function of the grid point — never
     of scheduling order, cache temperature or wall-clock time.
     """
+    if getattr(spec, "family", None) == "taskgraph":
+        from repro.taskgraph.pipeline import tg_experiment_record
+
+        return tg_experiment_record(spec, graph, results)
     eid = spec.experiment_id
     by_kind: dict[str, TaskResult] = {}
     missing: list[str] = []

@@ -87,10 +87,11 @@ class SweepReport:
 
     @property
     def degraded_tasks(self) -> list[str]:
-        """Optimize tasks that fell back below a proven optimum."""
+        """Solve tasks that fell back below a proven optimum."""
         return sorted(
             r.task_id for r in self.results.values()
-            if r.kind == "optimize" and r.ok and r.output is not None
+            if r.kind in ("optimize", "tg-solve") and r.ok
+            and r.output is not None
             and r.output.get("solver", {}).get("degraded")
         )
 
@@ -138,6 +139,8 @@ def build_grid(config: SweepConfig) -> list[ExperimentSpec]:
 def run_sweep(
     config: SweepConfig,
     on_task: Callable[[TaskResult], None] | None = None,
+    experiments: list | None = None,
+    run_info_extra: dict[str, Any] | None = None,
 ) -> SweepReport:
     """Run a full sweep and persist its manifest and results.
 
@@ -149,8 +152,19 @@ def run_sweep(
     the journal, writes the (partial) manifest and returns with
     ``interrupted=True`` — ``results.jsonl`` is only written for
     complete runs.
+
+    Args:
+        config: execution and persistence settings; its grid axes are
+            expanded via :func:`build_grid` unless ``experiments`` is
+            given.
+        on_task: per-task completion callback.
+        experiments: pre-built grid (any experiment family, e.g.
+            taskgraph specs) that bypasses :func:`build_grid`.
+        run_info_extra: extra fields merged into the manifest header
+            (family-specific axes the generic config cannot express).
     """
-    experiments = build_grid(config)
+    if experiments is None:
+        experiments = build_grid(config)
     graph = build_task_graph(experiments,
                              solver_budget_s=config.solver_budget_s,
                              solver_backend=config.solver_backend)
@@ -253,6 +267,8 @@ def run_sweep(
         "experiments": len(experiments),
         "tasks": len(graph.tasks),
     }
+    if run_info_extra:
+        run_info.update(run_info_extra)
     manifest_path = manifest_mod.write_manifest(
         output_dir / "manifest.jsonl", run_info, results, wall_time
     )

@@ -21,6 +21,19 @@ without explicit defaults) coalesce onto one DAG run, and the DAG's
 tasks land on the same :mod:`repro.runtime.cache` artifact keys a CLI
 sweep would use.
 
+``POST /v1/taskgraph``
+    A multi-core task-graph grid (:mod:`repro.taskgraph`)::
+
+        {"shapes": ["fork-join"], "tasks": 6, "cores": [1, 2, 4],
+         "deadline_fracs": [0.0, 0.5]}
+
+    Canonicalizes to a document tagged ``"type": "taskgraph"`` (the
+    single-stream endpoints carry no tag, keeping their stored request
+    keys stable), with sorted/deduplicated shape, core and deadline
+    axes — so a served taskgraph request lands on the same experiment
+    ids (and artifact keys) as ``repro taskgraph sweep`` over the same
+    axes.
+
 Optional non-identity fields: ``tenant`` (fair-queueing bucket,
 default ``"anon"``) and ``wait`` (block until the job finishes instead
 of returning 202).  Neither enters the request key.
@@ -65,8 +78,15 @@ class ParsedRequest:
 
     @property
     def cost(self) -> int:
-        """Fair-queueing cost: experiments this request will run."""
-        return len(self.experiments)
+        """Fair-queueing cost: the work this request will run.
+
+        Single-stream experiments cost 1 each; taskgraph grid points
+        cost their task count (``queue_cost``), so a submission
+        sweeping a 12-task graph over 4 deadlines is billed 48, not 4 —
+        big graphs cannot starve small tenants at equal priority.
+        """
+        return sum(getattr(spec, "queue_cost", 1)
+                   for spec in self.experiments)
 
 
 def _fail(message: str) -> None:
@@ -190,9 +210,53 @@ def _wait(value: Any) -> bool:
     return value
 
 
+def _shapes(value: Any) -> list[str]:
+    from repro.taskgraph.model import GRAPH_SHAPES
+
+    names = _as_list(value, "shapes")
+    if not names:
+        _fail("request selects no graph shapes")
+    out = []
+    for name in names:
+        if name not in GRAPH_SHAPES:
+            _fail(f"unknown task-graph shape {name!r} "
+                  f"(want one of {', '.join(GRAPH_SHAPES)})")
+        out.append(name)
+    return sorted(set(out))
+
+
+def _graph_tasks(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail(f"tasks must be an integer, got {value!r}")
+    if not 3 <= value <= 32:
+        _fail(f"tasks must be in [3, 32], got {value}")
+    return value
+
+
+def _cores(value: Any) -> list[int]:
+    counts = _as_list(value, "cores")
+    if not counts:
+        _fail("request selects no core counts")
+    out = []
+    for count in counts:
+        if isinstance(count, bool) or not isinstance(count, int):
+            _fail(f"core counts must be integers, got {count!r}")
+        if not 1 <= count <= 64:
+            _fail(f"core counts must be in [1, 64], got {count}")
+        out.append(count)
+    return sorted(set(out))
+
+
 _KNOWN_FIELDS = {
     "workload", "workloads", "deadline_frac", "deadline_fracs", "levels",
     "category", "seed", "capacitance_uf", "solver_budget_s",
+    "solver_backend", "tenant", "wait",
+}
+
+#: Fields the taskgraph endpoint accepts instead of workload selectors.
+_TG_FIELDS = {
+    "shape", "shapes", "tasks", "cores", "deadline_frac", "deadline_fracs",
+    "levels", "seed", "capacitance_uf", "solver_budget_s",
     "solver_backend", "tenant", "wait",
 }
 
@@ -230,6 +294,8 @@ def parse_request(body: bytes | str | dict[str, Any],
     if not isinstance(document, dict):
         _fail(f"request body must be a JSON object, "
               f"got {type(document).__name__}")
+    if endpoint == "taskgraph":
+        return _parse_taskgraph(document, max_grid)
     unknown = sorted(set(document) - _KNOWN_FIELDS)
     if unknown:
         _fail(f"unknown request field(s): {', '.join(unknown)}")
@@ -290,6 +356,60 @@ def parse_request(body: bytes | str | dict[str, Any],
     )
 
 
+def _parse_taskgraph(document: dict[str, Any], max_grid: int) -> ParsedRequest:
+    """Validate and canonicalize a ``/v1/taskgraph`` submission."""
+    unknown = sorted(set(document) - _TG_FIELDS)
+    if unknown:
+        _fail(f"unknown request field(s): {', '.join(unknown)}")
+    if "shapes" not in document and "shape" not in document:
+        _fail("taskgraph request needs 'shapes'")
+
+    shapes = _shapes(document.get("shapes", document.get("shape")))
+    tasks = _graph_tasks(document.get("tasks", 6))
+    cores = _cores(document.get("cores", [1, 2]))
+    fracs = _deadline_fracs(document.get(
+        "deadline_fracs", document.get("deadline_frac", [0.35, 0.7])))
+    levels = _levels(document.get("levels"))
+    seed = _seed(document.get("seed", 0))
+    capacitance_uf = _capacitance(document.get("capacitance_uf", 10.0))
+    solver_budget_s = _budget(document.get("solver_budget_s"))
+    solver_backend = _backend(document.get("solver_backend", "auto"))
+    tenant = _tenant(document.get("tenant"))
+    wait = _wait(document.get("wait"))
+
+    canonical: dict[str, Any] = {
+        "version": PROTOCOL_VERSION,
+        "type": "taskgraph",
+        "shapes": shapes,
+        "tasks": tasks,
+        "cores": cores,
+        "deadline_fracs": fracs,
+        "levels": ["xscale-3" if lv is None else lv for lv in levels],
+        "seed": seed,
+        "capacitance_uf": capacitance_uf,
+        "solver_budget_s": solver_budget_s,
+        "solver_backend": solver_backend,
+    }
+
+    experiments = build_experiments(canonical)
+    limit = min(max_grid, ABSOLUTE_MAX_GRID)
+    if len(experiments) > limit:
+        _fail(f"request grid has {len(experiments)} experiments; "
+              f"this server accepts at most {limit} per request")
+
+    key = hashlib.sha256(
+        canonical_json(canonical).encode("utf-8")).hexdigest()
+    return ParsedRequest(
+        canonical=canonical,
+        request_key=key,
+        tenant=tenant,
+        wait=wait,
+        experiments=tuple(experiments),
+        solver_budget_s=solver_budget_s,
+        solver_backend=solver_backend,
+    )
+
+
 def from_canonical(document: dict[str, Any], tenant: str = "anon",
                    wait: bool = False) -> ParsedRequest:
     """Re-parse a stored canonical document (job-store recovery).
@@ -316,19 +436,36 @@ def from_canonical(document: dict[str, Any], tenant: str = "anon",
         raise ProtocolError(
             f"stored request has protocol version {version!r}; "
             f"this build speaks {PROTOCOL_VERSION}")
-    body = {key: value for key, value in document.items() if key != "version"}
+    endpoint = "taskgraph" if document.get("type") == "taskgraph" else "sweep"
+    body = {key: value for key, value in document.items()
+            if key not in ("version", "type")}
     body["tenant"] = tenant
     body["wait"] = wait
-    return parse_request(body, endpoint="sweep", max_grid=ABSOLUTE_MAX_GRID)
+    return parse_request(body, endpoint=endpoint, max_grid=ABSOLUTE_MAX_GRID)
 
 
 def build_experiments(canonical: dict[str, Any]) -> list[ExperimentSpec]:
     """Expand a canonical request into its experiment grid.
 
-    Mirrors :func:`repro.runtime.sweep.build_grid` so a served request
+    Mirrors :func:`repro.runtime.sweep.build_grid` (or, for documents
+    tagged ``"type": "taskgraph"``,
+    :func:`repro.taskgraph.pipeline.build_tg_grid`) so a served request
     and a CLI sweep over the same axes produce the same experiment ids
     (and therefore identical ``results`` rows).
     """
+    if canonical.get("type") == "taskgraph":
+        from repro.taskgraph.pipeline import build_tg_grid
+
+        return build_tg_grid(
+            shapes=tuple(canonical["shapes"]),
+            tasks=canonical["tasks"],
+            cores=tuple(canonical["cores"]),
+            deadline_fracs=tuple(canonical["deadline_fracs"]),
+            seed=canonical["seed"],
+            levels=tuple(None if lv == "xscale-3" else lv
+                         for lv in canonical["levels"]),
+            capacitance_uf=canonical["capacitance_uf"],
+        )
     experiments: list[ExperimentSpec] = []
     for workload in canonical["workloads"]:
         for level in canonical["levels"]:

@@ -6,6 +6,7 @@ chunked transfer for the event stream).  Endpoints::
 
     POST /v1/optimize        one workload at one deadline
     POST /v1/sweep           a grid, like `repro sweep`
+    POST /v1/taskgraph       a multi-core task-graph grid
     GET  /v1/jobs/<id>       job status document
     GET  /v1/jobs/<id>/events    chunked NDJSON progress stream
     GET  /v1/metrics         live observe counters + derived ratios
@@ -384,7 +385,8 @@ class ReproServer:
                           if r["status"] != "ok")
         degraded = sorted(
             r.task_id for r in results.values()
-            if r.kind == "optimize" and r.ok and r.output is not None
+            if r.kind in ("optimize", "tg-solve") and r.ok
+            and r.output is not None
             and r.output.get("solver", {}).get("degraded"))
         return {"rows": rows, "failures": failures, "degraded": degraded}
 
@@ -566,7 +568,7 @@ class ReproServer:
         if path == "/v1/metrics" and request.method == "GET":
             self._write(writer, 200, _dump(self._metrics()))
             return True
-        if path in ("/v1/optimize", "/v1/sweep"):
+        if path in ("/v1/optimize", "/v1/sweep", "/v1/taskgraph"):
             if request.method != "POST":
                 self._write_error(writer, 405,
                                   f"{path} accepts POST only",

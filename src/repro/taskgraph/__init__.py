@@ -1,0 +1,54 @@
+"""Multi-core task-graph DVS: the DAG-of-tasks scenario family.
+
+The paper optimizes a single instruction stream; this package extends
+the same energy-minimization question to a **DAG of tasks scheduled on
+P cores** (after Aupy et al., arXiv 1204.0939, and Simon et al., arXiv
+1912.09170).  Tasks are profiled kernels from :mod:`repro.workloads`
+(or seeded synthetic work items), edges are precedence constraints,
+and the paper's Section 4.2 regulator transition-cost model is charged
+on per-core mode switches.
+
+Pieces:
+
+* :mod:`repro.taskgraph.model` — :class:`TaskGraphSpec` + seeded
+  generators (fork-join / layered / random DAG / kernel pipelines);
+* :mod:`repro.taskgraph.tables` — per-task per-mode (time, energy)
+  tables, synthetic or produced by profiling kernels through the
+  existing simulator pipeline;
+* :mod:`repro.taskgraph.milp` — mode + core + sequencing MILP on
+  :mod:`repro.solver` with makespan deadline and per-core transition
+  costs in the unified nJ space;
+* :mod:`repro.taskgraph.heuristic` — list scheduling and the per-core
+  greedy baseline (the anytime fallback tier);
+* :mod:`repro.taskgraph.simulate` — the P-lane discrete-event replay
+  oracle;
+* :mod:`repro.taskgraph.oracles` — differential + metamorphic
+  verification battery;
+* :mod:`repro.taskgraph.pipeline` — runtime integration: experiment
+  specs, content-addressed ``tg-*`` task kinds, result records.
+"""
+
+from repro.taskgraph.model import (
+    TaskGraphSpec,
+    TaskNode,
+    build_graph,
+    fork_join,
+    graph_fingerprint,
+    kernel_pipeline,
+    layered,
+    random_dag,
+)
+from repro.taskgraph.tables import TaskTables, synthetic_tables
+
+__all__ = [
+    "TaskGraphSpec",
+    "TaskNode",
+    "TaskTables",
+    "build_graph",
+    "fork_join",
+    "graph_fingerprint",
+    "kernel_pipeline",
+    "layered",
+    "random_dag",
+    "synthetic_tables",
+]

@@ -1,0 +1,143 @@
+"""List scheduling and the greedy anytime fallback.
+
+Two jobs:
+
+* :func:`list_schedule` — earliest-finish-time list scheduling of a
+  graph onto P cores for a **fixed uniform mode**.  Deterministic
+  (ready ties break on task name, core ties on index), so its makespans
+  anchor the deadline scale: ``D(frac) = M_fast + frac*(M_slow -
+  M_fast)`` interpolates between the all-fastest makespan (frac=0,
+  provably feasible — the fallback can always return this schedule) and
+  the all-slowest one.
+* :func:`greedy_taskgraph` — the anytime fallback tier: start from the
+  all-fastest list schedule, then repeatedly apply the single best
+  "slow one task down one mode step" move that keeps the **replayed**
+  makespan within the deadline.  Every candidate is scored by replaying
+  through :func:`repro.taskgraph.simulate.replay`, so transition costs
+  are priced identically to the MILP objective and the greedy energy is
+  directly comparable (``MILP <= greedy`` is a differential oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ScheduleError
+from repro.simulator.dvs import TransitionCostModel, ZERO_TRANSITION
+from repro.taskgraph.model import TaskGraphSpec
+from repro.taskgraph.simulate import replay
+from repro.taskgraph.tables import TaskTables
+
+
+def list_schedule(spec: TaskGraphSpec, tables: TaskTables, cores: int,
+                  mode: int) -> dict[str, Any]:
+    """Earliest-finish-time list schedule at one uniform mode.
+
+    Returns a schedule document (``{"modes", "order"}``) replayable by
+    :func:`repro.taskgraph.simulate.replay`.  No transition costs are
+    modeled here — with a uniform mode no lane ever switches.
+    """
+    if cores < 1:
+        raise ScheduleError(f"need >= 1 core, got {cores}")
+    if not 0 <= mode < tables.num_modes:
+        raise ScheduleError(
+            f"mode {mode} out of range for {tables.num_modes} modes")
+    preds = spec.predecessors()
+    finish: dict[str, float] = {}
+    core_ready = [0.0] * cores
+    order: list[list[str]] = [[] for _ in range(cores)]
+    pending = set(spec.task_names())
+    while pending:
+        ready = sorted(t for t in pending
+                       if all(p in finish for p in preds[t]))
+        # Place the ready task that can finish earliest; ties break on
+        # (finish, name) then core index — fully deterministic.
+        best: tuple[float, str, int] | None = None
+        for task in ready:
+            arrival = max([0.0] + [finish[p] for p in preds[task]])
+            for core in range(cores):
+                begin = max(core_ready[core], arrival)
+                end = begin + tables.time(task, mode)
+                key = (end, task, core)
+                if best is None or key < best:
+                    best = key
+        assert best is not None  # ready is never empty on a DAG
+        end, task, core = best
+        finish[task] = end
+        core_ready[core] = end
+        order[core].append(task)
+        pending.remove(task)
+    return {"modes": {t: mode for t in spec.task_names()}, "order": order}
+
+
+def deadline_range(spec: TaskGraphSpec, tables: TaskTables,
+                   cores: int,
+                   transition: TransitionCostModel = ZERO_TRANSITION,
+                   ) -> tuple[float, float]:
+    """(fastest, slowest) list-schedule makespans — the deadline scale.
+
+    ``deadline_for(frac=0)`` equals the fastest makespan, which the
+    all-fastest list schedule meets by construction, so every point of
+    the sweep grid is feasible.
+    """
+    fast = replay(spec, tables,
+                  list_schedule(spec, tables, cores, tables.num_modes - 1),
+                  transition)
+    slow = replay(spec, tables, list_schedule(spec, tables, cores, 0),
+                  transition)
+    return fast["makespan_s"], slow["makespan_s"]
+
+
+def deadline_for(spec: TaskGraphSpec, tables: TaskTables, cores: int,
+                 frac: float,
+                 transition: TransitionCostModel = ZERO_TRANSITION) -> float:
+    """Absolute deadline at a grid fraction in [0, 1]."""
+    if not 0.0 <= frac <= 1.0:
+        raise ScheduleError(f"deadline fraction {frac} outside [0, 1]")
+    fast, slow = deadline_range(spec, tables, cores, transition)
+    return fast + frac * (slow - fast)
+
+
+def greedy_taskgraph(spec: TaskGraphSpec, tables: TaskTables, cores: int,
+                     deadline_s: float,
+                     transition: TransitionCostModel) -> dict[str, Any]:
+    """Greedy mode relaxation from the all-fastest list schedule.
+
+    Returns ``{"schedule", "replayed"}`` where ``replayed`` is the final
+    schedule's :func:`replay` summary.  Raises :class:`ScheduleError`
+    when even the all-fastest schedule misses the deadline (the instance
+    is infeasible for this heuristic's lane assignment).
+    """
+    fastest = tables.num_modes - 1
+    schedule = list_schedule(spec, tables, cores, fastest)
+    current = replay(spec, tables, schedule, transition)
+    if current["makespan_s"] > deadline_s:
+        raise ScheduleError(
+            f"greedy: all-fastest makespan {current['makespan_s']:.6g}s "
+            f"exceeds deadline {deadline_s:.6g}s")
+    modes = dict(schedule["modes"])
+    while True:
+        best_task: str | None = None
+        best_replayed: dict[str, Any] | None = None
+        for task in spec.task_names():
+            if modes[task] == 0:
+                continue
+            trial_modes = dict(modes)
+            trial_modes[task] = modes[task] - 1
+            trial = {"modes": trial_modes, "order": schedule["order"]}
+            replayed = replay(spec, tables, trial, transition)
+            if replayed["makespan_s"] > deadline_s:
+                continue
+            if (best_replayed is None
+                    or replayed["energy_nj"] < best_replayed["energy_nj"]
+                    or (replayed["energy_nj"] == best_replayed["energy_nj"]
+                        and task < best_task)):
+                best_task = task
+                best_replayed = replayed
+        if (best_replayed is None
+                or best_replayed["energy_nj"] >= current["energy_nj"]):
+            break
+        modes[best_task] = modes[best_task] - 1
+        current = best_replayed
+    final = {"modes": modes, "order": schedule["order"]}
+    return {"schedule": final, "replayed": current}

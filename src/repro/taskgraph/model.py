@@ -1,0 +1,303 @@
+"""Task-graph model and seeded generators.
+
+A :class:`TaskGraphSpec` is a validated DAG of named tasks.  Every task
+is either **synthetic** (a seeded ``work`` scalar plus a memory-bound
+fraction ``beta`` that shape its per-mode table) or **kernel-backed**
+(it references a :mod:`repro.workloads` program whose per-mode table
+comes from profiling the kernel through the existing pipeline).
+
+Generators are pure functions of their parameters — the same
+``(shape, tasks, seed)`` triple always yields the same graph on any
+machine, which is what lets graph fingerprints serve as cache-key
+components (:func:`graph_fingerprint`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import OrchestrationError
+
+#: Shapes `build_graph` understands (the CLI/serve axis values).
+GRAPH_SHAPES = ("fork-join", "layered", "random", "kernels")
+
+#: Time/energy scale for synthetic tasks: roughly one millisecond of
+#: work and ~100 uJ at the fastest mode, matching the magnitude of the
+#: paper's kernels so deadlines and transition costs stay comparable.
+BASE_TIME_S = 1e-3
+BASE_ENERGY_NJ = 1e5
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One task of the graph.
+
+    Attributes:
+        name: unique task name.
+        work: synthetic work scalar (multiplies the base time/energy).
+        beta: memory-bound fraction in [0, 1] — the share of the task's
+            runtime that does not scale with clock frequency, so tasks
+            differ in how much slowing down actually costs.
+        kernel: optional (workload, category, seed) binding; when set
+            the per-mode table comes from profiling that kernel and
+            ``work``/``beta`` are ignored.
+    """
+
+    name: str
+    work: float = 1.0
+    beta: float = 0.0
+    kernel: tuple[str, str | None, int] | None = None
+
+    def payload(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"name": self.name, "work": self.work,
+                               "beta": self.beta}
+        if self.kernel is not None:
+            doc["kernel"] = list(self.kernel)
+        return doc
+
+    @staticmethod
+    def from_payload(doc: dict[str, Any]) -> "TaskNode":
+        kernel = doc.get("kernel")
+        return TaskNode(
+            name=doc["name"],
+            work=float(doc.get("work", 1.0)),
+            beta=float(doc.get("beta", 0.0)),
+            kernel=tuple(kernel) if kernel is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class TaskGraphSpec:
+    """A validated DAG of tasks.
+
+    ``edges`` are (predecessor, successor) name pairs; construction
+    validates uniqueness, dangling references and acyclicity once so
+    every consumer can trust the structure.
+    """
+
+    name: str
+    nodes: tuple[TaskNode, ...]
+    edges: tuple[tuple[str, str], ...] = ()
+    _order: tuple[str, ...] = field(init=False, repr=False, compare=False,
+                                    default=())
+
+    def __post_init__(self) -> None:
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise OrchestrationError(
+                f"task graph {self.name!r} has duplicate task names")
+        if not self.nodes:
+            raise OrchestrationError(f"task graph {self.name!r} is empty")
+        known = set(names)
+        for src, dst in self.edges:
+            if src not in known or dst not in known:
+                raise OrchestrationError(
+                    f"task graph {self.name!r} edge ({src!r}, {dst!r}) "
+                    f"references an unknown task")
+            if src == dst:
+                raise OrchestrationError(
+                    f"task graph {self.name!r} has a self-loop on {src!r}")
+        object.__setattr__(self, "_order", tuple(self._topo_order()))
+
+    def _topo_order(self) -> list[str]:
+        preds = self.predecessors()
+        indegree = {name: len(p) for name, p in preds.items()}
+        succs = self.successors()
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            newly = []
+            for succ in succs[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    newly.append(succ)
+            ready = sorted(ready + newly)
+        if len(order) != len(self.nodes):
+            cyclic = sorted(set(n.name for n in self.nodes) - set(order))
+            raise OrchestrationError(
+                f"task graph {self.name!r} has a cycle through {cyclic}")
+        return order
+
+    def topo_order(self) -> tuple[str, ...]:
+        """Deterministic (name-tie-broken Kahn) topological order."""
+        return self._order
+
+    def task_names(self) -> list[str]:
+        return [node.name for node in self.nodes]
+
+    def node(self, name: str) -> TaskNode:
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise OrchestrationError(
+            f"task graph {self.name!r} has no task {name!r}")
+
+    def predecessors(self) -> dict[str, list[str]]:
+        preds: dict[str, list[str]] = {n.name: [] for n in self.nodes}
+        for src, dst in self.edges:
+            preds[dst].append(src)
+        return {name: sorted(p) for name, p in preds.items()}
+
+    def successors(self) -> dict[str, list[str]]:
+        succs: dict[str, list[str]] = {n.name: [] for n in self.nodes}
+        for src, dst in self.edges:
+            succs[src].append(dst)
+        return {name: sorted(s) for name, s in succs.items()}
+
+    def kernels(self) -> list[tuple[str, str | None, int]]:
+        """Distinct kernel bindings, sorted (for profiling/dedup)."""
+        return sorted({node.kernel for node in self.nodes
+                       if node.kernel is not None})
+
+    def payload(self) -> dict[str, Any]:
+        """JSON-compatible form (crosses worker process boundaries)."""
+        return {
+            "name": self.name,
+            "nodes": [node.payload() for node in self.nodes],
+            "edges": [list(edge) for edge in sorted(self.edges)],
+        }
+
+    @staticmethod
+    def from_payload(doc: dict[str, Any]) -> "TaskGraphSpec":
+        return TaskGraphSpec(
+            name=doc["name"],
+            nodes=tuple(TaskNode.from_payload(n) for n in doc["nodes"]),
+            edges=tuple((src, dst) for src, dst in doc["edges"]),
+        )
+
+
+def graph_fingerprint(spec: TaskGraphSpec) -> dict[str, Any]:
+    """The cache-key component describing a graph's full identity.
+
+    Kernel-backed nodes are fingerprinted by their **source digest**
+    (not the workload name), so editing a kernel invalidates every
+    taskgraph artifact built on it — the same invalidation policy the
+    single-stream pipeline uses.
+    """
+    from repro.runtime.hashing import source_digest
+    from repro.workloads import get_workload
+
+    nodes = []
+    for node in spec.nodes:
+        doc = node.payload()
+        if node.kernel is not None:
+            workload, category, seed = node.kernel
+            doc["kernel"] = {
+                "source_sha256": source_digest(get_workload(workload).source),
+                "category": category,
+                "seed": seed,
+            }
+        nodes.append(doc)
+    return {
+        "name": spec.name,
+        "nodes": nodes,
+        "edges": [list(edge) for edge in sorted(spec.edges)],
+    }
+
+
+def _rng_node(name: str, rng: random.Random) -> TaskNode:
+    """A synthetic task with seeded work/memory-boundedness."""
+    return TaskNode(
+        name=name,
+        work=round(rng.uniform(0.5, 2.0), 6),
+        beta=round(rng.uniform(0.0, 0.6), 6),
+    )
+
+
+def fork_join(tasks: int = 8, seed: int = 0) -> TaskGraphSpec:
+    """source -> (tasks - 2) parallel workers -> sink."""
+    if tasks < 3:
+        raise OrchestrationError(
+            f"fork-join graphs need >= 3 tasks, got {tasks}")
+    rng = random.Random(("fork-join", tasks, seed).__repr__())
+    width = tasks - 2
+    nodes = [_rng_node("src", rng)]
+    edges: list[tuple[str, str]] = []
+    for i in range(width):
+        name = f"w{i:02d}"
+        nodes.append(_rng_node(name, rng))
+        edges.append(("src", name))
+        edges.append((name, "sink"))
+    nodes.append(_rng_node("sink", rng))
+    return TaskGraphSpec(name=f"fork-join-{tasks}.s{seed}",
+                         nodes=tuple(nodes), edges=tuple(edges))
+
+
+def layered(tasks: int = 9, seed: int = 0, layers: int = 3) -> TaskGraphSpec:
+    """``layers`` ranks of roughly equal width; every non-entry task
+    draws 1-2 predecessors from the previous rank (seeded)."""
+    if tasks < layers:
+        raise OrchestrationError(
+            f"layered graphs need >= {layers} tasks, got {tasks}")
+    rng = random.Random(("layered", tasks, seed, layers).__repr__())
+    ranks: list[list[str]] = [[] for _ in range(layers)]
+    nodes: list[TaskNode] = []
+    for i in range(tasks):
+        rank = min(i * layers // tasks, layers - 1)
+        name = f"l{rank}t{len(ranks[rank]):02d}"
+        ranks[rank].append(name)
+        nodes.append(_rng_node(name, rng))
+    edges: list[tuple[str, str]] = []
+    for rank in range(1, layers):
+        for name in ranks[rank]:
+            preds = rng.sample(ranks[rank - 1],
+                               k=min(len(ranks[rank - 1]), rng.choice((1, 2))))
+            for pred in sorted(preds):
+                edges.append((pred, name))
+    return TaskGraphSpec(name=f"layered-{tasks}.s{seed}",
+                         nodes=tuple(nodes), edges=tuple(edges))
+
+
+def random_dag(tasks: int = 8, seed: int = 0,
+               density: float = 0.3) -> TaskGraphSpec:
+    """Erdos-Renyi-style DAG: edge i -> j (i < j) with ``density``."""
+    if tasks < 2:
+        raise OrchestrationError(
+            f"random DAGs need >= 2 tasks, got {tasks}")
+    rng = random.Random(("random", tasks, seed, density).__repr__())
+    names = [f"t{i:02d}" for i in range(tasks)]
+    nodes = tuple(_rng_node(name, rng) for name in names)
+    edges = []
+    for i in range(tasks):
+        for j in range(i + 1, tasks):
+            if rng.random() < density:
+                edges.append((names[i], names[j]))
+    return TaskGraphSpec(name=f"random-{tasks}.s{seed}",
+                         nodes=nodes, edges=tuple(edges))
+
+
+def kernel_pipeline(tasks: int = 4, seed: int = 0) -> TaskGraphSpec:
+    """A named media-style pipeline over real :mod:`repro.workloads`
+    kernels: a decode stage fans into parallel filters that join into an
+    encode stage.  ``tasks`` picks how many of the filter kernels run in
+    parallel (2-4); ``seed`` selects the kernels' input seeds."""
+    filters = ("epic", "dijkstra", "jpeg")
+    width = max(1, min(len(filters), tasks - 2))
+    nodes = [TaskNode("decode", kernel=("adpcm", None, seed))]
+    edges: list[tuple[str, str]] = []
+    for i in range(width):
+        name = f"filter-{filters[i]}"
+        nodes.append(TaskNode(name, kernel=(filters[i], None, seed)))
+        edges.append(("decode", name))
+        edges.append((name, "encode"))
+    nodes.append(TaskNode("encode", kernel=("gsm", None, seed)))
+    return TaskGraphSpec(name=f"kernels-{width + 2}.s{seed}",
+                         nodes=tuple(nodes), edges=tuple(edges))
+
+
+def build_graph(shape: str, tasks: int, seed: int) -> TaskGraphSpec:
+    """Materialize a graph from its (shape, tasks, seed) axis values."""
+    if shape == "fork-join":
+        return fork_join(tasks=tasks, seed=seed)
+    if shape == "layered":
+        return layered(tasks=tasks, seed=seed)
+    if shape == "random":
+        return random_dag(tasks=tasks, seed=seed)
+    if shape == "kernels":
+        return kernel_pipeline(tasks=tasks, seed=seed)
+    raise OrchestrationError(
+        f"unknown task-graph shape {shape!r} (want one of {GRAPH_SHAPES})")

@@ -1,0 +1,389 @@
+"""Runtime integration: taskgraph experiments as content-addressed DAGs.
+
+One grid point — (graph shape, task count, seed, machine, core count,
+deadline fraction) — is a :class:`TaskGraphExperimentSpec` and runs as a
+four-stage pipeline through the same executor, cache, journal and
+manifest machinery as the single-stream experiments::
+
+    tg-tables ──> tg-solve ──> tg-simulate ──┐
+        └────────────┴──────────────────────┴─> tg-verify
+
+``tg-tables`` is shared by every (cores, deadline) point over the same
+(graph, machine) pair — kernel-backed graphs profile each kernel once
+per sweep, exactly like the single-stream ``profile`` stage.  Cache
+keys embed the full :func:`~repro.taskgraph.model.graph_fingerprint`
+(kernel source digests included), so editing a kernel invalidates the
+whole family.
+
+The experiment family is discriminated by ``spec.family ==
+"taskgraph"``; :func:`repro.runtime.dag.build_task_graph` and
+:func:`repro.runtime.manifest.experiment_record` dispatch here on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import OrchestrationError
+from repro.runtime import hashing
+from repro.runtime.dag import MachineSpec, Task, TaskGraph
+from repro.taskgraph.heuristic import deadline_for, greedy_taskgraph
+from repro.taskgraph.model import GRAPH_SHAPES, TaskGraphSpec, build_graph, graph_fingerprint
+from repro.taskgraph.simulate import replay
+from repro.taskgraph.solve import solve_taskgraph
+from repro.taskgraph.tables import TaskTables, tables_for
+
+#: Taskgraph pipeline stages in dependency order.
+TG_TASK_KINDS = ("tg-tables", "tg-solve", "tg-simulate", "tg-verify")
+
+#: Relative tolerance for objective-vs-replay verification.
+OBJECTIVE_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class TaskGraphExperimentSpec:
+    """One grid point of a taskgraph sweep."""
+
+    shape: str
+    tasks: int
+    cores: int
+    deadline_frac: float
+    seed: int = 0
+    machine: MachineSpec = field(default_factory=MachineSpec)
+
+    #: Family discriminator the runtime dispatches on.
+    family = "taskgraph"
+
+    def graph(self) -> TaskGraphSpec:
+        """The (pure, seeded) graph this point runs."""
+        return build_graph(self.shape, self.tasks, self.seed)
+
+    @property
+    def queue_cost(self) -> int:
+        """Fair-queue weight: solving scales with the task count, so a
+        big-graph submission must not be billed like a small one."""
+        return max(1, self.tasks)
+
+    @property
+    def shared_id(self) -> str:
+        """Identity of the (graph, machine) pair — shared by every
+        (cores, deadline) point swept over it."""
+        return (f"tg.{self.graph().name}.{self.machine.table_tag}"
+                f".c{self.machine.capacitance_uf:g}")
+
+    @property
+    def experiment_id(self) -> str:
+        return (f"{self.shared_id}.p{self.cores}"
+                f".d{self.deadline_frac:.3f}")
+
+    def payload(self) -> dict[str, Any]:
+        """JSON-compatible worker payload."""
+        return {
+            "family": "taskgraph",
+            "shape": self.shape,
+            "tasks": self.tasks,
+            "seed": self.seed,
+            "cores": self.cores,
+            "deadline_frac": self.deadline_frac,
+            "levels": self.machine.levels,
+            "capacitance_uf": self.machine.capacitance_uf,
+            "fastpath": self.machine.fastpath,
+        }
+
+
+def build_tg_grid(
+    shapes: tuple[str, ...],
+    tasks: int,
+    cores: tuple[int, ...],
+    deadline_fracs: tuple[float, ...],
+    seed: int = 0,
+    levels: tuple[int | None, ...] = (None,),
+    capacitance_uf: float = 10.0,
+    fastpath: bool = True,
+) -> list[TaskGraphExperimentSpec]:
+    """Expand the shape × levels × cores × deadline cross-product."""
+    if not shapes:
+        raise OrchestrationError("taskgraph sweep needs at least one shape")
+    if not cores:
+        raise OrchestrationError("taskgraph sweep needs at least one core count")
+    if not deadline_fracs:
+        raise OrchestrationError(
+            "taskgraph sweep needs at least one deadline fraction")
+    for shape in shapes:
+        if shape not in GRAPH_SHAPES:
+            raise OrchestrationError(
+                f"unknown task-graph shape {shape!r} "
+                f"(want one of {GRAPH_SHAPES})")
+    for count in cores:
+        if count < 1:
+            raise OrchestrationError(f"core count {count} must be >= 1")
+    for frac in deadline_fracs:
+        if not 0.0 <= frac <= 1.0:
+            raise OrchestrationError(
+                f"deadline fraction {frac} outside [0, 1]")
+    experiments: list[TaskGraphExperimentSpec] = []
+    for shape in shapes:
+        for level in levels:
+            machine = MachineSpec(levels=level, capacitance_uf=capacitance_uf,
+                                  fastpath=fastpath)
+            for count in cores:
+                for frac in deadline_fracs:
+                    experiments.append(TaskGraphExperimentSpec(
+                        shape=shape, tasks=tasks, cores=count,
+                        deadline_frac=frac, seed=seed, machine=machine))
+    return experiments
+
+
+def build_tg_task_graph(
+    experiments: list[TaskGraphExperimentSpec],
+    solver_budget_s: float | None = None,
+    solver_backend: str = "auto",
+) -> TaskGraph:
+    """Merge taskgraph pipelines into one deduplicated runtime DAG."""
+    seen_ids = set()
+    for exp in experiments:
+        if exp.experiment_id in seen_ids:
+            raise OrchestrationError(
+                f"duplicate grid point {exp.experiment_id!r}")
+        seen_ids.add(exp.experiment_id)
+
+    tasks: dict[str, Task] = {}
+
+    def ensure(task_id: str, kind: str, spec: dict[str, Any],
+               deps: tuple[str, ...], cache_key: str | None,
+               experiment_id: str) -> str:
+        task = tasks.get(task_id)
+        if task is None:
+            tasks[task_id] = Task(task_id=task_id, kind=kind, spec=spec,
+                                  deps=deps, cache_key=cache_key,
+                                  experiments=(experiment_id,))
+        elif experiment_id not in task.experiments:
+            task.experiments += (experiment_id,)
+        return task_id
+
+    for exp in experiments:
+        eid = exp.experiment_id
+        spec = exp.payload()
+        graph_fp = graph_fingerprint(exp.graph())
+        machine = exp.machine.build()
+        tables_id = ensure(
+            f"tg-tables:{exp.shared_id}", "tg-tables", spec, (),
+            hashing.taskgraph_tables_key(graph_fp, machine), eid)
+        solve_spec = dict(spec)
+        if solver_budget_s is not None:
+            solve_spec["solver_budget_s"] = solver_budget_s
+        if solver_backend != "auto":
+            solve_spec["solver_backend"] = solver_backend
+        if solve_spec == spec:
+            solve_spec = spec
+        solve_id = ensure(
+            f"tg-solve:{eid}", "tg-solve", solve_spec, (tables_id,),
+            hashing.taskgraph_solve_key(graph_fp, machine, exp.cores,
+                                        exp.deadline_frac), eid)
+        simulate_id = ensure(
+            f"tg-simulate:{eid}", "tg-simulate", spec,
+            (tables_id, solve_id),
+            hashing.taskgraph_run_key(graph_fp, machine, exp.cores,
+                                      exp.deadline_frac), eid)
+        ensure(
+            f"tg-verify:{eid}", "tg-verify", spec,
+            (tables_id, solve_id, simulate_id), None, eid)
+
+    graph = TaskGraph(tasks=tasks, experiments=list(experiments))
+    graph.validate()
+    return graph
+
+
+# -- task computations (run inside worker processes) -------------------------
+
+
+def _tg_context(spec: dict[str, Any]):
+    graph = build_graph(spec["shape"], spec["tasks"], spec["seed"])
+    machine = MachineSpec(spec["levels"], spec["capacitance_uf"],
+                          spec.get("fastpath", True)).build()
+    return graph, machine
+
+
+def _task_tg_tables(spec: dict[str, Any],
+                    deps: dict[str, Any]) -> dict[str, Any]:
+    graph, machine = _tg_context(spec)
+    tables = tables_for(graph, machine)
+    return {"graph": graph.payload(), "tables": tables.payload()}
+
+
+def _task_tg_solve(spec: dict[str, Any],
+                   deps: dict[str, Any]) -> dict[str, Any]:
+    graph, machine = _tg_context(spec)
+    tables = TaskTables.from_payload(deps["tg-tables"]["tables"])
+    transition = machine.transition_model
+    deadline_s = deadline_for(graph, tables, spec["cores"],
+                              spec["deadline_frac"], transition)
+    import time
+
+    t0 = time.perf_counter()
+    result = solve_taskgraph(
+        graph, tables, spec["cores"], deadline_s, transition,
+        budget_s=spec.get("solver_budget_s"),
+        backend=spec.get("solver_backend", "auto"))
+    solve_time_s = time.perf_counter() - t0
+    replayed = result["replayed"]
+    return {
+        "schedule": result["schedule"],
+        "deadline_s": deadline_s,
+        "predicted_energy_nj": replayed["energy_nj"],
+        "predicted_makespan_s": replayed["makespan_s"],
+        "objective_nj": result["objective"],
+        # Anytime fallbacks are feasible but must not be memoized as
+        # the optimum (same policy as single-stream "optimize").
+        "_cacheable": not result["degraded"],
+        "solver": {
+            "status": result["status"],
+            "method": result["method"],
+            "solve_time_s": solve_time_s,
+            "degraded": result["degraded"],
+        },
+    }
+
+
+def _task_tg_simulate(spec: dict[str, Any],
+                      deps: dict[str, Any]) -> dict[str, Any]:
+    graph, machine = _tg_context(spec)
+    tables = TaskTables.from_payload(deps["tg-tables"]["tables"])
+    run = replay(graph, tables, deps["tg-solve"]["schedule"],
+                 machine.transition_model)
+    return {"run": run}
+
+
+def _task_tg_verify(spec: dict[str, Any],
+                    deps: dict[str, Any]) -> dict[str, Any]:
+    graph, machine = _tg_context(spec)
+    tables = TaskTables.from_payload(deps["tg-tables"]["tables"])
+    transition = machine.transition_model
+    solve = deps["tg-solve"]
+    run = deps["tg-simulate"]["run"]
+    deadline_s = solve["deadline_s"]
+
+    checks: dict[str, bool] = {}
+    checks["deadline_met"] = run["makespan_s"] <= deadline_s * (1.0 + 1e-9)
+    # tg-solve and tg-simulate both price the schedule through the same
+    # replay oracle, so prediction must match *exactly*.
+    checks["energy_predicted"] = (
+        run["energy_nj"] == solve["predicted_energy_nj"])
+    objective = solve.get("objective_nj")
+    if objective is None:
+        checks["objective_matches"] = True  # greedy tier: no MILP objective
+    else:
+        checks["objective_matches"] = (
+            abs(objective - run["energy_nj"])
+            <= OBJECTIVE_REL_TOL * max(1.0, abs(run["energy_nj"])))
+    greedy = greedy_taskgraph(graph, tables, spec["cores"], deadline_s,
+                              transition)
+    greedy_energy = greedy["replayed"]["energy_nj"]
+    if solve["solver"]["method"] == "greedy":
+        checks["beats_greedy"] = True  # it *is* the greedy schedule
+    else:
+        checks["beats_greedy"] = (
+            run["energy_nj"]
+            <= greedy_energy + OBJECTIVE_REL_TOL * max(1.0, greedy_energy))
+    savings = (1.0 - run["energy_nj"] / greedy_energy
+               if greedy_energy > 0 else None)
+    return {
+        "ok": all(checks.values()),
+        "checks": checks,
+        "greedy_energy_nj": greedy_energy,
+        "savings_vs_greedy": savings,
+    }
+
+
+_TG_TASK_FNS = {
+    "tg-tables": _task_tg_tables,
+    "tg-solve": _task_tg_solve,
+    "tg-simulate": _task_tg_simulate,
+    "tg-verify": _task_tg_verify,
+}
+
+
+def execute_tg_task(kind: str, spec: dict[str, Any],
+                    deps: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point for the ``tg-*`` task kinds."""
+    try:
+        fn = _TG_TASK_FNS[kind]
+    except KeyError:
+        raise OrchestrationError(
+            f"unknown taskgraph task kind {kind!r}") from None
+    return fn(spec, deps)
+
+
+def tg_experiment_record(spec: TaskGraphExperimentSpec, graph: TaskGraph,
+                         results: dict[str, Any]) -> dict[str, Any]:
+    """Deterministic results.jsonl line for one taskgraph grid point.
+
+    Run-varying solver facts (method, solve time, degradation) stay in
+    the manifest; this record holds only grid-point-determined values.
+    """
+    eid = spec.experiment_id
+    by_kind: dict[str, Any] = {}
+    missing: list[str] = []
+    for task in graph.tasks_for_experiment(eid):
+        result = results.get(task.task_id)
+        if result is None:
+            missing.append(task.kind)
+        else:
+            by_kind[task.kind] = result
+
+    record: dict[str, Any] = {
+        "type": "experiment",
+        "family": "taskgraph",
+        "experiment": eid,
+        "graph": spec.graph().name,
+        "shape": spec.shape,
+        "graph_tasks": spec.tasks,
+        "seed": spec.seed,
+        "cores": spec.cores,
+        "mode_table": spec.machine.table_tag,
+        "capacitance_uf": spec.machine.capacitance_uf,
+        "deadline_frac": spec.deadline_frac,
+        "tasks": {
+            kind: result.status for kind, result in sorted(by_kind.items())
+        },
+        "cache_keys": {
+            task.kind: task.cache_key
+            for task in sorted(graph.tasks_for_experiment(eid),
+                               key=lambda t: t.task_id)
+            if task.cache_key is not None
+        },
+    }
+
+    if missing:
+        record["status"] = "incomplete"
+        record["missing"] = sorted(missing)
+        return record
+
+    failures = {
+        kind: {"error_type": r.error_type, "error": r.error}
+        for kind, r in sorted(by_kind.items())
+        if r.status != "ok"
+    }
+    if failures:
+        record["status"] = "failed"
+        record["failures"] = failures
+        return record
+
+    solve = by_kind["tg-solve"].output
+    run = by_kind["tg-simulate"].output["run"]
+    verify = by_kind["tg-verify"].output
+    record.update({
+        "status": "ok" if verify["ok"] else "verify_failed",
+        "deadline_s": solve["deadline_s"],
+        "predicted_energy_nj": solve["predicted_energy_nj"],
+        "measured_energy_nj": run["energy_nj"],
+        "measured_makespan_s": run["makespan_s"],
+        "mode_switches": run["switches"],
+        "utilization": run["utilization"],
+        "greedy_energy_nj": verify["greedy_energy_nj"],
+        "savings_vs_greedy": verify["savings_vs_greedy"],
+        "verified": verify["ok"],
+        "checks": verify["checks"],
+    })
+    return record

@@ -1,0 +1,154 @@
+"""P-core discrete-event replay of a task-graph schedule.
+
+The replay is the **oracle** of the taskgraph family: given a schedule
+(per-task modes plus an explicit per-core sequence), it computes the
+realized makespan and energy by running P worker lanes that honor
+precedence edges and charge the paper's regulator transition costs
+(SE/ST, Section 4.2) between consecutive tasks on the same core.
+
+Semantics, matched exactly by the MILP's timing constraints:
+
+* a task starts at ``max(core ready time, latest predecessor finish)``;
+* the core ready time after a task includes the switch **time**
+  ``ST = CT * |dV|`` to the next task's voltage when it differs;
+* switch **energy** ``SE = CE_nJ * |dV^2|`` is charged per switch in the
+  canonical nJ space (:meth:`TransitionCostModel.energy_nj`), bitwise
+  the constant the MILP objective prices transitions with;
+* cores boot in their first task's mode — no initial transition.
+
+Both ``tg-solve`` (to predict) and ``tg-simulate`` (to measure) call
+:func:`replay`, so "simulated == predicted" is exact float equality by
+construction; the oracle separately cross-checks the solver objective
+against the replayed energy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import observe
+from repro.errors import ScheduleError
+from repro.simulator.dvs import TransitionCostModel
+from repro.taskgraph.model import TaskGraphSpec
+from repro.taskgraph.tables import TaskTables
+
+
+def validate_schedule(spec: TaskGraphSpec, tables: TaskTables,
+                      schedule: dict[str, Any]) -> None:
+    """Reject schedules inconsistent with the graph before replaying."""
+    names = set(spec.task_names())
+    modes = schedule.get("modes", {})
+    order = schedule.get("order", [])
+    if set(modes) != names:
+        missing = sorted(names - set(modes)) + sorted(set(modes) - names)
+        raise ScheduleError(
+            f"schedule modes do not cover graph {spec.name!r}: {missing}")
+    for task, mode in modes.items():
+        if not 0 <= int(mode) < tables.num_modes:
+            raise ScheduleError(
+                f"task {task!r} assigned mode {mode}; machine has "
+                f"{tables.num_modes}")
+    placed = [task for lane in order for task in lane]
+    if sorted(placed) != sorted(names):
+        raise ScheduleError(
+            f"schedule lanes place {len(placed)} tasks; graph "
+            f"{spec.name!r} has {len(names)}")
+
+
+def replay(spec: TaskGraphSpec, tables: TaskTables,
+           schedule: dict[str, Any],
+           transition: TransitionCostModel) -> dict[str, Any]:
+    """Replay a schedule on P lanes; returns the realized run summary.
+
+    Raises:
+        ScheduleError: the schedule is malformed, or its per-core
+            sequences conflict with the precedence edges (a cross-lane
+            deadlock — no lane can start its next task).
+    """
+    validate_schedule(spec, tables, schedule)
+    modes = {task: int(mode) for task, mode in schedule["modes"].items()}
+    order: list[list[str]] = [list(lane) for lane in schedule["order"]]
+    voltages = tables.voltages()
+    preds = spec.predecessors()
+
+    finish: dict[str, float] = {}
+    start: dict[str, float] = {}
+    core_of: dict[str, int] = {}
+    core_ready = [0.0] * len(order)
+    core_busy = [0.0] * len(order)
+    core_voltage: list[float | None] = [None] * len(order)
+    cursor = [0] * len(order)
+    switches = 0
+    switch_energy_nj = 0.0
+
+    remaining = sum(len(lane) for lane in order)
+    while remaining:
+        progressed = False
+        for core, lane in enumerate(order):
+            # Drain every currently-runnable task of this lane before
+            # moving on: a deterministic pass order (core index) that
+            # cannot affect the result — start times depend only on the
+            # DAG and the lanes, not on visit order.
+            while cursor[core] < len(lane):
+                task = lane[cursor[core]]
+                pred_finish = [finish[p] for p in preds[task]
+                               if p in finish]
+                if len(pred_finish) != len(preds[task]):
+                    break  # a predecessor has not finished yet
+                ready = core_ready[core]
+                voltage = voltages[modes[task]]
+                if (core_voltage[core] is not None
+                        and core_voltage[core] != voltage):
+                    ready += transition.time_s(core_voltage[core], voltage)
+                    switch_energy_nj += transition.energy_nj(
+                        core_voltage[core], voltage)
+                    switches += 1
+                begin = max([ready] + pred_finish)
+                duration = tables.time(task, modes[task])
+                start[task] = begin
+                finish[task] = begin + duration
+                core_of[task] = core
+                core_ready[core] = finish[task]
+                core_busy[core] += duration
+                core_voltage[core] = voltage
+                cursor[core] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            stuck = sorted(
+                lane[cursor[core]] for core, lane in enumerate(order)
+                if cursor[core] < len(lane))
+            raise ScheduleError(
+                f"schedule deadlocks: lane order conflicts with "
+                f"precedence at {stuck}")
+
+    # Deterministic accumulation order: tasks in lane order per core,
+    # then the switch energy total.  tg-solve and tg-simulate both go
+    # through this exact loop, so their energies are bit-identical.
+    task_energy_nj = 0.0
+    for lane in order:
+        for task in lane:
+            task_energy_nj += tables.energy(task, modes[task])
+    energy_nj = task_energy_nj + switch_energy_nj
+    makespan_s = max(finish.values())
+
+    observe.add("taskgraph.sim.tasks", len(finish))
+    observe.add("taskgraph.sim.switches", switches)
+    utilization = [busy / makespan_s if makespan_s > 0 else 0.0
+                   for busy in core_busy]
+    if utilization:
+        observe.gauge("taskgraph.sim.utilization",
+                      sum(utilization) / len(utilization))
+
+    return {
+        "energy_nj": energy_nj,
+        "task_energy_nj": task_energy_nj,
+        "switch_energy_nj": switch_energy_nj,
+        "makespan_s": makespan_s,
+        "switches": switches,
+        "core_busy_s": core_busy,
+        "utilization": utilization,
+        "start_s": {task: start[task] for task in sorted(start)},
+        "finish_s": {task: finish[task] for task in sorted(finish)},
+        "cores": {task: core_of[task] for task in sorted(core_of)},
+    }

@@ -1,0 +1,173 @@
+"""Per-task per-mode (time, energy) tables.
+
+Every taskgraph instance reduces to one :class:`TaskTables`: for each
+task and each mode of the machine's table, the task's execution time in
+seconds and CPU energy in nanojoules.  Two producers exist:
+
+* :func:`synthetic_tables` — seeded closed-form tables for generated
+  graphs.  Time scales the frequency-dependent share of the work with
+  ``f_top / f_m`` (the memory-bound share ``beta`` is invariant, like
+  the paper's Section 3.1 ``t_invariant``), and energy scales with
+  ``(V_m / V_top)^2`` — the classic DVS trade the MILP navigates.
+* :func:`kernel_tables` — tables read straight from a kernel's
+  whole-run profile (``ProfileData.wall_time_s`` / ``cpu_energy_nj``),
+  produced by the existing profiling pipeline, so a taskgraph task
+  costs exactly what the single-stream experiments measured.
+
+Tables serialize to a JSON document (they ride in ``tg-tables`` cache
+artifacts and cross worker process boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import OrchestrationError
+from repro.simulator.dvs import ModeTable
+from repro.taskgraph.model import BASE_ENERGY_NJ, BASE_TIME_S, TaskGraphSpec
+
+
+@dataclass(frozen=True)
+class TaskTables:
+    """Per-task mode tables plus the shared machine mode points.
+
+    Attributes:
+        modes: (frequency_hz, voltage) per mode, slowest first — the
+            same order as the machine's :class:`ModeTable`.
+        time_s: task name -> per-mode execution time (seconds).
+        energy_nj: task name -> per-mode CPU energy (nanojoules).
+    """
+
+    modes: tuple[tuple[float, float], ...]
+    time_s: Mapping[str, tuple[float, ...]]
+    energy_nj: Mapping[str, tuple[float, ...]]
+
+    @property
+    def num_modes(self) -> int:
+        return len(self.modes)
+
+    def voltages(self) -> list[float]:
+        return [voltage for _, voltage in self.modes]
+
+    def time(self, task: str, mode: int) -> float:
+        return self.time_s[task][mode]
+
+    def energy(self, task: str, mode: int) -> float:
+        return self.energy_nj[task][mode]
+
+    def validate(self, spec: TaskGraphSpec) -> None:
+        names = set(spec.task_names())
+        if set(self.time_s) != names or set(self.energy_nj) != names:
+            raise OrchestrationError(
+                f"tables do not cover task graph {spec.name!r}")
+        for task in names:
+            if (len(self.time_s[task]) != self.num_modes
+                    or len(self.energy_nj[task]) != self.num_modes):
+                raise OrchestrationError(
+                    f"task {task!r} table length != {self.num_modes} modes")
+            for mode in range(self.num_modes):
+                if self.time_s[task][mode] <= 0:
+                    raise OrchestrationError(
+                        f"task {task!r} mode {mode} has non-positive time")
+                if self.energy_nj[task][mode] < 0:
+                    raise OrchestrationError(
+                        f"task {task!r} mode {mode} has negative energy")
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "modes": [list(point) for point in self.modes],
+            "time_s": {task: list(row)
+                       for task, row in sorted(self.time_s.items())},
+            "energy_nj": {task: list(row)
+                          for task, row in sorted(self.energy_nj.items())},
+        }
+
+    @staticmethod
+    def from_payload(doc: dict[str, Any]) -> "TaskTables":
+        return TaskTables(
+            modes=tuple((float(f), float(v)) for f, v in doc["modes"]),
+            time_s={task: tuple(row) for task, row in doc["time_s"].items()},
+            energy_nj={task: tuple(row)
+                       for task, row in doc["energy_nj"].items()},
+        )
+
+
+def _mode_points(mode_table: ModeTable) -> tuple[tuple[float, float], ...]:
+    return tuple((p.frequency_hz, p.voltage) for p in mode_table)
+
+
+def synthetic_tables(spec: TaskGraphSpec,
+                     mode_table: ModeTable) -> TaskTables:
+    """Closed-form tables for a generated (synthetic) graph."""
+    points = _mode_points(mode_table)
+    f_top = points[-1][0]
+    v_top = points[-1][1]
+    time_s: dict[str, tuple[float, ...]] = {}
+    energy_nj: dict[str, tuple[float, ...]] = {}
+    for node in spec.nodes:
+        if node.kernel is not None:
+            raise OrchestrationError(
+                f"task {node.name!r} is kernel-backed; use kernel_tables")
+        times = []
+        energies = []
+        for frequency_hz, voltage in points:
+            stretch = (1.0 - node.beta) * (f_top / frequency_hz) + node.beta
+            times.append(node.work * BASE_TIME_S * stretch)
+            energies.append(node.work * BASE_ENERGY_NJ
+                            * (voltage * voltage) / (v_top * v_top))
+        time_s[node.name] = tuple(times)
+        energy_nj[node.name] = tuple(energies)
+    tables = TaskTables(modes=points, time_s=time_s, energy_nj=energy_nj)
+    tables.validate(spec)
+    return tables
+
+
+def kernel_tables(spec: TaskGraphSpec, machine,
+                  profiles: Mapping[tuple, Any] | None = None) -> TaskTables:
+    """Tables for a kernel-backed graph, profiling through the pipeline.
+
+    Args:
+        spec: the graph; every node must carry a ``kernel`` binding.
+        machine: a :class:`repro.simulator.Machine` (provides the mode
+            table the profiles are taken over).
+        profiles: optional pre-computed ``kernel -> ProfileData`` map
+            (lets the runtime feed cached profiles in); missing kernels
+            are profiled on the spot.
+    """
+    from repro.core import DVSOptimizer
+    from repro.workloads import compile_workload, get_workload
+
+    points = _mode_points(machine.mode_table)
+    cache = dict(profiles or {})
+    time_s: dict[str, tuple[float, ...]] = {}
+    energy_nj: dict[str, tuple[float, ...]] = {}
+    for node in spec.nodes:
+        if node.kernel is None:
+            raise OrchestrationError(
+                f"task {node.name!r} is synthetic; use synthetic_tables")
+        if node.kernel not in cache:
+            workload, category, seed = node.kernel
+            wl = get_workload(workload)
+            cfg = compile_workload(workload)
+            inputs = wl.inputs(category=category, seed=seed)
+            cache[node.kernel] = DVSOptimizer(machine).profile(
+                cfg, inputs=inputs, registers=wl.registers())
+        profile = cache[node.kernel]
+        modes = sorted(profile.wall_time_s)
+        if len(modes) != len(points):
+            raise OrchestrationError(
+                f"kernel {node.kernel!r} profiled {len(modes)} modes; "
+                f"machine has {len(points)}")
+        time_s[node.name] = tuple(profile.wall_time_s[m] for m in modes)
+        energy_nj[node.name] = tuple(profile.cpu_energy_nj[m] for m in modes)
+    tables = TaskTables(modes=points, time_s=time_s, energy_nj=energy_nj)
+    tables.validate(spec)
+    return tables
+
+
+def tables_for(spec: TaskGraphSpec, machine) -> TaskTables:
+    """Synthetic or kernel tables, chosen by the graph's node bindings."""
+    if any(node.kernel is not None for node in spec.nodes):
+        return kernel_tables(spec, machine)
+    return synthetic_tables(spec, machine.mode_table)

@@ -1,0 +1,23 @@
+"""Shared fixtures: one small fork-join instance everybody solves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.dvs import XSCALE_3, TransitionCostModel
+from repro.taskgraph import fork_join, synthetic_tables
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    return fork_join(tasks=5, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_tables(small_graph):
+    return synthetic_tables(small_graph, XSCALE_3)
+
+
+@pytest.fixture(scope="session")
+def transition():
+    return TransitionCostModel()

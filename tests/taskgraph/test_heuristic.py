@@ -1,0 +1,85 @@
+"""List scheduling, deadline scaling and the greedy fallback."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.simulator.dvs import ZERO_TRANSITION
+from repro.taskgraph.heuristic import (
+    deadline_for,
+    deadline_range,
+    greedy_taskgraph,
+    list_schedule,
+)
+from repro.taskgraph.simulate import replay, validate_schedule
+
+
+class TestListSchedule:
+    def test_produces_a_replayable_schedule(self, small_graph, small_tables):
+        schedule = list_schedule(small_graph, small_tables, 2, mode=2)
+        validate_schedule(small_graph, small_tables, schedule)
+        run = replay(small_graph, small_tables, schedule, ZERO_TRANSITION)
+        assert run["makespan_s"] > 0
+
+    def test_uses_all_requested_lanes(self, small_graph, small_tables):
+        schedule = list_schedule(small_graph, small_tables, 3, mode=2)
+        assert len(schedule["order"]) == 3
+
+    def test_more_cores_never_slower(self, small_graph, small_tables):
+        spans = []
+        for cores in (1, 2, 3):
+            schedule = list_schedule(small_graph, small_tables, cores, mode=2)
+            spans.append(replay(small_graph, small_tables, schedule,
+                                ZERO_TRANSITION)["makespan_s"])
+        assert spans[1] <= spans[0] and spans[2] <= spans[1]
+
+
+class TestDeadlines:
+    def test_range_brackets_the_modes(self, small_graph, small_tables,
+                                      transition):
+        fast, slow = deadline_range(small_graph, small_tables, 2, transition)
+        assert 0 < fast < slow
+
+    def test_frac_interpolates(self, small_graph, small_tables, transition):
+        fast, slow = deadline_range(small_graph, small_tables, 2, transition)
+        assert deadline_for(small_graph, small_tables, 2, 0.0,
+                            transition) == pytest.approx(fast)
+        assert deadline_for(small_graph, small_tables, 2, 1.0,
+                            transition) == pytest.approx(slow)
+        mid = deadline_for(small_graph, small_tables, 2, 0.5, transition)
+        assert fast < mid < slow
+
+    def test_frac_out_of_range_rejected(self, small_graph, small_tables,
+                                        transition):
+        with pytest.raises(ScheduleError):
+            deadline_for(small_graph, small_tables, 2, 1.5, transition)
+
+
+class TestGreedy:
+    def test_meets_the_deadline(self, small_graph, small_tables, transition):
+        deadline = deadline_for(small_graph, small_tables, 2, 0.5, transition)
+        result = greedy_taskgraph(small_graph, small_tables, 2, deadline,
+                                  transition)
+        assert result["replayed"]["makespan_s"] <= deadline * (1 + 1e-9)
+
+    def test_slack_is_spent_on_energy(self, small_graph, small_tables,
+                                      transition):
+        tight = deadline_for(small_graph, small_tables, 2, 0.0, transition)
+        loose = deadline_for(small_graph, small_tables, 2, 1.0, transition)
+        e_tight = greedy_taskgraph(small_graph, small_tables, 2, tight,
+                                   transition)["replayed"]["energy_nj"]
+        e_loose = greedy_taskgraph(small_graph, small_tables, 2, loose,
+                                   transition)["replayed"]["energy_nj"]
+        assert e_loose < e_tight
+
+    def test_impossible_deadline_raises(self, small_graph, small_tables,
+                                        transition):
+        with pytest.raises(ScheduleError, match="deadline"):
+            greedy_taskgraph(small_graph, small_tables, 2, 1e-9, transition)
+
+    def test_deterministic(self, small_graph, small_tables, transition):
+        deadline = deadline_for(small_graph, small_tables, 2, 0.6, transition)
+        a = greedy_taskgraph(small_graph, small_tables, 2, deadline,
+                             transition)
+        b = greedy_taskgraph(small_graph, small_tables, 2, deadline,
+                             transition)
+        assert a == b

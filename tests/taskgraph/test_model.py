@@ -1,0 +1,135 @@
+"""Graph model: generators, validation, fingerprints, mode tables."""
+
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.simulator.dvs import XSCALE_3
+from repro.taskgraph import (
+    TaskGraphSpec,
+    TaskNode,
+    build_graph,
+    fork_join,
+    graph_fingerprint,
+    kernel_pipeline,
+    layered,
+    random_dag,
+    synthetic_tables,
+)
+from repro.taskgraph.model import GRAPH_SHAPES
+from repro.taskgraph.tables import TaskTables
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("shape", GRAPH_SHAPES)
+    def test_every_shape_builds_a_valid_dag(self, shape):
+        spec = build_graph(shape, 6, seed=0)
+        order = spec.topo_order()
+        assert sorted(order) == sorted(spec.task_names())
+        position = {name: index for index, name in enumerate(order)}
+        for src, dst in spec.edges:
+            assert position[src] < position[dst]
+
+    @pytest.mark.parametrize("shape", GRAPH_SHAPES)
+    def test_same_seed_same_graph(self, shape):
+        assert build_graph(shape, 6, 3) == build_graph(shape, 6, 3)
+
+    def test_different_seed_different_random_graph(self):
+        a, b = random_dag(tasks=8, seed=0), random_dag(tasks=8, seed=1)
+        assert (a.edges != b.edges
+                or [n.work for n in a.nodes] != [n.work for n in b.nodes])
+
+    def test_fork_join_has_single_source_and_sink(self):
+        spec = fork_join(tasks=6, seed=0)
+        preds, succs = spec.predecessors(), spec.successors()
+        sources = [n for n, p in preds.items() if not p]
+        sinks = [n for n, s in succs.items() if not s]
+        assert len(sources) == 1 and len(sinks) == 1
+
+    def test_layered_respects_task_count(self):
+        assert len(layered(tasks=9, seed=0).nodes) == 9
+
+    def test_kernel_pipeline_binds_paper_kernels(self):
+        spec = kernel_pipeline(tasks=5, seed=0)
+        workloads = {workload for workload, _, _ in spec.kernels()}
+        assert "adpcm" in workloads and "gsm" in workloads
+
+    def test_unknown_shape_is_rejected(self):
+        with pytest.raises(OrchestrationError):
+            build_graph("mesh", 6, 0)
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(OrchestrationError, match="duplicate"):
+            TaskGraphSpec("bad", (TaskNode("a"), TaskNode("a")))
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(OrchestrationError, match="unknown task"):
+            TaskGraphSpec("bad", (TaskNode("a"),), (("a", "ghost"),))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(OrchestrationError, match="self-loop"):
+            TaskGraphSpec("bad", (TaskNode("a"),), (("a", "a"),))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(OrchestrationError, match="cycle"):
+            TaskGraphSpec("bad", (TaskNode("a"), TaskNode("b")),
+                          (("a", "b"), ("b", "a")))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(OrchestrationError, match="empty"):
+            TaskGraphSpec("bad", ())
+
+
+class TestSerialization:
+    def test_spec_payload_round_trips(self, small_graph):
+        # payload() sorts edges for a canonical form; compare as sets.
+        clone = TaskGraphSpec.from_payload(small_graph.payload())
+        assert clone.name == small_graph.name
+        assert clone.nodes == small_graph.nodes
+        assert sorted(clone.edges) == sorted(small_graph.edges)
+        assert clone.topo_order() == small_graph.topo_order()
+
+    def test_fingerprint_is_deterministic(self, small_graph):
+        assert graph_fingerprint(small_graph) == graph_fingerprint(
+            fork_join(tasks=5, seed=0))
+
+    def test_fingerprint_distinguishes_structure(self):
+        a = graph_fingerprint(fork_join(tasks=5, seed=0))
+        b = graph_fingerprint(fork_join(tasks=6, seed=0))
+        c = graph_fingerprint(layered(tasks=5, seed=0))
+        assert a != b and a != c
+
+    def test_kernel_fingerprint_pins_source_hash(self):
+        doc = graph_fingerprint(kernel_pipeline(tasks=4, seed=0))
+        hashes = [node["kernel"]["source_sha256"] for node in doc["nodes"]
+                  if "kernel" in node]
+        assert hashes and all(len(h) == 64 for h in hashes)
+
+
+class TestTables:
+    def test_synthetic_tables_validate(self, small_graph, small_tables):
+        small_tables.validate(small_graph)
+        assert small_tables.num_modes == len(XSCALE_3)
+
+    def test_slower_modes_trade_time_for_energy(self, small_graph,
+                                                small_tables):
+        fastest = small_tables.num_modes - 1
+        for task in small_graph.task_names():
+            assert small_tables.time(task, 0) >= small_tables.time(
+                task, fastest)
+            assert small_tables.energy(task, 0) <= small_tables.energy(
+                task, fastest)
+
+    def test_memory_bound_tasks_stretch_less(self):
+        cpu = TaskGraphSpec("cpu", (TaskNode("t", beta=0.0),))
+        mem = TaskGraphSpec("mem", (TaskNode("t", beta=0.8),))
+        t_cpu = synthetic_tables(cpu, XSCALE_3)
+        t_mem = synthetic_tables(mem, XSCALE_3)
+        stretch_cpu = t_cpu.time("t", 0) / t_cpu.time("t", 2)
+        stretch_mem = t_mem.time("t", 0) / t_mem.time("t", 2)
+        assert stretch_mem < stretch_cpu
+
+    def test_tables_payload_round_trips(self, small_tables):
+        clone = TaskTables.from_payload(small_tables.payload())
+        assert clone == small_tables

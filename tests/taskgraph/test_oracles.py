@@ -1,0 +1,67 @@
+"""Metamorphic oracles: monotonicity in cores and deadline slack."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.simulator.dvs import XSCALE_3
+from repro.taskgraph import build_graph, synthetic_tables
+from repro.taskgraph.oracles import (
+    fuzz_taskgraph,
+    verify_cores_monotonic,
+    verify_deadline_monotonic,
+    verify_instance,
+)
+
+
+class TestInstanceOracle:
+    def test_passing_instance_reports_energies(self, small_graph,
+                                               small_tables, transition):
+        report = verify_instance(small_graph, small_tables, 2, 0.5,
+                                 transition)
+        assert report["method"] == "milp"
+        assert report["energy_nj"] <= report["greedy_energy_nj"] * (1 + 1e-6)
+        assert not report["degraded"]
+
+    def test_failure_raises_with_instance_label(self, small_graph,
+                                                small_tables, transition,
+                                                monkeypatch):
+        import repro.taskgraph.oracles as oracles
+
+        def broken_greedy(spec, tables, cores, deadline_s, transition):
+            return {"replayed": {"energy_nj": 0.0, "makespan_s": 0.0}}
+
+        monkeypatch.setattr(oracles, "greedy_taskgraph", broken_greedy)
+        with pytest.raises(VerificationError, match="fork-join-5"):
+            verify_instance(small_graph, small_tables, 2, 0.5, transition)
+
+
+class TestMonotonicity:
+    def test_cores_never_hurt_at_fixed_deadline(self, small_graph,
+                                                small_tables, transition):
+        report = verify_cores_monotonic(small_graph, small_tables, [1, 2],
+                                        0.5, transition)
+        energies = report["energies"]
+        assert [e["cores"] for e in energies] == [1, 2]
+        optimal = [e for e in energies if e["optimal"]]
+        for lo, hi in zip(optimal, optimal[1:]):
+            assert hi["energy_nj"] <= lo["energy_nj"] * (1 + 1e-6)
+
+    def test_slack_never_hurts_at_fixed_cores(self, transition):
+        spec = build_graph("layered", 5, 0)
+        tables = synthetic_tables(spec, XSCALE_3)
+        report = verify_deadline_monotonic(spec, tables, 2, [0.0, 1.0],
+                                           transition)
+        energies = report["energies"]
+        assert energies[0]["deadline_frac"] == 0.0
+        optimal = [e for e in energies if e["optimal"]]
+        for lo, hi in zip(optimal, optimal[1:]):
+            assert hi["energy_nj"] <= lo["energy_nj"] * (1 + 1e-6)
+
+
+class TestFuzz:
+    def test_seeded_battery_is_reproducible(self):
+        a = fuzz_taskgraph(2, seed=7)
+        b = fuzz_taskgraph(2, seed=7)
+        assert a["ok"] and a["runs"] == 2
+        assert [r["instance"] for r in a["reports"]] == [
+            r["instance"] for r in b["reports"]]

@@ -1,0 +1,112 @@
+"""Replay oracle semantics: precedence, transitions, rejection."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.simulator.dvs import XSCALE_3, ZERO_TRANSITION
+from repro.taskgraph import TaskGraphSpec, TaskNode, synthetic_tables
+from repro.taskgraph.simulate import replay, validate_schedule
+
+CHAIN = TaskGraphSpec("chain", (TaskNode("a"), TaskNode("b"), TaskNode("c")),
+                      (("a", "b"), ("b", "c")))
+DIAMOND = TaskGraphSpec(
+    "diamond",
+    (TaskNode("s"), TaskNode("l"), TaskNode("r"), TaskNode("t")),
+    (("s", "l"), ("s", "r"), ("l", "t"), ("r", "t")))
+
+
+def tables(spec):
+    return synthetic_tables(spec, XSCALE_3)
+
+
+class TestReplay:
+    def test_serial_chain_sums_durations(self, transition):
+        tab = tables(CHAIN)
+        run = replay(CHAIN, tab, {"modes": {"a": 2, "b": 2, "c": 2},
+                                  "order": [["a", "b", "c"]]}, transition)
+        expected = sum(tab.time(t, 2) for t in "abc")
+        assert run["makespan_s"] == pytest.approx(expected)
+        assert run["switches"] == 0
+        assert run["switch_energy_nj"] == 0.0
+
+    def test_two_lanes_overlap_the_diamond(self):
+        tab = tables(DIAMOND)
+        serial = replay(DIAMOND, tab,
+                        {"modes": {t: 2 for t in "slrt"},
+                         "order": [["s", "l", "r", "t"]]}, ZERO_TRANSITION)
+        forked = replay(DIAMOND, tab,
+                        {"modes": {t: 2 for t in "slrt"},
+                         "order": [["s", "l", "t"], ["r"]]}, ZERO_TRANSITION)
+        assert forked["makespan_s"] < serial["makespan_s"]
+        # Same modes, no transitions: identical energy either way.
+        assert forked["energy_nj"] == serial["energy_nj"]
+
+    def test_successor_waits_for_cross_lane_predecessor(self):
+        tab = tables(DIAMOND)
+        run = replay(DIAMOND, tab,
+                     {"modes": {"s": 2, "l": 0, "r": 2, "t": 2},
+                      "order": [["s", "r", "t"], ["l"]]}, ZERO_TRANSITION)
+        assert run["start_s"]["t"] >= run["finish_s"]["l"]
+        assert run["start_s"]["t"] >= run["finish_s"]["r"]
+
+    def test_mode_switch_charges_energy_and_time(self, transition):
+        tab = tables(CHAIN)
+        uniform = replay(CHAIN, tab, {"modes": {"a": 2, "b": 2, "c": 2},
+                                      "order": [["a", "b", "c"]]}, transition)
+        mixed = replay(CHAIN, tab, {"modes": {"a": 2, "b": 0, "c": 2},
+                                    "order": [["a", "b", "c"]]}, transition)
+        assert mixed["switches"] == 2
+        v_hi, v_lo = tab.voltages()[2], tab.voltages()[0]
+        per_switch = transition.energy_nj(v_hi, v_lo)
+        assert mixed["switch_energy_nj"] == pytest.approx(2 * per_switch)
+        # The switch time pushes b and c later than pure durations would.
+        durations = (tab.time("a", 2) + tab.time("b", 0) + tab.time("c", 2))
+        expected = durations + 2 * transition.time_s(v_hi, v_lo)
+        assert mixed["makespan_s"] == pytest.approx(expected)
+        assert uniform["switches"] == 0
+
+    def test_boot_mode_is_free(self, transition):
+        tab = tables(CHAIN)
+        slow_boot = replay(CHAIN, tab, {"modes": {"a": 0, "b": 0, "c": 0},
+                                        "order": [["a", "b", "c"]]},
+                           transition)
+        assert slow_boot["switches"] == 0
+
+    def test_replay_is_deterministic(self, small_graph, small_tables,
+                                     transition):
+        names = small_graph.topo_order()
+        schedule = {"modes": {t: 1 for t in names},
+                    "order": [list(names[::2]), list(names[1::2])]}
+        first = replay(small_graph, small_tables, schedule, transition)
+        second = replay(small_graph, small_tables, schedule, transition)
+        assert first == second
+
+
+class TestRejection:
+    def test_missing_task_rejected(self):
+        tab = tables(CHAIN)
+        with pytest.raises(ScheduleError, match="do not cover"):
+            validate_schedule(CHAIN, tab, {"modes": {"a": 0, "b": 0},
+                                           "order": [["a", "b"]]})
+
+    def test_out_of_range_mode_rejected(self):
+        tab = tables(CHAIN)
+        with pytest.raises(ScheduleError, match="assigned mode"):
+            validate_schedule(CHAIN, tab,
+                              {"modes": {"a": 9, "b": 0, "c": 0},
+                               "order": [["a", "b", "c"]]})
+
+    def test_duplicate_placement_rejected(self):
+        tab = tables(CHAIN)
+        with pytest.raises(ScheduleError, match="place"):
+            validate_schedule(CHAIN, tab,
+                              {"modes": {"a": 0, "b": 0, "c": 0},
+                               "order": [["a", "b"], ["b", "c"]]})
+
+    def test_precedence_deadlock_detected(self):
+        tab = tables(CHAIN)
+        # Both lane orders conflict with a -> b -> c.
+        with pytest.raises(ScheduleError, match="deadlock"):
+            replay(CHAIN, tab, {"modes": {"a": 0, "b": 0, "c": 0},
+                                "order": [["b", "a"], ["c"]]},
+                   ZERO_TRANSITION)
