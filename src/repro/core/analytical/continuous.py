@@ -8,8 +8,8 @@ Three regimes arise:
   ``v_ideal`` at ``f_ideal = (N_ov + N_dep)/t_deadline`` is optimal — no
   intra-program DVS benefit (Figure 2);
 * **memory dominated** (``N_cache < N_overlap`` and
-  ``f_invariant < f_ideal``): two voltages, found numerically by sweeping
-  v1 with v2 pinned by the deadline constraint (Figure 3);
+  ``f_invariant < f_ideal``): two voltages, found by a golden-section
+  search over v1 with v2 pinned by the deadline constraint (Figure 3);
 * **memory dominated with slack** (``N_cache ≥ N_overlap``): a single
   voltage at ``(N_cache + N_dep)/(t_deadline − t_invariant)`` (Figure 4).
 
@@ -121,8 +121,10 @@ def optimize_continuous(
         deadline_s: execution-time budget.
         law: alpha-power voltage/frequency model.
         v_low, v_high: available voltage range.
-        grid: v1 sample count for the memory-dominated numeric search
-            (refined once around the best sample).
+        grid: unused; retained for call compatibility.  The
+            memory-dominated search is now an exact golden-section
+            minimization over a proven feasibility bracket, which needs
+            no sample count.
 
     Raises:
         AnalysisError: when even the fastest setting misses the deadline.
@@ -208,26 +210,54 @@ def _search_memory_dominated(
         v2 = max(law.voltage(f2), v_low)
         return (_energy(params, v1, v2), v2, f1, f2)
 
-    def scan(lo: float, hi: float, samples: int):
-        best_entry = None
-        best_v1 = None
-        for v1 in np.linspace(lo, hi, samples):
-            entry = evaluate(float(v1))
-            if entry is not None and (best_entry is None or entry[0] < best_entry[0]):
-                best_entry = entry
-                best_v1 = float(v1)
-        return best_v1, best_entry
-
-    best_v1, best_entry = scan(v_low, v_high, grid)
-    if best_entry is None:
+    # The feasible v1 values form an up-set: raising v1 shrinks region 1,
+    # which grows the time left for region 2 and lowers the f2 it needs.
+    # So feasibility is a threshold v1_min, found by bisection, and the
+    # search domain is the interval [v1_min, v_high].
+    if evaluate(v_high) is None:
         return None
-    # One refinement pass around the best coarse sample.
-    span = (v_high - v_low) / (grid - 1)
-    refined_v1, refined_entry = scan(
-        max(v_low, best_v1 - span), min(v_high, best_v1 + span), grid
-    )
-    if refined_entry is not None and refined_entry[0] < best_entry[0]:
-        best_v1, best_entry = refined_v1, refined_entry
+    lo, hi = v_low, v_high
+    if evaluate(lo) is None:
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if evaluate(mid) is None:
+                lo = mid
+            else:
+                hi = mid
+        lo = hi  # smallest v1 proven feasible by the bisection
+
+    # Golden-section search.  E(v1) is unimodal on the bracket: in the
+    # time-split coordinate t1 the two region energies are convex
+    # (decreasing resp. increasing), their sum is convex, and v1 -> t1
+    # is strictly monotone — a monotone reparametrization preserves
+    # unimodality, including through the v_low flooring of v2 (the
+    # floored branch is the increasing tail R1*v1^2 + const).  Unlike the
+    # old fixed grid this converges to the true minimizer, so the
+    # reported optimum can only improve (lower energy, higher bound).
+    invphi = (np.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, v_high
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    fc = evaluate(c)[0]
+    fd = evaluate(d)[0]
+    while b - a > 1e-12:
+        if fc <= fd:
+            b, d, fd = d, c, fc
+            c = b - invphi * (b - a)
+            fc = evaluate(c)[0]
+        else:
+            a, c, fc = c, d, fd
+            d = a + invphi * (b - a)
+            fd = evaluate(d)[0]
+    # The bracket has collapsed; pick the best point actually evaluated,
+    # endpoints included (the minimum may sit on the feasibility edge).
+    candidates = [(fc, c), (fd, d)]
+    for v1 in (lo, v_high):
+        entry = evaluate(v1)
+        if entry is not None:
+            candidates.append((entry[0], v1))
+    _, best_v1 = min(candidates)
+    best_entry = evaluate(best_v1)
 
     energy, v2, f1, f2 = best_entry
     return ContinuousSolution(

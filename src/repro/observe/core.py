@@ -161,11 +161,20 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the reservoir (q in [0, 100])."""
+        """Nearest-rank percentile over the reservoir (q in [0, 100]).
+
+        The rank is ``ceil(q * N / 100)`` computed as a single product
+        before the division: dividing first (``q / 100.0 * N``) rounds
+        q/100 to binary float and the representation error then crosses
+        integer boundaries — e.g. ``0.55 * 20`` is ``11.000000000000002``
+        whose ceiling is 12, one rank too high.  ``q * N / 100.0`` stays
+        exact for every integer-valued product.  Out-of-range q clamps
+        to the extreme samples rather than indexing out of bounds.
+        """
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        rank = max(1, math.ceil(q * len(ordered) / 100.0))
         return ordered[min(rank, len(ordered)) - 1]
 
     def as_dict(self) -> dict[str, Any]:

@@ -9,7 +9,12 @@ budget and degrades through a fallback chain instead of raising:
 2. **Native simplex + branch-and-bound** with the remaining budget — the
    dependency-free backend; its ``LIMIT`` machinery already keeps the
    best incumbent and the tightest open bound.
-3. **Greedy heuristic** (:func:`repro.core.baselines.greedy.greedy_schedule`)
+3. **Continuous round-up** (:mod:`repro.core.continuous`) — the exact
+   Li–Yao–Yuan continuous-voltage optimum rounded up to discrete modes.
+   Deterministic polynomial time, so it *cannot* time out, and it prices
+   its own gap against the continuous lower bound; feasible whenever the
+   all-fastest schedule meets the deadline.
+4. **Greedy heuristic** (:func:`repro.core.baselines.greedy.greedy_schedule`)
    — O(blocks × modes) construction from the profiled Table-7 style
    parameters; feasible by construction whenever any single mode meets
    the deadline, i.e. whenever the problem is feasible at all.
@@ -59,6 +64,7 @@ RELAX_BOUND_BUDGET_S = 0.25
 
 TIER_SCIPY = "milp-scipy"
 TIER_NATIVE = "milp-native"
+TIER_CONTINUOUS = "continuous"
 TIER_GREEDY = "greedy"
 
 logger = logging.getLogger("repro.anytime")
@@ -150,9 +156,10 @@ def optimize_anytime(
 
     # -- MILP tiers -------------------------------------------------------------
     tiers = []
-    if optimizer.backend in ("auto", "scipy"):
-        tiers.append((TIER_SCIPY, "scipy"))
-    tiers.append((TIER_NATIVE, "native"))
+    if optimizer.backend != "continuous":
+        if optimizer.backend in ("auto", "scipy"):
+            tiers.append((TIER_SCIPY, "scipy"))
+        tiers.append((TIER_NATIVE, "native"))
 
     for tier, backend in tiers:
         left = remaining()
@@ -223,6 +230,78 @@ def optimize_anytime(
             tier_attempts=tuple(attempts),
             schedule_check=feasibility,
         )
+
+    # -- continuous round-up tier -----------------------------------------------
+    # Deterministic polynomial time: this tier is exempt from the budget
+    # check — it cannot time out, which is exactly why it sits between
+    # the budgeted MILP tiers and the last-resort greedy.
+    from repro.core.continuous import continuous_bound, round_up_schedule
+
+    with observe.span("anytime.tier", tier=TIER_CONTINUOUS) as tsp:
+        cont_outcome = None
+        try:
+            cont_bound = continuous_bound(
+                profile, machine.mode_table, deadline_s
+            )
+            rounded = round_up_schedule(
+                profile, machine.mode_table, deadline_s, cont_bound.speeds,
+                machine.transition_model, filter_result,
+            )
+        except ScheduleError as error:
+            reject(TierAttempt(TIER_CONTINUOUS, False, str(error), tsp.elapsed_s))
+            rounded = None
+        else:
+            if rounded is None:
+                reject(TierAttempt(
+                    TIER_CONTINUOUS, False,
+                    "all-fastest schedule misses the deadline", tsp.elapsed_s,
+                ))
+        if rounded is not None:
+            x, objective, time_s = formulation.incumbent_vector(rounded.rep_modes)
+            try:
+                rounded.schedule.validate_against(cfg)
+            except ScheduleError as error:
+                reject(TierAttempt(TIER_CONTINUOUS, False, str(error), tsp.elapsed_s))
+            else:
+                feasibility, final = gate_schedule(rounded.schedule)
+                if not feasibility.ok:
+                    reject(TierAttempt(
+                        TIER_CONTINUOUS, False, feasibility.summary, tsp.elapsed_s
+                    ))
+                else:
+                    gap = max(0.0, (objective - cont_bound.energy_nj)
+                              / max(1.0, abs(objective)))
+                    attempts.append(TierAttempt(
+                        TIER_CONTINUOUS, True,
+                        f"round-up from continuous optimum, gap {gap:.3%}",
+                        tsp.elapsed_s,
+                    ))
+                    observe.add(f"anytime.tier.{TIER_CONTINUOUS}")
+                    tsp.set(accepted=True)
+                    solution = Solution(
+                        status=SolveStatus.FEASIBLE,
+                        objective=objective,
+                        x=x,
+                        backend="continuous",
+                        best_bound=cont_bound.energy_nj,
+                    )
+                    cont_outcome = OptimizationOutcome(
+                        schedule=final,
+                        solution=solution,
+                        formulation=formulation,
+                        profile=profile,
+                        predicted_energy_nj=objective,
+                        predicted_time_s=time_s,
+                        solve_time_s=observe.clock() - start,
+                        filter_result=filter_result,
+                        certificate=None,
+                        fallback_tier=TIER_CONTINUOUS,
+                        optimality_gap=gap,
+                        tier_attempts=tuple(attempts),
+                        schedule_check=feasibility,
+                    )
+    if cont_outcome is not None:
+        return cont_outcome
 
     # -- greedy tier ------------------------------------------------------------
     with observe.span("anytime.tier", tier=TIER_GREEDY) as tsp:

@@ -51,7 +51,8 @@ class SweepConfig:
     cache_dir: str | None = None  # None -> caching disabled
     output_dir: str = "sweep-results"
     solver_budget_s: float | None = None  # anytime optimize budget
-    solver_backend: str = "auto"  # MILP backend for optimize tasks
+    solver_backend: str = "auto"  # optimize backend (incl. "continuous")
+    continuous_prune: bool = False  # warm-start B&B from the continuous round-up
     resume: bool = False  # replay the journal in output_dir
     trace: bool = False  # collect + export trace.jsonl / metrics.json
     fastpath: bool = True  # bit-exact accelerated simulation (see repro.perf)
@@ -167,7 +168,8 @@ def run_sweep(
         experiments = build_grid(config)
     graph = build_task_graph(experiments,
                              solver_budget_s=config.solver_budget_s,
-                             solver_backend=config.solver_backend)
+                             solver_backend=config.solver_backend,
+                             continuous_prune=config.continuous_prune)
     # Warm-start bases/pseudocosts are per-sweep ephemeral state: reset
     # so a resumed run and a cold run see identical (empty) registries.
     # Pool workers (jobs > 1) start with fresh per-process registries.
@@ -261,6 +263,7 @@ def run_sweep(
         "cache_dir": config.cache_dir,
         "solver_budget_s": config.solver_budget_s,
         "solver_backend": config.solver_backend,
+        "continuous_prune": config.continuous_prune,
         "resume": config.resume,
         "resumed_tasks": len(completed),
         "interrupted": interrupted,

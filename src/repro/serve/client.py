@@ -29,8 +29,11 @@ share the policy and breaker objects.
 from __future__ import annotations
 
 import asyncio
+import datetime
+import email.utils
 import http.client
 import json
+import math
 import random
 import threading
 import time
@@ -153,12 +156,33 @@ class ClientOutcome:
 
 
 def _retry_after_seconds(value: str | None) -> float | None:
+    """Seconds to wait from a ``Retry-After`` header, or None.
+
+    Accepts both RFC 9110 forms — delay-seconds and HTTP-date.  A zero,
+    negative or malformed value carries no scheduling information, so it
+    is treated as an absent header (the caller falls back to its own
+    exponential backoff) rather than as "retry immediately", which would
+    defeat the backoff against a server that is already shedding load.
+    Huge values are capped by :meth:`RetryPolicy.backoff_s`.
+    """
     if value is None:
         return None
     try:
-        return max(0.0, float(value))
+        seconds = float(value)
     except ValueError:
+        try:
+            when = email.utils.parsedate_to_datetime(value)
+        except (TypeError, ValueError):
+            return None
+        if when is None:
+            return None
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=datetime.timezone.utc)
+        seconds = (when - datetime.datetime.now(datetime.timezone.utc)
+                   ).total_seconds()
+    if not math.isfinite(seconds) or seconds <= 0:
         return None
+    return seconds
 
 
 def _parse_body(payload: bytes) -> dict[str, Any] | None:

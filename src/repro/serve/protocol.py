@@ -56,7 +56,7 @@ PROTOCOL_VERSION = 1
 #: Hard ceiling on experiments per request regardless of server config.
 ABSOLUTE_MAX_GRID = 256
 
-_BACKENDS = ("auto", "scipy", "native")
+_BACKENDS = ("auto", "scipy", "native", "continuous")
 
 
 @dataclass(frozen=True)

@@ -91,10 +91,23 @@ def deadline_range(spec: TaskGraphSpec, tables: TaskTables,
 def deadline_for(spec: TaskGraphSpec, tables: TaskTables, cores: int,
                  frac: float,
                  transition: TransitionCostModel = ZERO_TRANSITION) -> float:
-    """Absolute deadline at a grid fraction in [0, 1]."""
-    if not 0.0 <= frac <= 1.0:
-        raise ScheduleError(f"deadline fraction {frac} outside [0, 1]")
+    """Absolute deadline at a grid fraction in [0, 1].
+
+    The fraction is clamped into [0, 1]: grid fractions arrive through
+    float arithmetic (``i / (n - 1)`` and friends), and a value like
+    ``1.0000000000000002`` is grid position 1.0, not a caller error.
+    Genuinely non-numeric input still raises.
+    """
+    if frac != frac:  # NaN has no grid position to clamp to
+        raise ScheduleError(f"deadline fraction {frac} is not a number")
+    frac = min(1.0, max(0.0, frac))
     fast, slow = deadline_range(spec, tables, cores, transition)
+    if slow <= fast:
+        # Zero-width range (e.g. a single-mode table, or transition costs
+        # making the slow chain no slower): every fraction means "the
+        # fastest feasible deadline" — interpolating across a negative
+        # width would hand back an infeasible deadline below `fast`.
+        return fast
     return fast + frac * (slow - fast)
 
 

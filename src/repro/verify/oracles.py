@@ -16,6 +16,9 @@ fuzz driver can collect and report the first failure with full context.
 * :func:`analytical_bound_dominates` — the Section 3 analytical model is
   an upper bound: no MILP result may save more energy than it predicts
   (beyond the paper's own rounding allowance);
+* :func:`continuous_dominance` — the exact continuous-voltage optimum
+  (:mod:`repro.core.continuous`) sandwiches the discrete one:
+  ``continuous lower bound <= MILP optimum <= continuous round-up``;
 * :func:`never_worse_than_single_mode` — the MILP must never lose to the
   best single mode meeting the deadline (that mode is a feasible MILP
   point);
@@ -233,6 +236,69 @@ def analytical_bound_dominates(
             f"{bound:.1%} (+{slack:.0%} slack)",
         )
     return _passed(name, f"bound {bound:.1%} >= MILP {milp_savings:.1%} - slack")
+
+
+def continuous_dominance(
+    optimizer: DVSOptimizer,
+    outcome: OptimizationOutcome,
+    rel_tol: float = tolerances.CONTINUOUS_DOMINANCE_REL_TOL,
+) -> OracleResult:
+    """The continuous relaxation sandwiches the discrete optimum.
+
+    Checks the energy chain ``continuous lower bound <= MILP optimum <=
+    continuous round-up`` on the outcome's own profile and deadline.
+    The left inequality holds because any discrete schedule induces a
+    feasible point of the continuous problem with no greater energy (see
+    :mod:`repro.core.continuous`); the right because the round-up is a
+    feasible point of the exact discrete model.  A violation on either
+    side means the engine, the job mapping, or the MILP is wrong.
+    """
+    from repro.core.continuous import continuous_bound, round_up_schedule
+
+    name = "continuous-dominance"
+    profile = outcome.profile
+    deadline = outcome.formulation.deadline_s
+    mode_table = optimizer.machine.mode_table
+    try:
+        bound = continuous_bound(profile, mode_table, deadline)
+    except ScheduleError as error:
+        return _passed(name, f"continuous bound unavailable ({error}); skipped")
+    milp_energy = outcome.predicted_energy_nj
+    slack = rel_tol * max(1.0, abs(milp_energy))
+    if bound.energy_nj > milp_energy + slack:
+        return _failed(
+            name,
+            f"continuous lower bound {bound.energy_nj:.9g} nJ exceeds the "
+            f"discrete optimum {milp_energy:.9g} nJ",
+        )
+    if not outcome.solution.ok:
+        # A degraded incumbent is feasible but not proven optimal, so the
+        # round-up may legitimately beat it; only the lower bound applies.
+        return _passed(
+            name,
+            f"lower bound {bound.energy_nj:.6g} <= incumbent "
+            f"{milp_energy:.6g} nJ (upper side skipped: unproven incumbent)",
+        )
+    rounded = round_up_schedule(
+        profile, mode_table, deadline, bound.speeds,
+        optimizer.machine.transition_model, outcome.filter_result,
+    )
+    if rounded is None:
+        return _failed(
+            name,
+            "round-up found no feasible schedule although the MILP did",
+        )
+    if rounded.energy_nj + slack < milp_energy:
+        return _failed(
+            name,
+            f"round-up energy {rounded.energy_nj:.9g} nJ undercuts the "
+            f"proven optimum {milp_energy:.9g} nJ",
+        )
+    return _passed(
+        name,
+        f"{bound.energy_nj:.6g} <= {milp_energy:.6g} <= "
+        f"{rounded.energy_nj:.6g} nJ",
+    )
 
 
 def never_worse_than_single_mode(

@@ -1,0 +1,113 @@
+"""Golden-section regression for the memory-dominated two-voltage search.
+
+The old implementation scanned a fixed 400-point grid over v1, so the
+reported optimum could sit up to half a grid step away from the true
+minimizer.  The golden-section search converges to machine precision;
+these tests pin the new behaviour: never worse than a dense reference
+scan, deadline-feasible, and independent of the legacy ``grid`` knob.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.analytical import ContinuousCase, ProgramParams, optimize_continuous
+from repro.core.analytical.alpha_power import DEFAULT_LAW
+from repro.core.analytical.continuous import energy_vs_v1_curve
+
+# A memory-dominated operating point (the Section 3.3 figure-3 shape)
+# plus random perturbations around it.
+BASE = ProgramParams(8e5, 8e5, 3e5, 1000e-6)
+DEADLINE = 3000e-6
+
+
+def _random_memory_dominated(rng: random.Random) -> tuple[ProgramParams, float]:
+    params = ProgramParams(
+        n_overlap=rng.uniform(4e5, 12e5),
+        n_dependent=rng.uniform(1e5, 6e5),
+        n_cache=rng.uniform(0.0, 3e5),
+        t_invariant_s=rng.uniform(400e-6, 1500e-6),
+    )
+    deadline = rng.uniform(2.2, 4.0) * 1e-3
+    return params, deadline
+
+
+def _execution_time(params: ProgramParams, solution) -> float:
+    region1 = max(
+        params.t_invariant_s + params.n_cache / solution.f1,
+        params.n_overlap / solution.f1,
+    )
+    region2 = params.n_dependent / solution.f2 if params.n_dependent else 0.0
+    return region1 + region2
+
+
+class TestGoldenSection:
+    def test_never_worse_than_dense_scan_on_base_case(self):
+        solution = optimize_continuous(BASE, DEADLINE)
+        assert solution.case is ContinuousCase.MEMORY_DOMINATED
+        curve = energy_vs_v1_curve(BASE, DEADLINE, samples=4001)
+        assert curve, "reference scan found no feasible v1"
+        best_scan = min(energy for _, energy in curve)
+        # The exact search can only improve on any finite scan.
+        assert solution.energy <= best_scan * (1 + 1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_never_worse_than_dense_scan_randomized(self, seed):
+        rng = random.Random(300 + seed)
+        params, deadline = _random_memory_dominated(rng)
+        try:
+            solution = optimize_continuous(params, deadline)
+        except Exception:
+            pytest.skip("infeasible draw")
+        if solution.case is not ContinuousCase.MEMORY_DOMINATED:
+            pytest.skip("draw not in the two-voltage regime")
+        curve = energy_vs_v1_curve(params, deadline, samples=4001)
+        best_scan = min(energy for _, energy in curve)
+        assert solution.energy <= best_scan * (1 + 1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_solution_meets_deadline(self, seed):
+        rng = random.Random(900 + seed)
+        params, deadline = _random_memory_dominated(rng)
+        try:
+            solution = optimize_continuous(params, deadline)
+        except Exception:
+            pytest.skip("infeasible draw")
+        assert _execution_time(params, solution) <= deadline * (1 + 1e-6)
+        assert 0.70 - 1e-12 <= solution.v1 <= 1.65 + 1e-12
+        assert 0.70 - 1e-12 <= solution.v2 <= 1.65 + 1e-12
+
+    def test_grid_knob_is_inert(self):
+        """`grid` is retained for call compatibility only: the search is
+        exact regardless of its value."""
+        coarse = optimize_continuous(BASE, DEADLINE, grid=2)
+        fine = optimize_continuous(BASE, DEADLINE, grid=4000)
+        assert coarse.energy == fine.energy
+        assert coarse.v1 == fine.v1
+
+    def test_beats_old_grid_resolution(self):
+        """The optimum lies strictly between old grid points somewhere:
+        the golden-section energy should match a 400x denser scan to far
+        better than one old grid step's worth of energy error."""
+        solution = optimize_continuous(BASE, DEADLINE)
+        dense = min(e for _, e in
+                    energy_vs_v1_curve(BASE, DEADLINE, samples=160001))
+        assert solution.energy <= dense * (1 + 1e-10)
+        # And the stationarity check: tiny perturbations of v1 (with v2
+        # re-solved from the deadline) cannot lower the energy.
+        law = DEFAULT_LAW
+        for dv in (-1e-5, 1e-5):
+            v1 = solution.v1 + dv
+            f1 = law.frequency(v1)
+            region1 = max(BASE.t_invariant_s + BASE.n_cache / f1,
+                          BASE.n_overlap / f1)
+            remaining = DEADLINE - region1
+            if remaining <= 0:
+                continue
+            f2 = BASE.n_dependent / remaining
+            v2 = max(law.voltage(f2), 0.70)
+            perturbed = (BASE.region1_active_cycles * v1 * v1
+                         + BASE.n_dependent * v2 * v2)
+            assert perturbed >= solution.energy * (1 - 1e-9)

@@ -1,0 +1,320 @@
+"""Exact continuous-schedule engine (Li-Yao-Yuan) tests.
+
+Four layers of evidence:
+
+* **Exactness** — the peeling engine matches an independent SLSQP
+  solve of the convex program on random instances with <= 6 jobs, and
+  matches hand-computed optima on textbook instances.
+* **Structure** — optimal speed profiles are feasible (Hall's
+  condition), nonincreasing over time for common-deadline instances,
+  and the common-deadline fast path agrees with the general peeler.
+* **Complexity** — ``intensity_evals`` grows no faster than O(n^2) on
+  the common-deadline path.
+* **Integration** — ``continuous_bound`` / ``round_up_schedule`` /
+  the ``continuous`` optimizer backend / the warm-incumbent pruner
+  respect the dominance chain ``continuous <= milp <= roundup`` and
+  never change the discrete optimum.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import DVSOptimizer
+from repro.core.continuous import (
+    ContinuousJob,
+    continuous_bound,
+    envelope_law,
+    is_feasible_speed_assignment,
+    jobs_from_profile,
+    optimal_speeds,
+    round_up_schedule,
+    _peel_common_deadline,
+    _peel_general,
+)
+from repro.errors import ScheduleError
+from repro.simulator import XSCALE_3
+from repro.solver import warmstart
+from repro.verify import oracles
+
+
+def _energy(jobs: list[ContinuousJob], speeds: dict[str, float]) -> float:
+    """Energy under the cube power law: sum of work * speed^2."""
+    return sum(j.work_cycles * speeds[j.label] ** 2 for j in jobs)
+
+
+def _brute_force_energy(jobs: list[ContinuousJob]) -> float:
+    """Independent optimum via SLSQP over per-job constant speeds.
+
+    Constant per-job speeds lose no generality (the energy integrand is
+    convex in speed), and feasibility of a speed vector is exactly the
+    set of window constraints sum(w_i/s_i) <= b - a over every busy
+    window [a, b] drawn from release/deadline values.
+    """
+    from scipy.optimize import minimize
+
+    w = np.array([j.work_cycles for j in jobs])
+    constraints = []
+    for a in sorted({j.release_s for j in jobs}):
+        for b in sorted({j.deadline_s for j in jobs}):
+            if b <= a:
+                continue
+            idx = [i for i, j in enumerate(jobs)
+                   if j.release_s >= a and j.deadline_s <= b]
+            if not idx:
+                continue
+            constraints.append({
+                "type": "ineq",
+                "fun": lambda s, idx=tuple(idx), span=(b - a):
+                    span - sum(w[i] / s[i] for i in idx),
+            })
+    x0 = np.array([2.0 * j.work_cycles / j.width_s for j in jobs])
+    result = minimize(
+        lambda s: float(np.sum(w * s * s)), x0, method="SLSQP",
+        constraints=constraints, bounds=[(1e-9, None)] * len(jobs),
+        options={"maxiter": 1000, "ftol": 1e-12},
+    )
+    # SLSQP sometimes stops with status 8 ("positive directional
+    # derivative") at an essentially converged point; repair any residual
+    # constraint violation by uniformly speeding up, which keeps the
+    # point feasible so its energy stays a true upper bound.
+    speeds = np.maximum(result.x, 1e-9)
+    worst = 1.0
+    for a in sorted({j.release_s for j in jobs}):
+        for b in sorted({j.deadline_s for j in jobs}):
+            if b <= a:
+                continue
+            need = sum(w[i] / speeds[i] for i, j in enumerate(jobs)
+                       if j.release_s >= a and j.deadline_s <= b)
+            if need > 0:
+                worst = max(worst, need / (b - a))
+    speeds = speeds * worst
+    return float(np.sum(w * speeds * speeds))
+
+
+def _random_instance(rng: random.Random, n: int) -> list[ContinuousJob]:
+    jobs = []
+    for i in range(n):
+        release = rng.uniform(0.0, 6.0)
+        width = rng.uniform(0.5, 4.0)
+        jobs.append(ContinuousJob(
+            label=f"j{i}", release_s=release,
+            deadline_s=release + width,
+            work_cycles=rng.uniform(0.5, 8.0),
+        ))
+    return jobs
+
+
+class TestExactness:
+    def test_two_job_hand_computed(self):
+        """Classic nested instance: the inner critical interval [1, 2]
+        forces speed 4; the outer job then needs (8-0)/... — peel by
+        hand: interval [1,2] has 4 cycles -> speed 4; remaining job has
+        4 cycles over [0,3] minus the collapsed interval -> speed 2."""
+        jobs = [
+            ContinuousJob("outer", 0.0, 3.0, 4.0),
+            ContinuousJob("inner", 1.0, 2.0, 4.0),
+        ]
+        profile = optimal_speeds(jobs)
+        assert profile.speeds["inner"] == pytest.approx(4.0)
+        assert profile.speeds["outer"] == pytest.approx(2.0)
+        assert _energy(jobs, profile.speeds) == pytest.approx(4 * 16 + 4 * 4)
+
+    def test_three_job_yds_example(self):
+        """Uniform jobs over staggered unit windows run at the global
+        average rate — one critical interval covers everything."""
+        jobs = [ContinuousJob(f"j{i}", float(i), float(i) + 2.0, 3.0)
+                for i in range(3)]
+        profile = optimal_speeds(jobs)
+        # Total 9 cycles over [0, 4]: the busiest window is [0, 4]
+        # itself at intensity 9/4.
+        for job in jobs:
+            assert profile.speeds[job.label] == pytest.approx(9.0 / 4.0)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_slsqp_on_random_small_instances(self, seed):
+        rng = random.Random(1000 + seed)
+        jobs = _random_instance(rng, rng.randint(2, 6))
+        profile = optimal_speeds(jobs)
+        assert is_feasible_speed_assignment(jobs, profile.speeds)
+        engine = _energy(jobs, profile.speeds)
+        reference = _brute_force_energy(jobs)
+        # Feasible and <= any feasible point found by SLSQP => exact.
+        assert engine <= reference * (1 + 1e-6) + 1e-12, (engine, reference)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_common_deadline_fast_path_matches_general(self, seed):
+        rng = random.Random(7000 + seed)
+        n = rng.randint(2, 12)
+        deadline = 10.0
+        jobs = [ContinuousJob(f"j{i}", rng.uniform(0.0, 8.0), deadline,
+                              rng.uniform(0.1, 5.0)) for i in range(n)]
+        fast = _peel_common_deadline(sorted(jobs, key=lambda j: j.release_s))
+        general = _peel_general(sorted(jobs, key=lambda j: j.release_s))
+        for job in jobs:
+            assert fast.speeds[job.label] == pytest.approx(
+                general.speeds[job.label], rel=1e-9)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimal_speeds_feasible_hall(self, seed):
+        rng = random.Random(42 + seed)
+        jobs = _random_instance(rng, 10)
+        profile = optimal_speeds(jobs)
+        assert is_feasible_speed_assignment(jobs, profile.speeds)
+
+    def test_common_deadline_speeds_nonincreasing(self):
+        rng = random.Random(5)
+        jobs = [ContinuousJob(f"j{i}", rng.uniform(0.0, 5.0), 9.0,
+                              rng.uniform(0.5, 4.0)) for i in range(9)]
+        profile = optimal_speeds(jobs)
+        ordered = sorted(jobs, key=lambda j: j.release_s)
+        speeds = [profile.speeds[j.label] for j in ordered]
+        # With one shared deadline, later-released work faces less
+        # remaining time, so optimal speeds never decrease with release.
+        for earlier, later in zip(speeds, speeds[1:]):
+            assert later >= earlier * (1 - 1e-9)
+
+    def test_zero_work_jobs_ignored(self):
+        jobs = [
+            ContinuousJob("real", 0.0, 2.0, 4.0),
+            ContinuousJob("ghost", 0.0, 1.0, 0.0),
+        ]
+        profile = optimal_speeds(jobs)
+        assert profile.speeds["real"] == pytest.approx(2.0)
+        assert "ghost" not in profile.speeds
+
+    def test_invalid_jobs_raise(self):
+        with pytest.raises(ScheduleError):
+            optimal_speeds([ContinuousJob("bad", 0.0, 1.0, -1.0)])
+        with pytest.raises(ScheduleError):
+            optimal_speeds([ContinuousJob("bad", 2.0, 1.0, 1.0)])
+
+
+class TestComplexity:
+    def test_common_deadline_evals_quadratic(self):
+        """The common-deadline fast path does O(n) intensity evals per
+        peeled interval, O(n^2) total — check the bound and that
+        doubling n stays within the quadratic envelope."""
+        def evals(n: int) -> int:
+            rng = random.Random(n)
+            jobs = [ContinuousJob(f"j{i}", rng.uniform(0.0, 50.0), 60.0,
+                                  rng.uniform(0.1, 2.0)) for i in range(n)]
+            return optimal_speeds(jobs).intensity_evals
+
+        e100, e200 = evals(100), evals(200)
+        assert e100 <= 2 * 100 * 101
+        assert e200 <= 2 * 200 * 201
+        # Quadratic scaling: 2x the jobs <= ~4x the work (slack for the
+        # instance-dependent number of peel rounds).
+        assert e200 <= 6 * e100
+
+
+class TestProfileBridge:
+    def test_jobs_cover_scalable_cycles(self, small_profile, machine3):
+        deadline = max(small_profile.wall_time_s.values())
+        jobs, epsilon, invariant = jobs_from_profile(
+            small_profile, machine3.mode_table, deadline)
+        assert jobs and epsilon >= 0.0 and invariant >= 0.0
+        assert all(j.work_cycles >= 0.0 for j in jobs)
+        profile = optimal_speeds(jobs)
+        assert is_feasible_speed_assignment(jobs, profile.speeds)
+
+    def test_envelope_law_never_underestimates_mode_voltage(self, machine3):
+        """Soundness of the energy pricing: at each mode's frequency the
+        fitted envelope voltage must not exceed the real mode voltage,
+        so the continuous bound never overprices a real mode."""
+        law = envelope_law(machine3.mode_table)
+        for point in machine3.mode_table:
+            assert law.voltage(point.frequency_hz) <= point.voltage * (1 + 1e-9)
+
+    def test_continuous_bound_rejects_bad_deadlines(self, small_profile,
+                                                    machine3):
+        with pytest.raises(ScheduleError):
+            continuous_bound(small_profile, machine3.mode_table, 0.0)
+        with pytest.raises(ScheduleError):
+            continuous_bound(small_profile, machine3.mode_table, -1.0)
+        fastest = min(small_profile.wall_time_s.values())
+        with pytest.raises(ScheduleError):
+            continuous_bound(small_profile, machine3.mode_table,
+                             fastest * 1e-3)
+
+
+class TestDominance:
+    @pytest.fixture(scope="class")
+    def deadline_grid(self, small_profile):
+        times = small_profile.wall_time_s
+        fast, slow = min(times.values()), max(times.values())
+        return [fast + f * (slow - fast) for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+
+    def test_bound_below_milp_below_roundup(self, optimizer, small_cfg,
+                                            small_profile, machine3,
+                                            deadline_grid):
+        for deadline in deadline_grid:
+            bound = continuous_bound(small_profile, machine3.mode_table,
+                                     deadline)
+            outcome = optimizer.optimize(small_cfg, deadline,
+                                         profile=small_profile)
+            milp = outcome.predicted_energy_nj
+            assert bound.energy_nj <= milp * (1 + 1e-6), deadline
+            rounded = round_up_schedule(
+                small_profile, machine3.mode_table, deadline, bound.speeds,
+                machine3.transition_model, outcome.filter_result)
+            if rounded is not None:
+                assert rounded.time_s <= deadline * (1 + 1e-9)
+                assert milp <= rounded.energy_nj * (1 + 1e-6), deadline
+
+    def test_oracle_passes_over_grid(self, optimizer, small_cfg,
+                                     small_profile, deadline_grid):
+        for deadline in deadline_grid:
+            outcome = optimizer.optimize(small_cfg, deadline,
+                                         profile=small_profile)
+            check = oracles.continuous_dominance(optimizer, outcome)
+            assert check.ok, (deadline, check.detail)
+
+    def test_bound_savings_vs_single_mode(self, optimizer, small_profile,
+                                          machine3, deadline_grid):
+        """The continuous optimum can never need more energy than the
+        best single discrete mode (it can emulate any mode)."""
+        for deadline in deadline_grid:
+            bound = continuous_bound(small_profile, machine3.mode_table,
+                                     deadline)
+            _, baseline = optimizer.best_single_mode(small_profile, deadline)
+            assert bound.energy_nj <= baseline * (1 + 1e-6)
+
+
+class TestBackendAndPruner:
+    def test_continuous_backend_outcome(self, machine3, small_cfg,
+                                        small_profile):
+        times = small_profile.wall_time_s
+        deadline = min(times.values()) + 0.5 * (
+            max(times.values()) - min(times.values()))
+        opt = DVSOptimizer(machine3, backend="continuous")
+        outcome = opt.optimize(small_cfg, deadline, profile=small_profile)
+        assert outcome.fallback_tier == "continuous"
+        assert outcome.solution.backend == "continuous"
+        assert outcome.predicted_time_s <= deadline * (1 + 1e-9)
+        bound = continuous_bound(small_profile, machine3.mode_table, deadline)
+        assert outcome.predicted_energy_nj >= bound.energy_nj * (1 - 1e-9)
+
+    def test_pruner_preserves_schedule_and_objective(self, machine3,
+                                                     small_cfg,
+                                                     small_profile):
+        times = small_profile.wall_time_s
+        fast, slow = min(times.values()), max(times.values())
+        for frac in (0.25, 0.5, 1.0):
+            deadline = fast + frac * (slow - fast)
+            warmstart.reset()
+            off = DVSOptimizer(machine3, backend="native").optimize(
+                small_cfg, deadline, profile=small_profile)
+            warmstart.reset()
+            on = DVSOptimizer(
+                machine3, backend="native",
+                solver_options={"continuous_prune": True},
+            ).optimize(small_cfg, deadline, profile=small_profile)
+            assert on.schedule.assignment == off.schedule.assignment, frac
+            assert on.predicted_energy_nj == off.predicted_energy_nj, frac

@@ -77,3 +77,54 @@ class TestExport:
         assert hist["p50"] == 4.0
         assert hist["p99"] == 9.0
         assert "samples" not in hist
+
+
+class TestNearestRankExactness:
+    """Regression for the float-ceil bug in ``Histogram.percentile``.
+
+    The old form computed ``ceil(q / 100.0 * n)``; for q=55, n=20 the
+    intermediate ``0.55 * 20`` is 11.000000000000002 in binary floating
+    point, so ceil returned rank 12 instead of the correct nearest-rank
+    11.  Multiplying before dividing (``q * n / 100.0``) keeps every
+    such product exact.
+    """
+
+    def _hist(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.observe(float(value))
+        return hist
+
+    def test_q55_of_20_is_rank_11(self):
+        hist = self._hist(range(1, 21))
+        assert hist.percentile(55) == 11.0
+
+    def test_all_exact_boundaries_small_samples(self):
+        """Whenever q*n/100 is an integer k, nearest-rank must return
+        the k-th smallest — sweep every (q, n) pair that lands exactly."""
+        for n in (1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50):
+            hist = self._hist(range(1, n + 1))
+            for q in range(1, 101):
+                exact = q * n / 100.0
+                if exact != int(exact):
+                    continue
+                assert hist.percentile(q) == float(int(exact)), (q, n)
+
+    def test_rank_never_exceeds_count(self):
+        hist = self._hist([7.0])
+        assert hist.percentile(100) == 7.0
+        assert hist.percentile(200) == 7.0  # out-of-range q clamps
+
+    def test_q0_returns_minimum_sample(self):
+        hist = self._hist([5.0, 1.0, 9.0])
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(-5) == 1.0
+
+    def test_empty_returns_zero(self):
+        assert Histogram().percentile(50) == 0.0
+
+    def test_nearest_rank_rounds_up_on_fractions(self):
+        # q*n/100 = 1.5 -> rank 2 (genuine fractional rank still ceils).
+        hist = self._hist([10.0, 20.0])
+        assert hist.percentile(75) == 20.0
+        assert hist.percentile(50) == 10.0

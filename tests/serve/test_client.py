@@ -204,3 +204,64 @@ def test_transport_errors_are_retried_then_reported():
     assert outcome.attempts == 3
     assert outcome.retries == 2
     assert outcome.error is not None
+
+
+# -- Retry-After parsing ---------------------------------------------------------
+
+
+class TestRetryAfterSeconds:
+    """RFC 9110 Retry-After handling in ``_retry_after_seconds``.
+
+    Regression: zero/negative/malformed values used to come back as
+    numbers (0.0, -1.0) and defeat the exponential backoff by forcing
+    an immediate retry against an already-shedding server.
+    """
+
+    def _parse(self, value):
+        from repro.serve.client import _retry_after_seconds
+        return _retry_after_seconds(value)
+
+    def test_absent_header(self):
+        assert self._parse(None) is None
+
+    def test_plain_seconds(self):
+        assert self._parse("3") == 3.0
+        assert self._parse("0.25") == 0.25
+
+    def test_zero_treated_as_absent(self):
+        assert self._parse("0") is None
+
+    def test_negative_treated_as_absent(self):
+        assert self._parse("-1") is None
+        assert self._parse("-0.5") is None
+
+    def test_garbage_treated_as_absent(self):
+        assert self._parse("soon") is None
+        assert self._parse("") is None
+        assert self._parse("nan") is None
+        assert self._parse("inf") is None
+
+    def test_http_date_in_future(self):
+        import datetime
+        import email.utils
+        when = (datetime.datetime.now(datetime.timezone.utc)
+                + datetime.timedelta(seconds=90))
+        value = email.utils.format_datetime(when, usegmt=True)
+        seconds = self._parse(value)
+        assert seconds is not None
+        assert 80.0 < seconds <= 90.0
+
+    def test_http_date_in_past_treated_as_absent(self):
+        assert self._parse("Mon, 01 Jan 2001 00:00:00 GMT") is None
+
+    def test_malformed_date_treated_as_absent(self):
+        assert self._parse("Funday, 99 Nonuary 10000 99:99:99 GMT") is None
+
+    def test_huge_value_capped_by_policy(self):
+        policy = RetryPolicy(base_backoff_s=0.01, max_backoff_s=1.0,
+                             jitter=0.0)
+        rng = random.Random(0)
+        huge = self._parse("86400")
+        assert huge == 86400.0
+        # The policy, not the parser, bounds how long we actually sleep.
+        assert policy.backoff_s(1, huge, rng) == policy.max_backoff_s * 4

@@ -48,10 +48,61 @@ class TestDeadlines:
         mid = deadline_for(small_graph, small_tables, 2, 0.5, transition)
         assert fast < mid < slow
 
-    def test_frac_out_of_range_rejected(self, small_graph, small_tables,
-                                        transition):
+    def test_frac_out_of_range_clamped(self, small_graph, small_tables,
+                                       transition):
+        """Regression: grid fractions arrive through float arithmetic
+        (``i / (n - 1)``), so 1.0000000000000002 is grid position 1.0,
+        not a caller error — out-of-range values clamp instead of
+        raising.  NaN still raises (it has no grid position)."""
+        fast, slow = deadline_range(small_graph, small_tables, 2, transition)
+        assert deadline_for(small_graph, small_tables, 2,
+                            1.0 + 2e-16, transition) == pytest.approx(slow)
+        assert deadline_for(small_graph, small_tables, 2,
+                            -1e-16, transition) == pytest.approx(fast)
+        assert deadline_for(small_graph, small_tables, 2, 1.5,
+                            transition) == pytest.approx(slow)
+        assert deadline_for(small_graph, small_tables, 2, -3.0,
+                            transition) == pytest.approx(fast)
         with pytest.raises(ScheduleError):
-            deadline_for(small_graph, small_tables, 2, 1.5, transition)
+            deadline_for(small_graph, small_tables, 2, float("nan"),
+                         transition)
+
+    def test_deadline_always_feasible_property(self, small_graph,
+                                               small_tables, transition):
+        """For ANY real fraction, the returned deadline admits at least
+        the all-fastest list schedule (the anytime fallback's floor)."""
+        from hypothesis import given, settings, strategies as st
+
+        fast, slow = deadline_range(small_graph, small_tables, 2, transition)
+
+        @given(st.floats(min_value=-10.0, max_value=10.0,
+                         allow_nan=False, allow_infinity=False))
+        @settings(max_examples=60, deadline=None)
+        def check(frac):
+            deadline = deadline_for(small_graph, small_tables, 2, frac,
+                                    transition)
+            assert fast - 1e-12 <= deadline <= slow + 1e-12
+            # Monotone in the clamped fraction.
+            clamped = min(1.0, max(0.0, frac))
+            assert deadline == pytest.approx(fast + clamped * (slow - fast))
+
+        check()
+
+    def test_zero_width_range_returns_fast(self):
+        """When slow <= fast (single-mode table: no mode to relax into),
+        every fraction must mean 'the fastest feasible deadline' rather
+        than interpolating across a negative width."""
+        from repro.simulator.dvs import XSCALE_3, ModeTable
+        from repro.taskgraph import fork_join, synthetic_tables
+
+        graph = fork_join(tasks=4, seed=1)
+        single = ModeTable([XSCALE_3.fastest], name="single")
+        tables = synthetic_tables(graph, single)
+        fast, slow = deadline_range(graph, tables, 2, ZERO_TRANSITION)
+        assert slow == pytest.approx(fast)
+        for frac in (0.0, 0.5, 1.0):
+            assert deadline_for(graph, tables, 2, frac,
+                                ZERO_TRANSITION) == pytest.approx(fast)
 
 
 class TestGreedy:
